@@ -1,0 +1,74 @@
+//! Compiles representative pruned layers to the serialized Eureka format
+//! and reports compression and cycle statistics — the storage-side
+//! counterpart of the performance figures (paper §2.3.1/§3: the metadata
+//! growth is "more than offset" by dropping zeros).
+
+use eureka_core::CompiledLayer;
+use eureka_models::{Benchmark, PruningLevel, Workload};
+use eureka_sparse::{gen, rng::DetRng, storage, SparsityPattern};
+
+fn main() {
+    println!(
+        "{:<28}{:>9}{:>11}{:>12}{:>12}{:>12}{:>10}",
+        "layer", "density", "nnz", "dense B", "encoded B", "ideal B", "cycles"
+    );
+    for (bench, layer_name) in [
+        (Benchmark::ResNet50, "conv4_2/3x3"),
+        (Benchmark::ResNet50, "conv2_0/3x3"),
+        (Benchmark::MobileNetV1, "pw7"),
+        (Benchmark::BertSquad, "enc0/q"),
+    ] {
+        let w = Workload::new(bench, PruningLevel::Moderate, 1);
+        let Some((idx, gemm)) = w
+            .gemms()
+            .into_iter()
+            .enumerate()
+            .find(|(_, g)| g.name == layer_name)
+        else {
+            continue;
+        };
+        let mut rng = DetRng::new(w.seed() ^ idx as u64);
+        let pattern = if gemm.clustered {
+            gen::clustered_pattern(
+                gemm.shape.n.min(256),
+                gemm.shape.k.min(768),
+                gemm.weight_density,
+                16,
+                32,
+                0.2,
+                &mut rng,
+            )
+        } else {
+            gen::uniform_pattern(
+                gemm.shape.n.min(256),
+                gemm.shape.k.min(2304),
+                gemm.weight_density,
+                &mut rng,
+            )
+        };
+        let weights = gen::values_for_pattern(&pattern, &mut rng);
+        let compiled = CompiledLayer::compile(&weights, 4, 4).expect("compile");
+        let s = compiled.stats();
+        println!(
+            "{:<28}{:>8.0}%{:>11}{:>12}{:>12}{:>12}{:>10}",
+            format!("{} {layer_name}", bench.name()),
+            100.0 * gemm.weight_density,
+            s.nnz,
+            s.dense_bytes,
+            s.encoded_bytes,
+            s.ideal_bits / 8,
+            s.total_cycles,
+        );
+        // Cross-check against the analytic storage model.
+        let analytic = storage_bits_check(&pattern);
+        let delta = (analytic as f64 - s.ideal_bits as f64).abs() / analytic as f64;
+        assert!(delta < 0.02, "storage models disagree by {delta}");
+    }
+    println!(
+        "\n(ideal = bit-packed 16-bit payload + 5-bit col/displaced metadata + rotation fields)"
+    );
+}
+
+fn storage_bits_check(pattern: &SparsityPattern) -> u64 {
+    storage::storage_bits(pattern, storage::Format::EurekaCompacted { factor: 4 })
+}

@@ -1,0 +1,15 @@
+//! Regenerates Figure 12: isolation of Eureka's techniques.
+//!
+//! Pass `--csv` for machine-readable output.
+
+use eureka_sim::SimConfig;
+
+fn main() {
+    let cfg = SimConfig::paper_default();
+    let table = eureka_bench::figure12(&cfg);
+    if std::env::args().any(|a| a == "--csv") {
+        print!("{}", table.to_csv());
+    } else {
+        println!("{}", table.render());
+    }
+}

@@ -1,0 +1,15 @@
+//! Regenerates Figure 14: sensitivity to MAC array size.
+//!
+//! Pass `--csv` for machine-readable output.
+
+use eureka_sim::SimConfig;
+
+fn main() {
+    let cfg = SimConfig::paper_default();
+    let table = eureka_bench::figure14(&cfg);
+    if std::env::args().any(|a| a == "--csv") {
+        print!("{}", table.to_csv());
+    } else {
+        println!("{}", table.render());
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 1: the benchmark summary.
+
+fn main() {
+    println!("{}", eureka_bench::table1());
+}

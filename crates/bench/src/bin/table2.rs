@@ -1,0 +1,5 @@
+//! Regenerates Table 2: per-MAC ASIC area/power and delay.
+
+fn main() {
+    println!("{}", eureka_bench::table2());
+}

@@ -1,0 +1,157 @@
+//! Minimal grouped-bar-chart SVG emitter for [`crate::FigTable`]s.
+//!
+//! No dependencies, no styling framework — just enough to eyeball a
+//! regenerated figure next to the paper's. The `reproduce` driver writes
+//! one SVG per figure alongside the text and CSV outputs.
+
+use crate::FigTable;
+
+/// A qualitative palette (colorblind-safe Okabe-Ito).
+const PALETTE: [&str; 9] = [
+    "#0072B2", "#E69F00", "#009E73", "#D55E00", "#CC79A7", "#56B4E9", "#F0E442", "#999999",
+    "#000000",
+];
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// Renders the table as a grouped bar chart.
+///
+/// Rows become x-axis groups, columns become colored series; blank cells
+/// are skipped. Returns a complete standalone SVG document.
+#[must_use]
+pub fn to_svg(table: &FigTable) -> String {
+    let rows = &table.rows;
+    let n_groups = rows.len().max(1);
+    let n_series = table.columns.len().max(1);
+
+    let max_v = rows
+        .iter()
+        .flat_map(|(_, cells)| cells.iter().flatten())
+        .fold(0.0f64, |a, &b| a.max(b))
+        .max(1e-9);
+
+    // Layout.
+    let (bar_w, gap, group_gap) = (14.0, 2.0, 24.0);
+    let group_w = n_series as f64 * (bar_w + gap) + group_gap;
+    let plot_w = n_groups as f64 * group_w;
+    let (plot_h, margin_l, margin_t) = (260.0, 60.0, 40.0);
+    let legend_h = 18.0 * n_series as f64;
+    let width = margin_l + plot_w + 220.0;
+    let height = margin_t + plot_h + 120.0_f64.max(legend_h);
+
+    let mut svg = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width:.0}\" height=\"{height:.0}\" \
+         font-family=\"sans-serif\" font-size=\"11\">\n"
+    );
+    svg.push_str(&format!(
+        "<text x=\"{margin_l}\" y=\"20\" font-size=\"13\">{}</text>\n",
+        esc(&table.title)
+    ));
+
+    // Y axis with 5 ticks.
+    for i in 0..=5 {
+        let v = max_v * f64::from(i) / 5.0;
+        let y = margin_t + plot_h - plot_h * f64::from(i) / 5.0;
+        svg.push_str(&format!(
+            "<line x1=\"{margin_l}\" y1=\"{y:.1}\" x2=\"{:.1}\" y2=\"{y:.1}\" \
+             stroke=\"#ddd\"/><text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">{v:.1}</text>\n",
+            margin_l + plot_w,
+            margin_l - 6.0,
+            y + 4.0
+        ));
+    }
+
+    // Bars and group labels.
+    for (g, (label, cells)) in rows.iter().enumerate() {
+        let gx = margin_l + g as f64 * group_w;
+        for (s, cell) in cells.iter().enumerate() {
+            let Some(v) = cell else { continue };
+            let h = plot_h * v / max_v;
+            let x = gx + s as f64 * (bar_w + gap);
+            let y = margin_t + plot_h - h;
+            svg.push_str(&format!(
+                "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{bar_w}\" height=\"{h:.1}\" \
+                 fill=\"{}\"><title>{}: {} = {v:.3}</title></rect>\n",
+                PALETTE[s % PALETTE.len()],
+                esc(label),
+                esc(&table.columns[s]),
+            ));
+        }
+        svg.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{:.1}\" transform=\"rotate(35 {:.1} {:.1})\">{}</text>\n",
+            gx,
+            margin_t + plot_h + 14.0,
+            gx,
+            margin_t + plot_h + 14.0,
+            esc(label)
+        ));
+    }
+
+    // Legend.
+    let lx = margin_l + plot_w + 20.0;
+    for (s, col) in table.columns.iter().enumerate() {
+        let y = margin_t + s as f64 * 18.0;
+        svg.push_str(&format!(
+            "<rect x=\"{lx}\" y=\"{y:.1}\" width=\"12\" height=\"12\" fill=\"{}\"/>\
+             <text x=\"{:.1}\" y=\"{:.1}\">{}</text>\n",
+            PALETTE[s % PALETTE.len()],
+            lx + 18.0,
+            y + 10.0,
+            esc(col)
+        ));
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FigTable {
+        FigTable {
+            title: "test <figure>".into(),
+            columns: vec!["A".into(), "B".into()],
+            rows: vec![
+                ("r1".into(), vec![Some(1.0), Some(2.0)]),
+                ("r2".into(), vec![Some(3.0), None]),
+            ],
+        }
+    }
+
+    #[test]
+    fn well_formed_and_complete() {
+        let svg = to_svg(&sample());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // 3 bars (one cell blank) + 2 legend swatches.
+        assert_eq!(svg.matches("<rect").count(), 5);
+        // Title is escaped.
+        assert!(svg.contains("test &lt;figure&gt;"));
+        assert!(!svg.contains("test <figure>"));
+        // Balanced rect tags (self-closing or with title children).
+        assert_eq!(svg.matches("<title>").count(), 3);
+    }
+
+    #[test]
+    fn scales_to_max_value() {
+        let svg = to_svg(&sample());
+        // The 3.0 bar reaches full plot height (260).
+        assert!(svg.contains("height=\"260.0\""), "{svg}");
+    }
+
+    #[test]
+    fn empty_table_is_valid() {
+        let t = FigTable {
+            title: "empty".into(),
+            columns: vec![],
+            rows: vec![],
+        };
+        let svg = to_svg(&t);
+        assert!(svg.contains("</svg>"));
+    }
+}

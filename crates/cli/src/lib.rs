@@ -1,0 +1,572 @@
+//! Command parsing and execution for the `eureka` CLI.
+//!
+//! The binary in `src/main.rs` is a thin wrapper; everything here is
+//! testable as a library:
+//!
+//! ```
+//! use eureka_cli::{parse, Command};
+//!
+//! let cmd = parse(["simulate", "--benchmark", "resnet50", "--arch", "eureka-p4"])?;
+//! assert!(matches!(cmd, Command::Simulate { .. }));
+//! # Ok::<(), String>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use eureka_models::{Benchmark, PruningLevel, Workload};
+use eureka_sim::{arch, engine, SimConfig};
+
+/// A parsed CLI invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Print usage.
+    Help,
+    /// List the architecture registry.
+    Archs,
+    /// Regenerate one of the paper's tables/figures.
+    Figure {
+        /// `table1`, `table2`, `fig09`, `fig11`, `fig12`, `fig13`,
+        /// `fig14` or `ablations`.
+        name: String,
+        /// Emit CSV instead of the text table.
+        csv: bool,
+        /// Use reduced sampling.
+        fast: bool,
+    },
+    /// Compile one layer's (synthetic) pruned weights to the offline
+    /// format and report compression/cycle statistics.
+    Compile {
+        /// Benchmark name.
+        benchmark: Benchmark,
+        /// Layer name (e.g. `conv4_2/3x3`, `enc0/q`).
+        layer: String,
+        /// Compaction factor.
+        factor: usize,
+    },
+    /// Emit a Chrome-tracing JSON of one layer's systolic schedule.
+    Trace {
+        /// Benchmark name.
+        benchmark: Benchmark,
+        /// Layer name.
+        layer: String,
+    },
+    /// Simulate one workload on one architecture.
+    Simulate {
+        /// Benchmark name.
+        benchmark: Benchmark,
+        /// Pruning level.
+        pruning: PruningLevel,
+        /// Architecture registry name.
+        arch: String,
+        /// Batch size.
+        batch: usize,
+        /// Use reduced sampling.
+        fast: bool,
+        /// Emit the per-layer CSV.
+        csv: bool,
+    },
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+eureka — reproduction of the Eureka sparse tensor core (MICRO 2023)
+
+USAGE:
+  eureka help
+  eureka archs
+  eureka figure <table1|table2|fig09|fig11|fig12|fig13|fig14|ablations> [--csv] [--fast]
+  eureka simulate --benchmark <mobilenetv1|inceptionv3|resnet50|bert>
+                  [--pruning <dense|cons|mod>] [--arch <name>]
+                  [--batch <N>] [--csv] [--fast]
+  eureka compile  --benchmark <name> --layer <layer-name> [--factor <P>]
+  eureka trace    --benchmark <name> --layer <layer-name>   (Chrome-trace JSON)
+
+Run `eureka archs` for the architecture registry.";
+
+fn parse_benchmark(s: &str) -> Result<Benchmark, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "mobilenetv1" | "mobilenet" => Ok(Benchmark::MobileNetV1),
+        "inceptionv3" | "inception" => Ok(Benchmark::InceptionV3),
+        "resnet50" | "resnet" => Ok(Benchmark::ResNet50),
+        "bert" | "bert-squad" | "bertsquad" => Ok(Benchmark::BertSquad),
+        other => Err(format!("unknown benchmark '{other}'")),
+    }
+}
+
+fn parse_pruning(s: &str) -> Result<PruningLevel, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "dense" => Ok(PruningLevel::Dense),
+        "cons" | "conservative" => Ok(PruningLevel::Conservative),
+        "mod" | "moderate" => Ok(PruningLevel::Moderate),
+        other => Err(format!("unknown pruning level '{other}'")),
+    }
+}
+
+/// Parses an argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown commands, flags, or
+/// malformed values.
+pub fn parse<I, S>(args: I) -> Result<Command, String>
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    let args: Vec<String> = args.into_iter().map(Into::into).collect();
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "archs" => Ok(Command::Archs),
+        "figure" => {
+            let name = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or("figure requires a name, e.g. `eureka figure fig11`")?
+                .clone();
+            let known = [
+                "table1",
+                "table2",
+                "fig09",
+                "fig11",
+                "fig12",
+                "fig13",
+                "fig14",
+                "ablations",
+            ];
+            if !known.contains(&name.as_str()) {
+                return Err(format!(
+                    "unknown figure '{name}' (expected one of {known:?})"
+                ));
+            }
+            let rest = &args[2..];
+            for a in rest {
+                if a != "--csv" && a != "--fast" {
+                    return Err(format!("unknown flag '{a}' for figure"));
+                }
+            }
+            Ok(Command::Figure {
+                name,
+                csv: rest.iter().any(|a| a == "--csv"),
+                fast: rest.iter().any(|a| a == "--fast"),
+            })
+        }
+        "compile" => {
+            let mut benchmark = None;
+            let mut layer = None;
+            let mut factor = 4usize;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                let mut value = |flag: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{flag} requires a value"))
+                };
+                match a.as_str() {
+                    "--benchmark" => benchmark = Some(parse_benchmark(&value("--benchmark")?)?),
+                    "--layer" => layer = Some(value("--layer")?),
+                    "--factor" => {
+                        factor = value("--factor")?
+                            .parse()
+                            .map_err(|e| format!("bad --factor: {e}"))?;
+                    }
+                    other => return Err(format!("unknown flag '{other}' for compile")),
+                }
+            }
+            if !(1..=16).contains(&factor) {
+                return Err("--factor must be in 1..=16".into());
+            }
+            Ok(Command::Compile {
+                benchmark: benchmark.ok_or("compile requires --benchmark")?,
+                layer: layer.ok_or("compile requires --layer")?,
+                factor,
+            })
+        }
+        "trace" => {
+            let mut benchmark = None;
+            let mut layer = None;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                let mut value = |flag: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{flag} requires a value"))
+                };
+                match a.as_str() {
+                    "--benchmark" => benchmark = Some(parse_benchmark(&value("--benchmark")?)?),
+                    "--layer" => layer = Some(value("--layer")?),
+                    other => return Err(format!("unknown flag '{other}' for trace")),
+                }
+            }
+            Ok(Command::Trace {
+                benchmark: benchmark.ok_or("trace requires --benchmark")?,
+                layer: layer.ok_or("trace requires --layer")?,
+            })
+        }
+        "simulate" => {
+            let mut benchmark = None;
+            let mut pruning = PruningLevel::Moderate;
+            let mut arch_name = "eureka-p4".to_string();
+            let mut batch = 32usize;
+            let mut fast = false;
+            let mut csv = false;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                let mut value = |flag: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{flag} requires a value"))
+                };
+                match a.as_str() {
+                    "--benchmark" => benchmark = Some(parse_benchmark(&value("--benchmark")?)?),
+                    "--pruning" => pruning = parse_pruning(&value("--pruning")?)?,
+                    "--arch" => arch_name = value("--arch")?,
+                    "--batch" => {
+                        batch = value("--batch")?
+                            .parse()
+                            .map_err(|e| format!("bad --batch: {e}"))?;
+                    }
+                    "--fast" => fast = true,
+                    "--csv" => csv = true,
+                    other => return Err(format!("unknown flag '{other}' for simulate")),
+                }
+            }
+            let benchmark = benchmark.ok_or("simulate requires --benchmark")?;
+            if arch::by_name(&arch_name).is_none() {
+                return Err(format!(
+                    "unknown architecture '{arch_name}'; run `eureka archs`"
+                ));
+            }
+            if batch == 0 {
+                return Err("--batch must be positive".into());
+            }
+            Ok(Command::Simulate {
+                benchmark,
+                pruning,
+                arch: arch_name,
+                batch,
+                fast,
+                csv,
+            })
+        }
+        other => Err(format!("unknown command '{other}'; try `eureka help`")),
+    }
+}
+
+/// Executes a parsed command, returning the text to print.
+///
+/// # Errors
+///
+/// Returns a message for unsupported combinations (e.g. S2TA on
+/// InceptionV3).
+pub fn run(cmd: &Command) -> Result<String, String> {
+    match cmd {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Archs => {
+            let mut out = String::from("architectures:\n");
+            for name in arch::registry_names() {
+                let a = arch::by_name(name).expect("registry name resolves");
+                out.push_str(&format!("  {name:<18} {}\n", a.name()));
+            }
+            Ok(out)
+        }
+        Command::Figure { name, csv, fast } => {
+            let cfg = if *fast {
+                SimConfig::fast()
+            } else {
+                SimConfig::paper_default()
+            };
+            let table = match name.as_str() {
+                "table1" => return Ok(eureka_bench::table1()),
+                "table2" => return Ok(eureka_bench::table2()),
+                "fig09" => eureka_bench::figure9(&cfg),
+                "fig11" => eureka_bench::figure11(&cfg),
+                "fig12" => eureka_bench::figure12(&cfg),
+                "fig13" => eureka_bench::figure13(&cfg),
+                "fig14" => eureka_bench::figure14(&cfg),
+                "ablations" => {
+                    let mut out = String::new();
+                    for t in [
+                        eureka_bench::ablations::reach_sweep(&cfg),
+                        eureka_bench::ablations::window_sweep(&cfg),
+                        eureka_bench::ablations::compaction_sweep(&cfg),
+                        eureka_bench::ablations::sigma_sweep(&cfg),
+                        eureka_bench::ablations::two_sided_energy(&cfg),
+                    ] {
+                        out.push_str(&if *csv { t.to_csv() } else { t.render() });
+                        out.push('\n');
+                    }
+                    return Ok(out);
+                }
+                _ => unreachable!("validated in parse"),
+            };
+            Ok(if *csv { table.to_csv() } else { table.render() })
+        }
+        Command::Compile {
+            benchmark,
+            layer,
+            factor,
+        } => {
+            use eureka_core::CompiledLayer;
+            use eureka_sparse::{gen, rng::DetRng};
+            let w = Workload::new(*benchmark, PruningLevel::Moderate, 1);
+            let Some((idx, gemm)) = w
+                .gemms()
+                .into_iter()
+                .enumerate()
+                .find(|(_, g)| g.name == *layer)
+            else {
+                return Err(format!("{} has no layer named '{layer}'", benchmark.name()));
+            };
+            let mut rng = DetRng::new(w.seed() ^ idx as u64);
+            // Bound the materialized matrix so big layers stay instant.
+            let (n, k) = (gemm.shape.n.min(512), gemm.shape.k.min(4096));
+            let pattern = if gemm.clustered {
+                gen::clustered_pattern(n, k, gemm.weight_density, 16, 32, 0.2, &mut rng)
+            } else {
+                gen::uniform_pattern(n, k, gemm.weight_density, &mut rng)
+            };
+            let weights = gen::values_for_pattern(&pattern, &mut rng);
+            let compiled =
+                CompiledLayer::compile(&weights, 4, *factor).map_err(|e| e.to_string())?;
+            let s = compiled.stats();
+            let mut out = format!(
+                "{} {layer} at {:.0}% density, compaction P={factor} \
+                 (materialized {n}x{k}):\n",
+                benchmark.name(),
+                100.0 * gemm.weight_density
+            );
+            out.push_str(&format!(
+                "  tiles            : {}\n",
+                compiled.tiles().len()
+            ));
+            out.push_str(&format!("  non-zeros        : {}\n", s.nnz));
+            out.push_str(&format!("  dense FP16 size  : {} bytes\n", s.dense_bytes));
+            out.push_str(&format!("  encoded size     : {} bytes\n", s.encoded_bytes));
+            out.push_str(&format!(
+                "  ideal bit-packed : {} bytes ({:.1}x smaller than dense)\n",
+                s.ideal_bits / 8,
+                s.ideal_compression()
+            ));
+            out.push_str(&format!("  total tile cycles: {}\n", s.total_cycles));
+            Ok(out)
+        }
+        Command::Trace { benchmark, layer } => {
+            use eureka_core::schedule::{schedule_grouped_steps, trace, SystolicConfig};
+            use eureka_core::suds;
+            use eureka_sim::arch::tile_samples_for_layer;
+            let cfg = SimConfig::paper_default();
+            let w = Workload::new(*benchmark, PruningLevel::Moderate, 32);
+            let Some(gemm) = w.gemms().into_iter().find(|g| g.name == *layer) else {
+                return Err(format!("{} has no layer named '{layer}'", benchmark.name()));
+            };
+            let times: Vec<u64> = tile_samples_for_layer(&gemm, &cfg, 0)
+                .iter()
+                .map(|t| suds::optimal_cycles(t) as u64)
+                .collect();
+            let sys = SystolicConfig::paper_default();
+            let steps = schedule_grouped_steps(&times, &sys);
+            Ok(trace::to_chrome_json(&steps, &sys))
+        }
+        Command::Simulate {
+            benchmark,
+            pruning,
+            arch: arch_name,
+            batch,
+            fast,
+            csv,
+        } => {
+            let cfg = if *fast {
+                SimConfig::fast()
+            } else {
+                SimConfig::paper_default()
+            };
+            let workload = Workload::new(*benchmark, *pruning, *batch);
+            let a = arch::by_name(arch_name).expect("validated in parse");
+            let report =
+                engine::try_simulate(a.as_ref(), &workload, &cfg).map_err(|e| e.to_string())?;
+            if *csv {
+                return Ok(report.to_csv());
+            }
+            let dense = engine::simulate(&arch::dense(), &workload, &cfg);
+            let mut out = format!("{} on {}\n", report.arch, report.workload);
+            out.push_str(&format!(
+                "  total cycles   : {} ({:.3} ms at 1 GHz)\n",
+                report.total_cycles(),
+                report.runtime_ms(1.0)
+            ));
+            out.push_str(&format!(
+                "  speedup vs Dense: {:.2}x\n",
+                engine::speedup(&dense, &report)
+            ));
+            out.push_str(&format!(
+                "  throughput     : {:.0} inputs/s\n",
+                report.throughput_per_s(*batch, 1.0)
+            ));
+            out.push_str(&format!(
+                "  memory share   : {:.1}%\n",
+                100.0 * report.mem_share()
+            ));
+            out.push_str(&format!(
+                "  MAC utilization: {:.1}%\n",
+                100.0 * report.mac_utilization()
+            ));
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_help_variants() {
+        assert_eq!(parse(Vec::<String>::new()).unwrap(), Command::Help);
+        assert_eq!(parse(["help"]).unwrap(), Command::Help);
+        assert_eq!(parse(["--help"]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parse_figure() {
+        let cmd = parse(["figure", "fig11", "--csv"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Figure {
+                name: "fig11".into(),
+                csv: true,
+                fast: false
+            }
+        );
+        assert!(parse(["figure", "fig99"]).is_err());
+        assert!(parse(["figure"]).is_err());
+        assert!(parse(["figure", "fig11", "--bogus"]).is_err());
+    }
+
+    #[test]
+    fn parse_simulate_defaults_and_flags() {
+        let cmd = parse(["simulate", "--benchmark", "bert"]).unwrap();
+        match cmd {
+            Command::Simulate {
+                benchmark,
+                pruning,
+                arch,
+                batch,
+                fast,
+                csv,
+            } => {
+                assert_eq!(benchmark, Benchmark::BertSquad);
+                assert_eq!(pruning, PruningLevel::Moderate);
+                assert_eq!(arch, "eureka-p4");
+                assert_eq!(batch, 32);
+                assert!(!fast && !csv);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(["simulate"]).is_err());
+        assert!(parse(["simulate", "--benchmark", "vgg"]).is_err());
+        assert!(parse(["simulate", "--benchmark", "bert", "--arch", "nope"]).is_err());
+        assert!(parse(["simulate", "--benchmark", "bert", "--batch", "0"]).is_err());
+        assert!(parse(["simulate", "--benchmark", "bert", "--batch"]).is_err());
+    }
+
+    #[test]
+    fn parse_and_run_compile() {
+        let cmd = parse([
+            "compile",
+            "--benchmark",
+            "resnet50",
+            "--layer",
+            "conv2_0/3x3",
+        ])
+        .unwrap();
+        assert!(matches!(cmd, Command::Compile { factor: 4, .. }));
+        let out = run(&cmd).unwrap();
+        assert!(out.contains("ideal bit-packed"), "{out}");
+        assert!(out.contains("smaller than dense"));
+        // Unknown layer is a clean error.
+        let bad = parse(["compile", "--benchmark", "resnet50", "--layer", "nope"]).unwrap();
+        assert!(run(&bad).is_err());
+        // Factor validation.
+        assert!(parse([
+            "compile",
+            "--benchmark",
+            "resnet50",
+            "--layer",
+            "conv1",
+            "--factor",
+            "0"
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn parse_and_run_trace() {
+        let cmd = parse(["trace", "--benchmark", "resnet50", "--layer", "conv4_2/3x3"]).unwrap();
+        let out = run(&cmd).unwrap();
+        assert!(out.starts_with('['));
+        assert!(out.contains("\"ph\":\"X\""));
+        let bad = parse(["trace", "--benchmark", "resnet50", "--layer", "zzz"]).unwrap();
+        assert!(run(&bad).is_err());
+        assert!(parse(["trace", "--benchmark", "resnet50"]).is_err());
+    }
+
+    #[test]
+    fn run_archs_lists_registry() {
+        let out = run(&Command::Archs).unwrap();
+        for name in arch::registry_names() {
+            assert!(out.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn run_simulate_fast() {
+        let cmd = parse([
+            "simulate",
+            "--benchmark",
+            "resnet50",
+            "--arch",
+            "ampere",
+            "--fast",
+        ])
+        .unwrap();
+        let out = run(&cmd).unwrap();
+        assert!(out.contains("speedup vs Dense"));
+        assert!(out.contains("Ampere/STC"));
+    }
+
+    #[test]
+    fn run_simulate_unsupported_combination() {
+        let cmd = parse([
+            "simulate",
+            "--benchmark",
+            "inception",
+            "--arch",
+            "s2ta",
+            "--fast",
+        ])
+        .unwrap();
+        let err = run(&cmd).unwrap_err();
+        assert!(err.contains("S2TA"), "{err}");
+    }
+
+    #[test]
+    fn run_simulate_csv() {
+        let cmd = parse([
+            "simulate",
+            "--benchmark",
+            "mobilenet",
+            "--arch",
+            "dense",
+            "--fast",
+            "--csv",
+        ])
+        .unwrap();
+        let out = run(&cmd).unwrap();
+        assert!(out.starts_with("layer,compute_cycles"));
+        assert_eq!(out.lines().count(), 28); // header + 27 layers
+    }
+}

@@ -1,0 +1,18 @@
+//! The `eureka` command-line tool. See `eureka_cli` for the command set.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match eureka_cli::parse(args).and_then(|cmd| eureka_cli::run(&cmd)) {
+        Ok(out) => {
+            println!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{}", eureka_cli::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Offline matrix compaction (paper §3, Figure 6).
+//!
+//! A `p × (p·P)` sparse filter sub-matrix (P reduction slices of a `p × p`
+//! dense footprint) is left-aligned row-wise into at most `max-row-nnz`
+//! columns. The `p × p` MAC sub-array then processes one compacted column
+//! per cycle; a `(p·P)`-to-1 multiplexer per MAC selects the matching
+//! activation row from the per-value column metadata. The tile's cycle
+//! count is its longest compacted row — which is exactly what SUDS then
+//! shortens.
+
+use crate::error::CoreError;
+use eureka_sparse::{AlignedTile, TilePattern};
+
+/// A compacted filter sub-matrix: a left-aligned `p × (p·P)` tile together
+/// with its compaction factor.
+///
+/// # Examples
+///
+/// ```
+/// use eureka_core::CompactedTile;
+/// use eureka_sparse::TilePattern;
+///
+/// // 4x8 tile (factor 2): row 0 holds 3 non-zeros spread over both slices.
+/// let t = TilePattern::from_rows(&[0b1001_0001, 0b0000_0010, 0, 0b1000_0000], 8).unwrap();
+/// let c = CompactedTile::new(&t, 2).unwrap();
+/// assert_eq!(c.cycles(), 3);            // longest compacted row
+/// assert_eq!(c.metadata_bits_per_value(), 3); // 8 source columns
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompactedTile {
+    aligned: AlignedTile,
+    factor: usize,
+}
+
+impl CompactedTile {
+    /// Compacts a `p × (p·factor)` tile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadCompactionShape`] if the tile's width is not
+    /// `p * factor` or `factor` is zero.
+    pub fn new(tile: &TilePattern, factor: usize) -> Result<Self, CoreError> {
+        if factor == 0 || tile.q() != tile.p() * factor {
+            return Err(CoreError::BadCompactionShape {
+                p: tile.p(),
+                q: tile.q(),
+                factor,
+            });
+        }
+        Ok(CompactedTile {
+            aligned: AlignedTile::from_tile(tile),
+            factor,
+        })
+    }
+
+    /// The underlying left-aligned tile (rows of original-column indices).
+    #[must_use]
+    pub fn aligned(&self) -> &AlignedTile {
+        &self.aligned
+    }
+
+    /// Compaction factor `P`.
+    #[must_use]
+    pub fn factor(&self) -> usize {
+        self.factor
+    }
+
+    /// Sub-array dimension `p`.
+    #[must_use]
+    pub fn p(&self) -> usize {
+        self.aligned.p()
+    }
+
+    /// Source width `q = p·P` (the multiplexer fan-in).
+    #[must_use]
+    pub fn q(&self) -> usize {
+        self.aligned.q()
+    }
+
+    /// Cycles the sub-array needs for this tile without SUDS: the longest
+    /// compacted row (at least 1 — an all-zero tile still occupies the
+    /// array for a cycle while the pipeline moves).
+    #[must_use]
+    pub fn cycles(&self) -> usize {
+        self.aligned.max_row_len().max(1)
+    }
+
+    /// Per-row non-zero counts of the compacted tile — the input to SUDS.
+    #[must_use]
+    pub fn row_lens(&self) -> Vec<usize> {
+        self.aligned.row_lens()
+    }
+
+    /// MAC utilization over the tile's cycles: busy MACs / (p × cycles).
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.aligned.nnz() as f64 / (self.p() * self.cycles()) as f64
+    }
+
+    /// Metadata bits per non-zero value (original-column index; 4 bits for
+    /// P = 4 with p = 4, as in the paper §3).
+    #[must_use]
+    pub fn metadata_bits_per_value(&self) -> u32 {
+        self.aligned.metadata_bits()
+    }
+
+    /// Equivalent dense cycles for the same `p × (p·P)` region: `p · P`.
+    #[must_use]
+    pub fn dense_cycles(&self) -> usize {
+        self.p() * self.factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_validation() {
+        let t = TilePattern::from_rows(&[0; 4], 8).unwrap();
+        assert!(CompactedTile::new(&t, 2).is_ok());
+        assert!(matches!(
+            CompactedTile::new(&t, 4),
+            Err(CoreError::BadCompactionShape { .. })
+        ));
+        assert!(CompactedTile::new(&t, 0).is_err());
+    }
+
+    #[test]
+    fn figure6_style_compaction() {
+        // Two sparse 4x4 tiles compacted along rows (factor 2): the cycle
+        // count is the longest combined row, less than the 4+4 of two
+        // uncompacted tiles processed back to back.
+        let t = TilePattern::from_rows(&[0b0001_0010, 0b0100_0100, 0b0000_1001, 0b0010_0000], 8)
+            .unwrap();
+        let c = CompactedTile::new(&t, 2).unwrap();
+        assert_eq!(c.cycles(), 2);
+        assert_eq!(c.dense_cycles(), 8);
+        assert!(c.utilization() > 0.8);
+    }
+
+    #[test]
+    fn empty_tile_takes_one_cycle() {
+        let t = TilePattern::from_rows(&[0; 4], 16).unwrap();
+        let c = CompactedTile::new(&t, 4).unwrap();
+        assert_eq!(c.cycles(), 1);
+        assert_eq!(c.utilization(), 0.0);
+    }
+
+    #[test]
+    fn metadata_widths_match_paper() {
+        let t4 = TilePattern::from_rows(&[0; 4], 16).unwrap();
+        assert_eq!(
+            CompactedTile::new(&t4, 4)
+                .unwrap()
+                .metadata_bits_per_value(),
+            4
+        );
+        let t2 = TilePattern::from_rows(&[0; 4], 8).unwrap();
+        assert_eq!(
+            CompactedTile::new(&t2, 2)
+                .unwrap()
+                .metadata_bits_per_value(),
+            3
+        );
+    }
+
+    #[test]
+    fn row_lens_match_tile() {
+        let t = TilePattern::from_rows(&[0b1111_1111, 0b1, 0, 0b11], 8).unwrap();
+        let c = CompactedTile::new(&t, 2).unwrap();
+        assert_eq!(c.row_lens(), vec![8, 1, 0, 2]);
+        assert_eq!(c.cycles(), 8);
+    }
+}

@@ -1,0 +1,83 @@
+//! Error types for compaction, SUDS and scheduling.
+
+use core::fmt;
+
+/// Errors produced by Eureka's offline transformations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A tile's width is not `p × factor` for the requested compaction
+    /// factor.
+    BadCompactionShape {
+        /// Tile rows.
+        p: usize,
+        /// Tile columns.
+        q: usize,
+        /// Requested compaction factor.
+        factor: usize,
+    },
+    /// A displacement plan does not fit the tile it is applied to.
+    PlanMismatch {
+        /// Explanation of the mismatch.
+        detail: String,
+    },
+    /// A displaced schedule violates a hardware constraint (wrap-around
+    /// displacement, more work than cycles in a row, displacement from a
+    /// non-adjacent row).
+    InvalidSchedule {
+        /// Explanation of the violation.
+        detail: String,
+    },
+    /// Operand shapes disagree in the functional executor.
+    ShapeMismatch {
+        /// Description of the expected shape.
+        expected: String,
+        /// Description of the actual shape.
+        actual: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::BadCompactionShape { p, q, factor } => write!(
+                f,
+                "tile {p}x{q} cannot be compacted with factor {factor} (need q = p * factor)"
+            ),
+            CoreError::PlanMismatch { detail } => write!(f, "displacement plan mismatch: {detail}"),
+            CoreError::InvalidSchedule { detail } => write!(f, "invalid schedule: {detail}"),
+            CoreError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = CoreError::BadCompactionShape {
+            p: 4,
+            q: 15,
+            factor: 4,
+        };
+        assert!(e.to_string().contains("4x15"));
+        let e = CoreError::InvalidSchedule {
+            detail: "wrap-around".into(),
+        };
+        assert!(e.to_string().contains("wrap-around"));
+    }
+
+    #[test]
+    fn is_std_error_send_sync() {
+        fn check<E: std::error::Error + Send + Sync>(_: &E) {}
+        check(&CoreError::PlanMismatch {
+            detail: String::new(),
+        });
+    }
+}

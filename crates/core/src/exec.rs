@@ -1,0 +1,288 @@
+//! Functional executor: runs a displaced schedule on real FP16 values.
+//!
+//! This is the correctness half of the paper's §3.1 argument: "in the outer
+//! product method, the partial products for all the elements in a row `i`
+//! of a filter matrix are accumulated at the same row `i` of the output
+//! matrix; consequently a displaced value's partial products can be
+//! accumulated at the partial products of the row above, irrespective of
+//! the column to which the value is displaced." The executor walks the
+//! schedule cycle by cycle, routing each displaced product one hop up into
+//! the three-input adder, and the tests check the result equals the plain
+//! (undisplaced) matrix product.
+
+use crate::error::CoreError;
+use crate::suds::DisplacedTile;
+use eureka_fp16::{csa, F16};
+use eureka_sparse::Matrix;
+
+/// Executes a scheduled tile against an activation block.
+///
+/// * `weights` — the `p × q` source window of the filter matrix, in
+///   *logical* (unrotated) row order;
+/// * `activations` — the `q × m` activation block whose rows correspond to
+///   the window's columns.
+///
+/// Returns the `p × m` partial-output block, in logical row order (the
+/// rotation is unapplied on the way out, modelling the software index
+/// adjustment of §3.2).
+///
+/// # Errors
+///
+/// Returns [`CoreError::ShapeMismatch`] if operand shapes disagree with the
+/// schedule.
+#[allow(clippy::needless_range_loop)] // row/column indices mirror the MAC grid
+pub fn execute(
+    schedule: &DisplacedTile,
+    weights: &Matrix,
+    activations: &Matrix,
+) -> Result<Matrix, CoreError> {
+    let (p, q) = (schedule.p(), schedule.q());
+    if weights.rows() != p || weights.cols() != q {
+        return Err(CoreError::ShapeMismatch {
+            expected: format!("{p}x{q} weights"),
+            actual: format!("{}x{}", weights.rows(), weights.cols()),
+        });
+    }
+    if activations.rows() != q {
+        return Err(CoreError::ShapeMismatch {
+            expected: format!("activations with {q} rows"),
+            actual: format!("{}x{}", activations.rows(), activations.cols()),
+        });
+    }
+    let m = activations.cols();
+    // acc[physical_row][output_col]
+    let mut acc = vec![vec![F16::ZERO; m]; p];
+
+    for cycle in 0..schedule.cycles() {
+        // Products computed this cycle, per physical MAC row and output col.
+        let mut products: Vec<Option<(usize, Vec<F16>)>> = vec![None; p];
+        for mac_row in 0..p {
+            if let Some(slot) = schedule.slot(mac_row, cycle) {
+                let w = weights.get(schedule.logical_row(slot.acc_row), usize::from(slot.col));
+                let row_products: Vec<F16> = (0..m)
+                    .map(|j| w.mul_hw(activations.get(usize::from(slot.col), j)))
+                    .collect();
+                products[mac_row] = Some((slot.acc_row, row_products));
+            }
+        }
+        // Accumulate: each physical row's adder takes (acc, local product,
+        // product routed up from the row below) in a single 3-input add.
+        for row in 0..p {
+            let local: Option<&Vec<F16>> = match &products[row] {
+                Some((acc_row, prods)) if *acc_row == row => Some(prods),
+                _ => None,
+            };
+            let from_below: Option<&Vec<F16>> = if row + 1 < p {
+                match &products[row + 1] {
+                    Some((acc_row, prods)) if *acc_row == row => Some(prods),
+                    _ => None,
+                }
+            } else {
+                None
+            };
+            if local.is_none() && from_below.is_none() {
+                continue;
+            }
+            for j in 0..m {
+                let a = local.map_or(F16::ZERO, |v| v[j]);
+                let b = from_below.map_or(F16::ZERO, |v| v[j]);
+                acc[row][j] = csa::add3(acc[row][j], a, b);
+            }
+        }
+    }
+
+    // Un-rotate: physical row -> logical row.
+    let mut out = Matrix::zeros(p, m);
+    for phys in 0..p {
+        let logical = schedule.logical_row(phys);
+        for j in 0..m {
+            out.set(logical, j, acc[phys][j]);
+        }
+    }
+    Ok(out)
+}
+
+/// The undisplaced reference for the same window: `weights × activations`
+/// computed with the hardware FP16 dataflow (products accumulated in
+/// `k` order per output element).
+///
+/// # Errors
+///
+/// Returns [`CoreError::ShapeMismatch`] on operand shape mismatch.
+pub fn reference(weights: &Matrix, activations: &Matrix) -> Result<Matrix, CoreError> {
+    weights
+        .matmul_hw(activations)
+        .map_err(|e| CoreError::ShapeMismatch {
+            expected: "conforming operands".into(),
+            actual: e.to_string(),
+        })
+}
+
+/// Sums a slice of FP16 values through a balanced binary reduction tree —
+/// the spatial-reduction alternative of the *input-stationary* dataflow
+/// (paper §2.1, Figure 2(a): "the four marked MACs are interconnected
+/// using a reduction tree").
+#[must_use]
+pub fn reduction_tree_sum(values: &[F16]) -> F16 {
+    match values {
+        [] => F16::ZERO,
+        [v] => *v,
+        _ => {
+            let mid = values.len() / 2;
+            csa::add3(
+                reduction_tree_sum(&values[..mid]),
+                reduction_tree_sum(&values[mid..]),
+                F16::ZERO,
+            )
+        }
+    }
+}
+
+/// The *input-stationary* dataflow (paper §2.1, Figure 2(a)): each MAC
+/// holds a weight element; per output, the matching activations broadcast
+/// in and the partial products reduce spatially through a tree. Contrast
+/// with the output-stationary accumulation the sparse tensor core uses —
+/// both compute the same product, with different rounding orders.
+///
+/// # Errors
+///
+/// Returns [`CoreError::ShapeMismatch`] on operand shape mismatch.
+pub fn input_stationary(weights: &Matrix, activations: &Matrix) -> Result<Matrix, CoreError> {
+    if weights.cols() != activations.rows() {
+        return Err(CoreError::ShapeMismatch {
+            expected: format!("activations with {} rows", weights.cols()),
+            actual: format!("{}x{}", activations.rows(), activations.cols()),
+        });
+    }
+    let (n, k, m) = (weights.rows(), weights.cols(), activations.cols());
+    let mut out = Matrix::zeros(n, m);
+    let mut products = vec![F16::ZERO; k];
+    for i in 0..n {
+        for j in 0..m {
+            for (kk, p) in products.iter_mut().enumerate() {
+                *p = weights.get(i, kk).mul_hw(activations.get(kk, j));
+            }
+            out.set(i, j, reduction_tree_sum(&products));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suds::{self, DisplacedTile};
+    use eureka_sparse::{gen, rng::DetRng, AlignedTile, TilePattern};
+
+    /// Builds weights for a tile pattern with small integer values, the
+    /// schedule for it, and a small integer activation block.
+    fn setup(rows: &[u64], q: usize, m: usize, seed: u64) -> (DisplacedTile, Matrix, Matrix) {
+        let tile = TilePattern::from_rows(rows, q).unwrap();
+        let plan = suds::optimize(&tile.row_lens());
+        let schedule = DisplacedTile::from_plan(&AlignedTile::from_tile(&tile), &plan).unwrap();
+        let mut rng = DetRng::new(seed);
+        let pattern = eureka_sparse::SparsityPattern::from_fn(tile.p(), q, |r, c| {
+            tile.row_mask(r) >> c & 1 == 1
+        });
+        let weights = gen::integer_values_for_pattern(&pattern, &mut rng);
+        let act_pattern = eureka_sparse::SparsityPattern::from_fn(q, m, |_, _| true);
+        let activations = gen::integer_values_for_pattern(&act_pattern, &mut rng);
+        (schedule, weights, activations)
+    }
+
+    #[test]
+    fn displaced_equals_reference_worst_case() {
+        let (schedule, w, a) = setup(&[0b1111, 0, 0, 0], 4, 3, 1);
+        assert_eq!(schedule.displaced_work(), 2);
+        let got = execute(&schedule, &w, &a).unwrap();
+        let want = reference(&w, &a).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn displaced_equals_reference_compacted() {
+        let (schedule, w, a) = setup(&[0b1011_0110, 0b0000_0001, 0, 0b1000_1000], 8, 4, 2);
+        let got = execute(&schedule, &w, &a).unwrap();
+        let want = reference(&w, &a).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn rotation_is_transparent() {
+        // A pattern whose base row is not the last row forces a non-zero
+        // rotation; the output must still come back in logical order.
+        let rows = [0b0001u64, 0b1111, 0b0011, 0b0111];
+        let (schedule, w, a) = setup(&rows, 4, 2, 3);
+        let got = execute(&schedule, &w, &a).unwrap();
+        let want = reference(&w, &a).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn many_random_tiles_match() {
+        let mut rng = DetRng::new(99);
+        for trial in 0..50 {
+            let q = if trial % 2 == 0 { 8 } else { 16 };
+            let density = 0.1 + 0.05 * (trial % 10) as f64;
+            let masks: Vec<u64> = (0..4)
+                .map(|_| {
+                    let mut m = 0u64;
+                    for c in 0..q {
+                        if rng.bernoulli(density) {
+                            m |= 1 << c;
+                        }
+                    }
+                    m
+                })
+                .collect();
+            let (schedule, w, a) = setup(&masks, q, 4, 1000 + trial as u64);
+            schedule.validate().unwrap();
+            let got = execute(&schedule, &w, &a).unwrap();
+            let want = reference(&w, &a).unwrap();
+            assert_eq!(got, want, "trial {trial} masks {masks:?}");
+        }
+    }
+
+    #[test]
+    fn reduction_tree_basics() {
+        assert_eq!(reduction_tree_sum(&[]), F16::ZERO);
+        assert_eq!(reduction_tree_sum(&[F16::from_f32(2.5)]).to_f32(), 2.5);
+        let vals: Vec<F16> = (1..=7).map(|i| F16::from_f32(i as f32)).collect();
+        assert_eq!(reduction_tree_sum(&vals).to_f32(), 28.0);
+    }
+
+    #[test]
+    fn input_stationary_matches_output_stationary_exactly_on_integers() {
+        // §2.1: "the approaches are similar in terms of overall cost" —
+        // and on exactly-representable data, identical in result.
+        let mut rng = DetRng::new(77);
+        let wp = eureka_sparse::gen::uniform_pattern(6, 24, 0.4, &mut rng);
+        let w = gen::integer_values_for_pattern(&wp, &mut rng);
+        let ap = eureka_sparse::gen::uniform_pattern(24, 5, 1.0, &mut rng);
+        let a = gen::integer_values_for_pattern(&ap, &mut rng);
+        let inp = input_stationary(&w, &a).unwrap();
+        let outp = reference(&w, &a).unwrap();
+        assert_eq!(inp, outp);
+        // And both match the displaced schedule over the same data (tiled).
+        assert!(input_stationary(&w, &Matrix::zeros(5, 2)).is_err());
+    }
+
+    #[test]
+    fn shape_validation() {
+        let (schedule, w, a) = setup(&[0b1, 0, 0, 0], 4, 2, 4);
+        let bad_w = Matrix::zeros(4, 5);
+        assert!(matches!(
+            execute(&schedule, &bad_w, &a),
+            Err(CoreError::ShapeMismatch { .. })
+        ));
+        let bad_a = Matrix::zeros(5, 2);
+        assert!(execute(&schedule, &w, &bad_a).is_err());
+    }
+
+    #[test]
+    fn empty_tile_yields_zero_block() {
+        let (schedule, w, a) = setup(&[0, 0, 0, 0], 4, 3, 5);
+        let got = execute(&schedule, &w, &a).unwrap();
+        assert!(got.pattern().nnz() == 0);
+    }
+}

@@ -1,0 +1,445 @@
+//! The serialized offline artifact: Eureka's compacted, displaced,
+//! metadata-tagged weight format.
+//!
+//! "Because the filters do not change during inference, we compact the
+//! filters and apply SUDS offline before inference" (§3.1). This module is
+//! that offline step's output: a byte format a deployment would ship,
+//! holding per tile the displacement schedule, the per-value column
+//! metadata and displaced bit (§3.1's "one bit per value, in addition to
+//! Eureka's 4-bit metadata"), and the 2-bit base-row rotation field
+//! (§3.2) — plus the FP16 payloads. Decoding reconstructs a
+//! [`DisplacedTile`] and its weights exactly, and [`CompiledLayer`] can
+//! execute a full GEMM straight from the encoded bytes.
+//!
+//! Layout per tile (little-endian, byte-aligned for simplicity; the
+//! idealized bit-packed size the paper's bandwidth accounting uses is
+//! reported separately by [`TileBlob::ideal_bits`]):
+//!
+//! ```text
+//! u8 p | u8 q | u8 cycles | u8 rotation
+//! per MAC row r: u8 len_r, then len_r entries of
+//!     u16 value (FP16 bits) | u8 meta (bit6 = displaced, bits 0..=5 col)
+//! ```
+
+use crate::error::CoreError;
+use crate::suds::{self, DisplacedTile};
+use eureka_fp16::F16;
+use eureka_sparse::{AlignedTile, Matrix, SparsityPattern, TileGrid};
+
+/// One encoded tile.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TileBlob {
+    bytes: Vec<u8>,
+}
+
+impl TileBlob {
+    /// Encodes a scheduled tile with its weight values.
+    ///
+    /// `weights` is the tile's `p × q` source window in logical row order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ShapeMismatch`] if the weight window does not
+    /// match the schedule.
+    pub fn encode(schedule: &DisplacedTile, weights: &Matrix) -> Result<Self, CoreError> {
+        let (p, q) = (schedule.p(), schedule.q());
+        if weights.rows() != p || weights.cols() != q {
+            return Err(CoreError::ShapeMismatch {
+                expected: format!("{p}x{q} weights"),
+                actual: format!("{}x{}", weights.rows(), weights.cols()),
+            });
+        }
+        if p > 255 || q > 64 || schedule.cycles() > 255 {
+            return Err(CoreError::ShapeMismatch {
+                expected: "tile dims within the u8 header".into(),
+                actual: format!("p={p} q={q} k={}", schedule.cycles()),
+            });
+        }
+        let mut bytes = vec![
+            p as u8,
+            q as u8,
+            schedule.cycles() as u8,
+            schedule.rotation() as u8,
+        ];
+        for mac_row in 0..p {
+            let slots: Vec<_> = (0..schedule.cycles())
+                .filter_map(|c| schedule.slot(mac_row, c))
+                .collect();
+            bytes.push(slots.len() as u8);
+            for slot in slots {
+                let w = weights.get(schedule.logical_row(slot.acc_row), usize::from(slot.col));
+                bytes.extend_from_slice(&w.to_bits().to_le_bytes());
+                let meta = (u8::from(slot.displaced) << 6) | (slot.col as u8 & 0x3F);
+                bytes.push(meta);
+            }
+        }
+        Ok(TileBlob { bytes })
+    }
+
+    /// Wraps raw bytes as a blob; all validation happens at
+    /// [`decode`](Self::decode) (corrupt bytes are rejected, never
+    /// panicked on).
+    #[must_use]
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        TileBlob { bytes }
+    }
+
+    /// The raw encoding.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Encoded size in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the blob is empty (never true for a valid encoding).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// The idealized bit-packed size the paper's bandwidth accounting
+    /// assumes: 16 payload bits plus `ceil(log2 q) + 1` metadata bits per
+    /// value, plus the `ceil(log2 p)`-bit rotation field.
+    #[must_use]
+    pub fn ideal_bits(&self) -> usize {
+        let p = usize::from(self.bytes[0]);
+        let q = usize::from(self.bytes[1]);
+        let col_bits = (usize::BITS - (q - 1).leading_zeros()) as usize;
+        let rot_bits = (usize::BITS - (p - 1).leading_zeros()) as usize;
+        let nnz = self.decode().map(|(s, _)| s.work()).unwrap_or(0);
+        nnz * (16 + col_bits + 1) + rot_bits
+    }
+
+    /// Decodes back into the schedule and the `p × q` logical weight
+    /// window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidSchedule`] on truncated or inconsistent
+    /// bytes.
+    pub fn decode(&self) -> Result<(DisplacedTile, Matrix), CoreError> {
+        let err = |detail: &str| CoreError::InvalidSchedule {
+            detail: detail.to_string(),
+        };
+        if self.bytes.len() < 4 {
+            return Err(err("truncated header"));
+        }
+        let p = usize::from(self.bytes[0]);
+        let q = usize::from(self.bytes[1]);
+        let cycles = usize::from(self.bytes[2]);
+        let rotation = usize::from(self.bytes[3]);
+        if p == 0 || q == 0 || q > 64 || cycles == 0 || rotation >= p {
+            return Err(err("invalid header fields"));
+        }
+        let mut weights = Matrix::zeros(p, q);
+        // Rebuild per-row slot lists, then re-derive the schedule through
+        // the same plan machinery so invariants are revalidated.
+        let mut cursor = 4usize;
+        let mut aligned_rows: Vec<Vec<u16>> = vec![Vec::new(); p];
+        let mut disp = vec![0usize; p];
+        for mac_row in 0..p {
+            let Some(&len) = self.bytes.get(cursor) else {
+                return Err(err("truncated row header"));
+            };
+            cursor += 1;
+            if usize::from(len) > cycles {
+                return Err(err("row longer than the cycle budget"));
+            }
+            for _ in 0..len {
+                let Some(entry) = self.bytes.get(cursor..cursor + 3) else {
+                    return Err(err("truncated slot entry"));
+                };
+                cursor += 3;
+                let value = F16::from_bits(u16::from_le_bytes([entry[0], entry[1]]));
+                let displaced = entry[2] & 0x40 != 0;
+                let col = usize::from(entry[2] & 0x3F);
+                if col >= q {
+                    return Err(err("column metadata out of range"));
+                }
+                let acc_mac = if displaced {
+                    if mac_row == 0 {
+                        return Err(err("displaced slot on MAC row 0 (wrap-around)"));
+                    }
+                    mac_row - 1
+                } else {
+                    mac_row
+                };
+                // Logical row = un-rotated accumulator row.
+                let logical = (acc_mac + p - rotation) % p;
+                weights.set(logical, col, value);
+                if displaced {
+                    aligned_rows[logical].push(col as u16);
+                    disp[logical] += 1;
+                } else {
+                    // Kept elements precede displaced ones in the aligned
+                    // row; insert before any displaced tail.
+                    let tail = disp[logical];
+                    let at = aligned_rows[logical].len() - tail;
+                    aligned_rows[logical].insert(at, col as u16);
+                }
+            }
+        }
+        if cursor != self.bytes.len() {
+            return Err(err("trailing bytes"));
+        }
+        let aligned = AlignedTile::from_rows(aligned_rows, q);
+        let base_row = (p - 1 + p - rotation) % p;
+        let plan = suds::DisplacementPlan {
+            k: cycles,
+            base_row,
+            disp,
+        };
+        let schedule =
+            DisplacedTile::from_plan(&aligned, &plan).map_err(|e| CoreError::InvalidSchedule {
+                detail: format!("re-deriving schedule: {e}"),
+            })?;
+        schedule.validate()?;
+        Ok((schedule, weights))
+    }
+}
+
+/// Summary statistics of a compiled layer.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CompileStats {
+    /// Non-zero weights.
+    pub nnz: usize,
+    /// Dense FP16 bytes of the uncompressed filter matrix.
+    pub dense_bytes: usize,
+    /// Byte-aligned encoded size.
+    pub encoded_bytes: usize,
+    /// Idealized bit-packed size in bits.
+    pub ideal_bits: usize,
+    /// Total tile cycles (the layer's critical-path sum).
+    pub total_cycles: usize,
+}
+
+impl CompileStats {
+    /// Compression ratio of the idealized format vs dense FP16 (>1 means
+    /// smaller than dense — §2.3.1's "more than offset" claim).
+    #[must_use]
+    pub fn ideal_compression(&self) -> f64 {
+        if self.ideal_bits == 0 {
+            return f64::INFINITY;
+        }
+        (self.dense_bytes * 8) as f64 / self.ideal_bits as f64
+    }
+}
+
+/// A whole filter matrix compiled to the Eureka offline format.
+#[derive(Clone, Debug)]
+pub struct CompiledLayer {
+    p: usize,
+    q: usize,
+    tile_cols: usize,
+    n: usize,
+    k: usize,
+    tiles: Vec<TileBlob>,
+    stats: CompileStats,
+}
+
+impl CompiledLayer {
+    /// Compiles a filter matrix: tile at `p × (p·factor)`, left-align,
+    /// optimally displace, rotate and encode every tile.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding errors (degenerate shapes).
+    pub fn compile(weights: &Matrix, p: usize, factor: usize) -> Result<Self, CoreError> {
+        let q = p * factor;
+        let pattern: SparsityPattern = weights.pattern();
+        let grid = TileGrid::new(&pattern, p, q);
+        let mut tiles = Vec::with_capacity(grid.tile_rows() * grid.tile_cols());
+        let mut stats = CompileStats {
+            dense_bytes: 2 * weights.rows() * weights.cols(),
+            ..CompileStats::default()
+        };
+        for tr in 0..grid.tile_rows() {
+            for tc in 0..grid.tile_cols() {
+                let tile = grid.tile(tr, tc).expect("grid position in range");
+                let plan = suds::optimize(&tile.row_lens());
+                let schedule = DisplacedTile::from_plan(&AlignedTile::from_tile(tile), &plan)?;
+                let window = Matrix::from_fn(p, q, |r, c| {
+                    let (rr, cc) = (tr * p + r, tc * q + c);
+                    if rr < weights.rows() && cc < weights.cols() {
+                        weights.get(rr, cc)
+                    } else {
+                        F16::ZERO
+                    }
+                });
+                let blob = TileBlob::encode(&schedule, &window)?;
+                stats.nnz += schedule.work();
+                stats.encoded_bytes += blob.len();
+                stats.ideal_bits += blob.ideal_bits();
+                stats.total_cycles += schedule.cycles();
+                tiles.push(blob);
+            }
+        }
+        Ok(CompiledLayer {
+            p,
+            q,
+            tile_cols: grid.tile_cols(),
+            n: weights.rows(),
+            k: weights.cols(),
+            tiles,
+            stats,
+        })
+    }
+
+    /// Compile-time statistics.
+    #[must_use]
+    pub fn stats(&self) -> CompileStats {
+        self.stats
+    }
+
+    /// Encoded tiles in row-major grid order.
+    #[must_use]
+    pub fn tiles(&self) -> &[TileBlob] {
+        &self.tiles
+    }
+
+    /// Executes the compiled layer against an activation matrix, decoding
+    /// each tile and running the displaced schedule functionally.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on corrupt blobs or a shape mismatch
+    /// (`activations` must have `k` rows).
+    pub fn execute(&self, activations: &Matrix) -> Result<Matrix, CoreError> {
+        if activations.rows() != self.k {
+            return Err(CoreError::ShapeMismatch {
+                expected: format!("activations with {} rows", self.k),
+                actual: format!("{}x{}", activations.rows(), activations.cols()),
+            });
+        }
+        let m = activations.cols();
+        let mut out = Matrix::zeros(self.n, m);
+        for (idx, blob) in self.tiles.iter().enumerate() {
+            let (tr, tc) = (idx / self.tile_cols, idx % self.tile_cols);
+            let (schedule, weights) = blob.decode()?;
+            let window = Matrix::from_fn(self.q, m, |r, c| {
+                let rr = tc * self.q + r;
+                if rr < self.k {
+                    activations.get(rr, c)
+                } else {
+                    F16::ZERO
+                }
+            });
+            let partial = crate::exec::execute(&schedule, &weights, &window)?;
+            for r in 0..self.p {
+                let rr = tr * self.p + r;
+                if rr >= self.n {
+                    continue;
+                }
+                for c in 0..m {
+                    out.set(rr, c, out.get(rr, c) + partial.get(r, c));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eureka_sparse::{gen, rng::DetRng};
+
+    fn sample(n: usize, k: usize, density: f64, seed: u64) -> Matrix {
+        let mut rng = DetRng::new(seed);
+        let pattern = gen::uniform_pattern(n, k, density, &mut rng);
+        gen::integer_values_for_pattern(&pattern, &mut rng)
+    }
+
+    #[test]
+    fn tile_roundtrip() {
+        let weights = sample(4, 16, 0.2, 1);
+        let layer = CompiledLayer::compile(&weights, 4, 4).unwrap();
+        assert_eq!(layer.tiles().len(), 1);
+        let (schedule, decoded) = layer.tiles()[0].decode().unwrap();
+        schedule.validate().unwrap();
+        assert_eq!(decoded, weights);
+    }
+
+    #[test]
+    fn compiled_execution_matches_reference() {
+        let mut rng = DetRng::new(7);
+        for (n, k, d) in [(8, 32, 0.13), (12, 48, 0.3), (4, 16, 0.05)] {
+            let weights = sample(n, k, d, 100 + n as u64);
+            let acts = gen::integer_values_for_pattern(
+                &gen::uniform_pattern(k, 5, 1.0, &mut rng),
+                &mut rng,
+            );
+            let layer = CompiledLayer::compile(&weights, 4, 4).unwrap();
+            let got = layer.execute(&acts).unwrap();
+            let want = weights.matmul_hw(&acts).unwrap();
+            assert_eq!(got, want, "n={n} k={k} d={d}");
+        }
+    }
+
+    #[test]
+    fn compression_beats_dense_at_paper_densities() {
+        // §2.3.1: metadata growth is "more than offset" by dropping zeros.
+        let weights = sample(64, 256, 0.13, 3);
+        let layer = CompiledLayer::compile(&weights, 4, 4).unwrap();
+        let s = layer.stats();
+        assert!(
+            s.ideal_compression() > 3.0,
+            "compression {}",
+            s.ideal_compression()
+        );
+        assert!(s.encoded_bytes < s.dense_bytes);
+        assert!(s.nnz > 0);
+    }
+
+    #[test]
+    fn dense_matrix_compiles_but_does_not_compress() {
+        let weights = sample(8, 32, 1.0, 4);
+        let layer = CompiledLayer::compile(&weights, 4, 4).unwrap();
+        assert!(layer.stats().ideal_compression() < 1.0);
+        // Still executes correctly.
+        let mut rng = DetRng::new(9);
+        let acts =
+            gen::integer_values_for_pattern(&gen::uniform_pattern(32, 2, 1.0, &mut rng), &mut rng);
+        assert_eq!(
+            layer.execute(&acts).unwrap(),
+            weights.matmul_hw(&acts).unwrap()
+        );
+    }
+
+    #[test]
+    fn corrupt_blobs_are_rejected() {
+        let weights = sample(4, 16, 0.3, 5);
+        let layer = CompiledLayer::compile(&weights, 4, 4).unwrap();
+        let good = layer.tiles()[0].clone();
+        // Truncation.
+        let mut cut = good.as_bytes().to_vec();
+        cut.pop();
+        assert!(TileBlob { bytes: cut }.decode().is_err());
+        // Header corruption: rotation >= p.
+        let mut bad = good.as_bytes().to_vec();
+        bad[3] = 9;
+        assert!(TileBlob { bytes: bad }.decode().is_err());
+        // Column metadata out of range.
+        let mut bad = good.as_bytes().to_vec();
+        if bad.len() > 7 {
+            bad[7] = 0x3F; // col 63 for q=16
+            assert!(TileBlob { bytes: bad }.decode().is_err());
+        }
+    }
+
+    #[test]
+    fn execute_validates_activation_shape() {
+        let weights = sample(4, 16, 0.3, 6);
+        let layer = CompiledLayer::compile(&weights, 4, 4).unwrap();
+        let bad = Matrix::zeros(8, 2);
+        assert!(matches!(
+            layer.execute(&bad),
+            Err(CoreError::ShapeMismatch { .. })
+        ));
+    }
+}

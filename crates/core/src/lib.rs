@@ -1,0 +1,51 @@
+//! The Eureka primary contribution (MICRO 2023): efficient tensor cores for
+//! one-sided unstructured sparsity.
+//!
+//! Eureka lets a near-Ampere tensor core exploit *unstructured* filter
+//! sparsity through three offline software techniques plus a tiny hardware
+//! delta (a wider operand multiplexer, two 2-1 multiplexers and a
+//! three-input carry-save adder per MAC):
+//!
+//! 1. **Matrix compaction** ([`compact`]) — left-align a `p × (p·P)` sparse
+//!    filter sub-matrix into a `p × p` footprint (compaction factor `P`).
+//! 2. **SUDS** ([`suds`]) — *single-step uni-directional displacement*: a
+//!    filter element may execute in the vacant MAC one row below while its
+//!    partial product is routed back up, restoring output stationarity.
+//!    Includes the paper's optimal polynomial-time work-assignment
+//!    algorithm (Algorithm 1 + binary search) and the greedy strawman.
+//! 3. **Systolic scheduling** ([`schedule`]) — group sub-matrices with
+//!    matching critical paths along the systolic rows to avoid pipeline
+//!    bubbles.
+//!
+//! The [`exec`] module provides a functional executor that runs a displaced
+//! schedule on real FP16 values and proves it computes exactly the same
+//! outputs as the undisplaced dense dataflow.
+//!
+//! # Examples
+//!
+//! ```
+//! use eureka_core::suds;
+//! use eureka_sparse::TilePattern;
+//!
+//! // A badly imbalanced tile: one row with 4 non-zeros, others near-empty.
+//! let tile = TilePattern::from_rows(&[0b1111, 0b0001, 0b0000, 0b0010], 4).unwrap();
+//! assert_eq!(tile.critical_path(), 4);
+//! let plan = suds::optimize(&tile.row_lens());
+//! assert_eq!(plan.k, 2); // perfectly balanced: ceil(6/4) = 2
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compact;
+pub mod error;
+pub mod exec;
+pub mod format;
+pub mod schedule;
+pub mod suds;
+pub mod twofour;
+
+pub use compact::CompactedTile;
+pub use error::CoreError;
+pub use format::{CompiledLayer, TileBlob};
+pub use suds::{DisplacedTile, DisplacementPlan};

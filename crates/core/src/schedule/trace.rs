@@ -1,0 +1,99 @@
+//! Chrome-tracing export of systolic schedules.
+//!
+//! Emits the macro-step assignment of [`super::grouping`] as a Trace Event
+//! Format JSON array (load it in `chrome://tracing` or Perfetto): one
+//! track per systolic row, one duration event per resident work chunk,
+//! and an explicit `bubble` event wherever a row idles inside a step.
+//! Handy for eyeballing why a schedule has the utilization it has.
+
+use super::pipeline::SystolicConfig;
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Serializes macro-steps as Trace Event Format JSON.
+///
+/// `steps[k]` are the per-row work sums of step `k`, exactly as produced
+/// by [`super::grouping::schedule_grouped_steps`]. Timestamps are in
+/// cycles (reported as microseconds to the viewer).
+#[must_use]
+pub fn to_chrome_json(steps: &[Vec<u64>], cfg: &SystolicConfig) -> String {
+    cfg.assert_valid();
+    let mut events = Vec::new();
+    let mut t0 = 0u64;
+    for (k, row_sums) in steps.iter().enumerate() {
+        let duration = row_sums.iter().copied().max().unwrap_or(0);
+        for row in 0..cfg.rows {
+            let work = row_sums.get(row).copied().unwrap_or(0);
+            if work > 0 {
+                events.push(format!(
+                    "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{}}}",
+                    escape(&format!("step {k}")),
+                    t0,
+                    work,
+                    row
+                ));
+            }
+            if duration > work {
+                events.push(format!(
+                    "{{\"name\":\"bubble\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{},\"cname\":\"terrible\"}}",
+                    t0 + work,
+                    duration - work,
+                    row
+                ));
+            }
+        }
+        t0 += duration;
+    }
+    format!("[{}]", events.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::grouping::schedule_grouped_steps;
+    use super::*;
+
+    #[test]
+    fn emits_work_and_bubble_events() {
+        let cfg = SystolicConfig::paper_default();
+        let steps = vec![vec![2u64, 1], vec![3, 3]];
+        let json = to_chrome_json(&steps, &cfg);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        // One bubble: row 1 idles 1 cycle in step 0.
+        assert_eq!(json.matches("\"bubble\"").count(), 1);
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 5);
+        // Step 1 starts after step 0's 2-cycle duration.
+        assert!(json.contains("\"name\":\"step 1\",\"ph\":\"X\",\"ts\":2"));
+    }
+
+    #[test]
+    fn scheduler_output_round_trips() {
+        let cfg = SystolicConfig::paper_default();
+        let times = [4u64, 1, 1, 1, 1, 4];
+        let steps = schedule_grouped_steps(&times, &cfg);
+        let json = to_chrome_json(&steps, &cfg);
+        // Valid bracketed JSON with balanced braces.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // Total non-bubble duration equals the input work.
+        let inner = &json[1..json.len() - 1];
+        let work: u64 = inner
+            .split("},{")
+            .filter(|e| !e.contains("\"name\":\"bubble\""))
+            .map(|e| {
+                e.split("\"dur\":")
+                    .nth(1)
+                    .and_then(|s| s.split(&[',', '}'][..]).next())
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .expect("every event has a dur")
+            })
+            .sum();
+        assert_eq!(work, times.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let cfg = SystolicConfig::paper_default();
+        assert_eq!(to_chrome_json(&[], &cfg), "[]");
+    }
+}

@@ -1,0 +1,407 @@
+//! Concrete displaced schedules: which element executes on which MAC row in
+//! which cycle, plus the base-row rotation and hardware metadata.
+//!
+//! A [`DisplacementPlan`] only fixes *how many* elements each row sheds;
+//! this module picks the elements (the tail of each left-aligned row),
+//! rotates the tile so the base row lands on the last MAC row — removing
+//! the wrap-around return wire (paper §3.2) — and packs everything into a
+//! `p × K` cycle grid that the functional executor and the simulator share.
+
+use super::decision::DisplacementPlan;
+use crate::error::CoreError;
+use eureka_sparse::AlignedTile;
+
+/// One scheduled multiplication.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Slot {
+    /// Physical MAC row whose accumulator receives the product. Equals the
+    /// executing row for local work, or the row above for displaced work.
+    pub acc_row: usize,
+    /// Original column of the filter element within the `q`-wide source
+    /// window (the compaction metadata driving the wide multiplexer).
+    pub col: u16,
+    /// Whether this element was displaced from the row above.
+    pub displaced: bool,
+}
+
+/// A fully scheduled tile: `p` MAC rows × `cycles` cycles of optional work.
+///
+/// # Examples
+///
+/// ```
+/// use eureka_core::{suds, DisplacedTile};
+/// use eureka_sparse::{AlignedTile, TilePattern};
+///
+/// let tile = TilePattern::from_rows(&[0b1111, 0b0001, 0, 0], 4).unwrap();
+/// let plan = suds::optimize(&tile.row_lens());
+/// let aligned = AlignedTile::from_tile(&tile);
+/// let d = DisplacedTile::from_plan(&aligned, &plan).unwrap();
+/// assert_eq!(d.cycles(), 2);
+/// d.validate().unwrap();
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DisplacedTile {
+    p: usize,
+    q: usize,
+    cycles: usize,
+    /// Logical row `r` of the source tile maps to physical MAC row
+    /// `(r + rotation) % p`; stored per tile as a small field the loader
+    /// uses to adjust indices (2 bits for p = 4).
+    rotation: usize,
+    /// `slots[mac_row][cycle]`.
+    slots: Vec<Vec<Option<Slot>>>,
+}
+
+impl DisplacedTile {
+    /// Schedules a left-aligned tile under a displacement plan.
+    ///
+    /// The displaced elements of each row are its rightmost `disp[r]`
+    /// left-aligned entries; the rotation places the plan's base row on
+    /// physical row `p - 1`, so no displacement ever wraps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::PlanMismatch`] if the plan's length or
+    /// displacement counts don't fit the tile, or the plan's `k` is
+    /// exceeded by any row's scheduled work.
+    pub fn from_plan(aligned: &AlignedTile, plan: &DisplacementPlan) -> Result<Self, CoreError> {
+        let p = aligned.p();
+        if plan.disp.len() != p {
+            return Err(CoreError::PlanMismatch {
+                detail: format!("plan for {} rows applied to {p}-row tile", plan.disp.len()),
+            });
+        }
+        for r in 0..p {
+            if plan.disp[r] > aligned.row(r).len() {
+                return Err(CoreError::PlanMismatch {
+                    detail: format!(
+                        "row {r} displaces {} of {} elements",
+                        plan.disp[r],
+                        aligned.row(r).len()
+                    ),
+                });
+            }
+        }
+        if plan.disp[plan.base_row] != 0 {
+            return Err(CoreError::PlanMismatch {
+                detail: format!("base row {} displaces work", plan.base_row),
+            });
+        }
+        let cycles = plan.k.max(1);
+        let rotation = (p - 1 - plan.base_row % p) % p;
+        let phys = |logical: usize| (logical + rotation) % p;
+
+        // Work list per physical MAC row: local (kept) elements first, then
+        // the elements received from the logical row above.
+        let mut slots: Vec<Vec<Option<Slot>>> = vec![vec![None; cycles]; p];
+        for r in 0..p {
+            let row = aligned.row(r);
+            let kept = row.len() - plan.disp[r];
+            if kept > cycles {
+                return Err(CoreError::PlanMismatch {
+                    detail: format!("row {r} kept work exceeds k = {}", plan.k),
+                });
+            }
+            let mac = phys(r);
+            for (cycle, &col) in row[..kept].iter().enumerate() {
+                slots[mac][cycle] = Some(Slot {
+                    acc_row: mac,
+                    col,
+                    displaced: false,
+                });
+            }
+        }
+        for r in 0..p {
+            let row = aligned.row(r);
+            let kept = row.len() - plan.disp[r];
+            let exec_mac = phys((r + 1) % p);
+            let acc_mac = phys(r);
+            debug_assert!(
+                plan.disp[r] == 0 || exec_mac == acc_mac + 1,
+                "rotation places displacement downward"
+            );
+            // Fill the executing row's free cycles with the displaced tail.
+            let mut cycle = 0;
+            for &col in &row[kept..] {
+                while cycle < cycles && slots[exec_mac][cycle].is_some() {
+                    cycle += 1;
+                }
+                if cycle >= cycles {
+                    return Err(CoreError::PlanMismatch {
+                        detail: format!(
+                            "row {} receives more work than k = {}",
+                            (r + 1) % p,
+                            plan.k
+                        ),
+                    });
+                }
+                slots[exec_mac][cycle] = Some(Slot {
+                    acc_row: acc_mac,
+                    col,
+                    displaced: true,
+                });
+                cycle += 1;
+            }
+        }
+        Ok(DisplacedTile {
+            p,
+            q: aligned.q(),
+            cycles,
+            rotation,
+            slots,
+        })
+    }
+
+    /// Schedules a tile with no displacement at all (compaction only) —
+    /// the *Cnvlutin-like* and *Eureka-no-SUDS* configurations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::PlanMismatch`] (cannot occur for the
+    /// identity plan).
+    pub fn undisplaced(aligned: &AlignedTile) -> Result<Self, CoreError> {
+        let plan = DisplacementPlan::identity(&aligned.row_lens());
+        Self::from_plan(aligned, &plan)
+    }
+
+    /// Number of MAC rows.
+    #[must_use]
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Source window width (multiplexer fan-in).
+    #[must_use]
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// Cycles this tile occupies a sub-array stage.
+    #[must_use]
+    pub fn cycles(&self) -> usize {
+        self.cycles
+    }
+
+    /// Rotation applied so the base row sits on the last MAC row.
+    #[must_use]
+    pub fn rotation(&self) -> usize {
+        self.rotation
+    }
+
+    /// The scheduled work at `(mac_row, cycle)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[must_use]
+    pub fn slot(&self, mac_row: usize, cycle: usize) -> Option<Slot> {
+        self.slots[mac_row][cycle]
+    }
+
+    /// Total scheduled multiplications.
+    #[must_use]
+    pub fn work(&self) -> usize {
+        self.slots
+            .iter()
+            .flat_map(|row| row.iter())
+            .filter(|s| s.is_some())
+            .count()
+    }
+
+    /// Number of displaced multiplications.
+    #[must_use]
+    pub fn displaced_work(&self) -> usize {
+        self.slots
+            .iter()
+            .flat_map(|row| row.iter())
+            .filter(|s| {
+                matches!(
+                    s,
+                    Some(Slot {
+                        displaced: true,
+                        ..
+                    })
+                )
+            })
+            .count()
+    }
+
+    /// MAC utilization: busy slots / (p × cycles).
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.work() as f64 / (self.p * self.cycles) as f64
+    }
+
+    /// Metadata bits per value: the compaction column index plus the
+    /// displaced flag (paper §3.1: "one bit per value, in addition to
+    /// Eureka's 4-bit metadata").
+    #[must_use]
+    pub fn metadata_bits_per_value(&self) -> u32 {
+        (usize::BITS - (self.q - 1).leading_zeros()) + 1
+    }
+
+    /// Per-tile metadata bits: the rotation field (2 bits for p = 4,
+    /// generally `ceil(log2 p)`).
+    #[must_use]
+    pub fn rotation_bits(&self) -> u32 {
+        usize::BITS - (self.p - 1).leading_zeros()
+    }
+
+    /// Checks the hardware invariants of the SUDS datapath:
+    ///
+    /// * a displaced slot executes exactly one row below its accumulator
+    ///   row (single-step, uni-directional);
+    /// * the last MAC row never displaces (no wrap-around wire), i.e. no
+    ///   displaced slot executes on row 0;
+    /// * every non-displaced slot accumulates locally.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidSchedule`] describing the first
+    /// violation found.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        for (mac_row, row) in self.slots.iter().enumerate() {
+            for (cycle, slot) in row.iter().enumerate() {
+                let Some(s) = slot else { continue };
+                if usize::from(s.col) >= self.q {
+                    return Err(CoreError::InvalidSchedule {
+                        detail: format!("slot ({mac_row},{cycle}) column {} out of range", s.col),
+                    });
+                }
+                if s.displaced {
+                    if mac_row == 0 {
+                        return Err(CoreError::InvalidSchedule {
+                            detail: format!(
+                                "slot (0,{cycle}) displaced onto row 0 implies wrap-around"
+                            ),
+                        });
+                    }
+                    if s.acc_row != mac_row - 1 {
+                        return Err(CoreError::InvalidSchedule {
+                            detail: format!(
+                                "slot ({mac_row},{cycle}) accumulates at {}, not the row above",
+                                s.acc_row
+                            ),
+                        });
+                    }
+                } else if s.acc_row != mac_row {
+                    return Err(CoreError::InvalidSchedule {
+                        detail: format!(
+                            "local slot ({mac_row},{cycle}) accumulates at {}",
+                            s.acc_row
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Maps a physical MAC row back to the logical source-tile row.
+    #[must_use]
+    pub fn logical_row(&self, mac_row: usize) -> usize {
+        (mac_row + self.p - self.rotation) % self.p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::optimal::optimize;
+    use super::*;
+    use eureka_sparse::TilePattern;
+
+    fn schedule(rows: &[u64], q: usize) -> DisplacedTile {
+        let tile = TilePattern::from_rows(rows, q).unwrap();
+        let aligned = AlignedTile::from_tile(&tile);
+        let plan = optimize(&tile.row_lens());
+        DisplacedTile::from_plan(&aligned, &plan).unwrap()
+    }
+
+    #[test]
+    fn worst_case_halves_and_validates() {
+        let d = schedule(&[0b1111, 0, 0, 0], 4);
+        assert_eq!(d.cycles(), 2);
+        assert_eq!(d.work(), 4);
+        assert_eq!(d.displaced_work(), 2);
+        d.validate().unwrap();
+    }
+
+    #[test]
+    fn rotation_places_base_on_last_row() {
+        let tile = TilePattern::from_rows(&[0b1111, 0b1, 0, 0b11], 4).unwrap();
+        let plan = optimize(&tile.row_lens());
+        let d = DisplacedTile::from_plan(&AlignedTile::from_tile(&tile), &plan).unwrap();
+        assert_eq!((plan.base_row + d.rotation()) % 4, 3);
+        d.validate().unwrap();
+        // Logical mapping is consistent.
+        for mac in 0..4 {
+            assert_eq!((d.logical_row(mac) + d.rotation()) % 4, mac);
+        }
+    }
+
+    #[test]
+    fn undisplaced_schedule_matches_compaction_cycles() {
+        let tile = TilePattern::from_rows(&[0b1111_0000, 0b1, 0, 0b11], 8).unwrap();
+        let aligned = AlignedTile::from_tile(&tile);
+        let d = DisplacedTile::undisplaced(&aligned).unwrap();
+        assert_eq!(d.cycles(), 4);
+        assert_eq!(d.displaced_work(), 0);
+        d.validate().unwrap();
+    }
+
+    #[test]
+    fn work_is_conserved() {
+        for rows in [
+            [0b1111u64, 0b0110, 0b1000, 0b0001],
+            [0b1010, 0, 0b1111, 0b0010],
+            [0, 0, 0, 0],
+        ] {
+            let tile = TilePattern::from_rows(&rows, 4).unwrap();
+            let d = schedule(&rows, 4);
+            assert_eq!(d.work(), tile.nnz());
+            d.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn metadata_widths() {
+        let d = schedule(&[0b1, 0, 0, 0], 4);
+        assert_eq!(d.metadata_bits_per_value(), 3); // 2-bit column + displaced bit
+        assert_eq!(d.rotation_bits(), 2);
+        let tile16 = TilePattern::from_rows(&[0b1, 0, 0, 0], 16).unwrap();
+        let plan = optimize(&tile16.row_lens());
+        let d16 = DisplacedTile::from_plan(&AlignedTile::from_tile(&tile16), &plan).unwrap();
+        assert_eq!(d16.metadata_bits_per_value(), 5); // 4-bit column + displaced bit
+    }
+
+    #[test]
+    fn plan_mismatch_detected() {
+        let tile = TilePattern::from_rows(&[0b1, 0, 0, 0], 4).unwrap();
+        let aligned = AlignedTile::from_tile(&tile);
+        let bad = DisplacementPlan {
+            k: 1,
+            base_row: 0,
+            disp: vec![0, 0, 0], // wrong length
+        };
+        assert!(matches!(
+            DisplacedTile::from_plan(&aligned, &bad),
+            Err(CoreError::PlanMismatch { .. })
+        ));
+        let bad = DisplacementPlan {
+            k: 1,
+            base_row: 1,
+            disp: vec![2, 0, 0, 0], // row 0 has only 1 element
+        };
+        assert!(DisplacedTile::from_plan(&aligned, &bad).is_err());
+    }
+
+    #[test]
+    fn empty_tile_occupies_one_cycle() {
+        let d = schedule(&[0, 0, 0, 0], 4);
+        assert_eq!(d.cycles(), 1);
+        assert_eq!(d.work(), 0);
+        assert_eq!(d.utilization(), 0.0);
+    }
+
+    use super::super::decision::DisplacementPlan;
+}

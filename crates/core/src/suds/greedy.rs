@@ -1,0 +1,136 @@
+//! The greedy SUDS strawman (paper §3.2, Figure 7(b)).
+//!
+//! A single top-to-bottom pass: each row may push elements into vacant
+//! slots of the row directly below, judged only on the pair's current
+//! lengths — no look-ahead, no wraparound, no base-row search. As the paper
+//! shows, this misses the optimum (Figure 7(b) ends at 3 columns where the
+//! optimum is 2), which is why the evaluation isolates *Greedy SUDS* from
+//! *Optimal SUDS* (Figure 12).
+
+use super::decision::DisplacementPlan;
+
+/// Runs the greedy single-pass displacement on compacted row lengths.
+///
+/// Each row `i` (top to bottom) displaces `floor((len_i - len_below) / 2)`
+/// of its own elements into row `i + 1` when it is longer — pairwise
+/// balancing with the neighbour. Elements received from above are never
+/// re-displaced (single-step).
+///
+/// # Examples
+///
+/// ```
+/// use eureka_core::suds::{greedy, optimize};
+///
+/// let lens = [4usize, 1, 0, 1];
+/// let g = greedy(&lens);
+/// let o = optimize(&lens);
+/// assert!(g.k >= o.k); // greedy never beats optimal
+/// assert_eq!(g.k, 3);  // Figure 7(b)
+/// assert_eq!(o.k, 2);  // Figure 7(c)
+/// ```
+#[must_use]
+pub fn greedy(lens: &[usize]) -> DisplacementPlan {
+    let p = lens.len();
+    if p <= 1 {
+        return DisplacementPlan::identity(lens);
+    }
+    let mut disp = vec![0usize; p];
+    // received[i]: elements pushed into row i from above (not re-movable).
+    let mut received = vec![0usize; p];
+    for i in 0..p - 1 {
+        let cur = lens[i] - disp[i] + received[i];
+        let below = lens[i + 1] + received[i + 1]; // its own displacement not yet decided
+        if cur > below {
+            let want = (cur - below) / 2;
+            // Only the row's own (non-received) elements can move.
+            let movable = lens[i] - disp[i];
+            let d = want.min(movable);
+            disp[i] += d;
+            received[i + 1] += d;
+        }
+    }
+    let k = (0..p)
+        .map(|i| lens[i] - disp[i] + received[i])
+        .max()
+        .unwrap_or(0);
+    // Greedy never wraps, so the last row is always a valid base.
+    DisplacementPlan {
+        k,
+        base_row: p - 1,
+        disp,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::optimal::optimize;
+    use super::*;
+
+    #[test]
+    fn figure7_greedy_vs_optimal() {
+        let lens = [4usize, 1, 0, 1];
+        let g = greedy(&lens);
+        assert_eq!(g.k, 3);
+        assert_eq!(optimize(&lens).k, 2);
+    }
+
+    #[test]
+    fn greedy_result_is_consistent() {
+        let lens = [5usize, 2, 4, 0];
+        let g = greedy(&lens);
+        let result = g.resulting_lens(&lens);
+        assert_eq!(result.iter().copied().max().unwrap(), g.k);
+        assert_eq!(
+            result.iter().sum::<usize>(),
+            lens.iter().sum::<usize>(),
+            "work conserved"
+        );
+    }
+
+    #[test]
+    fn greedy_never_moves_more_than_owned() {
+        let lens = [6usize, 0, 0, 0];
+        let g = greedy(&lens);
+        for (i, &d) in g.disp.iter().enumerate() {
+            assert!(d <= lens[i]);
+        }
+        // 6 -> pushes 3 down; row1 (3 received) can't re-push them.
+        assert_eq!(g.resulting_lens(&lens), vec![3, 3, 0, 0]);
+        // Optimal also gets 3 here? ceil(6/4)=2 but single-step can't move
+        // row 0's elements past row 1: optimal is also 3.
+        assert_eq!(optimize(&lens).k, 3);
+    }
+
+    #[test]
+    fn greedy_on_balanced_input_is_identity() {
+        let lens = [2usize, 2, 2, 2];
+        let g = greedy(&lens);
+        assert_eq!(g.displaced_count(), 0);
+        assert_eq!(g.k, 2);
+    }
+
+    #[test]
+    fn greedy_dominated_by_optimal_on_sweep() {
+        // Deterministic sweep of length-4 tiles.
+        for a in 0..6usize {
+            for b in 0..6usize {
+                for c in 0..6usize {
+                    for d in 0..6usize {
+                        let lens = [a, b, c, d];
+                        let g = greedy(&lens);
+                        let o = optimize(&lens);
+                        assert!(g.k >= o.k, "greedy {g:?} beat optimal {o:?} on {lens:?}");
+                        assert!(g.resulting_lens(&lens).iter().all(|&l| l <= g.k));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_row() {
+        let g = greedy(&[4]);
+        assert_eq!(g.k, 4);
+        assert_eq!(g.displaced_count(), 0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Memoized optimal-K lookup for small tiles.
+//!
+//! Paper §3.2: "although the cases for small 4×4, 4×8 matrices can be
+//! enumerated exhaustively, especially if offline, the above algorithm is
+//! scalable to larger sizes." This module does the enumeration: for
+//! `p = 4` tiles with rows up to 16 non-zeros (compaction factor ≤ 4), the
+//! optimal critical path depends only on the row-length 4-tuple, so a
+//! 17⁴-entry table answers in O(1). The table is built lazily on first
+//! use from the exact optimizer and shared process-wide.
+
+use super::optimal::optimize;
+use std::sync::OnceLock;
+
+/// Maximum row length covered by the table (compaction factor 4 on a
+/// 4-wide sub-array).
+pub const MAX_LEN: usize = 16;
+const DIM: usize = MAX_LEN + 1;
+
+fn table() -> &'static [u8] {
+    static TABLE: OnceLock<Vec<u8>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = vec![0u8; DIM * DIM * DIM * DIM];
+        for a in 0..DIM {
+            for b in 0..DIM {
+                for c in 0..DIM {
+                    for d in 0..DIM {
+                        let k = optimize(&[a, b, c, d]).k;
+                        debug_assert!(k <= MAX_LEN);
+                        t[((a * DIM + b) * DIM + c) * DIM + d] = k as u8;
+                    }
+                }
+            }
+        }
+        t
+    })
+}
+
+/// Optimal critical path for a 4-row tile, via the lookup table.
+///
+/// Falls back to the polynomial algorithm when any row exceeds
+/// [`MAX_LEN`] or the tile is not 4 rows tall.
+///
+/// # Examples
+///
+/// ```
+/// use eureka_core::suds::lut::optimal_k;
+/// assert_eq!(optimal_k(&[4, 1, 0, 1]), 2); // Figure 7's optimum
+/// ```
+#[must_use]
+pub fn optimal_k(lens: &[usize]) -> usize {
+    if lens.len() == 4 && lens.iter().all(|&l| l <= MAX_LEN) {
+        table()[((lens[0] * DIM + lens[1]) * DIM + lens[2]) * DIM + lens[3]] as usize
+    } else {
+        optimize(lens).k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_optimizer_exhaustively_small() {
+        for a in 0..=6usize {
+            for b in 0..=6usize {
+                for c in 0..=6usize {
+                    for d in 0..=6usize {
+                        assert_eq!(
+                            optimal_k(&[a, b, c, d]),
+                            optimize(&[a, b, c, d]).k,
+                            "lens [{a},{b},{c},{d}]"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_optimizer_on_extremes() {
+        for lens in [
+            [16usize, 16, 16, 16],
+            [16, 0, 0, 0],
+            [0, 0, 0, 16],
+            [16, 0, 16, 0],
+        ] {
+            assert_eq!(optimal_k(&lens), optimize(&lens).k, "{lens:?}");
+        }
+    }
+
+    #[test]
+    fn falls_back_outside_table_domain() {
+        // Too-long rows and non-4-row tiles use the algorithm directly.
+        assert_eq!(optimal_k(&[17, 0, 0, 0]), optimize(&[17, 0, 0, 0]).k);
+        assert_eq!(optimal_k(&[3, 3, 3]), optimize(&[3, 3, 3]).k);
+        assert_eq!(optimal_k(&[2; 8]), optimize(&[2; 8]).k);
+    }
+}

@@ -1,0 +1,194 @@
+//! Multi-step displacement: the design-space ablation behind "single-step".
+//!
+//! SUDS restricts displacement to the adjacent row below. A natural
+//! question — answered by the `ablations` experiment in `eureka-bench` —
+//! is how much more a *reach-R* displacement (execute anywhere in rows
+//! `i..=i+R`, accumulate at row `i`) would buy, at the cost of R return
+//! wires and an (R+2)-input adder per MAC. This module computes the
+//! optimal critical path under reach-R displacement.
+//!
+//! With every element of row `i` assignable to any of the rows
+//! `i..=i+R (mod p)` and per-row capacity `K`, feasibility is a cyclic
+//! interval-assignment problem; by Hall's theorem it suffices that every
+//! cyclic window of rows can absorb the elements *forced* into it (the
+//! rows whose whole reach interval lies inside the window).
+
+/// Whether row lengths `lens` fit within `k` cycles under reach-`reach`
+/// downward displacement (with wrap-around).
+///
+/// # Panics
+///
+/// Panics if `reach >= lens.len()` for a non-empty input (a reach of
+/// `p - 1` already allows any row to feed every other row).
+#[must_use]
+pub fn feasible(lens: &[usize], k: usize, reach: usize) -> bool {
+    let p = lens.len();
+    if p == 0 {
+        return false;
+    }
+    if p == 1 {
+        return lens[0] <= k;
+    }
+    assert!(reach < p, "reach {reach} must be below the row count {p}");
+    let total: usize = lens.iter().sum();
+    if total > k * p {
+        return false;
+    }
+    let interval = reach + 1; // rows an element may land on
+                              // Hall's condition over cyclic windows of length `interval..=p-1`
+                              // (the full circle is the `total` check above): the supply forced
+                              // entirely inside a window must not exceed its capacity.
+    for start in 0..p {
+        for len in interval..p {
+            // Window of rows [start, start+len). Row i's interval is
+            // [i, i+interval); it is forced inside iff i >= start and
+            // i + interval <= start + len (cyclically: i in
+            // [start, start+len-interval]).
+            let forced: usize = (0..=(len - interval))
+                .map(|off| lens[(start + off) % p])
+                .sum();
+            if forced > k * len {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The optimal critical path under reach-`reach` displacement.
+///
+/// `reach = 1` is SUDS; `reach = p - 1` reaches the perfect-balance bound
+/// `ceil(nnz / p)`.
+///
+/// # Panics
+///
+/// Panics if `reach >= lens.len()` for a non-empty input.
+#[must_use]
+pub fn optimal_k(lens: &[usize], reach: usize) -> usize {
+    let p = lens.len();
+    assert!(
+        p == 0 || p == 1 || reach < p,
+        "reach {reach} must be below the row count {p}"
+    );
+    let upper = lens.iter().copied().max().unwrap_or(0);
+    if p == 0 || upper == 0 {
+        return 0;
+    }
+    let total: usize = lens.iter().sum();
+    let mut lo = total.div_ceil(p);
+    let mut hi = upper;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if feasible(lens, mid, reach) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suds::optimize;
+
+    /// Brute-force reference: enumerate all distributions of each row's
+    /// elements over its reach interval.
+    fn brute(lens: &[usize], reach: usize) -> usize {
+        let p = lens.len();
+        fn go(lens: &[usize], reach: usize, row: usize, fill: &mut Vec<usize>, best: &mut usize) {
+            let p = lens.len();
+            if row == p {
+                *best = (*best).min(fill.iter().copied().max().unwrap_or(0));
+                return;
+            }
+            // Distribute lens[row] over rows row..=row+reach.
+            fn parts(
+                remaining: usize,
+                slot: usize,
+                reach: usize,
+                row: usize,
+                lens: &[usize],
+                fill: &mut Vec<usize>,
+                best: &mut usize,
+            ) {
+                let p = lens.len();
+                if slot == reach {
+                    fill[(row + slot) % p] += remaining;
+                    go(lens, reach, row + 1, fill, best);
+                    fill[(row + slot) % p] -= remaining;
+                    return;
+                }
+                for take in 0..=remaining {
+                    fill[(row + slot) % p] += take;
+                    parts(remaining - take, slot + 1, reach, row, lens, fill, best);
+                    fill[(row + slot) % p] -= take;
+                }
+            }
+            parts(lens[row], 0, reach, row, lens, fill, best);
+        }
+        let mut fill = vec![0usize; p];
+        let mut best = usize::MAX;
+        go(lens, reach, 0, &mut fill, &mut best);
+        best
+    }
+
+    #[test]
+    fn reach1_matches_suds_optimal() {
+        // Two independent implementations of the same problem.
+        for a in 0..=5usize {
+            for b in 0..=5usize {
+                for c in 0..=5usize {
+                    for d in 0..=5usize {
+                        let lens = [a, b, c, d];
+                        assert_eq!(optimal_k(&lens, 1), optimize(&lens).k, "lens {lens:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_reach2() {
+        let cases = [
+            [4usize, 1, 0, 1],
+            [6, 0, 0, 0],
+            [3, 3, 0, 0],
+            [5, 0, 4, 0],
+            [2, 2, 2, 2],
+            [4, 4, 1, 1],
+        ];
+        for lens in cases {
+            assert_eq!(optimal_k(&lens, 2), brute(&lens, 2), "{lens:?}");
+        }
+    }
+
+    #[test]
+    fn full_reach_hits_perfect_balance() {
+        for lens in [[7usize, 0, 0, 0], [4, 3, 2, 1], [9, 9, 0, 0]] {
+            let total: usize = lens.iter().sum();
+            assert_eq!(optimal_k(&lens, 3), total.div_ceil(4), "{lens:?}");
+        }
+    }
+
+    #[test]
+    fn monotone_in_reach() {
+        let lens = [8usize, 1, 0, 2];
+        let ks: Vec<usize> = (1..4).map(|r| optimal_k(&lens, r)).collect();
+        assert!(ks.windows(2).all(|w| w[1] <= w[0]), "{ks:?}");
+    }
+
+    #[test]
+    fn zero_and_single_rows() {
+        assert_eq!(optimal_k(&[], 0), 0);
+        assert_eq!(optimal_k(&[0, 0], 1), 0);
+        assert_eq!(optimal_k(&[5], 0), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "reach")]
+    fn reach_validation() {
+        let _ = optimal_k(&[1, 1], 2);
+    }
+}

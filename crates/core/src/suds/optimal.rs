@@ -1,0 +1,135 @@
+//! Optimal SUDS work assignment (paper §3.2).
+//!
+//! Binary-searches the smallest `K` for which the decision procedure
+//! (Algorithm 1) succeeds, between the information-theoretic lower bound
+//! `ceil(nnz / p)` and the no-displacement upper bound (the longest row).
+//! Feasibility is monotone in `K` — any plan satisfying `K` also satisfies
+//! `K + 1` — so binary search is sound, giving `O(p² log q)` total.
+
+use super::decision::{feasible, DisplacementPlan};
+
+/// Computes the optimal displacement plan for the given compacted row
+/// lengths: the minimal achievable longest row, with a minimal (no
+/// redundant movement) assignment achieving it.
+///
+/// # Examples
+///
+/// ```
+/// use eureka_core::suds::optimize;
+///
+/// // Figure 7: the greedy anti-diagonal approach got stuck at 3 columns;
+/// // the optimum is 2.
+/// let plan = optimize(&[4, 1, 0, 1]);
+/// assert_eq!(plan.k, 2);
+/// assert_eq!(plan.resulting_lens(&[4, 1, 0, 1]).iter().max(), Some(&2));
+/// ```
+#[must_use]
+pub fn optimize(lens: &[usize]) -> DisplacementPlan {
+    let p = lens.len();
+    let upper = lens.iter().copied().max().unwrap_or(0);
+    if p == 0 || upper == 0 {
+        return DisplacementPlan::identity(lens);
+    }
+    let total: usize = lens.iter().sum();
+    let mut lo = total.div_ceil(p); // cannot beat perfect balance
+    let mut hi = upper; // identity plan always satisfies the longest row
+    let mut best = DisplacementPlan::identity(lens);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        match feasible(lens, mid) {
+            Some(plan) => {
+                best = plan;
+                hi = mid;
+            }
+            None => lo = mid + 1,
+        }
+    }
+    if best.k != lo {
+        // The final bound was proven feasible only implicitly (lo == hi);
+        // materialize the plan at exactly k = lo.
+        best = feasible(lens, lo).expect("lo is feasible by search invariant");
+    }
+    best.minimized(lens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn already_balanced_is_identity() {
+        let plan = optimize(&[2, 2, 2, 2]);
+        assert_eq!(plan.k, 2);
+        assert_eq!(plan.displaced_count(), 0);
+    }
+
+    #[test]
+    fn worst_case_single_full_row_halves() {
+        // §3.1: "SUDS can cut the critical path by 50% even for the worst
+        // case" — a single row with four values displaces two below.
+        let plan = optimize(&[4, 0, 0, 0]);
+        assert_eq!(plan.k, 2);
+        assert_eq!(plan.resulting_lens(&[4, 0, 0, 0]), vec![2, 2, 0, 0]);
+    }
+
+    #[test]
+    fn zero_tile() {
+        let plan = optimize(&[0, 0, 0, 0]);
+        assert_eq!(plan.k, 0);
+        assert_eq!(plan.displaced_count(), 0);
+    }
+
+    #[test]
+    fn reaches_lower_bound_when_chain_allows() {
+        // 8 values on 4 rows: lower bound 2, reachable by shedding down the
+        // chain.
+        let lens = [4usize, 2, 1, 1];
+        let plan = optimize(&lens);
+        assert_eq!(plan.k, 2);
+        assert!(plan.resulting_lens(&lens).iter().all(|&l| l <= 2));
+    }
+
+    #[test]
+    fn chain_constraint_can_exceed_lower_bound() {
+        // Two adjacent heavy rows can exceed ceil(nnz/p): rows [0, 4, 4, 0]
+        // have nnz 8, bound 2, but row 1 can only shed into row 2 which is
+        // itself full. K=3: row1 sheds 1 -> row2 has 5? No: row2 also sheds.
+        // row1=4 sheds 1 (-> 3), row2 receives 1 (5) sheds 2 -> 3, row3
+        // receives 2 -> 2. Feasible at 3. At K=2: row1 must shed 2, row2
+        // gets 6 must shed 4 > its own 4? disp limited to own elements (4):
+        // row2 = 4-4+2 = 2, row3 = 0+4 = 4 > 2. Infeasible.
+        let lens = [0usize, 4, 4, 0];
+        let plan = optimize(&lens);
+        assert_eq!(plan.k, 3);
+    }
+
+    #[test]
+    fn minimality_no_redundant_moves() {
+        // All rows already at k; nothing should move.
+        let lens = [1usize, 1, 1, 1];
+        let plan = optimize(&lens);
+        assert_eq!(plan.k, 1);
+        assert_eq!(plan.displaced_count(), 0, "{plan:?}");
+    }
+
+    #[test]
+    fn displacement_count_bound() {
+        // The proof observation: at most p-1 rows displace (the base row
+        // does not), so disp has at most p-1 non-zero entries.
+        let lens = [7usize, 5, 3, 1];
+        let plan = optimize(&lens);
+        let nonzero = plan.disp.iter().filter(|&&d| d > 0).count();
+        assert!(nonzero < lens.len());
+        assert_eq!(plan.disp[plan.base_row], 0);
+    }
+
+    #[test]
+    fn large_p_scales() {
+        let lens: Vec<usize> = (0..64).map(|i| (i * 7) % 13).collect();
+        let plan = optimize(&lens);
+        let result = plan.resulting_lens(&lens);
+        assert!(result.iter().all(|&l| l <= plan.k));
+        let total: usize = lens.iter().sum();
+        assert!(plan.k >= total.div_ceil(lens.len()));
+    }
+}

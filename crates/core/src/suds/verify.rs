@@ -1,0 +1,119 @@
+//! Brute-force reference for the SUDS optimum.
+//!
+//! Enumerates every single-step downward displacement vector (with
+//! wraparound) and reports the best achievable longest row. Exponential in
+//! `p` — usable only for small tiles — but exact, so the test suite uses it
+//! to certify that Algorithm 1 + binary search is optimal (the paper's
+//! correctness claim in §3.2).
+
+/// Exhaustively computes the minimum achievable longest row for the given
+/// row lengths under single-step downward displacement.
+///
+/// Cost is `Π (len[i] + 1)`; intended for `p <= 6`, lengths `<= 16`.
+///
+/// # Examples
+///
+/// ```
+/// use eureka_core::suds::verify::brute_force_optimum;
+/// assert_eq!(brute_force_optimum(&[4, 1, 0, 1]), 2);
+/// ```
+#[must_use]
+pub fn brute_force_optimum(lens: &[usize]) -> usize {
+    let p = lens.len();
+    if p == 0 {
+        return 0;
+    }
+    if p == 1 {
+        return lens[0];
+    }
+    let mut disp = vec![0usize; p];
+    let mut best = lens.iter().copied().max().unwrap_or(0);
+    loop {
+        let worst = (0..p)
+            .map(|i| lens[i] - disp[i] + disp[(i + p - 1) % p])
+            .max()
+            .unwrap_or(0);
+        best = best.min(worst);
+        // Odometer increment over 0..=len[i] per digit.
+        let mut i = 0;
+        loop {
+            if i == p {
+                return best;
+            }
+            if disp[i] < lens[i] {
+                disp[i] += 1;
+                break;
+            }
+            disp[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::optimal::optimize;
+    use super::*;
+
+    #[test]
+    fn matches_known_cases() {
+        assert_eq!(brute_force_optimum(&[4, 0, 0, 0]), 2);
+        assert_eq!(brute_force_optimum(&[0, 4, 4, 0]), 3);
+        assert_eq!(brute_force_optimum(&[2, 2, 2, 2]), 2);
+        assert_eq!(brute_force_optimum(&[]), 0);
+        assert_eq!(brute_force_optimum(&[5]), 5);
+    }
+
+    #[test]
+    fn algorithm1_is_optimal_exhaustive_4x4() {
+        // Every 4-row tile with rows up to 4 non-zeros (the 4x4 compaction
+        // case can be enumerated exhaustively, §3.2).
+        for a in 0..=4usize {
+            for b in 0..=4usize {
+                for c in 0..=4usize {
+                    for d in 0..=4usize {
+                        let lens = [a, b, c, d];
+                        let alg = optimize(&lens).k;
+                        let brute = brute_force_optimum(&lens);
+                        assert_eq!(alg, brute, "mismatch on {lens:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn algorithm1_is_optimal_sampled_4x16() {
+        // Factor-4 compaction: rows up to 16; sample deterministically.
+        let mut x = 12345u64;
+        for _ in 0..400 {
+            let mut lens = [0usize; 4];
+            for l in &mut lens {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                *l = (x >> 59) as usize; // 0..=31 -> clamp
+                *l = (*l).min(16);
+            }
+            let alg = optimize(&lens).k;
+            let brute = brute_force_optimum(&lens);
+            assert_eq!(alg, brute, "mismatch on {lens:?}");
+        }
+    }
+
+    #[test]
+    fn algorithm1_is_optimal_p8() {
+        // Larger sub-arrays (Figure 14's 8x8) with small rows.
+        let mut x = 777u64;
+        for _ in 0..60 {
+            let mut lens = [0usize; 8];
+            for l in &mut lens {
+                x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                *l = ((x >> 61) & 0x3) as usize + usize::from(x & 1 == 0);
+            }
+            let alg = optimize(&lens).k;
+            let brute = brute_force_optimum(&lens);
+            assert_eq!(alg, brute, "mismatch on {lens:?}");
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Functional 2:4 structured-sparse execution (the Ampere baseline's
+//! datapath, §2.3.1).
+//!
+//! A 2:4 tile left-aligns each filter row's (at most) two non-zeros and
+//! keeps 2-bit metadata naming their original columns; the tensor core
+//! broadcasts the two compacted columns over two cycles while a 4-1
+//! multiplexer per MAC selects the matching activation row (Figure 5).
+//! This module builds that format from a pruned matrix and executes it,
+//! proving the two-cycle claim functionally.
+
+use crate::error::CoreError;
+use eureka_fp16::{MacUnit, F16};
+use eureka_sparse::structured;
+use eureka_sparse::Matrix;
+
+/// One filter row-group in the 2:4 format: per row and per group-of-four
+/// reduction steps, up to two `(value, 2-bit position)` pairs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TwoFourLayer {
+    n: usize,
+    k: usize,
+    /// `entries[row][group]` = the kept pairs of that 4-wide group.
+    entries: Vec<Vec<Vec<(F16, u8)>>>,
+}
+
+impl TwoFourLayer {
+    /// Builds the format from a matrix, re-pruning to 2:4 (top-2
+    /// magnitudes per group of four) exactly as the Ampere baseline runs
+    /// unstructured-pruned models.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ShapeMismatch`] if `k` is not a multiple of 4
+    /// (the format's group width).
+    pub fn from_matrix(weights: &Matrix) -> Result<Self, CoreError> {
+        let (n, k) = (weights.rows(), weights.cols());
+        if k % 4 != 0 {
+            return Err(CoreError::ShapeMismatch {
+                expected: "reduction dimension divisible by 4".into(),
+                actual: format!("k = {k}"),
+            });
+        }
+        let pruned = structured::prune_2_4(weights).matrix;
+        let mut entries = Vec::with_capacity(n);
+        for r in 0..n {
+            let mut row = Vec::with_capacity(k / 4);
+            for g in 0..k / 4 {
+                let mut pairs = Vec::with_capacity(2);
+                for off in 0..4 {
+                    let v = pruned.get(r, g * 4 + off);
+                    if !v.is_zero() {
+                        pairs.push((v, off as u8));
+                    }
+                }
+                debug_assert!(pairs.len() <= 2, "2:4 invariant");
+                row.push(pairs);
+            }
+            entries.push(row);
+        }
+        Ok(TwoFourLayer { n, k, entries })
+    }
+
+    /// Filter count.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Reduction dimension.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Stored non-zero values.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.entries
+            .iter()
+            .flat_map(|row| row.iter())
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// Cycles the tensor core needs per 4-wide group: always 2 (groups
+    /// with fewer than two non-zeros are "treated as two non-zeros for
+    /// regularity", §1).
+    #[must_use]
+    pub fn cycles(&self) -> usize {
+        2 * (self.k / 4) * self.n.div_ceil(4)
+    }
+
+    /// Executes `self × activations` through the 4-1-mux datapath: per
+    /// group, each kept value's metadata selects its activation row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ShapeMismatch`] if `activations` does not have
+    /// `k` rows.
+    pub fn execute(&self, activations: &Matrix) -> Result<Matrix, CoreError> {
+        if activations.rows() != self.k {
+            return Err(CoreError::ShapeMismatch {
+                expected: format!("activations with {} rows", self.k),
+                actual: format!("{}x{}", activations.rows(), activations.cols()),
+            });
+        }
+        let m = activations.cols();
+        let mut out = Matrix::zeros(self.n, m);
+        for r in 0..self.n {
+            for j in 0..m {
+                let mut mac = MacUnit::new();
+                for (g, pairs) in self.entries[r].iter().enumerate() {
+                    // Two broadcast cycles; absent pairs are the padded
+                    // zeros of sub-2 groups.
+                    for cycle in 0..2 {
+                        let product = pairs.get(cycle).map_or(F16::ZERO, |&(v, pos)| {
+                            // The 4-1 mux: metadata selects the activation
+                            // row within the group.
+                            v.mul_hw(activations.get(g * 4 + usize::from(pos), j))
+                        });
+                        mac.accumulate(product, F16::ZERO);
+                    }
+                }
+                out.set(r, j, mac.value());
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eureka_sparse::{gen, rng::DetRng};
+
+    fn sample(n: usize, k: usize, density: f64, seed: u64) -> Matrix {
+        let mut rng = DetRng::new(seed);
+        let pattern = gen::uniform_pattern(n, k, density, &mut rng);
+        gen::integer_values_for_pattern(&pattern, &mut rng)
+    }
+
+    #[test]
+    fn executes_pruned_matrix_exactly() {
+        let mut rng = DetRng::new(2);
+        for (n, k, d) in [(8, 32, 0.4), (4, 16, 1.0), (12, 48, 0.1)] {
+            let weights = sample(n, k, d, 50 + n as u64);
+            let layer = TwoFourLayer::from_matrix(&weights).unwrap();
+            let acts = gen::integer_values_for_pattern(
+                &gen::uniform_pattern(k, 4, 1.0, &mut rng),
+                &mut rng,
+            );
+            let got = layer.execute(&acts).unwrap();
+            // Reference: the pruned matrix's product (2:4 loses values).
+            let pruned = structured::prune_2_4(&weights).matrix;
+            let want = pruned.matmul_hw(&acts).unwrap();
+            assert_eq!(got, want, "n={n} k={k} d={d}");
+        }
+    }
+
+    #[test]
+    fn sparse_input_loses_nothing() {
+        // An input that already satisfies 2:4 executes losslessly.
+        let mut rng = DetRng::new(3);
+        let weights = Matrix::from_fn(4, 16, |r, c| {
+            // Two non-zeros per group: positions r%3 and 3.
+            if c % 4 == r % 3 || c % 4 == 3 {
+                F16::from_f32(((r + c) % 5 + 1) as f32)
+            } else {
+                F16::ZERO
+            }
+        });
+        let layer = TwoFourLayer::from_matrix(&weights).unwrap();
+        assert_eq!(layer.nnz(), weights.pattern().nnz());
+        let acts =
+            gen::integer_values_for_pattern(&gen::uniform_pattern(16, 3, 1.0, &mut rng), &mut rng);
+        assert_eq!(
+            layer.execute(&acts).unwrap(),
+            weights.matmul_hw(&acts).unwrap()
+        );
+    }
+
+    #[test]
+    fn cycle_count_is_half_dense() {
+        let weights = sample(8, 32, 0.5, 9);
+        let layer = TwoFourLayer::from_matrix(&weights).unwrap();
+        // Dense: 4 cycles per group per row-group; 2:4: always 2.
+        let dense_cycles = 4 * (32 / 4) * (8usize).div_ceil(4);
+        assert_eq!(layer.cycles() * 2, dense_cycles);
+    }
+
+    #[test]
+    fn shape_validation() {
+        let weights = sample(4, 18, 0.5, 11);
+        assert!(TwoFourLayer::from_matrix(&weights).is_err());
+        let weights = sample(4, 16, 0.5, 11);
+        let layer = TwoFourLayer::from_matrix(&weights).unwrap();
+        assert!(layer.execute(&Matrix::zeros(8, 2)).is_err());
+    }
+}

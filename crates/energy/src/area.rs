@@ -1,0 +1,202 @@
+//! Per-MAC and device-level area/power aggregation (Table 2 bottom rows).
+
+use crate::components::{energy_per_op_pj, spec, Component, AMPERE_DELAY_NS, EUREKA_DELAY_NS};
+
+/// MAC datapath variants whose totals Table 2 reports (plus the baselines'
+/// add-ons for comparison).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MacVariant {
+    /// Plain dense MAC.
+    Dense,
+    /// Ampere: MAC + 4-1 multiplexer.
+    Ampere,
+    /// Eureka at compaction factor 2: MAC + CSA + 8-1 mux + two 2-1 muxes.
+    EurekaP2,
+    /// Eureka at compaction factor 4: MAC + CSA + 16-1 mux + two 2-1
+    /// muxes (the Table 2 "Total Eureka" row).
+    EurekaP4,
+    /// DSTC: MAC + its per-MAC crossbar share.
+    Dstc,
+    /// SparTen: MAC + prefix/priority logic + chunk buffers.
+    SparTen,
+}
+
+impl MacVariant {
+    /// The components added on top of the bare MAC.
+    #[must_use]
+    pub fn extras(self) -> &'static [Component] {
+        match self {
+            MacVariant::Dense => &[],
+            MacVariant::Ampere => &[Component::Mux4],
+            MacVariant::EurekaP2 => &[
+                Component::FpCsa,
+                Component::Mux8,
+                Component::Mux2,
+                Component::Mux2,
+            ],
+            MacVariant::EurekaP4 => &[
+                Component::FpCsa,
+                Component::Mux16,
+                Component::Mux2,
+                Component::Mux2,
+            ],
+            MacVariant::Dstc => &[Component::DstcCrossbar],
+            MacVariant::SparTen => &[Component::SparTenLogic, Component::SparTenBuffers],
+        }
+    }
+}
+
+/// Aggregated per-MAC figures.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MacBudget {
+    /// Total area (µm²).
+    pub area_um2: f64,
+    /// Total power (µW).
+    pub power_uw: f64,
+    /// Critical-path delay (ns).
+    pub delay_ns: f64,
+}
+
+/// Per-MAC totals for a variant.
+#[must_use]
+pub fn per_mac(variant: MacVariant) -> MacBudget {
+    let mac = spec(Component::Mac);
+    let mut area = mac.area_um2;
+    let mut power = mac.power_uw;
+    for &c in variant.extras() {
+        let s = spec(c);
+        area += s.area_um2;
+        power += s.power_uw;
+    }
+    let delay_ns = match variant {
+        MacVariant::EurekaP2 | MacVariant::EurekaP4 => EUREKA_DELAY_NS,
+        _ => AMPERE_DELAY_NS,
+    };
+    MacBudget {
+        area_um2: area,
+        power_uw: power,
+        delay_ns,
+    }
+}
+
+/// Area/power overhead of `variant` relative to Ampere, as fractions.
+#[must_use]
+pub fn overhead_vs_ampere(variant: MacVariant) -> (f64, f64) {
+    let base = per_mac(MacVariant::Ampere);
+    let v = per_mac(variant);
+    (
+        v.area_um2 / base.area_um2 - 1.0,
+        v.power_uw / base.power_uw - 1.0,
+    )
+}
+
+/// Area/power *contribution* of a variant's extra components relative to
+/// the Ampere per-MAC totals — the comparison the paper makes in §5.4
+/// ("only DSTC's cross bars ... and SparTen's logic and buffers
+/// contribute, respectively, 89% and 72% area and 38% and 6.5% power over
+/// Ampere").
+#[must_use]
+pub fn contribution_vs_ampere(variant: MacVariant) -> (f64, f64) {
+    let base = per_mac(MacVariant::Ampere);
+    let (mut area, mut power) = (0.0, 0.0);
+    for &c in variant.extras() {
+        let s = spec(c);
+        area += s.area_um2;
+        power += s.power_uw;
+    }
+    (area / base.area_um2, power / base.power_uw)
+}
+
+/// Per-op energy (pJ) of the extra (non-MAC) components of a variant —
+/// the energy cost a sparse multiply pays beyond the bare MAC.
+#[must_use]
+pub fn extras_energy_pj(variant: MacVariant) -> f64 {
+    variant.extras().iter().map(|&c| energy_per_op_pj(c)).sum()
+}
+
+/// Device-level compute budget: all MACs of a full accelerator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeviceBudget {
+    /// Total MAC-datapath area in mm².
+    pub area_mm2: f64,
+    /// Total MAC-datapath power in W at full activity.
+    pub power_w: f64,
+    /// Number of MACs.
+    pub macs: usize,
+}
+
+/// Aggregates per-MAC figures over a device of `macs` MACs (the paper's
+/// scale: 432 tensor cores × 64 MACs = 27,648).
+#[must_use]
+pub fn device(variant: MacVariant, macs: usize) -> DeviceBudget {
+    let per = per_mac(variant);
+    DeviceBudget {
+        area_mm2: per.area_um2 * macs as f64 / 1e6,
+        power_w: per.power_uw * macs as f64 / 1e6,
+        macs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_scale() {
+        let d = device(MacVariant::EurekaP4, 432 * 64);
+        // 27,648 MACs × 1321 um^2 ≈ 36.5 mm^2 of MAC datapath.
+        assert!((d.area_mm2 - 36.5).abs() < 0.5, "area {}", d.area_mm2);
+        // × 875 uW ≈ 24 W at full activity.
+        assert!((d.power_w - 24.2).abs() < 0.5, "power {}", d.power_w);
+        assert_eq!(d.macs, 27_648);
+        // The Eureka overhead at device scale stays proportional.
+        let a = device(MacVariant::Ampere, 432 * 64);
+        assert!((d.area_mm2 / a.area_mm2 - 1.06).abs() < 0.01);
+    }
+
+    #[test]
+    fn table2_totals() {
+        let a = per_mac(MacVariant::Ampere);
+        assert_eq!(a.area_um2, 1246.0);
+        assert_eq!(a.power_uw, 785.0);
+        let e = per_mac(MacVariant::EurekaP4);
+        assert_eq!(e.area_um2, 1321.0);
+        assert_eq!(e.power_uw, 875.0);
+    }
+
+    #[test]
+    fn headline_overheads() {
+        // Paper: "area and power overheads of 6% and 11.5% over Ampere".
+        let (area, power) = overhead_vs_ampere(MacVariant::EurekaP4);
+        assert!((area - 0.06).abs() < 0.005, "area overhead {area}");
+        assert!((power - 0.115).abs() < 0.005, "power overhead {power}");
+    }
+
+    #[test]
+    fn baseline_overheads_dwarf_eureka() {
+        // Paper §5.4: DSTC's crossbars alone are 89% area / 38% power over
+        // Ampere; SparTen's logic+buffers 72% / 6.5%.
+        let (dstc_area, dstc_power) = contribution_vs_ampere(MacVariant::Dstc);
+        assert!((dstc_area - 0.89).abs() < 0.02, "dstc area {dstc_area}");
+        assert!((dstc_power - 0.38).abs() < 0.02, "dstc power {dstc_power}");
+        let (sp_area, sp_power) = contribution_vs_ampere(MacVariant::SparTen);
+        assert!((sp_area - 0.72).abs() < 0.02, "sparten area {sp_area}");
+        assert!((sp_power - 0.065).abs() < 0.01, "sparten power {sp_power}");
+    }
+
+    #[test]
+    fn p2_is_cheaper_than_p4() {
+        let p2 = per_mac(MacVariant::EurekaP2);
+        let p4 = per_mac(MacVariant::EurekaP4);
+        assert!(p2.area_um2 < p4.area_um2);
+        assert!(p2.power_uw < p4.power_uw);
+        assert_eq!(p2.delay_ns, p4.delay_ns);
+    }
+
+    #[test]
+    fn extras_energy() {
+        // Eureka's extras: CSA 47 + mux16 43 + 2×7 = 104 µW → 0.104 pJ.
+        assert!((extras_energy_pj(MacVariant::EurekaP4) - 0.104).abs() < 1e-9);
+        assert_eq!(extras_energy_pj(MacVariant::Dense), 0.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! ASIC area / power / energy models for the Eureka (MICRO 2023)
+//! reproduction.
+//!
+//! The paper synthesizes Verilog components with Synopsys DC at FreePDK
+//! 15 nm (power scaled from a 45 nm synthesis via published CMOS scaling
+//! equations) and reports per-MAC area/power in Table 2. This crate
+//! rebuilds that flow analytically:
+//!
+//! * [`components`] — per-component area/power constants anchored to
+//!   Table 2, plus structural gate-count models for components the table
+//!   omits (the 8-1 mux of Eureka P=2);
+//! * [`tech`] — Stillmaker-Baas-style technology scaling factors (the
+//!   45 nm → 15 nm power scaling of §4);
+//! * [`area`] — per-MAC and per-device aggregation, delay estimates, and
+//!   the Table 2 overhead figures (6% area / 11.5% power for Eureka P=4);
+//! * [`energy`] — converts a simulation's [`eureka_sim::SimReport`]
+//!   activity counters into compute + memory energy;
+//! * [`calibrate`] — fixes the DRAM energy-per-byte so the unpruned
+//!   *Dense Bench* splits 80/20 compute/memory, the paper's §5.3
+//!   methodology.
+//!
+//! # Examples
+//!
+//! ```
+//! use eureka_energy::area;
+//!
+//! let ampere = area::per_mac(area::MacVariant::Ampere);
+//! let eureka = area::per_mac(area::MacVariant::EurekaP4);
+//! let overhead = eureka.area_um2 / ampere.area_um2 - 1.0;
+//! assert!((overhead - 0.06).abs() < 0.01); // the paper's 6%
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod calibrate;
+pub mod components;
+pub mod energy;
+pub mod tech;
+
+pub use area::{per_mac, MacBudget, MacVariant};
+pub use energy::{ComponentDetail, EnergyBreakdown, EnergyModel};

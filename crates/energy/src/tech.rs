@@ -1,0 +1,91 @@
+//! Technology scaling (Stillmaker & Baas, Integration 2017).
+//!
+//! The paper synthesizes at FreePDK 45 nm — whose power numbers are
+//! trustworthy — and scales power to 15 nm with published CMOS scaling
+//! equations (§4), because FreePDK-15's default power estimates "deviate
+//! from expected values by orders of magnitude". This module provides the
+//! same node-to-node scaling factors.
+
+/// Supported process nodes (nm).
+pub const NODES: [u32; 8] = [180, 130, 90, 65, 45, 32, 22, 15];
+
+/// Per-node normalized metrics relative to 45 nm (delay, dynamic energy,
+/// area), interpolated from the Stillmaker-Baas general-scaling tables.
+fn relative(node: u32) -> Option<(f64, f64, f64)> {
+    // (delay, energy, area) relative to 45 nm = 1.0.
+    let table: [(u32, (f64, f64, f64)); 8] = [
+        (180, (3.23, 12.2, 16.0)),
+        (130, (2.26, 6.3, 8.3)),
+        (90, (1.65, 3.2, 4.0)),
+        (65, (1.28, 1.9, 2.1)),
+        (45, (1.0, 1.0, 1.0)),
+        (32, (0.81, 0.56, 0.51)),
+        (22, (0.66, 0.34, 0.24)),
+        (15, (0.55, 0.21, 0.11)),
+    ];
+    table.iter().find(|(n, _)| *n == node).map(|(_, v)| *v)
+}
+
+/// Scaling factor for gate delay between nodes.
+///
+/// # Errors
+///
+/// Returns `None` for unsupported nodes.
+#[must_use]
+pub fn delay_factor(from_nm: u32, to_nm: u32) -> Option<f64> {
+    Some(relative(to_nm)?.0 / relative(from_nm)?.0)
+}
+
+/// Scaling factor for dynamic energy (and, at iso-frequency, power).
+#[must_use]
+pub fn energy_factor(from_nm: u32, to_nm: u32) -> Option<f64> {
+    Some(relative(to_nm)?.1 / relative(from_nm)?.1)
+}
+
+/// Scaling factor for area.
+#[must_use]
+pub fn area_factor(from_nm: u32, to_nm: u32) -> Option<f64> {
+    Some(relative(to_nm)?.2 / relative(from_nm)?.2)
+}
+
+/// Scales a 45 nm synthesized power estimate to 15 nm — the paper's §4
+/// methodology for every Table 2 power column.
+#[must_use]
+pub fn power_45_to_15(power_uw_45: f64) -> f64 {
+    power_uw_45 * energy_factor(45, 15).expect("both nodes tabulated")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_scaling() {
+        for n in NODES {
+            assert_eq!(delay_factor(n, n), Some(1.0));
+            assert_eq!(energy_factor(n, n), Some(1.0));
+            assert_eq!(area_factor(n, n), Some(1.0));
+        }
+    }
+
+    #[test]
+    fn scaling_down_reduces_everything() {
+        assert!(delay_factor(45, 15).unwrap() < 1.0);
+        assert!(energy_factor(45, 15).unwrap() < 0.3);
+        assert!(area_factor(45, 15).unwrap() < 0.2);
+        assert!(energy_factor(15, 45).unwrap() > 1.0);
+    }
+
+    #[test]
+    fn unsupported_node() {
+        assert_eq!(delay_factor(45, 14), None);
+        assert_eq!(energy_factor(7, 15), None);
+    }
+
+    #[test]
+    fn paper_power_path_is_plausible() {
+        // A 45 nm MAC at ~3.7 mW scales to the Table 2 ballpark at 15 nm.
+        let p15 = power_45_to_15(3700.0);
+        assert!((500.0..1100.0).contains(&p15), "got {p15}");
+    }
+}

@@ -1,0 +1,245 @@
+//! Bit-field decomposition shared by the arithmetic modules.
+
+use crate::F16;
+
+/// Number of explicit fraction bits in binary16.
+pub(crate) const FRAC_BITS: u32 = 10;
+/// Exponent bias.
+pub(crate) const BIAS: i32 = 15;
+/// Maximum biased exponent field (infinity/NaN).
+pub(crate) const EXP_MAX: i32 = 0x1F;
+/// Unbiased exponent of the largest finite binade.
+pub(crate) const EMAX: i32 = 15;
+/// Unbiased exponent of the smallest normal binade.
+pub(crate) const EMIN: i32 = -14;
+
+/// A nonzero finite value decomposed as `(-1)^sign * sig * 2^(exp - FRAC_BITS)`
+/// with `sig` normalized into `[2^10, 2^11)`.
+///
+/// Subnormals are normalized on unpacking so downstream arithmetic never
+/// branches on them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Unpacked {
+    pub sign: bool,
+    /// Unbiased exponent of the leading significand bit.
+    pub exp: i32,
+    /// Significand with the hidden bit explicit: `0x400..=0x7FF`.
+    pub sig: u32,
+}
+
+/// Coarse classification used to route specials before the main datapath.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Class {
+    Nan,
+    Inf { sign: bool },
+    Zero { sign: bool },
+    Finite(Unpacked),
+}
+
+/// Decomposes a value, normalizing subnormals.
+pub(crate) fn classify(x: F16) -> Class {
+    let bits = x.to_bits();
+    let sign = (bits & 0x8000) != 0;
+    let exp_field = i32::from((bits >> FRAC_BITS) & 0x1F);
+    let frac = u32::from(bits & 0x03FF);
+    if exp_field == EXP_MAX {
+        if frac != 0 {
+            Class::Nan
+        } else {
+            Class::Inf { sign }
+        }
+    } else if exp_field == 0 {
+        if frac == 0 {
+            Class::Zero { sign }
+        } else {
+            // Subnormal: normalize. Value is frac * 2^(EMIN - FRAC_BITS).
+            let shift = FRAC_BITS - (31 - frac.leading_zeros());
+            Class::Finite(Unpacked {
+                sign,
+                exp: EMIN - shift as i32,
+                sig: frac << shift,
+            })
+        }
+    } else {
+        Class::Finite(Unpacked {
+            sign,
+            exp: exp_field - BIAS,
+            sig: frac | (1 << FRAC_BITS),
+        })
+    }
+}
+
+/// Packs a rounded result. `sig` must already be a valid 11-bit significand
+/// in `[2^10, 2^11)` for a normal result, or the caller uses
+/// [`round_pack`] which handles normalization, rounding, overflow and
+/// subnormals.
+fn pack_raw(sign: bool, exp_field: i32, frac: u32) -> F16 {
+    debug_assert!((0..=EXP_MAX).contains(&exp_field));
+    debug_assert!(frac < (1 << FRAC_BITS));
+    let bits = (u16::from(sign) << 15) | ((exp_field as u16) << FRAC_BITS) | frac as u16;
+    F16::from_bits(bits)
+}
+
+/// Rounds and packs a magnitude given as `mag * 2^(exp - G - FRAC_BITS)`
+/// where `mag` is an unnormalized integer significand carrying `G` guard
+/// bits below the target fraction, with all discarded lower bits already
+/// jammed into the sticky (lowest) position by the caller.
+///
+/// Concretely: the caller provides `mag` (nonzero) and the unbiased exponent
+/// `exp` that corresponds to `mag`'s bit `G + FRAC_BITS` being the leading
+/// (hidden) significand bit. This helper normalizes, applies
+/// round-to-nearest-even, and handles overflow to infinity and underflow to
+/// subnormal/zero.
+pub(crate) fn round_pack(sign: bool, exp: i32, mag: u64, guard_bits: u32) -> F16 {
+    debug_assert!(mag != 0);
+    // Keep at least two guard bits so a sticky jam can never masquerade as
+    // the significand LSB and the round/half test below stays meaningful.
+    let (mag, guard_bits) = if guard_bits < 2 {
+        debug_assert!(mag.leading_zeros() >= 2 - guard_bits);
+        (mag << (2 - guard_bits), 2)
+    } else {
+        (mag, guard_bits)
+    };
+    let target_msb = guard_bits + FRAC_BITS;
+    let msb = 63 - mag.leading_zeros();
+    // Normalize so the leading bit sits at `target_msb`, adjusting exponent.
+    let mut exp = exp + msb as i32 - target_msb as i32;
+    let mut mag = mag;
+    if msb > target_msb {
+        let d = msb - target_msb;
+        let lost = mag & ((1u64 << d) - 1);
+        mag >>= d;
+        if lost != 0 {
+            mag |= 1;
+        }
+    } else {
+        mag <<= target_msb - msb;
+    }
+
+    // Underflow: shift right until the exponent reaches EMIN, jamming sticky.
+    if exp < EMIN {
+        let d = (EMIN - exp) as u32;
+        if d >= 63 {
+            mag = 1; // pure sticky
+        } else {
+            let lost = mag & ((1u64 << d) - 1);
+            mag >>= d;
+            if lost != 0 {
+                mag |= 1;
+            }
+        }
+        exp = EMIN;
+    }
+
+    // Round to nearest even on the guard bits.
+    let round_point = 1u64 << guard_bits;
+    let frac_part = mag >> guard_bits;
+    let rem = mag & (round_point - 1);
+    let half = round_point >> 1;
+    let mut sig = frac_part;
+    if rem > half || (rem == half && rem != 0 && (sig & 1) == 1) {
+        sig += 1;
+    }
+    // Rounding may carry out: 0x7FF + 1 = 0x800.
+    if sig == (1 << (FRAC_BITS + 1)) {
+        sig >>= 1;
+        exp += 1;
+    }
+
+    if exp > EMAX {
+        return if sign {
+            F16::NEG_INFINITY
+        } else {
+            F16::INFINITY
+        };
+    }
+    if sig < (1 << FRAC_BITS) {
+        // Subnormal (or zero after rounding down at EMIN).
+        debug_assert_eq!(exp, EMIN);
+        return pack_raw(sign, 0, sig as u32);
+    }
+    let exp_field = exp + BIAS;
+    pack_raw(sign, exp_field, (sig as u32) & ((1 << FRAC_BITS) - 1))
+}
+
+/// Returns a signed zero.
+pub(crate) fn zero(sign: bool) -> F16 {
+    if sign {
+        F16::NEG_ZERO
+    } else {
+        F16::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_normals() {
+        match classify(F16::ONE) {
+            Class::Finite(u) => {
+                assert!(!u.sign);
+                assert_eq!(u.exp, 0);
+                assert_eq!(u.sig, 0x400);
+            }
+            other => panic!("unexpected class {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classify_subnormal_normalizes() {
+        match classify(F16::MIN_POSITIVE_SUBNORMAL) {
+            Class::Finite(u) => {
+                assert_eq!(u.exp, -24);
+                assert_eq!(u.sig, 0x400);
+            }
+            other => panic!("unexpected class {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classify_specials() {
+        assert_eq!(classify(F16::NAN), Class::Nan);
+        assert_eq!(classify(F16::INFINITY), Class::Inf { sign: false });
+        assert_eq!(classify(F16::NEG_ZERO), Class::Zero { sign: true });
+    }
+
+    #[test]
+    fn round_pack_exact_one() {
+        // 1.0 expressed with 4 guard bits: sig = 0x400 << 4, exp = 0.
+        let r = round_pack(false, 0, 0x400 << 4, 4);
+        assert_eq!(r, F16::ONE);
+    }
+
+    #[test]
+    fn round_pack_ties_to_even() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and the next value; RNE
+        // keeps the even significand (1.0).
+        let mag = (0x400u64 << 4) | (1 << 3);
+        let r = round_pack(false, 0, mag, 4);
+        assert_eq!(r, F16::ONE);
+        // 1 + 3*2^-12 rounds up.
+        let mag = (0x400u64 << 4) | (1 << 3) | 1;
+        let r = round_pack(false, 0, mag, 4);
+        assert_eq!(r.to_bits(), F16::ONE.to_bits() + 1);
+    }
+
+    #[test]
+    fn round_pack_overflow_to_infinity() {
+        let r = round_pack(false, 16, 0x400, 0);
+        assert_eq!(r, F16::INFINITY);
+        let r = round_pack(true, 100, 0x7FF, 0);
+        assert_eq!(r, F16::NEG_INFINITY);
+    }
+
+    #[test]
+    fn round_pack_underflow_to_subnormal() {
+        // 2^-24 exactly.
+        let r = round_pack(false, -24, 0x400, 0);
+        assert_eq!(r, F16::MIN_POSITIVE_SUBNORMAL);
+        // 2^-26 rounds to zero.
+        let r = round_pack(false, -26, 0x400, 0);
+        assert_eq!(r, F16::ZERO);
+    }
+}

@@ -1,0 +1,142 @@
+//! Conversions between binary16 and the native float types.
+
+use crate::F16;
+
+/// Widens binary16 to `f32`. Always exact.
+pub(crate) fn f16_to_f32(x: F16) -> f32 {
+    let bits = u32::from(x.to_bits());
+    let sign = (bits & 0x8000) << 16;
+    let exp = (bits >> 10) & 0x1F;
+    let frac = bits & 0x03FF;
+    let out = if exp == 0x1F {
+        // Inf / NaN: preserve payload in the top fraction bits.
+        sign | 0x7F80_0000 | (frac << 13)
+    } else if exp == 0 {
+        if frac == 0 {
+            sign
+        } else {
+            // Subnormal: normalize into an f32 normal. The leading bit of
+            // `frac` at position m encodes the binade 2^(m - 24).
+            let m = 31 - frac.leading_zeros();
+            let frac = (frac << (10 - m)) & 0x03FF;
+            let exp = 127 + m - 24;
+            sign | (exp << 23) | (frac << 13)
+        }
+    } else {
+        sign | ((exp + 127 - 15) << 23) | (frac << 13)
+    };
+    f32::from_bits(out)
+}
+
+/// Narrows `f32` to binary16 with round-to-nearest-even.
+pub(crate) fn f32_to_f16(x: f32) -> F16 {
+    // The f32 encoding is shifted to the top of the u64 so the sign lands at
+    // bit 63; the fraction is then 23 + 32 zero-padded bits wide, which the
+    // shared kernel handles uniformly.
+    narrow(u64::from(x.to_bits()) << 32, 8, 55, 127)
+}
+
+/// Narrows `f64` to binary16 with round-to-nearest-even (single rounding).
+pub(crate) fn f64_to_f16(x: f64) -> F16 {
+    narrow(x.to_bits(), 11, 52, 1023)
+}
+
+/// Shared narrowing kernel. The source value is given as raw bits packed
+/// into the *top* of a u64 layout: sign, `exp_bits` exponent, `frac_bits`
+/// fraction (f64 natively; f32 shifted up by 32).
+fn narrow(bits: u64, exp_bits: u32, frac_bits: u32, bias: i32) -> F16 {
+    let sign = (bits >> 63) != 0;
+    let exp_field = ((bits >> frac_bits) & ((1 << exp_bits) - 1)) as i32;
+    let frac = bits & ((1u64 << frac_bits) - 1);
+    let exp_max = (1 << exp_bits) - 1;
+
+    if exp_field == exp_max {
+        return if frac != 0 {
+            F16::NAN
+        } else if sign {
+            F16::NEG_INFINITY
+        } else {
+            F16::INFINITY
+        };
+    }
+    if exp_field == 0 && frac == 0 {
+        return crate::bits::zero(sign);
+    }
+    // Normalize (source subnormals are far below the f16 range but handle
+    // them uniformly anyway).
+    let (exp, sig) = if exp_field == 0 {
+        let msb = 63 - frac.leading_zeros();
+        (1 - bias - frac_bits as i32 + msb as i32, frac)
+    } else {
+        (exp_field - bias, frac | (1u64 << frac_bits))
+    };
+    // `sig`'s leading bit corresponds to 2^exp. Feed round_pack with the
+    // significand aligned so its MSB is the hidden bit over G guard bits.
+    let msb = 63 - sig.leading_zeros();
+    let guard = msb.saturating_sub(crate::bits::FRAC_BITS);
+    let (mag, guard) = if guard == 0 {
+        (sig << (crate::bits::FRAC_BITS - msb), 0)
+    } else {
+        (sig, guard)
+    };
+    crate::bits::round_pack(sign, exp, mag, guard)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widen_roundtrips_all_finite_bit_patterns() {
+        for bits in 0..=u16::MAX {
+            let h = F16::from_bits(bits);
+            if h.is_nan() {
+                assert!(h.to_f32().is_nan());
+                continue;
+            }
+            let back = f32_to_f16(h.to_f32());
+            assert_eq!(back.to_bits(), bits, "bits {bits:#06x}");
+        }
+    }
+
+    #[test]
+    fn narrow_matches_known_values() {
+        assert_eq!(f32_to_f16(1.0), F16::ONE);
+        assert_eq!(f32_to_f16(-2.0).to_bits(), 0xC000);
+        assert_eq!(f32_to_f16(65504.0), F16::MAX);
+        assert_eq!(f32_to_f16(65520.0), F16::INFINITY); // midpoint rounds to even=inf
+        assert_eq!(f32_to_f16(65519.0), F16::MAX);
+        assert!(f32_to_f16(f32::NAN).is_nan());
+        assert_eq!(f32_to_f16(1e-8), F16::ZERO); // below subnormal range/2
+    }
+
+    #[test]
+    fn narrow_subnormal_range() {
+        let tiny = 2.0_f32.powi(-24);
+        assert_eq!(f32_to_f16(tiny), F16::MIN_POSITIVE_SUBNORMAL);
+        // Half of the smallest subnormal ties to even (zero).
+        assert_eq!(f32_to_f16(tiny / 2.0), F16::ZERO);
+        // Slightly more than half rounds up.
+        assert_eq!(f32_to_f16(tiny * 0.50001), F16::MIN_POSITIVE_SUBNORMAL);
+    }
+
+    #[test]
+    fn f64_narrow_single_rounding() {
+        // A value where f64 -> f32 -> f16 double-rounds differently:
+        // 1 + 2^-11 + 2^-26 must round UP to 1 + 2^-10 in one step.
+        let v = 1.0 + 2.0_f64.powi(-11) + 2.0_f64.powi(-26);
+        let direct = f64_to_f16(v);
+        assert_eq!(direct.to_bits(), F16::ONE.to_bits() + 1);
+    }
+
+    #[test]
+    fn f64_narrow_matches_f32_on_exact_values() {
+        for bits in (0..=u16::MAX).step_by(7) {
+            let h = F16::from_bits(bits);
+            if h.is_nan() {
+                continue;
+            }
+            assert_eq!(f64_to_f16(h.to_f64()).to_bits(), h.to_bits());
+        }
+    }
+}

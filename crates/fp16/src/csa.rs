@@ -1,0 +1,246 @@
+//! The three-input floating-point adder added to each MAC by SUDS.
+//!
+//! Paper §3.1 (Figure 8): the adder's inputs are the local product, the
+//! local accumulator, and the product arriving from the MAC below. "The
+//! three-input addition can be implemented as a carry-save adder to reduce
+//! the three values to two (the sum and carry) followed by a full adder.
+//! For FP16 values, the three exponents are compared against each other
+//! before the three mantissas are aligned and added together."
+//!
+//! [`add3`] models that datapath with a full-width alignment window, which
+//! makes the three-operand sum exact before the single final rounding (the
+//! entire dynamic range of binary16 spans < 50 bits, so a 64-bit datapath
+//! loses nothing). [`add3_windowed`] exposes a limited alignment window with
+//! sticky-bit jamming for studying narrower hardware.
+
+use crate::bits::{classify, round_pack, zero, Class, Unpacked, FRAC_BITS};
+use crate::F16;
+
+/// Alignment window (bits kept below the leading operand bit) that makes the
+/// three-input sum exact. 50 bits cover the full binary16 dynamic range
+/// (exponents −24..=15 with 11-bit significands).
+pub const EXACT_WINDOW: u32 = 50;
+
+/// Adds three binary16 values with a single rounding, modelling the SUDS
+/// carry-save adder at full alignment width.
+///
+/// The two-input hardware add is this function with one operand zero.
+///
+/// Special cases: any NaN input yields NaN; infinities of conflicting sign
+/// yield NaN; an exact zero sum of nonzero operands is `+0.0`; an all-zero
+/// input keeps `-0.0` only when every operand is `-0.0`.
+///
+/// # Examples
+///
+/// ```
+/// use eureka_fp16::{csa, F16};
+/// let s = csa::add3(F16::from_f32(1.0), F16::from_f32(2.0), F16::from_f32(4.0));
+/// assert_eq!(s.to_f32(), 7.0);
+/// ```
+#[must_use]
+pub fn add3(a: F16, b: F16, c: F16) -> F16 {
+    add3_windowed(a, b, c, EXACT_WINDOW)
+}
+
+/// Adds three binary16 values with an alignment window of `window` bits.
+///
+/// Operand significands are aligned to the largest exponent; bits shifted
+/// beyond the window are jammed into a sticky bit, as alignment shifters do
+/// in hardware. `window >= `[`EXACT_WINDOW`] is exact; narrower windows can
+/// deviate by an ulp when cancellation exposes jammed bits.
+///
+/// # Panics
+///
+/// Panics if `window` is smaller than the 10-bit significand fraction or
+/// larger than 56 (the headroom available in the 64-bit datapath after the
+/// 3-value carry bits).
+#[must_use]
+pub fn add3_windowed(a: F16, b: F16, c: F16, window: u32) -> F16 {
+    assert!(
+        (FRAC_BITS..=56).contains(&window),
+        "alignment window must be in 10..=56, got {window}"
+    );
+    let classes = [classify(a), classify(b), classify(c)];
+    if classes.iter().any(|c| matches!(c, Class::Nan)) {
+        return F16::NAN;
+    }
+    let mut inf_sign: Option<bool> = None;
+    for cl in &classes {
+        if let Class::Inf { sign } = cl {
+            match inf_sign {
+                None => inf_sign = Some(*sign),
+                Some(s) if s != *sign => return F16::NAN,
+                Some(_) => {}
+            }
+        }
+    }
+    if let Some(sign) = inf_sign {
+        return if sign {
+            F16::NEG_INFINITY
+        } else {
+            F16::INFINITY
+        };
+    }
+
+    let finites: Vec<Unpacked> = classes
+        .iter()
+        .filter_map(|c| match c {
+            Class::Finite(u) => Some(*u),
+            _ => None,
+        })
+        .collect();
+    if finites.is_empty() {
+        // All zeros: -0 only if every operand is -0 (IEEE sum of zeros).
+        let all_neg = classes
+            .iter()
+            .all(|c| matches!(c, Class::Zero { sign: true }));
+        return zero(all_neg);
+    }
+
+    // Align every significand to the largest exponent. Each operand value is
+    // sig * 2^(exp - FRAC_BITS); place the leading bit of the max-exponent
+    // operand at bit position `window`, so smaller operands shift right with
+    // sticky jamming at bit 0.
+    let emax = finites.iter().map(|u| u.exp).max().expect("nonempty");
+    let mut sum: i64 = 0;
+    for u in &finites {
+        let d = (emax - u.exp) as u32;
+        let aligned = if d > window {
+            // Entirely below the window: pure sticky.
+            1
+        } else {
+            let v = u64::from(u.sig) << (window - FRAC_BITS);
+            let lost = if d == 0 { 0 } else { v & ((1u64 << d) - 1) };
+            let kept = v >> d;
+            if lost != 0 {
+                kept | 1
+            } else {
+                kept
+            }
+        } as i64;
+        sum += if u.sign { -aligned } else { aligned };
+    }
+
+    if sum == 0 {
+        return F16::ZERO;
+    }
+    let sign = sum < 0;
+    let mag = sum.unsigned_abs();
+    // Value = mag * 2^(emax - window); round_pack's contract is
+    // value = mag * 2^(exp - guard - FRAC_BITS), so exp = emax - window +
+    // guard + FRAC_BITS with guard chosen as the window's sub-significand
+    // width.
+    let guard = window - FRAC_BITS;
+    round_pack(sign, emax, mag, guard)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_add3(a: F16, b: F16, c: F16) -> F16 {
+        // The exact three-operand sum fits in f64 (< 50 significant bits),
+        // so one narrowing conversion performs the correct single rounding.
+        F16::from_f64(a.to_f64() + b.to_f64() + c.to_f64())
+    }
+
+    #[test]
+    fn simple_sums() {
+        let f = F16::from_f32;
+        assert_eq!(add3(f(1.0), f(2.0), f(3.0)).to_f32(), 6.0);
+        assert_eq!(add3(f(1.0), f(-1.0), f(0.5)).to_f32(), 0.5);
+        assert_eq!(add3(f(0.0), f(0.0), f(-0.25)).to_f32(), -0.25);
+    }
+
+    #[test]
+    fn cancellation_is_exact() {
+        let f = F16::from_f32;
+        // Catastrophic cancellation must produce the exact tiny remainder.
+        let big = f(1024.0);
+        let eps = f(0.5);
+        assert_eq!(add3(big, -big, eps).to_f32(), 0.5);
+        assert_eq!(add3(big, eps, -big).to_f32(), 0.5);
+    }
+
+    #[test]
+    fn zero_sign_rules() {
+        assert_eq!(
+            add3(F16::NEG_ZERO, F16::NEG_ZERO, F16::NEG_ZERO),
+            F16::NEG_ZERO
+        );
+        assert_eq!(add3(F16::ZERO, F16::NEG_ZERO, F16::NEG_ZERO), F16::ZERO);
+        // Exact cancellation of nonzero values gives +0.
+        assert_eq!(add3(F16::ONE, F16::NEG_ONE, F16::ZERO), F16::ZERO);
+    }
+
+    #[test]
+    fn infinity_rules() {
+        assert_eq!(add3(F16::INFINITY, F16::ONE, F16::ONE), F16::INFINITY);
+        assert_eq!(
+            add3(F16::NEG_INFINITY, F16::ONE, F16::NEG_INFINITY),
+            F16::NEG_INFINITY
+        );
+        assert!(add3(F16::INFINITY, F16::NEG_INFINITY, F16::ONE).is_nan());
+        assert!(add3(F16::NAN, F16::ONE, F16::ONE).is_nan());
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert_eq!(add3(F16::MAX, F16::MAX, F16::ZERO), F16::INFINITY);
+        assert_eq!(add3(F16::MIN, F16::MIN, F16::ZERO), F16::NEG_INFINITY);
+    }
+
+    #[test]
+    fn matches_reference_on_grid() {
+        let mut patterns = vec![0u16, 1, 0x03FF, 0x0400, 0x3C00, 0x4200, 0x7BFF];
+        for i in 0..60u16 {
+            patterns.push(i.wrapping_mul(1117).wrapping_add(29) & 0x7FFF);
+        }
+        let signed: Vec<F16> = patterns
+            .iter()
+            .flat_map(|&p| [F16::from_bits(p), F16::from_bits(p | 0x8000)])
+            .collect();
+        // Exhaustive triples are too many; stride deterministically.
+        for (i, &a) in signed.iter().enumerate() {
+            for (j, &b) in signed.iter().enumerate().skip(i % 3) {
+                let c = signed[(i * 7 + j * 13) % signed.len()];
+                let got = add3(a, b, c);
+                let want = reference_add3(a, b, c);
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "a={a:?} b={b:?} c={c:?} got={got:?} want={want:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_matches_exact_at_full_width() {
+        let f = F16::from_f32;
+        let cases = [
+            (f(1.5), f(-1024.0), f(3.0e-4)),
+            (f(0.1), f(0.2), f(0.3)),
+            (F16::MAX, f(-1.0), f(1.0)),
+        ];
+        for (a, b, c) in cases {
+            assert_eq!(add3_windowed(a, b, c, EXACT_WINDOW), add3(a, b, c));
+        }
+    }
+
+    #[test]
+    fn narrow_window_stays_within_one_ulp_without_cancellation() {
+        let f = F16::from_f32;
+        // Same-sign operands: sticky jamming keeps RNE correct even for a
+        // narrow window.
+        let got = add3_windowed(f(2048.0), f(1.0), f(1.0), 13);
+        let want = add3(f(2048.0), f(1.0), f(1.0));
+        assert!(got.ulp_distance(want) <= 1, "{got:?} vs {want:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "alignment window")]
+    fn window_validation() {
+        let _ = add3_windowed(F16::ONE, F16::ONE, F16::ONE, 0);
+    }
+}

@@ -1,0 +1,485 @@
+//! Software IEEE-754 binary16 ("half precision") arithmetic for the Eureka
+//! reproduction.
+//!
+//! Tensor cores operate on FP16 operands. The Eureka paper (MICRO 2023)
+//! augments each multiply-accumulate unit (MAC) with a *three-input* adder —
+//! implemented as a carry-save adder with floating-point mantissa alignment —
+//! so that a partial product displaced to the MAC row below can be routed
+//! back up and folded into the original row's accumulator in a single
+//! addition (paper §3.1, Figure 8).
+//!
+//! This crate provides:
+//!
+//! * [`F16`] — a bit-exact binary16 value type with conversions, comparisons
+//!   and formatting;
+//! * bit-level [`mul`](F16::mul_hw) and the three-input aligned adder
+//!   [`csa`](csa::add3) that model the hardware datapath;
+//! * [`mac::MacUnit`] — a functional MAC with the SUDS third input, used by
+//!   `eureka-core`'s executor to prove that displaced schedules compute the
+//!   same output as a dense matrix multiplication.
+//!
+//! # Examples
+//!
+//! ```
+//! use eureka_fp16::F16;
+//!
+//! let a = F16::from_f32(1.5);
+//! let b = F16::from_f32(2.0);
+//! assert_eq!((a * b).to_f32(), 3.0);
+//!
+//! // The SUDS three-input adder: acc + local product + product from below.
+//! let sum = eureka_fp16::csa::add3(a, b, F16::from_f32(0.25));
+//! assert_eq!(sum.to_f32(), 3.75);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arith;
+mod bits;
+mod convert;
+pub mod csa;
+pub mod mac;
+
+pub use mac::MacUnit;
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// An IEEE-754 binary16 floating-point value.
+///
+/// The representation is the raw 16-bit encoding: 1 sign bit, 5 exponent
+/// bits (bias 15), 10 fraction bits. All arithmetic provided by this crate
+/// is performed at the bit level, modelling the tensor-core datapath, and is
+/// validated against an `f64` reference in the test suite.
+///
+/// # Examples
+///
+/// ```
+/// use eureka_fp16::F16;
+///
+/// let x = F16::from_f32(0.333_25);
+/// assert!((x.to_f32() - 0.333_25).abs() < 1e-3);
+/// assert!(F16::INFINITY.is_infinite());
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct F16(u16);
+
+impl F16 {
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0x0000);
+    /// Negative zero.
+    pub const NEG_ZERO: F16 = F16(0x8000);
+    /// The value `1.0`.
+    pub const ONE: F16 = F16(0x3C00);
+    /// The value `-1.0`.
+    pub const NEG_ONE: F16 = F16(0xBC00);
+    /// Positive infinity.
+    pub const INFINITY: F16 = F16(0x7C00);
+    /// Negative infinity.
+    pub const NEG_INFINITY: F16 = F16(0xFC00);
+    /// A quiet NaN.
+    pub const NAN: F16 = F16(0x7E00);
+    /// Largest finite value, `65504.0`.
+    pub const MAX: F16 = F16(0x7BFF);
+    /// Smallest finite value, `-65504.0`.
+    pub const MIN: F16 = F16(0xFBFF);
+    /// Smallest positive normal value, `2^-14`.
+    pub const MIN_POSITIVE: F16 = F16(0x0400);
+    /// Smallest positive subnormal value, `2^-24`.
+    pub const MIN_POSITIVE_SUBNORMAL: F16 = F16(0x0001);
+    /// The machine epsilon, `2^-10`.
+    pub const EPSILON: F16 = F16(0x1400);
+
+    /// Creates a value from its raw IEEE-754 binary16 encoding.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use eureka_fp16::F16;
+    /// assert_eq!(F16::from_bits(0x3C00), F16::ONE);
+    /// ```
+    #[inline]
+    #[must_use]
+    pub const fn from_bits(bits: u16) -> Self {
+        F16(bits)
+    }
+
+    /// Returns the raw IEEE-754 binary16 encoding.
+    #[inline]
+    #[must_use]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts an `f32` to binary16 with round-to-nearest-even.
+    #[inline]
+    #[must_use]
+    pub fn from_f32(x: f32) -> Self {
+        convert::f32_to_f16(x)
+    }
+
+    /// Converts an `f64` to binary16 with round-to-nearest-even.
+    ///
+    /// This conversion rounds once from the full `f64` value, avoiding the
+    /// double-rounding hazard of going through `f32`.
+    #[inline]
+    #[must_use]
+    pub fn from_f64(x: f64) -> Self {
+        convert::f64_to_f16(x)
+    }
+
+    /// Converts to `f32` (always exact).
+    #[inline]
+    #[must_use]
+    pub fn to_f32(self) -> f32 {
+        convert::f16_to_f32(self)
+    }
+
+    /// Converts to `f64` (always exact).
+    #[inline]
+    #[must_use]
+    pub fn to_f64(self) -> f64 {
+        f64::from(self.to_f32())
+    }
+
+    /// Returns `true` if the value is NaN.
+    #[inline]
+    #[must_use]
+    pub const fn is_nan(self) -> bool {
+        (self.0 & 0x7C00) == 0x7C00 && (self.0 & 0x03FF) != 0
+    }
+
+    /// Returns `true` if the value is positive or negative infinity.
+    #[inline]
+    #[must_use]
+    pub const fn is_infinite(self) -> bool {
+        (self.0 & 0x7FFF) == 0x7C00
+    }
+
+    /// Returns `true` if the value is neither infinite nor NaN.
+    #[inline]
+    #[must_use]
+    pub const fn is_finite(self) -> bool {
+        (self.0 & 0x7C00) != 0x7C00
+    }
+
+    /// Returns `true` if the value is positive or negative zero.
+    #[inline]
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        (self.0 & 0x7FFF) == 0
+    }
+
+    /// Returns `true` if the value is subnormal (nonzero with a zero
+    /// exponent field).
+    #[inline]
+    #[must_use]
+    pub const fn is_subnormal(self) -> bool {
+        (self.0 & 0x7C00) == 0 && (self.0 & 0x03FF) != 0
+    }
+
+    /// Returns `true` if the sign bit is set (including `-0.0` and NaNs with
+    /// a negative sign).
+    #[inline]
+    #[must_use]
+    pub const fn is_sign_negative(self) -> bool {
+        (self.0 & 0x8000) != 0
+    }
+
+    /// Returns the absolute value.
+    #[inline]
+    #[must_use]
+    pub const fn abs(self) -> Self {
+        F16(self.0 & 0x7FFF)
+    }
+
+    /// Returns `true` for normal (not zero, subnormal, infinite or NaN)
+    /// values.
+    #[inline]
+    #[must_use]
+    pub const fn is_normal(self) -> bool {
+        let exp = self.0 & 0x7C00;
+        exp != 0 && exp != 0x7C00
+    }
+
+    /// The next representable value toward `+∞` (NaN propagates;
+    /// `MAX.next_up()` is infinity).
+    #[must_use]
+    pub fn next_up(self) -> Self {
+        if self.is_nan() || self == F16::INFINITY {
+            return self;
+        }
+        if self.is_zero() {
+            return F16::MIN_POSITIVE_SUBNORMAL;
+        }
+        if self.is_sign_negative() {
+            F16(self.0 - 1)
+        } else {
+            F16(self.0 + 1)
+        }
+    }
+
+    /// The next representable value toward `-∞`.
+    #[must_use]
+    pub fn next_down(self) -> Self {
+        if self.is_nan() || self == F16::NEG_INFINITY {
+            return self;
+        }
+        if self.is_zero() {
+            return -F16::MIN_POSITIVE_SUBNORMAL;
+        }
+        if self.is_sign_negative() {
+            F16(self.0 + 1)
+        } else {
+            F16(self.0 - 1)
+        }
+    }
+
+    /// Hardware-path multiplication (bit-level, round-to-nearest-even).
+    ///
+    /// Equivalent to the `*` operator; exposed under this name so call sites
+    /// in the simulator can make the datapath explicit.
+    #[inline]
+    #[must_use]
+    pub fn mul_hw(self, rhs: Self) -> Self {
+        arith::mul(self, rhs)
+    }
+
+    /// Hardware-path addition: the three-input carry-save adder with the
+    /// third input forced to zero (paper §3.1 case 1).
+    #[inline]
+    #[must_use]
+    pub fn add_hw(self, rhs: Self) -> Self {
+        csa::add3(self, rhs, F16::ZERO)
+    }
+
+    /// IEEE total ordering (like [`f32::total_cmp`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use eureka_fp16::F16;
+    /// assert!(F16::NEG_ZERO.total_cmp(F16::ZERO).is_lt());
+    /// ```
+    #[must_use]
+    pub fn total_cmp(self, other: Self) -> Ordering {
+        let mut a = i32::from(self.0 as i16);
+        let mut b = i32::from(other.0 as i16);
+        a ^= (((a >> 15) as u32) >> 17) as i32;
+        b ^= (((b >> 15) as u32) >> 17) as i32;
+        a.cmp(&b)
+    }
+
+    /// Number of distinct representable values between `self` and `other`,
+    /// measured in units in the last place. NaNs and differing-sign pairs
+    /// return `u32::MAX`.
+    ///
+    /// Useful for tolerance-based comparisons in tests.
+    #[must_use]
+    pub fn ulp_distance(self, other: Self) -> u32 {
+        if self.is_nan() || other.is_nan() {
+            return u32::MAX;
+        }
+        let to_ordered = |v: F16| -> i32 {
+            let b = i32::from(v.0 as i16);
+            if b < 0 {
+                -(b & 0x7FFF)
+            } else {
+                b
+            }
+        };
+        let a = to_ordered(self);
+        let b = to_ordered(other);
+        a.abs_diff(b)
+    }
+}
+
+impl PartialOrd for F16 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+impl fmt::Debug for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F16({})", self.to_f32())
+    }
+}
+
+impl fmt::Display for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_f32(), f)
+    }
+}
+
+impl From<f32> for F16 {
+    fn from(x: f32) -> Self {
+        F16::from_f32(x)
+    }
+}
+
+impl From<F16> for f32 {
+    fn from(x: F16) -> Self {
+        x.to_f32()
+    }
+}
+
+impl From<F16> for f64 {
+    fn from(x: F16) -> Self {
+        x.to_f64()
+    }
+}
+
+impl From<i8> for F16 {
+    fn from(x: i8) -> Self {
+        F16::from_f32(f32::from(x))
+    }
+}
+
+impl Neg for F16 {
+    type Output = F16;
+    fn neg(self) -> F16 {
+        F16(self.0 ^ 0x8000)
+    }
+}
+
+impl Add for F16 {
+    type Output = F16;
+    fn add(self, rhs: F16) -> F16 {
+        self.add_hw(rhs)
+    }
+}
+
+impl Sub for F16 {
+    type Output = F16;
+    fn sub(self, rhs: F16) -> F16 {
+        self.add_hw(-rhs)
+    }
+}
+
+impl Mul for F16 {
+    type Output = F16;
+    fn mul(self, rhs: F16) -> F16 {
+        arith::mul(self, rhs)
+    }
+}
+
+impl AddAssign for F16 {
+    fn add_assign(&mut self, rhs: F16) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for F16 {
+    fn sub_assign(&mut self, rhs: F16) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for F16 {
+    fn mul_assign(&mut self, rhs: F16) {
+        *self = *self * rhs;
+    }
+}
+
+impl core::iter::Sum for F16 {
+    fn sum<I: Iterator<Item = F16>>(iter: I) -> F16 {
+        iter.fold(F16::ZERO, |acc, x| acc + x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_roundtrip() {
+        assert_eq!(F16::ONE.to_f32(), 1.0);
+        assert_eq!(F16::NEG_ONE.to_f32(), -1.0);
+        assert_eq!(F16::MAX.to_f32(), 65504.0);
+        assert_eq!(F16::MIN.to_f32(), -65504.0);
+        assert_eq!(F16::MIN_POSITIVE.to_f32(), 2.0_f32.powi(-14));
+        assert_eq!(F16::MIN_POSITIVE_SUBNORMAL.to_f32(), 2.0_f32.powi(-24));
+        assert_eq!(F16::EPSILON.to_f32(), 2.0_f32.powi(-10));
+    }
+
+    #[test]
+    fn classification() {
+        assert!(F16::NAN.is_nan());
+        assert!(!F16::NAN.is_finite());
+        assert!(F16::INFINITY.is_infinite());
+        assert!(F16::NEG_INFINITY.is_infinite());
+        assert!(F16::ZERO.is_zero());
+        assert!(F16::NEG_ZERO.is_zero());
+        assert!(F16::MIN_POSITIVE_SUBNORMAL.is_subnormal());
+        assert!(!F16::MIN_POSITIVE.is_subnormal());
+        assert!(F16::NEG_ONE.is_sign_negative());
+    }
+
+    #[test]
+    fn negation_flips_sign_bit_only() {
+        assert_eq!((-F16::ONE).to_bits(), 0xBC00);
+        assert_eq!((-F16::ZERO).to_bits(), 0x8000);
+        assert_eq!((-F16::NAN).abs().to_bits(), F16::NAN.to_bits());
+    }
+
+    #[test]
+    fn total_cmp_orders_all_values() {
+        let vals = [
+            F16::NEG_INFINITY,
+            F16::MIN,
+            F16::NEG_ONE,
+            F16::NEG_ZERO,
+            F16::ZERO,
+            F16::MIN_POSITIVE_SUBNORMAL,
+            F16::ONE,
+            F16::MAX,
+            F16::INFINITY,
+        ];
+        for w in vals.windows(2) {
+            assert!(w[0].total_cmp(w[1]).is_lt(), "{:?} < {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn ulp_distance_basics() {
+        assert_eq!(F16::ONE.ulp_distance(F16::ONE), 0);
+        let next = F16::from_bits(F16::ONE.to_bits() + 1);
+        assert_eq!(F16::ONE.ulp_distance(next), 1);
+        assert_eq!(F16::NAN.ulp_distance(F16::ONE), u32::MAX);
+    }
+
+    #[test]
+    fn normality_and_neighbours() {
+        assert!(F16::ONE.is_normal());
+        assert!(!F16::ZERO.is_normal());
+        assert!(!F16::MIN_POSITIVE_SUBNORMAL.is_normal());
+        assert!(!F16::INFINITY.is_normal());
+        assert!(!F16::NAN.is_normal());
+
+        assert_eq!(F16::ZERO.next_up(), F16::MIN_POSITIVE_SUBNORMAL);
+        assert_eq!(F16::ZERO.next_down(), -F16::MIN_POSITIVE_SUBNORMAL);
+        assert_eq!(F16::MAX.next_up(), F16::INFINITY);
+        assert_eq!(F16::INFINITY.next_up(), F16::INFINITY);
+        assert!(F16::NAN.next_up().is_nan());
+        // next_up/next_down are inverses away from zero crossings.
+        let x = F16::from_f32(1.5);
+        assert_eq!(x.next_up().next_down(), x);
+        assert!((-x).next_up().to_f32() > -1.5);
+        assert_eq!(F16::NEG_INFINITY.next_down(), F16::NEG_INFINITY);
+    }
+
+    #[test]
+    fn display_and_debug_nonempty() {
+        assert_eq!(format!("{}", F16::ONE), "1");
+        assert_eq!(format!("{:?}", F16::ZERO), "F16(0)");
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let s: F16 = (1..=4).map(|i| F16::from(i as i8)).sum();
+        assert_eq!(s.to_f32(), 10.0);
+    }
+}

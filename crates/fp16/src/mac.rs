@@ -1,0 +1,235 @@
+//! A functional multiply-accumulate unit with the SUDS third input.
+//!
+//! Models one MAC of the tensor core (paper Figure 8). Per cycle a MAC can:
+//!
+//! * multiply its stationary-side operand with the broadcast operand;
+//! * fold the product into its accumulator together with an optional
+//!   *product from below* (a displaced multiplication executed by the MAC in
+//!   the row below whose result is routed one hop up);
+//! * or forward its own product *up* instead of accumulating locally (when
+//!   the value it multiplied was displaced from the row above).
+
+use crate::bits::{classify, round_pack, zero, Class};
+use crate::{csa, F16};
+
+/// Fused multiply-add with a *single* rounding: `round(a·b + c)` computed
+/// exactly before the one conversion to binary16.
+///
+/// Contrast with the tensor-core datapath ([`MacUnit::fma`]), which rounds
+/// the product to FP16 before the add — the paper's MACs are FP16-in,
+/// FP16-out. `fma` quantifies what that intermediate rounding costs
+/// (at most one ulp per step; see the `fma_vs_two_roundings` test).
+#[must_use]
+pub fn fma(a: F16, b: F16, c: F16) -> F16 {
+    match (classify(a), classify(b)) {
+        (Class::Nan, _) | (_, Class::Nan) => return F16::NAN,
+        (Class::Inf { .. }, Class::Zero { .. }) | (Class::Zero { .. }, Class::Inf { .. }) => {
+            return F16::NAN
+        }
+        (Class::Inf { sign: sa }, other) | (other, Class::Inf { sign: sa }) => {
+            let sb = match other {
+                Class::Inf { sign } | Class::Zero { sign } => sign,
+                Class::Finite(u) => u.sign,
+                Class::Nan => unreachable!("handled above"),
+            };
+            let inf = if sa ^ sb {
+                F16::NEG_INFINITY
+            } else {
+                F16::INFINITY
+            };
+            // inf + opposing inf is NaN; otherwise the inf dominates.
+            return csa::add3(inf, c, F16::ZERO);
+        }
+        (Class::Zero { sign: sa }, Class::Zero { sign: sb })
+        | (Class::Zero { sign: sa }, Class::Finite(crate::bits::Unpacked { sign: sb, .. }))
+        | (Class::Finite(crate::bits::Unpacked { sign: sa, .. }), Class::Zero { sign: sb }) => {
+            return csa::add3(zero(sa ^ sb), c, F16::ZERO)
+        }
+        (Class::Finite(_), Class::Finite(_)) => {}
+    }
+    if c.is_nan() {
+        return F16::NAN;
+    }
+    if c.is_infinite() {
+        return c;
+    }
+    // Exact integer arithmetic: product significand is 22 bits at exponent
+    // ea + eb; align c (11 bits) against it. The full range fits i128.
+    let (Class::Finite(ua), Class::Finite(ub)) = (classify(a), classify(b)) else {
+        unreachable!("specials handled above")
+    };
+    let psig = i128::from(ua.sig) * i128::from(ub.sig); // at 2^(ea+eb-20)
+    let psig = if ua.sign ^ ub.sign { -psig } else { psig };
+    let pexp = ua.exp + ub.exp - 20; // exponent of the product's LSB
+    let (csig, cexp) = match classify(c) {
+        Class::Finite(uc) => {
+            let s = i128::from(uc.sig);
+            (if uc.sign { -s } else { s }, uc.exp - 10)
+        }
+        Class::Zero { .. } => (0, pexp),
+        _ => unreachable!("handled above"),
+    };
+    let emin = pexp.min(cexp);
+    let sum = (psig << (pexp - emin)) + (csig << (cexp - emin));
+    if sum == 0 {
+        return F16::ZERO;
+    }
+    let sign = sum < 0;
+    let mut mag = sum.unsigned_abs();
+    // Fold anything beyond 63 bits into a sticky (cannot round wrong: the
+    // value is then far past the f16 range anyway).
+    let mut emin = emin;
+    while mag >> 63 != 0 {
+        let lost = mag & 1;
+        mag >>= 1;
+        mag |= lost;
+        emin += 1;
+    }
+    // round_pack contract: value = mag * 2^(exp - guard - 10).
+    round_pack(sign, emin + 40 + 10, mag as u64, 40)
+}
+
+/// One multiply-accumulate unit with the Eureka three-input adder.
+///
+/// # Examples
+///
+/// ```
+/// use eureka_fp16::{F16, MacUnit};
+///
+/// let mut mac = MacUnit::new();
+/// mac.accumulate(F16::from_f32(2.0) * F16::from_f32(3.0), F16::ZERO);
+/// mac.accumulate(F16::from_f32(1.0) * F16::from_f32(4.0), F16::from_f32(0.5));
+/// assert_eq!(mac.value().to_f32(), 10.5);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MacUnit {
+    acc: F16,
+}
+
+impl MacUnit {
+    /// Creates a MAC with a zero accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        MacUnit { acc: F16::ZERO }
+    }
+
+    /// Creates a MAC with an initial accumulator value.
+    #[must_use]
+    pub fn with_initial(acc: F16) -> Self {
+        MacUnit { acc }
+    }
+
+    /// Current accumulator value.
+    #[must_use]
+    pub fn value(&self) -> F16 {
+        self.acc
+    }
+
+    /// Resets the accumulator to zero.
+    pub fn reset(&mut self) {
+        self.acc = F16::ZERO;
+    }
+
+    /// One adder cycle: `acc <- acc + local_product + product_from_below`.
+    ///
+    /// Pass [`F16::ZERO`] for either input to model the 2-1 multiplexers
+    /// gating the unused adder ports (paper §3.1, cases 1–4).
+    pub fn accumulate(&mut self, local_product: F16, product_from_below: F16) {
+        self.acc = csa::add3(self.acc, local_product, product_from_below);
+    }
+
+    /// Convenience: multiply two operands on this MAC and accumulate the
+    /// product locally (the undisplaced common case).
+    pub fn fma(&mut self, a: F16, b: F16) {
+        self.accumulate(a.mul_hw(b), F16::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_product_small_integers_is_exact() {
+        let a = [3.0f32, -1.0, 4.0, 1.0];
+        let b = [2.0f32, 7.0, 0.5, -8.0];
+        let mut mac = MacUnit::new();
+        for (&x, &y) in a.iter().zip(&b) {
+            mac.fma(F16::from_f32(x), F16::from_f32(y));
+        }
+        let want: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert_eq!(mac.value().to_f32(), want);
+    }
+
+    #[test]
+    fn displaced_product_folds_in_same_cycle() {
+        // acc=5, local product 2*3=6, displaced product from below 4*0.25=1.
+        let mut mac = MacUnit::with_initial(F16::from_f32(5.0));
+        let below = F16::from_f32(4.0).mul_hw(F16::from_f32(0.25));
+        mac.accumulate(F16::from_f32(2.0).mul_hw(F16::from_f32(3.0)), below);
+        assert_eq!(mac.value().to_f32(), 12.0);
+    }
+
+    #[test]
+    fn fma_matches_f64_reference() {
+        // a*b + c is exact in f64 for f16 operands (22 + alignment bits
+        // stay under 53 only when exponents are close — so sweep a
+        // moderate grid where it is exact, plus random checks vs a wide
+        // tolerance).
+        let cases = [
+            (1.5f32, 2.0, 0.25),
+            (-3.0, 0.5, 10.0),
+            (0.1, 0.1, -0.01),
+            (1000.0, 60.0, -5.0),
+            (2.0f32.powi(-14), 2.0f32.powi(-10), 1.0),
+        ];
+        for (a, b, c) in cases {
+            let (fa, fb, fc) = (F16::from_f32(a), F16::from_f32(b), F16::from_f32(c));
+            let got = fma(fa, fb, fc);
+            let want = F16::from_f64(fa.to_f64() * fb.to_f64() + fc.to_f64());
+            assert_eq!(got.to_bits(), want.to_bits(), "({a}, {b}, {c})");
+        }
+    }
+
+    #[test]
+    fn fma_specials() {
+        assert!(fma(F16::NAN, F16::ONE, F16::ONE).is_nan());
+        assert!(fma(F16::INFINITY, F16::ZERO, F16::ONE).is_nan());
+        assert_eq!(fma(F16::INFINITY, F16::ONE, F16::ONE), F16::INFINITY);
+        assert!(fma(F16::INFINITY, F16::ONE, F16::NEG_INFINITY).is_nan());
+        assert_eq!(fma(F16::ZERO, F16::ONE, F16::from_f32(3.0)).to_f32(), 3.0);
+        assert!(fma(F16::ONE, F16::ONE, F16::NAN).is_nan());
+        assert_eq!(fma(F16::MAX, F16::MAX, F16::ZERO), F16::INFINITY);
+        assert_eq!(fma(F16::ONE, F16::NEG_ONE, F16::ONE), F16::ZERO);
+    }
+
+    #[test]
+    fn fma_vs_two_roundings() {
+        // The fused result can differ from round(round(a*b) + c) by the
+        // product's rounding — e.g. when a*b lands exactly on a halfway
+        // point that the intermediate rounding resolves the "wrong" way
+        // for the final sum. Verify both stay within one ulp.
+        let mut diffs = 0;
+        for i in 0..2000u32 {
+            let a = F16::from_bits((0x3800 + (i % 512)) as u16);
+            let b = F16::from_bits((0x3C00 + ((i * 7) % 512)) as u16);
+            let c = F16::from_bits((0x3000 + ((i * 13) % 1024)) as u16);
+            let fused = fma(a, b, c);
+            let two_step = a.mul_hw(b).add_hw(c);
+            let d = fused.ulp_distance(two_step);
+            assert!(d <= 1, "a={a:?} b={b:?} c={c:?}: {fused:?} vs {two_step:?}");
+            diffs += u32::from(d == 1);
+        }
+        // The intermediate rounding matters sometimes — that's the point.
+        assert!(diffs > 0, "expected at least one double-rounding case");
+    }
+
+    #[test]
+    fn reset_and_initial() {
+        let mut mac = MacUnit::with_initial(F16::ONE);
+        assert_eq!(mac.value(), F16::ONE);
+        mac.reset();
+        assert_eq!(mac.value(), F16::ZERO);
+        assert_eq!(MacUnit::new(), MacUnit::default());
+    }
+}

@@ -1,0 +1,187 @@
+//! Property tests validating the bit-level FP16 datapath against an exact
+//! f64 reference: every f16 operation's mathematically exact result fits in
+//! f64, so converting the f64 result back with a single rounding gives the
+//! correctly rounded answer.
+
+use eureka_fp16::{arith, csa, F16};
+use proptest::prelude::*;
+
+/// Arbitrary finite (possibly subnormal, possibly zero) f16 bit patterns.
+fn finite_f16() -> impl Strategy<Value = F16> {
+    (0u16..0x7C00u16, any::<bool>()).prop_map(|(mag, neg)| {
+        let bits = if neg { mag | 0x8000 } else { mag };
+        F16::from_bits(bits)
+    })
+}
+
+/// Any bit pattern, including NaN and infinities.
+fn any_f16() -> impl Strategy<Value = F16> {
+    any::<u16>().prop_map(F16::from_bits)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4096))]
+
+    #[test]
+    fn f32_roundtrip_is_identity(h in finite_f16()) {
+        prop_assert_eq!(F16::from_f32(h.to_f32()).to_bits(), h.to_bits());
+    }
+
+    #[test]
+    fn f32_narrowing_matches_host_half_even(x in any::<f32>()) {
+        // Cross-check against the host conversion semantics: widening the
+        // result must be the closest representable value.
+        let h = F16::from_f32(x);
+        if x.is_nan() {
+            prop_assert!(h.is_nan());
+        } else if x.is_finite() && h.is_finite() {
+            let back = h.to_f32();
+            // The error must not exceed half an ulp of the result's binade.
+            let next_up = F16::from_bits(h.to_bits().wrapping_add(1));
+            let next_dn = F16::from_bits(h.to_bits().wrapping_sub(1));
+            for n in [next_up, next_dn] {
+                if n.is_finite() && !n.is_nan() {
+                    prop_assert!(
+                        (f64::from(back) - f64::from(x)).abs()
+                            <= (f64::from(n.to_f32()) - f64::from(x)).abs() + 1e-30,
+                        "x={x} rounded to {back} but neighbour {n:?} is closer"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mul_matches_reference(a in finite_f16(), b in finite_f16()) {
+        let got = arith::mul(a, b);
+        let want = F16::from_f64(a.to_f64() * b.to_f64());
+        prop_assert_eq!(got.to_bits(), want.to_bits(), "a={:?} b={:?}", a, b);
+    }
+
+    #[test]
+    fn add3_matches_reference(a in finite_f16(), b in finite_f16(), c in finite_f16()) {
+        let got = csa::add3(a, b, c);
+        let want = F16::from_f64(a.to_f64() + b.to_f64() + c.to_f64());
+        prop_assert_eq!(got.to_bits(), want.to_bits(), "a={:?} b={:?} c={:?}", a, b, c);
+    }
+
+    #[test]
+    fn add_is_commutative(a in finite_f16(), b in finite_f16()) {
+        prop_assert_eq!((a + b).to_bits(), (b + a).to_bits());
+    }
+
+    #[test]
+    fn add3_is_permutation_invariant(a in finite_f16(), b in finite_f16(), c in finite_f16()) {
+        let r = csa::add3(a, b, c).to_bits();
+        prop_assert_eq!(csa::add3(a, c, b).to_bits(), r);
+        prop_assert_eq!(csa::add3(b, a, c).to_bits(), r);
+        prop_assert_eq!(csa::add3(c, b, a).to_bits(), r);
+    }
+
+    #[test]
+    fn mul_never_panics_on_any_bits(a in any_f16(), b in any_f16()) {
+        let _ = arith::mul(a, b);
+    }
+
+    #[test]
+    fn add3_never_panics_on_any_bits(a in any_f16(), b in any_f16(), c in any_f16()) {
+        let _ = csa::add3(a, b, c);
+    }
+
+    #[test]
+    fn fma_tracks_f64_reference(a in finite_f16(), b in finite_f16(), c in finite_f16()) {
+        use eureka_fp16::mac::fma;
+        let got = fma(a, b, c);
+        let want = F16::from_f64(a.to_f64() * b.to_f64() + c.to_f64());
+        // f64 holds a*b exactly but can round the +c when the exponent gap
+        // exceeds ~53 bits, so allow one ulp; bit-equality holds in the
+        // overwhelming majority of cases.
+        prop_assert!(
+            got.ulp_distance(want) <= 1,
+            "a={:?} b={:?} c={:?}: {:?} vs {:?}",
+            a, b, c, got, want
+        );
+    }
+
+    #[test]
+    fn fma_never_panics(a in any_f16(), b in any_f16(), c in any_f16()) {
+        let _ = eureka_fp16::mac::fma(a, b, c);
+    }
+
+    #[test]
+    fn nan_propagates(a in finite_f16(), b in finite_f16()) {
+        prop_assert!(arith::mul(F16::NAN, a).is_nan());
+        prop_assert!(csa::add3(F16::NAN, a, b).is_nan());
+    }
+
+    #[test]
+    fn windowed_add_error_bounded_by_window(
+        a in finite_f16(),
+        b in finite_f16(),
+        c in finite_f16(),
+        window in 13u32..=56,
+    ) {
+        let exact = csa::add3(a, b, c);
+        let windowed = csa::add3_windowed(a, b, c, window);
+        // Bits jammed below the alignment window are worth at most
+        // 2^(e_max - window) each; with up to two jammed operands plus the
+        // final rounding, the absolute error is bounded by
+        // 4 * 2^(e_max - window), where e_max is the largest operand's
+        // binade. Cancellation can make this *many* ulps of the result —
+        // which is exactly why the exact-width datapath matters.
+        // Identical results (including both overflowing to the same
+        // infinity) trivially satisfy any bound; differing-but-nonfinite
+        // results cannot happen because the windowed path only loses
+        // magnitude, never gains it.
+        if exact.to_bits() == windowed.to_bits() {
+            return Ok(());
+        }
+        prop_assert!(exact.is_finite() && windowed.is_finite());
+        let e_max = [a, b, c]
+            .iter()
+            .filter(|v| !v.is_zero())
+            .map(|v| v.to_f64().abs().log2().floor())
+            .fold(f64::NEG_INFINITY, f64::max);
+        if e_max.is_finite() {
+            let bound = 4.0 * (e_max - f64::from(window)).exp2();
+            let err = (windowed.to_f64() - exact.to_f64()).abs();
+            prop_assert!(
+                err <= bound.max(exact.to_f64().abs() * 2.0f64.powi(-10)),
+                "window={} a={:?} b={:?} c={:?} exact={:?} got={:?} err={} bound={}",
+                window, a, b, c, exact, windowed, err, bound
+            );
+        }
+    }
+
+    #[test]
+    fn windowed_add_exact_for_same_sign(
+        a in finite_f16(),
+        b in finite_f16(),
+        c in finite_f16(),
+        window in 13u32..=56,
+    ) {
+        // Without cancellation, sticky jamming preserves correct rounding
+        // to within one ulp even for narrow windows.
+        let (a, b, c) = (a.abs(), b.abs(), c.abs());
+        let exact = csa::add3(a, b, c);
+        let windowed = csa::add3_windowed(a, b, c, window);
+        prop_assert!(
+            exact.ulp_distance(windowed) <= 1,
+            "window={window} a={a:?} b={b:?} c={c:?} exact={exact:?} got={windowed:?}"
+        );
+    }
+
+    #[test]
+    fn integer_valued_arithmetic_is_exact(a in -45i32..=45, b in -45i32..=45, c in -45i32..=45) {
+        // Products and 3-sums of small integers (|a*b| <= 2025 < 2^11) are
+        // exactly representable, the foundation of the executor equivalence
+        // tests in eureka-core.
+        let (fa, fb, fc) = (
+            F16::from_f32(a as f32),
+            F16::from_f32(b as f32),
+            F16::from_f32(c as f32),
+        );
+        prop_assert_eq!(arith::mul(fa, fb).to_f32(), (a * b) as f32);
+        prop_assert_eq!(csa::add3(fa, fb, fc).to_f32(), (a + b + c) as f32);
+    }
+}

@@ -1,0 +1,74 @@
+//! Activation-density models.
+//!
+//! Two-sided baselines (DSTC, SparTen) exploit zero activations. CNNs with
+//! ReLU run 40–55% dense post-activation; BERT uses GELU and is nearly
+//! dense (paper §1, §5.1). S2TA additionally requires *structured*
+//! activation sparsity, for which the paper lists per-benchmark means in
+//! Table 1 (none reported for InceptionV3).
+
+use crate::workload::Benchmark;
+
+/// Mean unstructured post-nonlinearity activation density, as consumed by
+/// DSTC and SparTen.
+#[must_use]
+pub fn unstructured_density(bench: Benchmark) -> f64 {
+    match bench {
+        Benchmark::MobileNetV1 => 0.45,
+        Benchmark::InceptionV3 => 0.45,
+        Benchmark::ResNet50 => 0.50,
+        // GELU leaves activations nearly dense.
+        Benchmark::BertSquad => 0.98,
+    }
+}
+
+/// S2TA's structured activation density (Table 1, "S2TA dens. act.");
+/// `None` where the paper has no data (InceptionV3, which S2TA cannot run).
+#[must_use]
+pub fn s2ta_activation_density(bench: Benchmark) -> Option<f64> {
+    match bench {
+        Benchmark::MobileNetV1 => Some(0.39),
+        Benchmark::InceptionV3 => None,
+        Benchmark::ResNet50 => Some(0.44),
+        Benchmark::BertSquad => Some(0.50),
+    }
+}
+
+/// S2TA's structured filter density (Table 1, "S2TA dens. fil."), 2:4-like.
+#[must_use]
+pub fn s2ta_filter_density(bench: Benchmark) -> Option<f64> {
+    match bench {
+        Benchmark::MobileNetV1 => Some(0.38),
+        Benchmark::InceptionV3 => None,
+        Benchmark::ResNet50 => Some(0.38),
+        Benchmark::BertSquad => Some(0.50),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cnn_densities_in_relu_range() {
+        for b in [
+            Benchmark::MobileNetV1,
+            Benchmark::InceptionV3,
+            Benchmark::ResNet50,
+        ] {
+            let d = unstructured_density(b);
+            assert!((0.35..=0.6).contains(&d));
+        }
+    }
+
+    #[test]
+    fn bert_is_nearly_dense() {
+        assert!(unstructured_density(Benchmark::BertSquad) > 0.9);
+    }
+
+    #[test]
+    fn s2ta_matches_table1() {
+        assert_eq!(s2ta_activation_density(Benchmark::MobileNetV1), Some(0.39));
+        assert_eq!(s2ta_activation_density(Benchmark::InceptionV3), None);
+        assert_eq!(s2ta_filter_density(Benchmark::BertSquad), Some(0.50));
+    }
+}

@@ -1,0 +1,468 @@
+//! Functional convolution: reference direct convolution and the
+//! implicit-GEMM activation view (paper §2.1: "convolutions can be
+//! transformed into matrix multiplication using implicit GEMM kernels
+//! without IM2Col memory bloat").
+//!
+//! This is what lets the offline-compiled Eureka format run a *real*
+//! convolution layer end to end: [`activation_matrix`] materializes the
+//! `K × M` implicit-GEMM view of an input feature map (each input pixel
+//! referenced `R·S` times — logically, not in DRAM), the compiled GEMM
+//! produces the `N × M` output view, and [`Tensor3::from_gemm_output`]
+//! folds it back into a feature map. Correctness is checked against
+//! [`conv_reference`], a plain direct convolution.
+
+use crate::layer::{Layer, LayerKind};
+use eureka_fp16::F16;
+use eureka_sparse::Matrix;
+
+/// A CHW feature map (single image).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tensor3 {
+    channels: usize,
+    height: usize,
+    width: usize,
+    data: Vec<F16>,
+}
+
+impl Tensor3 {
+    /// Creates a zero tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn zeros(channels: usize, height: usize, width: usize) -> Self {
+        assert!(
+            channels > 0 && height > 0 && width > 0,
+            "tensor dimensions must be positive"
+        );
+        Tensor3 {
+            channels,
+            height,
+            width,
+            data: vec![F16::ZERO; channels * height * width],
+        }
+    }
+
+    /// Builds a tensor by evaluating `f(c, y, x)`.
+    #[must_use]
+    pub fn from_fn(
+        channels: usize,
+        height: usize,
+        width: usize,
+        mut f: impl FnMut(usize, usize, usize) -> F16,
+    ) -> Self {
+        let mut t = Tensor3::zeros(channels, height, width);
+        for c in 0..channels {
+            for y in 0..height {
+                for x in 0..width {
+                    t.set(c, y, x, f(c, y, x));
+                }
+            }
+        }
+        t
+    }
+
+    /// Channel count.
+    #[must_use]
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Spatial height.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Spatial width.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Value at `(c, y, x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[must_use]
+    pub fn get(&self, c: usize, y: usize, x: usize) -> F16 {
+        assert!(c < self.channels && y < self.height && x < self.width);
+        self.data[(c * self.height + y) * self.width + x]
+    }
+
+    /// Sets the value at `(c, y, x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, c: usize, y: usize, x: usize, v: F16) {
+        assert!(c < self.channels && y < self.height && x < self.width);
+        self.data[(c * self.height + y) * self.width + x] = v;
+    }
+
+    /// Zero-padded read (SAME-padding convolution windows).
+    #[must_use]
+    pub fn get_padded(&self, c: usize, y: isize, x: isize) -> F16 {
+        if y < 0 || x < 0 || y as usize >= self.height || x as usize >= self.width {
+            F16::ZERO
+        } else {
+            self.get(c, y as usize, x as usize)
+        }
+    }
+
+    /// Folds an `N × (oh·ow)` GEMM output back into an `N`-channel map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gemm_out.cols() != oh * ow`.
+    #[must_use]
+    pub fn from_gemm_output(gemm_out: &Matrix, oh: usize, ow: usize) -> Self {
+        assert_eq!(gemm_out.cols(), oh * ow, "output columns must tile oh x ow");
+        Tensor3::from_fn(gemm_out.rows(), oh, ow, |c, y, x| {
+            gemm_out.get(c, y * ow + x)
+        })
+    }
+}
+
+/// Geometry of a conv layer we can execute functionally.
+struct ConvGeom {
+    in_ch: usize,
+    out_ch: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad_h: isize,
+    pad_w: isize,
+    oh: usize,
+    ow: usize,
+}
+
+fn geom(layer: &Layer, input: &Tensor3) -> Option<ConvGeom> {
+    let LayerKind::Conv {
+        in_ch,
+        out_ch,
+        kernel,
+        stride,
+        same_pad,
+        ..
+    } = layer.kind
+    else {
+        return None;
+    };
+    assert_eq!(in_ch, input.channels(), "input channel mismatch");
+    let (ih, iw) = (input.height(), input.width());
+    let (oh, ow, pad_h, pad_w) = if same_pad {
+        let oh = ih.div_ceil(stride);
+        let ow = iw.div_ceil(stride);
+        // SAME padding: total pad = max((oh-1)*s + k - ih, 0), split with
+        // the smaller half leading (TensorFlow convention).
+        let ph = ((oh - 1) * stride + kernel.0).saturating_sub(ih);
+        let pw = ((ow - 1) * stride + kernel.1).saturating_sub(iw);
+        (oh, ow, (ph / 2) as isize, (pw / 2) as isize)
+    } else {
+        (
+            (ih - kernel.0) / stride + 1,
+            (iw - kernel.1) / stride + 1,
+            0,
+            0,
+        )
+    };
+    Some(ConvGeom {
+        in_ch,
+        out_ch,
+        kh: kernel.0,
+        kw: kernel.1,
+        stride,
+        pad_h,
+        pad_w,
+        oh,
+        ow,
+    })
+}
+
+/// Direct convolution reference (FP16 hardware accumulation order:
+/// channel-major, then kernel rows, then kernel columns).
+///
+/// # Panics
+///
+/// Panics if `layer` is not a standard convolution or the input channels
+/// mismatch.
+#[must_use]
+pub fn conv_reference(layer: &Layer, input: &Tensor3, weights: &Matrix) -> Tensor3 {
+    let g = geom(layer, input).expect("conv layer");
+    assert_eq!(weights.rows(), g.out_ch);
+    assert_eq!(weights.cols(), g.in_ch * g.kh * g.kw);
+    let mut out = Tensor3::zeros(g.out_ch, g.oh, g.ow);
+    for oc in 0..g.out_ch {
+        for oy in 0..g.oh {
+            for ox in 0..g.ow {
+                let mut mac = eureka_fp16::MacUnit::new();
+                for ic in 0..g.in_ch {
+                    for ky in 0..g.kh {
+                        for kx in 0..g.kw {
+                            let y = (oy * g.stride) as isize + ky as isize - g.pad_h;
+                            let x = (ox * g.stride) as isize + kx as isize - g.pad_w;
+                            let w = weights.get(oc, (ic * g.kh + ky) * g.kw + kx);
+                            mac.fma(w, input.get_padded(ic, y, x));
+                        }
+                    }
+                }
+                out.set(oc, oy, ox, mac.value());
+            }
+        }
+    }
+    out
+}
+
+/// The implicit-GEMM activation view: a `(in_ch·kh·kw) × (oh·ow)` matrix
+/// whose column `oy·ow + ox` holds the (zero-padded) input window of that
+/// output position, in the same `(ic, ky, kx)` order as the lowered
+/// weight matrix's columns.
+///
+/// # Panics
+///
+/// Panics if `layer` is not a standard convolution or the input channels
+/// mismatch.
+#[must_use]
+pub fn activation_matrix(layer: &Layer, input: &Tensor3) -> Matrix {
+    let g = geom(layer, input).expect("conv layer");
+    Matrix::from_fn(g.in_ch * g.kh * g.kw, g.oh * g.ow, |row, col| {
+        let ic = row / (g.kh * g.kw);
+        let ky = (row / g.kw) % g.kh;
+        let kx = row % g.kw;
+        let oy = col / g.ow;
+        let ox = col % g.ow;
+        let y = (oy * g.stride) as isize + ky as isize - g.pad_h;
+        let x = (ox * g.stride) as isize + kx as isize - g.pad_w;
+        input.get_padded(ic, y, x)
+    })
+}
+
+/// Output spatial dims for a conv layer applied to `input`.
+///
+/// # Panics
+///
+/// Panics if `layer` is not a standard convolution.
+#[must_use]
+pub fn output_dims(layer: &Layer, input: &Tensor3) -> (usize, usize) {
+    let g = geom(layer, input).expect("conv layer");
+    (g.oh, g.ow)
+}
+
+/// Direct depthwise convolution reference (SAME padding, one filter per
+/// channel; `weights` is `channels × (kh·kw)` — the aggregate lowering of
+/// [`crate::gemm::lower`]).
+///
+/// # Panics
+///
+/// Panics if `layer` is not a depthwise convolution or shapes mismatch.
+#[must_use]
+pub fn depthwise_reference(layer: &Layer, input: &Tensor3, weights: &Matrix) -> Tensor3 {
+    let LayerKind::DepthwiseConv {
+        channels,
+        kernel,
+        stride,
+        ..
+    } = layer.kind
+    else {
+        panic!("not a depthwise convolution: {layer}");
+    };
+    assert_eq!(channels, input.channels(), "channel mismatch");
+    assert_eq!(weights.rows(), channels);
+    assert_eq!(weights.cols(), kernel.0 * kernel.1);
+    let (ih, iw) = (input.height(), input.width());
+    let oh = ih.div_ceil(stride);
+    let ow = iw.div_ceil(stride);
+    let pad_h = (((oh - 1) * stride + kernel.0).saturating_sub(ih) / 2) as isize;
+    let pad_w = (((ow - 1) * stride + kernel.1).saturating_sub(iw) / 2) as isize;
+    let mut out = Tensor3::zeros(channels, oh, ow);
+    for c in 0..channels {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut mac = eureka_fp16::MacUnit::new();
+                for ky in 0..kernel.0 {
+                    for kx in 0..kernel.1 {
+                        let y = (oy * stride) as isize + ky as isize - pad_h;
+                        let x = (ox * stride) as isize + kx as isize - pad_w;
+                        mac.fma(
+                            weights.get(c, ky * kernel.1 + kx),
+                            input.get_padded(c, y, x),
+                        );
+                    }
+                }
+                out.set(c, oy, ox, mac.value());
+            }
+        }
+    }
+    out
+}
+
+/// The per-channel implicit-GEMM activation view of a depthwise layer:
+/// channel `c`'s `(kh·kw) × (oh·ow)` matrix. Each channel's 1-row weight
+/// tile multiplies only its own view (the grouped structure the simulator
+/// models as independent row-tiles).
+///
+/// # Panics
+///
+/// Panics if `layer` is not a depthwise convolution or the channel is out
+/// of range.
+#[must_use]
+pub fn depthwise_activation_matrix(layer: &Layer, input: &Tensor3, channel: usize) -> Matrix {
+    let LayerKind::DepthwiseConv {
+        channels,
+        kernel,
+        stride,
+        ..
+    } = layer.kind
+    else {
+        panic!("not a depthwise convolution: {layer}");
+    };
+    assert!(channel < channels, "channel out of range");
+    let (ih, iw) = (input.height(), input.width());
+    let oh = ih.div_ceil(stride);
+    let ow = iw.div_ceil(stride);
+    let pad_h = (((oh - 1) * stride + kernel.0).saturating_sub(ih) / 2) as isize;
+    let pad_w = (((ow - 1) * stride + kernel.1).saturating_sub(iw) / 2) as isize;
+    Matrix::from_fn(kernel.0 * kernel.1, oh * ow, |row, col| {
+        let ky = row / kernel.1;
+        let kx = row % kernel.1;
+        let oy = col / ow;
+        let ox = col % ow;
+        let y = (oy * stride) as isize + ky as isize - pad_h;
+        let x = (ox * stride) as isize + kx as isize - pad_w;
+        input.get_padded(channel, y, x)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Layer, LayerKind};
+    use eureka_sparse::{gen, rng::DetRng, SparsityPattern};
+
+    fn conv(in_ch: usize, out_ch: usize, k: usize, stride: usize, hw: usize, same: bool) -> Layer {
+        Layer::new(
+            "c",
+            LayerKind::Conv {
+                in_ch,
+                out_ch,
+                kernel: (k, k),
+                stride,
+                input: (hw, hw),
+                same_pad: same,
+            },
+        )
+    }
+
+    fn int_tensor(c: usize, h: usize, w: usize, seed: u64) -> Tensor3 {
+        let mut rng = DetRng::new(seed);
+        Tensor3::from_fn(c, h, w, |_, _, _| {
+            F16::from_f32((rng.next_below(5) as f32) - 2.0)
+        })
+    }
+
+    fn int_weights(n: usize, k: usize, density: f64, seed: u64) -> Matrix {
+        let mut rng = DetRng::new(seed);
+        let p = gen::uniform_pattern(n, k, density, &mut rng);
+        gen::integer_values_for_pattern(&p, &mut rng)
+    }
+
+    #[test]
+    fn gemm_view_equals_direct_convolution() {
+        for (stride, same) in [(1, true), (2, true), (1, false)] {
+            let layer = conv(3, 8, 3, stride, 8, same);
+            let input = int_tensor(3, 8, 8, 1);
+            let weights = int_weights(8, 27, 0.5, 2);
+            let direct = conv_reference(&layer, &input, &weights);
+            let acts = activation_matrix(&layer, &input);
+            let gemm_out = weights.matmul_hw(&acts).unwrap();
+            let (oh, ow) = output_dims(&layer, &input);
+            let folded = Tensor3::from_gemm_output(&gemm_out, oh, ow);
+            assert_eq!(folded, direct, "stride={stride} same={same}");
+        }
+    }
+
+    #[test]
+    fn same_padding_dims() {
+        let layer = conv(3, 4, 3, 2, 9, true);
+        let input = int_tensor(3, 9, 9, 3);
+        assert_eq!(output_dims(&layer, &input), (5, 5));
+        let layer = conv(3, 4, 3, 1, 9, false);
+        assert_eq!(output_dims(&layer, &input), (7, 7));
+    }
+
+    #[test]
+    fn padded_reads_are_zero() {
+        let t = int_tensor(1, 4, 4, 5);
+        assert_eq!(t.get_padded(0, -1, 0), F16::ZERO);
+        assert_eq!(t.get_padded(0, 0, 4), F16::ZERO);
+        assert_eq!(t.get_padded(0, 2, 2), t.get(0, 2, 2));
+    }
+
+    #[test]
+    fn fold_roundtrip() {
+        let m = Matrix::from_fn(2, 6, |r, c| F16::from_f32((r * 6 + c) as f32));
+        let t = Tensor3::from_gemm_output(&m, 2, 3);
+        assert_eq!(t.get(1, 1, 2).to_f32(), 11.0);
+        assert_eq!(t.channels(), 2);
+    }
+
+    #[test]
+    fn depthwise_gemm_view_equals_direct() {
+        let layer = Layer::new(
+            "dw",
+            LayerKind::DepthwiseConv {
+                channels: 3,
+                kernel: (3, 3),
+                stride: 2,
+                input: (7, 7),
+            },
+        );
+        let input = int_tensor(3, 7, 7, 21);
+        let weights = int_weights(3, 9, 0.8, 22);
+        let direct = depthwise_reference(&layer, &input, &weights);
+        // Per channel: 1x9 weight row times the channel's 9 x (oh*ow) view.
+        for c in 0..3 {
+            let view = depthwise_activation_matrix(&layer, &input, c);
+            let wrow = Matrix::from_fn(1, 9, |_, k| weights.get(c, k));
+            let out = wrow.matmul_hw(&view).unwrap();
+            for oy in 0..direct.height() {
+                for ox in 0..direct.width() {
+                    assert_eq!(
+                        out.get(0, oy * direct.width() + ox),
+                        direct.get(c, oy, ox),
+                        "c={c} ({oy},{ox})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a depthwise convolution")]
+    fn depthwise_rejects_standard_conv() {
+        let layer = conv(3, 8, 3, 1, 8, true);
+        let input = int_tensor(3, 8, 8, 1);
+        let weights = int_weights(8, 27, 0.5, 2);
+        let _ = depthwise_reference(&layer, &input, &weights);
+    }
+
+    #[test]
+    fn activation_matrix_k_order_matches_lowering() {
+        // The view's K ordering must match gemm::lower's weight columns:
+        // (ic, ky, kx) row-major.
+        let layer = conv(2, 1, 2, 1, 3, false);
+        let input = int_tensor(2, 3, 3, 7);
+        let acts = activation_matrix(&layer, &input);
+        assert_eq!(acts.rows(), 2 * 2 * 2);
+        // Row 0 = (ic 0, ky 0, kx 0): top-left of each window.
+        assert_eq!(acts.get(0, 0), input.get(0, 0, 0));
+        // Row 3 = (ic 0, ky 1, kx 1).
+        assert_eq!(acts.get(3, 0), input.get(0, 1, 1));
+        // Row 4 = (ic 1, ky 0, kx 0).
+        assert_eq!(acts.get(4, 0), input.get(1, 0, 0));
+        let _ = SparsityPattern::empty(1, 1);
+    }
+}

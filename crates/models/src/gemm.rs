@@ -1,0 +1,204 @@
+//! Implicit-GEMM lowering.
+//!
+//! Convolutions lower to matrix multiplication without IM2Col memory bloat
+//! (paper §2.1): the weight matrix is `N × K` (`N` filters by `K = C·R·S`
+//! reduction) and the activation matrix is `K × M` (`M` = output pixels ×
+//! batch). Depthwise convolutions lower per channel with `K = R·S`.
+
+use crate::layer::{Layer, LayerKind};
+
+/// One GEMM: `weights (n × k) × activations (k × m)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct GemmShape {
+    /// Filter count (weight-matrix rows).
+    pub n: usize,
+    /// Reduction dimension.
+    pub k: usize,
+    /// Output columns (spatial positions × batch, or tokens × batch).
+    pub m: usize,
+}
+
+impl GemmShape {
+    /// Total multiply-accumulates.
+    #[must_use]
+    pub fn macs(&self) -> u64 {
+        self.n as u64 * self.k as u64 * self.m as u64
+    }
+
+    /// Dense weight bytes at FP16.
+    #[must_use]
+    pub fn weight_bytes(&self) -> u64 {
+        2 * self.n as u64 * self.k as u64
+    }
+
+    /// Dense activation bytes at FP16.
+    #[must_use]
+    pub fn activation_bytes(&self) -> u64 {
+        2 * self.k as u64 * self.m as u64
+    }
+
+    /// Output bytes at FP16.
+    #[must_use]
+    pub fn output_bytes(&self) -> u64 {
+        2 * self.n as u64 * self.m as u64
+    }
+}
+
+/// Unique FP16 input-activation bytes a layer reads from DRAM at the
+/// given batch: the raw input tensor, without the `R·S` logical
+/// re-reads of the implicit-GEMM view (those hit on-chip storage).
+#[must_use]
+pub fn unique_act_bytes(layer: &Layer, batch: usize) -> u64 {
+    let elems = match &layer.kind {
+        LayerKind::Conv { in_ch, input, .. } => in_ch * input.0 * input.1,
+        LayerKind::DepthwiseConv {
+            channels, input, ..
+        } => channels * input.0 * input.1,
+        LayerKind::MatMul {
+            in_features,
+            tokens,
+            ..
+        } => in_features * tokens,
+    };
+    2 * (elems * batch) as u64
+}
+
+/// Lowers a layer to its GEMM at the given batch size.
+///
+/// Depthwise convolutions produce one small GEMM per channel group; the
+/// aggregate shape (`n = channels`, `k = R·S`) has the same MAC count,
+/// processed as `channels` independent row-tiles, so it is
+/// timing-equivalent for the simulator.
+#[must_use]
+pub fn lower(layer: &Layer, batch: usize) -> GemmShape {
+    let (oh, ow) = layer.output_hw();
+    match &layer.kind {
+        LayerKind::Conv {
+            in_ch,
+            out_ch,
+            kernel,
+            ..
+        } => GemmShape {
+            n: *out_ch,
+            k: in_ch * kernel.0 * kernel.1,
+            m: oh * ow * batch,
+        },
+        LayerKind::DepthwiseConv {
+            channels, kernel, ..
+        } => GemmShape {
+            n: *channels,
+            k: kernel.0 * kernel.1,
+            m: oh * ow * batch,
+        },
+        LayerKind::MatMul {
+            in_features,
+            out_features,
+            tokens,
+        } => GemmShape {
+            n: *out_features,
+            k: *in_features,
+            m: tokens * batch,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Layer, LayerKind};
+
+    #[test]
+    fn conv_lowering() {
+        let l = Layer::new(
+            "c",
+            LayerKind::Conv {
+                in_ch: 256,
+                out_ch: 256,
+                kernel: (3, 3),
+                stride: 1,
+                input: (14, 14),
+                same_pad: true,
+            },
+        );
+        let g = lower(&l, 32);
+        assert_eq!(g.n, 256);
+        assert_eq!(g.k, 2304);
+        assert_eq!(g.m, 14 * 14 * 32);
+        assert_eq!(g.macs(), l.macs() * 32);
+    }
+
+    #[test]
+    fn matmul_lowering() {
+        let l = Layer::new(
+            "qkv",
+            LayerKind::MatMul {
+                in_features: 768,
+                out_features: 768,
+                tokens: 384,
+            },
+        );
+        let g = lower(&l, 32);
+        assert_eq!(
+            g,
+            GemmShape {
+                n: 768,
+                k: 768,
+                m: 384 * 32
+            }
+        );
+    }
+
+    #[test]
+    fn depthwise_lowering_preserves_macs() {
+        let l = Layer::new(
+            "dw",
+            LayerKind::DepthwiseConv {
+                channels: 128,
+                kernel: (3, 3),
+                stride: 1,
+                input: (28, 28),
+            },
+        );
+        let g = lower(&l, 4);
+        assert_eq!(g.macs(), l.macs() * 4);
+        assert_eq!(g.k, 9);
+    }
+
+    #[test]
+    fn unique_act_bytes_excludes_im2col_duplication() {
+        let l = Layer::new(
+            "c",
+            LayerKind::Conv {
+                in_ch: 64,
+                out_ch: 64,
+                kernel: (3, 3),
+                stride: 1,
+                input: (28, 28),
+                same_pad: true,
+            },
+        );
+        let unique = unique_act_bytes(&l, 2);
+        assert_eq!(unique, 2 * (64 * 28 * 28 * 2) as u64);
+        // The GEMM view would be ~9x larger.
+        let g = lower(&l, 2);
+        assert!(g.activation_bytes() > 8 * unique);
+        // Matmuls have no duplication.
+        let mm = Layer::new(
+            "m",
+            LayerKind::MatMul {
+                in_features: 768,
+                out_features: 768,
+                tokens: 384,
+            },
+        );
+        assert_eq!(unique_act_bytes(&mm, 1), lower(&mm, 1).activation_bytes());
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let g = GemmShape { n: 8, k: 16, m: 4 };
+        assert_eq!(g.weight_bytes(), 256);
+        assert_eq!(g.activation_bytes(), 128);
+        assert_eq!(g.output_bytes(), 64);
+    }
+}

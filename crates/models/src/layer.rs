@@ -1,0 +1,260 @@
+//! Weight-bearing layer shapes.
+
+use core::fmt;
+
+/// The kind and shape of one weight-bearing layer.
+///
+/// Spatial sizes are the layer's *input* feature-map dimensions; output
+/// dimensions derive from kernel, stride and same/valid padding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LayerKind {
+    /// Standard convolution.
+    Conv {
+        /// Input channels.
+        in_ch: usize,
+        /// Output channels (filters).
+        out_ch: usize,
+        /// Kernel height × width.
+        kernel: (usize, usize),
+        /// Stride (same both dimensions).
+        stride: usize,
+        /// Input feature-map height × width.
+        input: (usize, usize),
+        /// `true` for SAME padding (output = ceil(input/stride)), `false`
+        /// for VALID.
+        same_pad: bool,
+    },
+    /// Depthwise convolution (one filter per channel; groups == channels).
+    DepthwiseConv {
+        /// Channels.
+        channels: usize,
+        /// Kernel height × width.
+        kernel: (usize, usize),
+        /// Stride.
+        stride: usize,
+        /// Input feature-map height × width.
+        input: (usize, usize),
+    },
+    /// A weight matrix multiply: `out_features × in_features` applied to
+    /// `tokens` positions (1 for a classifier FC; seq-length for BERT).
+    MatMul {
+        /// Input features (reduction dimension).
+        in_features: usize,
+        /// Output features.
+        out_features: usize,
+        /// Positions the weight is applied to per input.
+        tokens: usize,
+    },
+}
+
+/// A named layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Layer {
+    /// Human-readable layer name (e.g. `"conv4_2/3x3"`).
+    pub name: String,
+    /// Shape information.
+    pub kind: LayerKind,
+}
+
+impl Layer {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(name: impl Into<String>, kind: LayerKind) -> Self {
+        Layer {
+            name: name.into(),
+            kind,
+        }
+    }
+
+    /// Number of weight parameters.
+    #[must_use]
+    pub fn param_count(&self) -> usize {
+        match &self.kind {
+            LayerKind::Conv {
+                in_ch,
+                out_ch,
+                kernel,
+                ..
+            } => in_ch * out_ch * kernel.0 * kernel.1,
+            LayerKind::DepthwiseConv {
+                channels, kernel, ..
+            } => channels * kernel.0 * kernel.1,
+            LayerKind::MatMul {
+                in_features,
+                out_features,
+                ..
+            } => in_features * out_features,
+        }
+    }
+
+    /// Output feature-map height × width (1×1 for matmuls).
+    #[must_use]
+    pub fn output_hw(&self) -> (usize, usize) {
+        match &self.kind {
+            LayerKind::Conv {
+                kernel,
+                stride,
+                input,
+                same_pad,
+                ..
+            } => {
+                if *same_pad {
+                    (input.0.div_ceil(*stride), input.1.div_ceil(*stride))
+                } else {
+                    (
+                        (input.0 - kernel.0) / stride + 1,
+                        (input.1 - kernel.1) / stride + 1,
+                    )
+                }
+            }
+            LayerKind::DepthwiseConv { stride, input, .. } => {
+                (input.0.div_ceil(*stride), input.1.div_ceil(*stride))
+            }
+            LayerKind::MatMul { .. } => (1, 1),
+        }
+    }
+
+    /// Multiply-accumulate operations for one input (batch 1).
+    #[must_use]
+    pub fn macs(&self) -> u64 {
+        match &self.kind {
+            LayerKind::Conv { .. } | LayerKind::DepthwiseConv { .. } => {
+                let (oh, ow) = self.output_hw();
+                self.param_count() as u64 * (oh * ow) as u64
+            }
+            LayerKind::MatMul { tokens, .. } => self.param_count() as u64 * *tokens as u64,
+        }
+    }
+
+    /// Whether this layer's filter sparsity can be exploited by the tensor
+    /// core (depthwise convs have tiny reduction dims and typically run on
+    /// the vector units, but we keep them in the GEMM stream for fidelity).
+    #[must_use]
+    pub fn is_depthwise(&self) -> bool {
+        matches!(self.kind, LayerKind::DepthwiseConv { .. })
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            LayerKind::Conv {
+                in_ch,
+                out_ch,
+                kernel,
+                stride,
+                ..
+            } => write!(
+                f,
+                "{}: conv {}x{} {}->{} /{}",
+                self.name, kernel.0, kernel.1, in_ch, out_ch, stride
+            ),
+            LayerKind::DepthwiseConv {
+                channels,
+                kernel,
+                stride,
+                ..
+            } => write!(
+                f,
+                "{}: dwconv {}x{} ch{} /{}",
+                self.name, kernel.0, kernel.1, channels, stride
+            ),
+            LayerKind::MatMul {
+                in_features,
+                out_features,
+                tokens,
+            } => write!(
+                f,
+                "{}: matmul {}x{} @{} tokens",
+                self.name, out_features, in_features, tokens
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_shapes() {
+        let l = Layer::new(
+            "stem",
+            LayerKind::Conv {
+                in_ch: 3,
+                out_ch: 64,
+                kernel: (7, 7),
+                stride: 2,
+                input: (224, 224),
+                same_pad: true,
+            },
+        );
+        assert_eq!(l.param_count(), 3 * 64 * 49);
+        assert_eq!(l.output_hw(), (112, 112));
+        assert_eq!(l.macs(), (3 * 64 * 49 * 112 * 112) as u64);
+        assert!(!l.is_depthwise());
+    }
+
+    #[test]
+    fn valid_padding_conv() {
+        let l = Layer::new(
+            "incep_stem1",
+            LayerKind::Conv {
+                in_ch: 3,
+                out_ch: 32,
+                kernel: (3, 3),
+                stride: 2,
+                input: (299, 299),
+                same_pad: false,
+            },
+        );
+        assert_eq!(l.output_hw(), (149, 149));
+    }
+
+    #[test]
+    fn depthwise() {
+        let l = Layer::new(
+            "dw1",
+            LayerKind::DepthwiseConv {
+                channels: 32,
+                kernel: (3, 3),
+                stride: 1,
+                input: (112, 112),
+            },
+        );
+        assert_eq!(l.param_count(), 32 * 9);
+        assert_eq!(l.output_hw(), (112, 112));
+        assert!(l.is_depthwise());
+    }
+
+    #[test]
+    fn matmul() {
+        let l = Layer::new(
+            "ffn1",
+            LayerKind::MatMul {
+                in_features: 768,
+                out_features: 3072,
+                tokens: 384,
+            },
+        );
+        assert_eq!(l.param_count(), 768 * 3072);
+        assert_eq!(l.macs(), (768 * 3072 * 384) as u64);
+        assert_eq!(l.output_hw(), (1, 1));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let l = Layer::new(
+            "pw",
+            LayerKind::Conv {
+                in_ch: 32,
+                out_ch: 64,
+                kernel: (1, 1),
+                stride: 1,
+                input: (112, 112),
+                same_pad: true,
+            },
+        );
+        assert!(l.to_string().contains("conv 1x1 32->64"));
+    }
+}

@@ -1,0 +1,43 @@
+//! DNN workload substrate for the Eureka (MICRO 2023) reproduction.
+//!
+//! The paper evaluates on four SparseZoo-pruned networks (Table 1):
+//! MobileNetV1, InceptionV3, ResNet50 and BERT-base-SQuAD, at conservative
+//! and moderate pruning, batch 32. This crate rebuilds those workloads
+//! from architecture definitions:
+//!
+//! * [`layer`] — weight-bearing layer shapes (conv / depthwise / matmul);
+//! * [`gemm`] — implicit-GEMM lowering (no IM2Col bloat, paper §2.1);
+//! * [`zoo`] — exact per-layer tables for the four networks;
+//! * [`pruning`] — per-layer density profiles matched to the Table 1
+//!   global densities;
+//! * [`activation`] — activation-density models (post-ReLU CNNs vs
+//!   nearly-dense BERT);
+//! * [`workload`] — ties it all together into the benchmark × pruning
+//!   grid the figures sweep;
+//! * [`table1`] — the benchmark summary that regenerates Table 1.
+//!
+//! # Examples
+//!
+//! ```
+//! use eureka_models::{Benchmark, PruningLevel, Workload};
+//!
+//! let w = Workload::new(Benchmark::ResNet50, PruningLevel::Moderate, 32);
+//! assert_eq!(w.layer_count(), 53);
+//! assert!((w.global_weight_density() - 0.13).abs() < 0.02);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activation;
+pub mod functional;
+pub mod gemm;
+pub mod layer;
+pub mod pruning;
+pub mod table1;
+pub mod workload;
+pub mod zoo;
+
+pub use gemm::GemmShape;
+pub use layer::{Layer, LayerKind};
+pub use workload::{Benchmark, PruningLevel, Workload};

@@ -1,0 +1,115 @@
+//! Table 1 of the paper: the benchmark summary.
+
+use crate::activation;
+use crate::workload::{Benchmark, PruningLevel, Workload};
+
+/// One row of Table 1.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Table1Row {
+    /// Benchmark name.
+    pub benchmark: &'static str,
+    /// Number of weight-bearing layers.
+    pub layers: usize,
+    /// Conservative unstructured filter density (%).
+    pub cons_density_pct: f64,
+    /// Conservative top-1 accuracy / F1 (%), as published.
+    pub cons_accuracy_pct: f64,
+    /// Moderate unstructured filter density (%).
+    pub mod_density_pct: f64,
+    /// Moderate top-1 accuracy / F1 (%), as published.
+    pub mod_accuracy_pct: f64,
+    /// S2TA structured activation density (%), if reported.
+    pub s2ta_act_pct: Option<f64>,
+    /// S2TA structured filter density (%), if reported.
+    pub s2ta_fil_pct: Option<f64>,
+}
+
+/// Published accuracies (SparseZoo checkpoints, Table 1). Kept as data:
+/// accuracy is a property of the pruned checkpoints, not something a
+/// timing simulation can reproduce.
+fn accuracies(bench: Benchmark) -> (f64, f64) {
+    match bench {
+        Benchmark::MobileNetV1 => (70.9, 70.1),
+        Benchmark::InceptionV3 => (77.4, 76.6),
+        Benchmark::ResNet50 => (76.1, 75.3),
+        Benchmark::BertSquad => (88.6, 88.07),
+    }
+}
+
+/// Builds Table 1, measuring layer counts and densities from the model
+/// zoo (accuracies are the published checkpoint numbers).
+#[must_use]
+pub fn table1() -> Vec<Table1Row> {
+    Benchmark::all()
+        .into_iter()
+        .map(|bench| {
+            let cons = Workload::new(bench, PruningLevel::Conservative, 1);
+            let moderate = Workload::new(bench, PruningLevel::Moderate, 1);
+            let (cons_acc, mod_acc) = accuracies(bench);
+            Table1Row {
+                benchmark: bench.name(),
+                layers: cons.layer_count(),
+                cons_density_pct: 100.0 * cons.global_weight_density(),
+                cons_accuracy_pct: cons_acc,
+                mod_density_pct: 100.0 * moderate.global_weight_density(),
+                mod_accuracy_pct: mod_acc,
+                s2ta_act_pct: activation::s2ta_activation_density(bench).map(|d| 100.0 * d),
+                s2ta_fil_pct: activation::s2ta_filter_density(bench).map(|d| 100.0 * d),
+            }
+        })
+        .collect()
+}
+
+/// Renders Table 1 in the paper's layout.
+#[must_use]
+pub fn render() -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Benchmark     #layers  cons.dens%  cons.acc%  mod.dens%  mod.acc%  S2TA act%  S2TA fil%\n",
+    );
+    for row in table1() {
+        let fmt_opt = |v: Option<f64>| v.map_or_else(|| "   -".to_string(), |x| format!("{x:4.0}"));
+        out.push_str(&format!(
+            "{:<13} {:>7} {:>11.0} {:>10.1} {:>10.0} {:>9.2} {:>10} {:>10}\n",
+            row.benchmark,
+            row.layers,
+            row.cons_density_pct,
+            row.cons_accuracy_pct,
+            row.mod_density_pct,
+            row.mod_accuracy_pct,
+            fmt_opt(row.s2ta_act_pct),
+            fmt_opt(row.s2ta_fil_pct),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_match_paper() {
+        let rows = table1();
+        assert_eq!(rows.len(), 4);
+        let rn = rows.iter().find(|r| r.benchmark == "ResNet50").unwrap();
+        assert_eq!(rn.layers, 53);
+        assert!((rn.cons_density_pct - 20.0).abs() < 0.5);
+        assert!((rn.mod_density_pct - 13.0).abs() < 0.5);
+        assert_eq!(rn.s2ta_act_pct, Some(44.0));
+        let iv = rows.iter().find(|r| r.benchmark == "Inception-v3").unwrap();
+        assert_eq!(iv.s2ta_act_pct, None);
+    }
+
+    #[test]
+    fn render_contains_all_benchmarks() {
+        let s = render();
+        for b in Benchmark::all() {
+            assert!(s.contains(b.name()), "missing {}", b.name());
+        }
+        assert!(
+            s.contains("   -"),
+            "InceptionV3 S2TA columns should be dashes"
+        );
+    }
+}

@@ -1,0 +1,403 @@
+//! Benchmark × pruning-level workloads.
+
+use crate::activation;
+use crate::gemm::{self, GemmShape};
+use crate::layer::Layer;
+use crate::pruning;
+use crate::zoo;
+
+/// The four evaluated networks (Table 1, ordered by increasing
+/// moderate-pruning sparsity as in the figures).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Benchmark {
+    /// MobileNetV1 on 224×224 ImageNet inputs.
+    MobileNetV1,
+    /// InceptionV3 on 299×299 ImageNet inputs.
+    InceptionV3,
+    /// ResNet50 on 224×224 ImageNet inputs.
+    ResNet50,
+    /// BERT-base on SQuAD, sequence length 384.
+    BertSquad,
+}
+
+impl Benchmark {
+    /// All benchmarks in figure order.
+    #[must_use]
+    pub fn all() -> [Benchmark; 4] {
+        [
+            Benchmark::MobileNetV1,
+            Benchmark::InceptionV3,
+            Benchmark::ResNet50,
+            Benchmark::BertSquad,
+        ]
+    }
+
+    /// Display name used in the figures.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::MobileNetV1 => "MobileNetv1",
+            Benchmark::InceptionV3 => "Inception-v3",
+            Benchmark::ResNet50 => "ResNet50",
+            Benchmark::BertSquad => "BERT-squad",
+        }
+    }
+
+    /// Architecture layer list.
+    #[must_use]
+    pub fn layers(self) -> Vec<Layer> {
+        match self {
+            Benchmark::MobileNetV1 => zoo::mobilenet_v1(),
+            Benchmark::InceptionV3 => zoo::inception_v3(),
+            Benchmark::ResNet50 => zoo::resnet50(),
+            Benchmark::BertSquad => zoo::bert_squad(),
+        }
+    }
+
+    /// Unstructured filter density at a pruning level (Table 1).
+    #[must_use]
+    pub fn filter_density(self, level: PruningLevel) -> f64 {
+        match (self, level) {
+            (_, PruningLevel::Dense) => 1.0,
+            (Benchmark::MobileNetV1, PruningLevel::Conservative) => 0.27,
+            (Benchmark::MobileNetV1, PruningLevel::Moderate) => 0.22,
+            (Benchmark::InceptionV3, PruningLevel::Conservative) => 0.18,
+            (Benchmark::InceptionV3, PruningLevel::Moderate) => 0.16,
+            (Benchmark::ResNet50, PruningLevel::Conservative) => 0.20,
+            (Benchmark::ResNet50, PruningLevel::Moderate) => 0.13,
+            (Benchmark::BertSquad, PruningLevel::Conservative) => 0.20,
+            (Benchmark::BertSquad, PruningLevel::Moderate) => 0.10,
+        }
+    }
+
+    /// Whether the pruned filters exhibit coarse, clustered sparsity
+    /// (BERT's pruned attention heads / FFN slices, paper §5.1).
+    #[must_use]
+    pub fn clustered_filter_sparsity(self) -> bool {
+        matches!(self, Benchmark::BertSquad)
+    }
+}
+
+/// Pruning level of a workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PruningLevel {
+    /// Unpruned (the *Dense Bench* column of Figure 13).
+    Dense,
+    /// Conservative pruning (higher density, higher accuracy).
+    Conservative,
+    /// Moderate pruning (the headline sparsity).
+    Moderate,
+}
+
+impl PruningLevel {
+    /// Label used in the figures.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            PruningLevel::Dense => "dense",
+            PruningLevel::Conservative => "cons",
+            PruningLevel::Moderate => "mod",
+        }
+    }
+}
+
+/// One lowered, pruned GEMM of a workload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LayerGemm {
+    /// Layer name.
+    pub name: String,
+    /// GEMM dimensions at the workload's batch size.
+    pub shape: GemmShape,
+    /// Unique input-activation bytes (FP16) the layer reads from DRAM.
+    /// Smaller than `shape.activation_bytes()` for convolutions, whose
+    /// implicit-GEMM lowering re-reads each input pixel `R·S` times from
+    /// on-chip storage, not from DRAM (paper §2.1).
+    pub unique_act_bytes: u64,
+    /// This layer's unstructured filter density.
+    pub weight_density: f64,
+    /// Whether the filter sparsity is block-clustered.
+    pub clustered: bool,
+    /// Whether the source layer is a depthwise convolution.
+    pub depthwise: bool,
+}
+
+/// A fully specified benchmark instance: network × pruning level × batch.
+///
+/// # Examples
+///
+/// ```
+/// use eureka_models::{Benchmark, PruningLevel, Workload};
+///
+/// let w = Workload::new(Benchmark::BertSquad, PruningLevel::Moderate, 32);
+/// assert_eq!(w.gemms().len(), 72);
+/// assert!(w.activation_density() > 0.9);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Workload {
+    benchmark: Benchmark,
+    pruning: PruningLevel,
+    batch: usize,
+    layers: Vec<Layer>,
+    densities: Vec<f64>,
+}
+
+impl Workload {
+    /// Builds the workload, assigning per-layer densities that hit the
+    /// Table 1 global density.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    #[must_use]
+    pub fn new(benchmark: Benchmark, pruning: PruningLevel, batch: usize) -> Self {
+        assert!(batch > 0, "batch must be positive");
+        let layers = benchmark.layers();
+        let densities = pruning::layer_densities(&layers, benchmark.filter_density(pruning));
+        Workload {
+            benchmark,
+            pruning,
+            batch,
+            layers,
+            densities,
+        }
+    }
+
+    /// Builds the workload with a custom global filter density instead of
+    /// the Table 1 value (useful for sparsity sweeps). The per-layer
+    /// profile shape still applies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero or `density` is outside `(0, 1]`.
+    #[must_use]
+    pub fn with_density(benchmark: Benchmark, density: f64, batch: usize) -> Self {
+        assert!(batch > 0, "batch must be positive");
+        let layers = benchmark.layers();
+        let densities = pruning::layer_densities(&layers, density);
+        Workload {
+            benchmark,
+            // Closest named level, for labelling only.
+            pruning: if density >= 0.999 {
+                PruningLevel::Dense
+            } else {
+                PruningLevel::Moderate
+            },
+            batch,
+            layers,
+            densities,
+        }
+    }
+
+    /// The benchmark.
+    #[must_use]
+    pub fn benchmark(&self) -> Benchmark {
+        self.benchmark
+    }
+
+    /// The pruning level.
+    #[must_use]
+    pub fn pruning(&self) -> PruningLevel {
+        self.pruning
+    }
+
+    /// The batch size.
+    #[must_use]
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Number of weight-bearing layers.
+    #[must_use]
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The layers.
+    #[must_use]
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Per-layer filter densities.
+    #[must_use]
+    pub fn layer_densities(&self) -> &[f64] {
+        &self.densities
+    }
+
+    /// Parameter-weighted mean filter density (matches Table 1).
+    #[must_use]
+    pub fn global_weight_density(&self) -> f64 {
+        pruning::global_density(&self.layers, &self.densities)
+    }
+
+    /// Mean unstructured activation density.
+    #[must_use]
+    pub fn activation_density(&self) -> f64 {
+        activation::unstructured_density(self.benchmark)
+    }
+
+    /// The lowered GEMM stream.
+    #[must_use]
+    pub fn gemms(&self) -> Vec<LayerGemm> {
+        self.layers
+            .iter()
+            .zip(&self.densities)
+            .map(|(layer, &density)| LayerGemm {
+                name: layer.name.clone(),
+                shape: gemm::lower(layer, self.batch),
+                unique_act_bytes: gemm::unique_act_bytes(layer, self.batch),
+                weight_density: density,
+                clustered: self.benchmark.clustered_filter_sparsity(),
+                depthwise: layer.is_depthwise(),
+            })
+            .collect()
+    }
+
+    /// Total dense MACs at the workload batch.
+    #[must_use]
+    pub fn total_macs(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| l.macs() * self.batch as u64)
+            .sum()
+    }
+
+    /// MACs of the weight-free auxiliary matmuls (BERT's attention scores
+    /// `QKᵀ` and `attn × V`: `2·s²·d` per block). These carry no filters,
+    /// so no filter-sparsity scheme accelerates them; they are dense work
+    /// for every architecture. Zero for the CNNs.
+    #[must_use]
+    pub fn attention_aux_macs(&self) -> u64 {
+        match self.benchmark {
+            Benchmark::BertSquad => {
+                let s = crate::zoo::SEQ_LEN as u64;
+                let d = crate::zoo::HIDDEN as u64;
+                2 * s * s * d * crate::zoo::BLOCKS as u64 * self.batch as u64
+            }
+            _ => 0,
+        }
+    }
+
+    /// Deterministic RNG seed for this workload's synthetic weights, stable
+    /// across runs and independent of evaluation order.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        let b = match self.benchmark {
+            Benchmark::MobileNetV1 => 1,
+            Benchmark::InceptionV3 => 2,
+            Benchmark::ResNet50 => 3,
+            Benchmark::BertSquad => 4,
+        };
+        let p = match self.pruning {
+            PruningLevel::Dense => 0,
+            PruningLevel::Conservative => 1,
+            PruningLevel::Moderate => 2,
+        };
+        (0xE_u64 << 56) | (b << 8) | p
+    }
+}
+
+impl core::fmt::Display for Workload {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} ({}, batch {}): {} layers, {:.1}% filter density, {:.2} GMACs",
+            self.benchmark.name(),
+            self.pruning.label(),
+            self.batch,
+            self.layer_count(),
+            100.0 * self.global_weight_density(),
+            self.total_macs() as f64 / 1e9
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_summarizes() {
+        let w = Workload::new(Benchmark::ResNet50, PruningLevel::Moderate, 32);
+        let s = w.to_string();
+        assert!(s.contains("ResNet50 (mod, batch 32)"));
+        assert!(s.contains("53 layers"));
+    }
+
+    #[test]
+    fn densities_match_table1() {
+        for b in Benchmark::all() {
+            for level in [PruningLevel::Conservative, PruningLevel::Moderate] {
+                let w = Workload::new(b, level, 32);
+                let want = b.filter_density(level);
+                assert!(
+                    (w.global_weight_density() - want).abs() < 1e-3,
+                    "{b:?} {level:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_stream_covers_all_layers() {
+        let w = Workload::new(Benchmark::InceptionV3, PruningLevel::Conservative, 32);
+        assert_eq!(w.gemms().len(), 94);
+        let total: u64 = w.gemms().iter().map(|g| g.shape.macs()).sum();
+        assert_eq!(total, w.total_macs());
+    }
+
+    #[test]
+    fn bert_is_clustered_cnns_are_not() {
+        let bert = Workload::new(Benchmark::BertSquad, PruningLevel::Moderate, 32);
+        assert!(bert.gemms().iter().all(|g| g.clustered));
+        let rn = Workload::new(Benchmark::ResNet50, PruningLevel::Moderate, 32);
+        assert!(rn.gemms().iter().all(|g| !g.clustered));
+    }
+
+    #[test]
+    fn seeds_are_unique_per_workload() {
+        let mut seeds = std::collections::HashSet::new();
+        for b in Benchmark::all() {
+            for level in [
+                PruningLevel::Dense,
+                PruningLevel::Conservative,
+                PruningLevel::Moderate,
+            ] {
+                assert!(seeds.insert(Workload::new(b, level, 32).seed()));
+            }
+        }
+    }
+
+    #[test]
+    fn with_density_hits_custom_target() {
+        let w = Workload::with_density(Benchmark::ResNet50, 0.35, 8);
+        assert!((w.global_weight_density() - 0.35).abs() < 1e-3);
+        assert_eq!(w.batch(), 8);
+        let dense = Workload::with_density(Benchmark::ResNet50, 1.0, 8);
+        assert_eq!(dense.pruning(), PruningLevel::Dense);
+    }
+
+    #[test]
+    fn attention_aux_macs_bert_only() {
+        let bert = Workload::new(Benchmark::BertSquad, PruningLevel::Moderate, 32);
+        // 2 * 384^2 * 768 * 12 blocks * batch 32.
+        assert_eq!(bert.attention_aux_macs(), 2 * 384 * 384 * 768 * 12 * 32);
+        // ~8% of the weight GEMM work — real but secondary.
+        let share = bert.attention_aux_macs() as f64 / bert.total_macs() as f64;
+        assert!((0.05..0.12).contains(&share), "share {share}");
+        let rn = Workload::new(Benchmark::ResNet50, PruningLevel::Moderate, 32);
+        assert_eq!(rn.attention_aux_macs(), 0);
+    }
+
+    #[test]
+    fn dense_workload_has_unit_density() {
+        let w = Workload::new(Benchmark::ResNet50, PruningLevel::Dense, 32);
+        assert_eq!(w.global_weight_density(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must be positive")]
+    fn batch_validation() {
+        let _ = Workload::new(Benchmark::ResNet50, PruningLevel::Dense, 0);
+    }
+}

@@ -1,0 +1,75 @@
+//! BERT-base for SQuAD (sequence length 384): twelve encoder blocks of six
+//! weight matrices each — 72 pruned GEMM layers.
+//!
+//! The attention-score products `QKᵀ` and `attn × V` carry no trainable
+//! filter and therefore no filter sparsity; like the paper's one-sided
+//! schemes, we account them outside the sparse-GEMM stream (they are a
+//! small fraction of encoder MACs at seq 384: `2·s²·d` vs `12·s·d²`).
+
+use crate::layer::{Layer, LayerKind};
+
+/// Sequence length of the SQuAD configuration.
+pub const SEQ_LEN: usize = 384;
+/// Hidden width of BERT-base.
+pub const HIDDEN: usize = 768;
+/// Feed-forward inner width.
+pub const FFN: usize = 3072;
+/// Number of encoder blocks.
+pub const BLOCKS: usize = 12;
+
+/// The 72 weight GEMMs of the BERT-base-SQuAD encoder stack.
+#[must_use]
+pub fn bert_squad() -> Vec<Layer> {
+    let mut layers = Vec::with_capacity(BLOCKS * 6);
+    for b in 0..BLOCKS {
+        for (suffix, in_f, out_f) in [
+            ("q", HIDDEN, HIDDEN),
+            ("k", HIDDEN, HIDDEN),
+            ("v", HIDDEN, HIDDEN),
+            ("attn_out", HIDDEN, HIDDEN),
+            ("ffn1", HIDDEN, FFN),
+            ("ffn2", FFN, HIDDEN),
+        ] {
+            layers.push(Layer::new(
+                format!("enc{b}/{suffix}"),
+                LayerKind::MatMul {
+                    in_features: in_f,
+                    out_features: out_f,
+                    tokens: SEQ_LEN,
+                },
+            ));
+        }
+    }
+    layers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure() {
+        let layers = bert_squad();
+        assert_eq!(layers.len(), 72);
+        assert!(layers.iter().all(|l| !l.is_depthwise()));
+        let ffn1 = &layers[4];
+        assert_eq!(ffn1.name, "enc0/ffn1");
+        assert_eq!(ffn1.param_count(), HIDDEN * FFN);
+        assert_eq!(ffn1.macs(), (HIDDEN * FFN * SEQ_LEN) as u64);
+    }
+
+    #[test]
+    fn ffn_dominates_compute() {
+        let layers = bert_squad();
+        let ffn: u64 = layers
+            .iter()
+            .filter(|l| l.name.contains("ffn"))
+            .map(|l| l.macs())
+            .sum();
+        let total: u64 = layers.iter().map(|l| l.macs()).sum();
+        assert!(
+            ffn * 3 > total * 2 - ffn,
+            "FFN should be ~2/3 of encoder MACs"
+        );
+    }
+}

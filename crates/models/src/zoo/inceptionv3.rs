@@ -1,0 +1,147 @@
+//! InceptionV3 (299×299×3): stem + 3 InceptionA + ReductionA +
+//! 4 InceptionB + ReductionB + 2 InceptionC — 94 convolutional layers
+//! (auxiliary classifier excluded).
+
+use crate::layer::{Layer, LayerKind};
+
+fn conv(
+    name: String,
+    in_ch: usize,
+    out_ch: usize,
+    kernel: (usize, usize),
+    stride: usize,
+    hw: usize,
+    same_pad: bool,
+) -> Layer {
+    Layer::new(
+        name,
+        LayerKind::Conv {
+            in_ch,
+            out_ch,
+            kernel,
+            stride,
+            input: (hw, hw),
+            same_pad,
+        },
+    )
+}
+
+/// The 94 convolutional layers of InceptionV3.
+#[must_use]
+pub fn inception_v3() -> Vec<Layer> {
+    let mut l = Vec::with_capacity(94);
+    // Stem: 299 -> 149 -> 147 -> 147 -> (pool 73) -> 73 -> 71 -> (pool 35).
+    l.push(conv("stem1".into(), 3, 32, (3, 3), 2, 299, false));
+    l.push(conv("stem2".into(), 32, 32, (3, 3), 1, 149, false));
+    l.push(conv("stem3".into(), 32, 64, (3, 3), 1, 147, true));
+    l.push(conv("stem4".into(), 64, 80, (1, 1), 1, 73, false));
+    l.push(conv("stem5".into(), 80, 192, (3, 3), 1, 73, false));
+
+    // Three InceptionA blocks at 35x35; pool-proj widths 32, 64, 64.
+    let mut in_ch = 192;
+    for (i, pool_proj) in [32usize, 64, 64].iter().enumerate() {
+        let n = format!("a{}", i + 1);
+        l.push(conv(format!("{n}/1x1"), in_ch, 64, (1, 1), 1, 35, true));
+        l.push(conv(format!("{n}/5x5_r"), in_ch, 48, (1, 1), 1, 35, true));
+        l.push(conv(format!("{n}/5x5"), 48, 64, (5, 5), 1, 35, true));
+        l.push(conv(
+            format!("{n}/3x3dbl_r"),
+            in_ch,
+            64,
+            (1, 1),
+            1,
+            35,
+            true,
+        ));
+        l.push(conv(format!("{n}/3x3dbl_1"), 64, 96, (3, 3), 1, 35, true));
+        l.push(conv(format!("{n}/3x3dbl_2"), 96, 96, (3, 3), 1, 35, true));
+        l.push(conv(
+            format!("{n}/pool"),
+            in_ch,
+            *pool_proj,
+            (1, 1),
+            1,
+            35,
+            true,
+        ));
+        in_ch = 64 + 64 + 96 + pool_proj;
+    }
+    debug_assert_eq!(in_ch, 288);
+
+    // ReductionA: 35 -> 17.
+    l.push(conv("ra/3x3".into(), 288, 384, (3, 3), 2, 35, false));
+    l.push(conv("ra/dbl_r".into(), 288, 64, (1, 1), 1, 35, true));
+    l.push(conv("ra/dbl_1".into(), 64, 96, (3, 3), 1, 35, true));
+    l.push(conv("ra/dbl_2".into(), 96, 96, (3, 3), 2, 35, false));
+    in_ch = 384 + 96 + 288;
+    debug_assert_eq!(in_ch, 768);
+
+    // Four InceptionB blocks at 17x17; 7x7-branch widths 128,160,160,192.
+    for (i, c) in [128usize, 160, 160, 192].iter().enumerate() {
+        let n = format!("b{}", i + 1);
+        let c = *c;
+        l.push(conv(format!("{n}/1x1"), in_ch, 192, (1, 1), 1, 17, true));
+        l.push(conv(format!("{n}/7x7_r"), in_ch, c, (1, 1), 1, 17, true));
+        l.push(conv(format!("{n}/7x7_1"), c, c, (1, 7), 1, 17, true));
+        l.push(conv(format!("{n}/7x7_2"), c, 192, (7, 1), 1, 17, true));
+        l.push(conv(format!("{n}/7x7dbl_r"), in_ch, c, (1, 1), 1, 17, true));
+        l.push(conv(format!("{n}/7x7dbl_1"), c, c, (7, 1), 1, 17, true));
+        l.push(conv(format!("{n}/7x7dbl_2"), c, c, (1, 7), 1, 17, true));
+        l.push(conv(format!("{n}/7x7dbl_3"), c, c, (7, 1), 1, 17, true));
+        l.push(conv(format!("{n}/7x7dbl_4"), c, 192, (1, 7), 1, 17, true));
+        l.push(conv(format!("{n}/pool"), in_ch, 192, (1, 1), 1, 17, true));
+    }
+
+    // ReductionB: 17 -> 8.
+    l.push(conv("rb/3x3_r".into(), 768, 192, (1, 1), 1, 17, true));
+    l.push(conv("rb/3x3".into(), 192, 320, (3, 3), 2, 17, false));
+    l.push(conv("rb/7x7_r".into(), 768, 192, (1, 1), 1, 17, true));
+    l.push(conv("rb/7x7_1".into(), 192, 192, (1, 7), 1, 17, true));
+    l.push(conv("rb/7x7_2".into(), 192, 192, (7, 1), 1, 17, true));
+    l.push(conv("rb/7x7_3".into(), 192, 192, (3, 3), 2, 17, false));
+    in_ch = 320 + 192 + 768;
+    debug_assert_eq!(in_ch, 1280);
+
+    // Two InceptionC blocks at 8x8.
+    for i in 0..2 {
+        let n = format!("c{}", i + 1);
+        l.push(conv(format!("{n}/1x1"), in_ch, 320, (1, 1), 1, 8, true));
+        l.push(conv(format!("{n}/3x3_r"), in_ch, 384, (1, 1), 1, 8, true));
+        l.push(conv(format!("{n}/3x3_a"), 384, 384, (1, 3), 1, 8, true));
+        l.push(conv(format!("{n}/3x3_b"), 384, 384, (3, 1), 1, 8, true));
+        l.push(conv(format!("{n}/dbl_r"), in_ch, 448, (1, 1), 1, 8, true));
+        l.push(conv(format!("{n}/dbl_1"), 448, 384, (3, 3), 1, 8, true));
+        l.push(conv(format!("{n}/dbl_a"), 384, 384, (1, 3), 1, 8, true));
+        l.push(conv(format!("{n}/dbl_b"), 384, 384, (3, 1), 1, 8, true));
+        l.push(conv(format!("{n}/pool"), in_ch, 192, (1, 1), 1, 8, true));
+        in_ch = 320 + 2 * 384 + 2 * 384 + 192;
+        debug_assert_eq!(in_ch, 2048);
+    }
+    l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure() {
+        let layers = inception_v3();
+        assert_eq!(layers.len(), 94);
+        // Asymmetric 1x7 / 7x1 kernels exist.
+        assert!(layers
+            .iter()
+            .any(|l| matches!(l.kind, LayerKind::Conv { kernel: (1, 7), .. })));
+        // Stem reduces 299 -> 149 with valid padding.
+        assert_eq!(layers[0].output_hw(), (149, 149));
+    }
+
+    #[test]
+    fn grid_sizes() {
+        let layers = inception_v3();
+        let ra = layers.iter().find(|l| l.name == "ra/3x3").unwrap();
+        assert_eq!(ra.output_hw(), (17, 17));
+        let rb = layers.iter().find(|l| l.name == "rb/3x3").unwrap();
+        assert_eq!(rb.output_hw(), (8, 8));
+    }
+}

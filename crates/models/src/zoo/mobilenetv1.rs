@@ -1,0 +1,86 @@
+//! MobileNetV1 (224×224×3): one standard conv plus thirteen
+//! depthwise-separable pairs — 27 weight layers.
+
+use crate::layer::{Layer, LayerKind};
+
+/// The 27 convolutional layers of MobileNetV1.
+#[must_use]
+pub fn mobilenet_v1() -> Vec<Layer> {
+    let mut layers = Vec::with_capacity(27);
+    layers.push(Layer::new(
+        "conv0",
+        LayerKind::Conv {
+            in_ch: 3,
+            out_ch: 32,
+            kernel: (3, 3),
+            stride: 2,
+            input: (224, 224),
+            same_pad: true,
+        },
+    ));
+    // (in_ch, out_ch, stride, input_hw) per depthwise-separable block.
+    let blocks: [(usize, usize, usize, usize); 13] = [
+        (32, 64, 1, 112),
+        (64, 128, 2, 112),
+        (128, 128, 1, 56),
+        (128, 256, 2, 56),
+        (256, 256, 1, 28),
+        (256, 512, 2, 28),
+        (512, 512, 1, 14),
+        (512, 512, 1, 14),
+        (512, 512, 1, 14),
+        (512, 512, 1, 14),
+        (512, 512, 1, 14),
+        (512, 1024, 2, 14),
+        (1024, 1024, 1, 7),
+    ];
+    for (i, &(in_ch, out_ch, stride, hw)) in blocks.iter().enumerate() {
+        layers.push(Layer::new(
+            format!("dw{}", i + 1),
+            LayerKind::DepthwiseConv {
+                channels: in_ch,
+                kernel: (3, 3),
+                stride,
+                input: (hw, hw),
+            },
+        ));
+        let pw_hw = hw.div_ceil(stride);
+        layers.push(Layer::new(
+            format!("pw{}", i + 1),
+            LayerKind::Conv {
+                in_ch,
+                out_ch,
+                kernel: (1, 1),
+                stride: 1,
+                input: (pw_hw, pw_hw),
+                same_pad: true,
+            },
+        ));
+    }
+    layers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure() {
+        let layers = mobilenet_v1();
+        assert_eq!(layers.len(), 27);
+        assert_eq!(layers.iter().filter(|l| l.is_depthwise()).count(), 13);
+        // Final pointwise operates on 7x7.
+        let last = layers.last().unwrap();
+        assert_eq!(last.output_hw(), (7, 7));
+        assert_eq!(last.param_count(), 1024 * 1024);
+    }
+
+    #[test]
+    fn feature_map_chain_is_consistent() {
+        // Spatial size after each strided block halves as expected.
+        let layers = mobilenet_v1();
+        let spatial: Vec<(usize, usize)> = layers.iter().map(|l| l.output_hw()).collect();
+        assert_eq!(spatial[0], (112, 112)); // stem
+        assert_eq!(spatial[26], (7, 7));
+    }
+}

@@ -1,0 +1,75 @@
+//! Architecture definitions of the four benchmark networks.
+//!
+//! Layer counts match Table 1 exactly: MobileNetV1 = 27, InceptionV3 = 94,
+//! ResNet50 = 53, BERT-SQuAD = 72. Counts cover the weight-bearing
+//! convolution / projection layers whose filters are pruned; classifier
+//! heads and the attention-score matmuls (which carry no trainable filter)
+//! are excluded, mirroring how pruned-model zoos report layer counts.
+
+mod bert;
+mod inceptionv3;
+mod mobilenetv1;
+mod resnet50;
+
+pub use bert::{bert_squad, BLOCKS, FFN, HIDDEN, SEQ_LEN};
+pub use inceptionv3::inception_v3;
+pub use mobilenetv1::mobilenet_v1;
+pub use resnet50::resnet50;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_counts_match_table1() {
+        assert_eq!(mobilenet_v1().len(), 27);
+        assert_eq!(inception_v3().len(), 94);
+        assert_eq!(resnet50().len(), 53);
+        assert_eq!(bert_squad().len(), 72);
+    }
+
+    #[test]
+    fn parameter_counts_are_plausible() {
+        let params = |ls: &[crate::Layer]| -> usize { ls.iter().map(|l| l.param_count()).sum() };
+        // Published conv-only parameter counts (±15%): MobileNetV1 ~3.2M,
+        // InceptionV3 ~21.8M, ResNet50 ~23.5M, BERT encoder ~85M.
+        let mb = params(&mobilenet_v1());
+        assert!((2_700_000..3_700_000).contains(&mb), "mobilenet {mb}");
+        let iv = params(&inception_v3());
+        assert!((18_000_000..25_000_000).contains(&iv), "inception {iv}");
+        let rn = params(&resnet50());
+        assert!((20_000_000..27_000_000).contains(&rn), "resnet {rn}");
+        let bt = params(&bert_squad());
+        assert_eq!(bt, 12 * (3 * 768 * 768 + 768 * 768 + 2 * 768 * 3072));
+    }
+
+    #[test]
+    fn mac_counts_are_plausible() {
+        let macs = |ls: &[crate::Layer]| -> u64 { ls.iter().map(|l| l.macs()).sum() };
+        // Published MAC counts at batch 1: MobileNetV1 ~569M, InceptionV3
+        // ~5.7G, ResNet50 ~4.1G (conv only; generous bounds).
+        let mb = macs(&mobilenet_v1());
+        assert!((450_000_000..700_000_000).contains(&mb), "mobilenet {mb}");
+        let iv = macs(&inception_v3());
+        assert!(
+            (4_200_000_000..6_500_000_000).contains(&iv),
+            "inception {iv}"
+        );
+        let rn = macs(&resnet50());
+        assert!((3_300_000_000..4_700_000_000).contains(&rn), "resnet {rn}");
+        let bt = macs(&bert_squad());
+        // 12 blocks * (4*768^2 + 2*768*3072) * 384 tokens = 32.6G exactly.
+        assert_eq!(bt, 12 * (4 * 768 * 768 + 2 * 768 * 3072) * 384);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        for layers in [mobilenet_v1(), inception_v3(), resnet50(), bert_squad()] {
+            let mut names: Vec<&str> = layers.iter().map(|l| l.name.as_str()).collect();
+            let before = names.len();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), before, "duplicate layer names");
+        }
+    }
+}

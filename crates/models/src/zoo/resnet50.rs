@@ -1,0 +1,121 @@
+//! ResNet50 (224×224×3): stem + 16 bottlenecks + 4 downsample projections
+//! — 53 convolutional layers.
+
+use crate::layer::{Layer, LayerKind};
+
+/// The 53 convolutional layers of ResNet50.
+#[must_use]
+pub fn resnet50() -> Vec<Layer> {
+    let mut layers = Vec::with_capacity(53);
+    layers.push(Layer::new(
+        "conv1",
+        LayerKind::Conv {
+            in_ch: 3,
+            out_ch: 64,
+            kernel: (7, 7),
+            stride: 2,
+            input: (224, 224),
+            same_pad: true,
+        },
+    ));
+    // Stages: (name, blocks, mid channels, out channels, input hw after
+    // the max-pool / previous stage, stride of the first block).
+    let stages: [(&str, usize, usize, usize, usize, usize); 4] = [
+        ("conv2", 3, 64, 256, 56, 1),
+        ("conv3", 4, 128, 512, 56, 2),
+        ("conv4", 6, 256, 1024, 28, 2),
+        ("conv5", 3, 512, 2048, 14, 2),
+    ];
+    let mut in_ch = 64; // after the stem + max-pool
+    for (name, blocks, mid, out, hw_in, first_stride) in stages {
+        let hw_out = hw_in / first_stride;
+        for b in 0..blocks {
+            let stride = if b == 0 { first_stride } else { 1 };
+            let hw = if b == 0 { hw_in } else { hw_out };
+            let block_in = if b == 0 { in_ch } else { out };
+            layers.push(Layer::new(
+                format!("{name}_{b}/1x1a"),
+                LayerKind::Conv {
+                    in_ch: block_in,
+                    out_ch: mid,
+                    kernel: (1, 1),
+                    stride,
+                    input: (hw, hw),
+                    same_pad: true,
+                },
+            ));
+            layers.push(Layer::new(
+                format!("{name}_{b}/3x3"),
+                LayerKind::Conv {
+                    in_ch: mid,
+                    out_ch: mid,
+                    kernel: (3, 3),
+                    stride: 1,
+                    input: (hw_out, hw_out),
+                    same_pad: true,
+                },
+            ));
+            layers.push(Layer::new(
+                format!("{name}_{b}/1x1b"),
+                LayerKind::Conv {
+                    in_ch: mid,
+                    out_ch: out,
+                    kernel: (1, 1),
+                    stride: 1,
+                    input: (hw_out, hw_out),
+                    same_pad: true,
+                },
+            ));
+            if b == 0 {
+                layers.push(Layer::new(
+                    format!("{name}_{b}/proj"),
+                    LayerKind::Conv {
+                        in_ch: block_in,
+                        out_ch: out,
+                        kernel: (1, 1),
+                        stride,
+                        input: (hw, hw),
+                        same_pad: true,
+                    },
+                ));
+            }
+        }
+        in_ch = out;
+    }
+    layers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure() {
+        let layers = resnet50();
+        assert_eq!(layers.len(), 53);
+        // 4 projection shortcuts.
+        assert_eq!(
+            layers.iter().filter(|l| l.name.ends_with("proj")).count(),
+            4
+        );
+        // Stage 4 3x3 convs operate on 14x14 with 256 channels — the
+        // "intermediate layer" class Figure 9 samples.
+        let mid = layers
+            .iter()
+            .find(|l| l.name == "conv4_2/3x3")
+            .expect("conv4_2 exists");
+        assert_eq!(mid.output_hw(), (14, 14));
+        assert_eq!(mid.param_count(), 256 * 256 * 9);
+    }
+
+    #[test]
+    fn channel_chain() {
+        let layers = resnet50();
+        let last = layers.last().unwrap();
+        assert_eq!(last.output_hw(), (7, 7));
+        match last.kind {
+            LayerKind::Conv { out_ch, .. } => assert_eq!(out_ch, 2048),
+            _ => panic!("last layer should be conv"),
+        }
+    }
+}

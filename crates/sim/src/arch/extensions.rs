@@ -1,0 +1,122 @@
+//! Extensions beyond the paper's shipped design.
+//!
+//! §1 and §3.4: "We considered extending our ideas to two-sided sparsity
+//! which, however, is significant only in convolutional neural networks
+//! ... As such, we do not pursue two-sided sparse tensor cores."
+//! [`EurekaTwoSided`] makes that decision quantitative: it keeps Eureka's
+//! one-sided *timing* (activations are broadcast dense, so zero
+//! activations save no cycles without the routing hardware the paper
+//! rejects) but clock-gates the multiplier when the broadcast activation
+//! value is zero, saving *energy* on post-ReLU CNN feature maps.
+
+use super::onesided::{self, OneSided};
+use super::{Architecture, LayerCtx, SimError};
+use crate::config::SimConfig;
+use crate::report::LayerReport;
+use eureka_models::workload::LayerGemm;
+
+/// Eureka P=4 with activation-zero clock gating (energy-only two-sided
+/// extension).
+#[derive(Clone, Debug)]
+pub struct EurekaTwoSided {
+    inner: OneSided,
+}
+
+/// Constructs the two-sided-gating extension.
+#[must_use]
+pub fn eureka_two_sided() -> EurekaTwoSided {
+    EurekaTwoSided {
+        inner: onesided::eureka_p4(),
+    }
+}
+
+impl Architecture for EurekaTwoSided {
+    fn name(&self) -> &str {
+        "Eureka P=4 +act-gate"
+    }
+
+    fn simulate_layer(
+        &self,
+        gemm: &LayerGemm,
+        ctx: &LayerCtx,
+        cfg: &SimConfig,
+    ) -> Result<LayerReport, SimError> {
+        let mut report = self.inner.simulate_layer(gemm, ctx, cfg)?;
+        report.name = gemm.name.clone();
+        // Timing is untouched: the MAC still occupies its cycle. Only the
+        // multiplier (and the wide mux feeding it) stops toggling when the
+        // activation operand is zero.
+        let act = ctx.act_density.clamp(0.0, 1.0);
+        let gate = |v: u64| (v as f64 * act) as u64;
+        let gated_away = report.mac_ops - gate(report.mac_ops);
+        report.mac_ops = gate(report.mac_ops);
+        report.idle_mac_cycles += gated_away;
+        report.ops.mux16 = gate(report.ops.mux16);
+        report.ops.csa = gate(report.ops.csa);
+        report.ops.mux2 = gate(report.ops.mux2);
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eureka_models::GemmShape;
+    use eureka_sparse::rng::DetRng;
+
+    fn gemm() -> LayerGemm {
+        LayerGemm {
+            name: "t".into(),
+            shape: GemmShape {
+                n: 256,
+                k: 2304,
+                m: 6272,
+            },
+            unique_act_bytes: 1 << 20,
+            weight_density: 0.13,
+            clustered: false,
+            depthwise: false,
+        }
+    }
+
+    fn ctx(act: f64) -> LayerCtx {
+        LayerCtx {
+            act_density: act,
+            s2ta_act_density: None,
+            s2ta_fil_density: None,
+            rng: DetRng::new(5),
+        }
+    }
+
+    #[test]
+    fn same_timing_fewer_multiplies_on_cnn() {
+        let cfg = SimConfig::fast();
+        let base = onesided::eureka_p4()
+            .simulate_layer(&gemm(), &ctx(0.5), &cfg)
+            .unwrap();
+        let gated = eureka_two_sided()
+            .simulate_layer(&gemm(), &ctx(0.5), &cfg)
+            .unwrap();
+        assert_eq!(gated.compute_cycles, base.compute_cycles);
+        assert_eq!(gated.mem_cycles, base.mem_cycles);
+        // Half the activations are zero -> half the multiplies gated.
+        let ratio = gated.mac_ops as f64 / base.mac_ops as f64;
+        assert!((ratio - 0.5).abs() < 0.01, "ratio {ratio}");
+        assert!(gated.idle_mac_cycles > base.idle_mac_cycles);
+    }
+
+    #[test]
+    fn no_benefit_on_dense_activations() {
+        // The paper's rationale: transformers have no ReLU, so the
+        // extension buys nothing there.
+        let cfg = SimConfig::fast();
+        let base = onesided::eureka_p4()
+            .simulate_layer(&gemm(), &ctx(0.98), &cfg)
+            .unwrap();
+        let gated = eureka_two_sided()
+            .simulate_layer(&gemm(), &ctx(0.98), &cfg)
+            .unwrap();
+        let ratio = gated.mac_ops as f64 / base.mac_ops as f64;
+        assert!(ratio > 0.97, "ratio {ratio}");
+    }
+}

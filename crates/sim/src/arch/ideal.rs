@@ -1,0 +1,98 @@
+//! The 1-sided Ideal bound: speedup limited only by filter sparsity.
+//!
+//! Every stored non-zero weight is multiplied exactly once per activation
+//! column, with perfect load balance and no pipeline bubbles — the
+//! unconstrained-displacement upper bound Figure 11 plots Eureka against.
+
+use super::{Architecture, LayerCtx, SimError};
+use crate::config::SimConfig;
+use crate::memory;
+use crate::report::{LayerReport, OpCounts};
+use eureka_models::workload::LayerGemm;
+
+/// The ideal one-sided architecture.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Ideal;
+
+/// Constructs the ideal bound.
+#[must_use]
+pub fn ideal() -> Ideal {
+    Ideal
+}
+
+impl Architecture for Ideal {
+    fn name(&self) -> &str {
+        "1-sided Ideal"
+    }
+
+    fn simulate_layer(
+        &self,
+        gemm: &LayerGemm,
+        _ctx: &LayerCtx,
+        cfg: &SimConfig,
+    ) -> Result<LayerReport, SimError> {
+        let (n, k, m) = (gemm.shape.n, gemm.shape.k, gemm.shape.m);
+        let nnz = (n * k) as f64 * gemm.weight_density;
+        let mac_ops = (nnz * m as f64) as u64;
+        let compute_cycles = (mac_ops as f64 / cfg.total_macs() as f64).ceil().max(1.0) as u64;
+        // Metadata as Eureka P=4 (the bound still pays for the format).
+        let metadata_bytes = (nnz * 5.0 / 8.0) as u64;
+        let mut report = LayerReport {
+            name: gemm.name.clone(),
+            compute_cycles,
+            mem_cycles: 0,
+            mac_ops,
+            idle_mac_cycles: (compute_cycles * cfg.total_macs() as u64).saturating_sub(mac_ops),
+            weight_bytes: (nnz * 2.0) as u64,
+            act_bytes: gemm.unique_act_bytes,
+            out_bytes: (2 * n * m) as u64,
+            metadata_bytes,
+            ops: OpCounts {
+                mux16: mac_ops,
+                ..OpCounts::default()
+            },
+        };
+        report.mem_cycles = memory::exposed_cycles(&report, &cfg.mem);
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::onesided;
+    use eureka_models::GemmShape;
+    use eureka_sparse::rng::DetRng;
+
+    #[test]
+    fn ideal_speedup_is_inverse_density() {
+        let cfg = SimConfig::fast();
+        let g = LayerGemm {
+            name: "t".into(),
+            shape: GemmShape {
+                n: 256,
+                k: 2304,
+                m: 6272,
+            },
+            unique_act_bytes: 1 << 20,
+            weight_density: 0.13,
+            clustered: false,
+            depthwise: false,
+        };
+        let ctx = LayerCtx {
+            act_density: 0.5,
+            s2ta_act_density: None,
+            s2ta_fil_density: None,
+            rng: DetRng::new(1),
+        };
+        let d = onesided::dense().simulate_layer(&g, &ctx, &cfg).unwrap();
+        let i = ideal().simulate_layer(&g, &ctx, &cfg).unwrap();
+        let speedup = d.compute_cycles as f64 / i.compute_cycles as f64;
+        assert!((speedup - 1.0 / 0.13).abs() < 0.3, "speedup {speedup}");
+        // Eureka never beats the bound.
+        let e = onesided::eureka_p4()
+            .simulate_layer(&g, &ctx, &cfg)
+            .unwrap();
+        assert!(e.compute_cycles >= i.compute_cycles);
+    }
+}

@@ -1,0 +1,641 @@
+//! The shared tile-stream engine for one-sided architectures.
+//!
+//! Dense, Ampere/STC, Cnvlutin-like, the whole Eureka family and the
+//! Figure 12 ablations differ only in three knobs:
+//!
+//! * the **compaction factor** `P` (tile width `q = p·P`);
+//! * the **tile timer** — how a sparse tile's critical path becomes cycles
+//!   (dense, 2:4, compaction-only max-row, greedy SUDS, optimal SUDS);
+//! * the **schedule mode** — natural tile order vs offline systolic
+//!   grouping (§3.3).
+//!
+//! Timing is statistical: tiles are sampled from the layer's (possibly
+//! clustered) sparsity distribution; the busy total scales the sample mean
+//! to the layer's true tile count, and the scheduling utilization comes
+//! from running the macro-step pipeline on the sampled stream.
+
+use super::{sample_tile, tile_density, Architecture, LayerCtx, SimError};
+use crate::config::SimConfig;
+use crate::memory;
+use crate::report::{LayerReport, OpCounts};
+use eureka_core::schedule::{schedule_grouped, schedule_natural, SystolicConfig};
+use eureka_core::suds;
+use eureka_models::workload::LayerGemm;
+use eureka_sparse::TilePattern;
+
+/// How a tile's sparsity becomes a cycle count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TileTimer {
+    /// Dense operation: every tile takes `q` cycles (`q = p`, factor 1).
+    Dense,
+    /// Ampere 2:4: uniform `q/2` cycles.
+    TwoFour,
+    /// Compaction only: the longest left-aligned row (Cnvlutin-like,
+    /// Eureka-unopt, Eureka-no-SUDS).
+    MaxRow,
+    /// Greedy SUDS displacement (Figure 12's *Greedy SUDS*).
+    GreedySuds,
+    /// Optimal SUDS work assignment (Algorithm 1 + binary search).
+    OptimalSuds,
+    /// Hypothetical reach-R displacement (execute up to R rows below) —
+    /// the design-space ablation behind the paper's "single-step" choice.
+    /// Costs R return wires and an (R+2)-input adder per MAC.
+    MultiStepSuds(usize),
+}
+
+/// Tile dispatch order on the systolic rows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScheduleMode {
+    /// Arrival order, one tile per row per macro-step.
+    Natural,
+    /// Offline systolic scheduling (§3.3).
+    Grouped,
+}
+
+/// A one-sided architecture instance.
+#[derive(Clone, Debug)]
+pub struct OneSided {
+    name: String,
+    factor: usize,
+    timer: TileTimer,
+    schedule: ScheduleMode,
+}
+
+impl OneSided {
+    /// Builds a custom one-sided configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        factor: usize,
+        timer: TileTimer,
+        schedule: ScheduleMode,
+    ) -> Self {
+        assert!(factor > 0, "compaction factor must be positive");
+        OneSided {
+            name: name.into(),
+            factor,
+            timer,
+            schedule,
+        }
+    }
+
+    /// Compaction factor `P`.
+    #[must_use]
+    pub fn factor(&self) -> usize {
+        self.factor
+    }
+
+    /// Per-value metadata bits for this configuration at tile width `q`.
+    fn meta_bits(&self, q: usize) -> u32 {
+        let col_bits = usize::BITS - (q - 1).leading_zeros();
+        match self.timer {
+            TileTimer::Dense => 0,
+            TileTimer::TwoFour => 2,
+            TileTimer::MaxRow => col_bits,
+            // SUDS adds the displaced bit (§3.1).
+            TileTimer::GreedySuds | TileTimer::OptimalSuds => col_bits + 1,
+            // Reach-R displacement must encode the landing offset.
+            TileTimer::MultiStepSuds(reach) => col_bits + (usize::BITS - reach.leading_zeros()),
+        }
+    }
+
+    /// Cycles and displaced-element count for one sampled tile.
+    fn time_tile(&self, tile: &TilePattern) -> (u64, u64) {
+        match self.timer {
+            TileTimer::Dense => (tile.q() as u64, 0),
+            TileTimer::TwoFour => ((tile.q() as u64) / 2, 0),
+            TileTimer::MaxRow => (tile.critical_path().max(1) as u64, 0),
+            TileTimer::GreedySuds => {
+                let plan = suds::greedy(&tile.row_lens());
+                (plan.k.max(1) as u64, plan.displaced_count() as u64)
+            }
+            TileTimer::OptimalSuds => {
+                let plan = suds::optimize(&tile.row_lens());
+                (plan.k.max(1) as u64, plan.displaced_count() as u64)
+            }
+            TileTimer::MultiStepSuds(reach) => {
+                let lens = tile.row_lens();
+                let reach = reach.min(lens.len().saturating_sub(1));
+                let k = suds::multistep::optimal_k(&lens, reach);
+                // Displaced work: at least each row's overflow must move.
+                let moved: usize = lens.iter().map(|&l| l.saturating_sub(k)).sum();
+                (k.max(1) as u64, moved as u64)
+            }
+        }
+    }
+}
+
+impl Architecture for OneSided {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn simulate_layer(
+        &self,
+        gemm: &LayerGemm,
+        ctx: &LayerCtx,
+        cfg: &SimConfig,
+    ) -> Result<LayerReport, SimError> {
+        let p = cfg.core.sub_array_dim;
+        let q = p * self.factor;
+        assert!(q <= 64, "tile width {q} exceeds the 64-bit row masks");
+        let (n, k, m) = (gemm.shape.n, gemm.shape.k, gemm.shape.m);
+        let stages = cfg.core.grid_cols;
+        let rows = cfg.core.grid_rows;
+        let rowgroups = n.div_ceil(p) as u64;
+        let slices = k.div_ceil(q) as u64;
+        let colgroups = m.div_ceil(p) as u64;
+        let passes = colgroups.div_ceil(stages as u64);
+        let total_tiles = rowgroups * slices;
+
+        let uniform_time = match self.timer {
+            TileTimer::Dense => Some(q as u64),
+            TileTimer::TwoFour => Some((q as u64 / 2).max(1)),
+            _ => None,
+        };
+
+        let (mean_t, mean_nnz, mean_displaced, utilization) = if let Some(t) = uniform_time {
+            // Uniform latency: no load imbalance, no bubbles (§2.3.1).
+            let nnz_per_tile = match self.timer {
+                TileTimer::Dense => (p * q) as f64,
+                _ => (p * q) as f64 / 2.0,
+            };
+            (t as f64, nnz_per_tile, 0.0, 1.0)
+        } else {
+            let mut rng = ctx.rng.fork(0x0001_51DE);
+            let n_rg = (cfg.rowgroup_samples as u64).min(rowgroups).max(1);
+            let n_sl = (cfg.slice_samples as u64).min(slices).max(1);
+            let mut times = Vec::with_capacity((n_rg * n_sl) as usize);
+            let (mut sum_t, mut sum_nnz, mut sum_disp) = (0f64, 0f64, 0f64);
+            for i in 0..n_rg {
+                let rg = i * rowgroups / n_rg;
+                let rows_live = p.min(n - (rg as usize) * p);
+                for j in 0..n_sl {
+                    let si = j * slices / n_sl;
+                    let cols_live = q.min(k - (si as usize) * q);
+                    let d = tile_density(gemm, &mut rng);
+                    let tile = sample_tile(
+                        p,
+                        q,
+                        rows_live,
+                        cols_live,
+                        d,
+                        cfg.row_density_sigma,
+                        &mut rng,
+                    );
+                    let (t, disp) = self.time_tile(&tile);
+                    times.push(t);
+                    sum_t += t as f64;
+                    sum_nnz += tile.nnz() as f64;
+                    sum_disp += disp as f64;
+                }
+            }
+            let count = times.len() as f64;
+            let sys = SystolicConfig {
+                rows,
+                stages,
+                window: cfg.core.window,
+            };
+            let pipe = match self.schedule {
+                ScheduleMode::Natural => schedule_natural(&times, &sys),
+                ScheduleMode::Grouped => schedule_grouped(&times, &sys),
+            };
+            (
+                sum_t / count,
+                sum_nnz / count,
+                sum_disp / count,
+                pipe.row_utilization(),
+            )
+        };
+
+        let busy_row_cycles = mean_t * total_tiles as f64 * passes as f64;
+        let parallel_rows = (cfg.tensor_cores * rows) as f64;
+        let compute_cycles = (busy_row_cycles / utilization / parallel_rows).ceil() as u64;
+        let compute_cycles = compute_cycles.max(1);
+
+        // Useful multiplies: every stored non-zero weight meets every one
+        // of the m activation columns (2:4 stores exactly half the values).
+        let nnz_total = match self.timer {
+            TileTimer::Dense => (n * k) as f64,
+            TileTimer::TwoFour => (n * k) as f64 / 2.0,
+            _ => mean_nnz * total_tiles as f64,
+        };
+        let mac_ops = (nnz_total * m as f64) as u64;
+        let csa_ops = (mean_displaced * total_tiles as f64 * m as f64) as u64;
+        // Operand-mux selections, bucketed by fan-in: 2:4 and compaction
+        // use a q-to-1 mux per multiply; SUDS additionally toggles the two
+        // 2-1 adder-input muxes on every displaced fold.
+        let mut mux_by_width = [0u64; 3]; // 4-1, 8-1, 16-1
+        if !matches!(self.timer, TileTimer::Dense) {
+            let bucket = match q {
+                0..=4 => 0,
+                5..=8 => 1,
+                _ => 2,
+            };
+            mux_by_width[bucket] = mac_ops;
+        }
+        let mux2_ops = if matches!(
+            self.timer,
+            TileTimer::GreedySuds | TileTimer::OptimalSuds | TileTimer::MultiStepSuds(_)
+        ) {
+            2 * csa_ops
+        } else {
+            0
+        };
+
+        let device_macs = cfg.total_macs() as u64;
+        let idle_mac_cycles = (compute_cycles * device_macs).saturating_sub(mac_ops);
+
+        let meta_bits = u64::from(self.meta_bits(q));
+        let rotation_bits = if matches!(
+            self.timer,
+            TileTimer::GreedySuds | TileTimer::OptimalSuds | TileTimer::MultiStepSuds(_)
+        ) {
+            (usize::BITS - (p - 1).leading_zeros()) as u64
+        } else {
+            0
+        };
+        let weight_bytes = (nnz_total * 2.0) as u64;
+        let metadata_bytes =
+            ((nnz_total * meta_bits as f64) / 8.0) as u64 + total_tiles * rotation_bits / 8;
+
+        let mut report = LayerReport {
+            name: gemm.name.clone(),
+            compute_cycles,
+            mem_cycles: 0,
+            mac_ops,
+            idle_mac_cycles,
+            weight_bytes,
+            act_bytes: gemm.unique_act_bytes,
+            out_bytes: (2 * n * m) as u64,
+            metadata_bytes,
+            ops: OpCounts {
+                mux2: mux2_ops,
+                mux4: mux_by_width[0],
+                mux8: mux_by_width[1],
+                mux16: mux_by_width[2],
+                csa: csa_ops,
+                ..OpCounts::default()
+            },
+        };
+        report.mem_cycles = memory::exposed_cycles(&report, &cfg.mem);
+        Ok(report)
+    }
+}
+
+/// The dense tensor-core baseline.
+#[must_use]
+pub fn dense() -> OneSided {
+    OneSided::new("Dense", 1, TileTimer::Dense, ScheduleMode::Natural)
+}
+
+/// Ampere's 2:4 structured-sparse tensor core (covers STC as well).
+#[must_use]
+pub fn ampere() -> OneSided {
+    OneSided::new("Ampere/STC", 1, TileTimer::TwoFour, ScheduleMode::Natural)
+}
+
+/// Cnvlutin-like: compaction factor 4, no load balancing, no systolic
+/// scheduling (§5.1).
+#[must_use]
+pub fn cnvlutin_like() -> OneSided {
+    OneSided::new("Cnvlutin-like", 4, TileTimer::MaxRow, ScheduleMode::Natural)
+}
+
+/// Full Eureka at compaction factor 2.
+#[must_use]
+pub fn eureka_p2() -> OneSided {
+    OneSided::new(
+        "Eureka P=2",
+        2,
+        TileTimer::OptimalSuds,
+        ScheduleMode::Grouped,
+    )
+}
+
+/// Full Eureka at compaction factor 4 (the headline configuration).
+#[must_use]
+pub fn eureka_p4() -> OneSided {
+    OneSided::new(
+        "Eureka P=4",
+        4,
+        TileTimer::OptimalSuds,
+        ScheduleMode::Grouped,
+    )
+}
+
+/// Figure 12: unoptimized Eureka — no compaction, no SUDS, no scheduling.
+#[must_use]
+pub fn eureka_unopt() -> OneSided {
+    OneSided::new("Eureka-unopt", 1, TileTimer::MaxRow, ScheduleMode::Natural)
+}
+
+/// Figure 12: compaction only, at the given factor.
+#[must_use]
+pub fn compaction_only(factor: usize) -> OneSided {
+    OneSided::new(
+        format!("Compaction P={factor}"),
+        factor,
+        TileTimer::MaxRow,
+        ScheduleMode::Natural,
+    )
+}
+
+/// Figure 12: greedy SUDS on top of factor-4 compaction (no scheduling).
+#[must_use]
+pub fn greedy_suds_p4() -> OneSided {
+    OneSided::new(
+        "Greedy SUDS",
+        4,
+        TileTimer::GreedySuds,
+        ScheduleMode::Natural,
+    )
+}
+
+/// Figure 12: optimal SUDS on top of factor-4 compaction (no scheduling).
+#[must_use]
+pub fn optimal_suds_p4() -> OneSided {
+    OneSided::new(
+        "Optimal SUDS",
+        4,
+        TileTimer::OptimalSuds,
+        ScheduleMode::Natural,
+    )
+}
+
+/// Figure 12: full Eureka minus SUDS (compaction + systolic scheduling).
+#[must_use]
+pub fn eureka_no_suds_p4() -> OneSided {
+    OneSided::new(
+        "Eureka-no-SUDS",
+        4,
+        TileTimer::MaxRow,
+        ScheduleMode::Grouped,
+    )
+}
+
+/// Exact (non-sampled) compute cycles for one layer: materializes a full
+/// synthetic weight pattern from the same distribution the statistical
+/// engine samples, times *every* tile, and runs the real scheduler over
+/// the complete stream. `O(tiles)` — used to validate the sampling
+/// methodology (see the `sampling_matches_exact_enumeration` test) and
+/// for small layers where exactness is cheap.
+#[must_use]
+pub fn exact_layer_compute_cycles(
+    arch: &OneSided,
+    gemm: &LayerGemm,
+    ctx: &LayerCtx,
+    cfg: &SimConfig,
+) -> u64 {
+    let p = cfg.core.sub_array_dim;
+    let q = p * arch.factor();
+    let (n, k, m) = (gemm.shape.n, gemm.shape.k, gemm.shape.m);
+    let stages = cfg.core.grid_cols;
+    let rows = cfg.core.grid_rows;
+    let mut rng = ctx.rng.fork(0x000E_5AC7);
+
+    // Materialize the full pattern: per-tile cluster density, per-row
+    // log-normal heterogeneity — the sampling engine's distribution.
+    let rowgroups = n.div_ceil(p);
+    let slices = k.div_ceil(q);
+    let mut times = Vec::with_capacity(rowgroups * slices);
+    let mut busy = 0u64;
+    for rg in 0..rowgroups {
+        let rows_live = p.min(n - rg * p);
+        for si in 0..slices {
+            let cols_live = q.min(k - si * q);
+            let d = tile_density(gemm, &mut rng);
+            let tile = sample_tile(
+                p,
+                q,
+                rows_live,
+                cols_live,
+                d,
+                cfg.row_density_sigma,
+                &mut rng,
+            );
+            let (t, _) = arch.time_tile(&tile);
+            times.push(t);
+            busy += t;
+        }
+    }
+    let sys = SystolicConfig {
+        rows,
+        stages,
+        window: cfg.core.window,
+    };
+    let pipe = match arch.schedule {
+        ScheduleMode::Natural => schedule_natural(&times, &sys),
+        ScheduleMode::Grouped => schedule_grouped(&times, &sys),
+    };
+    let colgroups = m.div_ceil(p) as u64;
+    let passes = colgroups.div_ceil(stages as u64);
+    let busy_row_cycles = busy as f64 * passes as f64;
+    let parallel_rows = (cfg.tensor_cores * rows) as f64;
+    ((busy_row_cycles / pipe.row_utilization() / parallel_rows).ceil() as u64).max(1)
+}
+
+/// Ablation: Eureka with hypothetical reach-`reach` displacement (the
+/// `ablations` experiment quantifying the paper's single-step choice).
+///
+/// # Panics
+///
+/// Panics if `reach` is zero (use [`eureka_no_suds_p4`] for no
+/// displacement).
+#[must_use]
+pub fn eureka_multistep(reach: usize) -> OneSided {
+    assert!(reach > 0, "reach must be positive");
+    OneSided::new(
+        format!("Eureka reach-{reach}"),
+        4,
+        TileTimer::MultiStepSuds(reach),
+        ScheduleMode::Grouped,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eureka_models::GemmShape;
+    use eureka_sparse::rng::DetRng;
+
+    fn ctx() -> LayerCtx {
+        LayerCtx {
+            act_density: 0.5,
+            s2ta_act_density: Some(0.44),
+            s2ta_fil_density: Some(0.38),
+            rng: DetRng::new(42),
+        }
+    }
+
+    fn gemm(n: usize, k: usize, m: usize, d: f64) -> LayerGemm {
+        LayerGemm {
+            name: "test".into(),
+            shape: GemmShape { n, k, m },
+            unique_act_bytes: 1 << 20,
+            weight_density: d,
+            clustered: false,
+            depthwise: false,
+        }
+    }
+
+    #[test]
+    fn dense_matches_analytic() {
+        let cfg = SimConfig::fast();
+        let g = gemm(256, 2304, 6272, 1.0);
+        let r = dense().simulate_layer(&g, &ctx(), &cfg).unwrap();
+        let expect = g.shape.macs() / cfg.total_macs() as u64;
+        let got = r.compute_cycles;
+        assert!(
+            (got as f64 - expect as f64).abs() / (expect as f64) < 0.02,
+            "got {got} expect {expect}"
+        );
+        assert_eq!(r.mac_ops, g.shape.macs());
+        assert_eq!(r.ops.mux_total(), 0);
+    }
+
+    #[test]
+    fn ampere_is_twice_dense() {
+        let cfg = SimConfig::fast();
+        let g = gemm(256, 2304, 6272, 0.13);
+        let d = dense().simulate_layer(&g, &ctx(), &cfg).unwrap();
+        let a = ampere().simulate_layer(&g, &ctx(), &cfg).unwrap();
+        let speedup = d.compute_cycles as f64 / a.compute_cycles as f64;
+        assert!((speedup - 2.0).abs() < 0.05, "speedup {speedup}");
+        assert_eq!(a.mac_ops, d.mac_ops / 2);
+    }
+
+    #[test]
+    fn eureka_beats_cnvlutin_beats_ampere() {
+        let cfg = SimConfig::fast();
+        let g = gemm(256, 2304, 6272, 0.13);
+        let c = ctx();
+        let amp = ampere().simulate_layer(&g, &c, &cfg).unwrap();
+        let cnv = cnvlutin_like().simulate_layer(&g, &c, &cfg).unwrap();
+        let eur = eureka_p4().simulate_layer(&g, &c, &cfg).unwrap();
+        assert!(cnv.compute_cycles < amp.compute_cycles);
+        assert!(eur.compute_cycles < cnv.compute_cycles);
+        // Eureka cannot exceed the one-sided bound 1/density.
+        let dense_r = dense().simulate_layer(&g, &c, &cfg).unwrap();
+        let speedup = dense_r.compute_cycles as f64 / eur.compute_cycles as f64;
+        assert!(speedup < 1.0 / 0.13 + 0.5, "speedup {speedup}");
+        assert!(speedup > 4.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn p4_beats_p2() {
+        let cfg = SimConfig::fast();
+        let g = gemm(512, 4608, 1568, 0.13);
+        let c = ctx();
+        let p2 = eureka_p2().simulate_layer(&g, &c, &cfg).unwrap();
+        let p4 = eureka_p4().simulate_layer(&g, &c, &cfg).unwrap();
+        assert!(p4.compute_cycles <= p2.compute_cycles);
+    }
+
+    #[test]
+    fn figure12_ordering() {
+        // Progressive techniques must not regress: unopt >= compaction >=
+        // greedy >= optimal >= full Eureka cycles.
+        let cfg = SimConfig::fast();
+        let g = gemm(256, 2304, 6272, 0.13);
+        let c = ctx();
+        let steps = [
+            eureka_unopt().simulate_layer(&g, &c, &cfg).unwrap(),
+            compaction_only(4).simulate_layer(&g, &c, &cfg).unwrap(),
+            greedy_suds_p4().simulate_layer(&g, &c, &cfg).unwrap(),
+            optimal_suds_p4().simulate_layer(&g, &c, &cfg).unwrap(),
+            eureka_p4().simulate_layer(&g, &c, &cfg).unwrap(),
+        ];
+        for w in steps.windows(2) {
+            assert!(
+                w[1].compute_cycles <= w[0].compute_cycles + w[0].compute_cycles / 50,
+                "{} ({}) should not regress to {} ({})",
+                w[0].name,
+                w[0].compute_cycles,
+                w[1].name,
+                w[1].compute_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn suds_counts_displaced_csa_ops() {
+        let cfg = SimConfig::fast();
+        let g = gemm(256, 2304, 6272, 0.13);
+        let e = eureka_p4().simulate_layer(&g, &ctx(), &cfg).unwrap();
+        assert!(e.ops.csa > 0, "SUDS should displace something");
+        assert!(e.ops.csa < e.mac_ops);
+        assert_eq!(e.ops.mux16, e.mac_ops);
+        let c = compaction_only(4).simulate_layer(&g, &ctx(), &cfg).unwrap();
+        assert_eq!(c.ops.csa, 0);
+    }
+
+    #[test]
+    fn metadata_scales_with_factor() {
+        let cfg = SimConfig::fast();
+        let g = gemm(256, 2304, 6272, 0.13);
+        let p2 = eureka_p2().simulate_layer(&g, &ctx(), &cfg).unwrap();
+        let p4 = eureka_p4().simulate_layer(&g, &ctx(), &cfg).unwrap();
+        // P=4 uses 4+1 bits/value vs P=2's 3+1.
+        assert!(p4.metadata_bytes > p2.metadata_bytes);
+        let d = dense().simulate_layer(&g, &ctx(), &cfg).unwrap();
+        assert_eq!(d.metadata_bytes, 0);
+    }
+
+    #[test]
+    fn depthwise_tiny_reduction_works() {
+        let cfg = SimConfig::fast();
+        let g = LayerGemm {
+            name: "dw".into(),
+            shape: GemmShape {
+                n: 512,
+                k: 9,
+                m: 6272,
+            },
+            unique_act_bytes: 1 << 20,
+            weight_density: 0.9,
+            clustered: false,
+            depthwise: true,
+        };
+        let r = eureka_p4().simulate_layer(&g, &ctx(), &cfg).unwrap();
+        assert!(r.compute_cycles > 0);
+        assert!(r.mac_ops > 0);
+    }
+
+    #[test]
+    fn sampling_matches_exact_enumeration() {
+        // The statistical engine's estimate must track a full enumeration
+        // of the same distribution within a few percent.
+        let cfg = SimConfig::paper_default();
+        let g = gemm(512, 2304, 6272, 0.13);
+        let c = ctx();
+        for a in [eureka_p4(), cnvlutin_like(), eureka_p2()] {
+            let sampled = a.simulate_layer(&g, &c, &cfg).unwrap().compute_cycles;
+            let exact = exact_layer_compute_cycles(&a, &g, &c, &cfg);
+            let ratio = sampled as f64 / exact as f64;
+            assert!(
+                (0.93..1.07).contains(&ratio),
+                "{}: sampled {sampled} vs exact {exact} (ratio {ratio})",
+                a.name()
+            );
+        }
+    }
+
+    #[test]
+    fn clustered_sparsity_hurts_utilization() {
+        // At equal density, clustered filters give longer worst-case rows,
+        // but SUDS+scheduling should keep Eureka's penalty small.
+        let cfg = SimConfig::fast();
+        let mut g = gemm(768, 3072, 12288, 0.10);
+        let c = ctx();
+        let uni = eureka_p4().simulate_layer(&g, &c, &cfg).unwrap();
+        g.clustered = true;
+        let clu = eureka_p4().simulate_layer(&g, &c, &cfg).unwrap();
+        // Clustered can be modestly slower but within 2x.
+        assert!(clu.compute_cycles < uni.compute_cycles * 2);
+    }
+}

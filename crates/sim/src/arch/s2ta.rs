@@ -1,0 +1,161 @@
+//! The S2TA baseline (HPCA 2022).
+//!
+//! S2TA exploits structured sparsity on both sides but — as the Eureka
+//! paper reads its clock-gated design (§4) — only one-sided *activation*
+//! structured sparsity for **performance**, and two-sided structured
+//! sparsity for **energy**: a MAC is clock-gated when a non-zero
+//! activation meets a zero filter value, but the cycle is not reclaimed.
+//!
+//! Performance therefore scales with the structured activation density
+//! (Table 1); for BERT, whose GELU activations are nearly dense, there is
+//! no structured activation sparsity to harvest and S2TA degenerates to
+//! roughly dense performance (§5.1).
+
+use super::{Architecture, LayerCtx, SimError};
+use crate::config::SimConfig;
+use crate::memory;
+use crate::report::{LayerReport, OpCounts};
+use eureka_models::workload::LayerGemm;
+
+/// The S2TA architecture model.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct S2ta;
+
+/// Constructs the S2TA baseline.
+#[must_use]
+pub fn s2ta() -> S2ta {
+    S2ta
+}
+
+impl Architecture for S2ta {
+    fn name(&self) -> &str {
+        "S2TA"
+    }
+
+    fn simulate_layer(
+        &self,
+        gemm: &LayerGemm,
+        ctx: &LayerCtx,
+        cfg: &SimConfig,
+    ) -> Result<LayerReport, SimError> {
+        let (Some(s2ta_act), Some(s2ta_fil)) = (ctx.s2ta_act_density, ctx.s2ta_fil_density) else {
+            return Err(SimError::Unsupported {
+                arch: "S2TA".into(),
+                reason: "no structured activation-sparsity data for this benchmark (Table 1)"
+                    .into(),
+            });
+        };
+        let (n, k, m) = (gemm.shape.n, gemm.shape.k, gemm.shape.m);
+        // Performance: one-sided structured activation sparsity. BERT's
+        // nearly-dense activations leave nothing to skip (§5.1), which
+        // the clustered-filter flag identifies.
+        let act_perf_density = if gemm.clustered {
+            ctx.act_density
+        } else {
+            s2ta_act
+        };
+        let dense_cycles = (gemm.shape.macs() as f64 / cfg.total_macs() as f64)
+            .ceil()
+            .max(1.0);
+        let compute_cycles = (dense_cycles * act_perf_density).ceil().max(1.0) as u64;
+
+        // Energy: two-sided structured gating — multiplies only where a
+        // kept filter value meets a kept activation value.
+        let mac_ops = ((n * k * m) as f64 * s2ta_fil * s2ta_act) as u64;
+
+        let mut report = LayerReport {
+            name: gemm.name.clone(),
+            compute_cycles,
+            mem_cycles: 0,
+            mac_ops,
+            idle_mac_cycles: (compute_cycles * cfg.total_macs() as u64).saturating_sub(mac_ops),
+            weight_bytes: ((n * k) as f64 * s2ta_fil * 2.0) as u64,
+            act_bytes: (gemm.unique_act_bytes as f64 * s2ta_act) as u64,
+            out_bytes: (2 * n * m) as u64,
+            // 2-bit positional metadata per kept value on both sides.
+            metadata_bytes: (((n * k) as f64 * s2ta_fil
+                + gemm.unique_act_bytes as f64 / 2.0 * s2ta_act)
+                / 4.0) as u64,
+            ops: OpCounts {
+                mux4: mac_ops,
+                ..OpCounts::default()
+            },
+        };
+        report.mem_cycles = memory::exposed_cycles(&report, &cfg.mem);
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::onesided;
+    use eureka_models::GemmShape;
+    use eureka_sparse::rng::DetRng;
+
+    fn gemm(clustered: bool) -> LayerGemm {
+        LayerGemm {
+            name: "t".into(),
+            shape: GemmShape {
+                n: 256,
+                k: 2304,
+                m: 6272,
+            },
+            unique_act_bytes: 1 << 20,
+            weight_density: 0.13,
+            clustered,
+            depthwise: false,
+        }
+    }
+
+    #[test]
+    fn cnn_speedup_tracks_structured_activation_density() {
+        let cfg = SimConfig::fast();
+        let ctx = LayerCtx {
+            act_density: 0.50,
+            s2ta_act_density: Some(0.44),
+            s2ta_fil_density: Some(0.38),
+            rng: DetRng::new(1),
+        };
+        let d = onesided::dense()
+            .simulate_layer(&gemm(false), &ctx, &cfg)
+            .unwrap();
+        let s = s2ta().simulate_layer(&gemm(false), &ctx, &cfg).unwrap();
+        let speedup = d.compute_cycles as f64 / s.compute_cycles as f64;
+        assert!((speedup - 1.0 / 0.44).abs() < 0.2, "speedup {speedup}");
+    }
+
+    #[test]
+    fn bert_degenerates_to_dense_performance() {
+        let cfg = SimConfig::fast();
+        let ctx = LayerCtx {
+            act_density: 0.98,
+            s2ta_act_density: Some(0.50),
+            s2ta_fil_density: Some(0.50),
+            rng: DetRng::new(1),
+        };
+        let d = onesided::dense()
+            .simulate_layer(&gemm(true), &ctx, &cfg)
+            .unwrap();
+        let s = s2ta().simulate_layer(&gemm(true), &ctx, &cfg).unwrap();
+        let speedup = d.compute_cycles as f64 / s.compute_cycles as f64;
+        assert!(speedup < 1.1, "speedup {speedup}");
+        // But energy-side gating still halves the multiplies.
+        assert!(s.mac_ops < d.mac_ops / 2 + d.mac_ops / 20);
+    }
+
+    #[test]
+    fn unsupported_without_table1_data() {
+        let cfg = SimConfig::fast();
+        let ctx = LayerCtx {
+            act_density: 0.45,
+            s2ta_act_density: None,
+            s2ta_fil_density: None,
+            rng: DetRng::new(1),
+        };
+        assert!(matches!(
+            s2ta().simulate_layer(&gemm(false), &ctx, &cfg),
+            Err(SimError::Unsupported { .. })
+        ));
+    }
+}

@@ -1,0 +1,417 @@
+//! Set-associative cache + DDR5 substrate.
+//!
+//! The paper's simulator models "cache and memory (DDR5)" behind the
+//! tensor cores (§4). The main timing path in this reproduction uses the
+//! analytic model in [`crate::memory`] (an L2 residency fraction plus a
+//! bandwidth pipe); this module provides the detailed substrate that
+//! *justifies* those constants: a true LRU set-associative cache and a
+//! DDR bandwidth/latency model, driven by the output-stationary access
+//! stream of a layer. `estimate_l2_residency` measures the activation hit
+//! rate the analytic model assumes.
+
+use crate::config::SimConfig;
+use eureka_models::workload::LayerGemm;
+
+/// Cache geometry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// An Ampere-class 40 MB shared L2.
+    #[must_use]
+    pub fn ampere_l2() -> Self {
+        CacheConfig {
+            size_bytes: 40 << 20,
+            line_bytes: 128,
+            ways: 16,
+        }
+    }
+
+    /// Number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero fields, capacity not a
+    /// multiple of `line_bytes × ways`).
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        assert!(
+            self.line_bytes > 0 && self.ways > 0 && self.size_bytes > 0,
+            "degenerate cache geometry {self:?}"
+        );
+        let sets = self.size_bytes / (self.line_bytes * self.ways);
+        assert!(sets > 0, "cache smaller than one set: {self:?}");
+        sets
+    }
+}
+
+/// An LRU set-associative cache.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    /// Per set: (tag, last-use stamp) per way.
+    sets: Vec<Vec<(u64, u64)>>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets();
+        Cache {
+            cfg,
+            sets: vec![Vec::new(); sets],
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Accesses one byte address; returns `true` on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        let line = addr / self.cfg.line_bytes as u64;
+        let set = (line % self.sets.len() as u64) as usize;
+        let tag = line / self.sets.len() as u64;
+        let ways = &mut self.sets[set];
+        if let Some(entry) = ways.iter_mut().find(|(t, _)| *t == tag) {
+            entry.1 = self.clock;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if ways.len() < self.cfg.ways {
+            ways.push((tag, self.clock));
+        } else {
+            let victim = ways
+                .iter_mut()
+                .min_by_key(|(_, stamp)| *stamp)
+                .expect("nonempty ways");
+            *victim = (tag, self.clock);
+        }
+        false
+    }
+
+    /// Accesses every line of the byte range `[base, base + len)`;
+    /// returns `(lines_touched, lines_missed)`.
+    pub fn access_range(&mut self, base: u64, len: u64) -> (u64, u64) {
+        if len == 0 {
+            return (0, 0);
+        }
+        let lb = self.cfg.line_bytes as u64;
+        let first = base / lb;
+        let last = (base + len - 1) / lb;
+        let touched = last - first + 1;
+        let missed = (first..=last)
+            .filter(|&line| !self.access(line * lb))
+            .count() as u64;
+        (touched, missed)
+    }
+
+    /// Hits so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate over all accesses (0 when untouched).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+/// Result of replaying a layer's access stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ReplayReport {
+    /// Activation-stream hit rate (the analytic model's residency).
+    pub act_hit_rate: f64,
+    /// Weight-stream hit rate (re-streams hitting after the compulsory
+    /// pass).
+    pub weight_hit_rate: f64,
+    /// DRAM lines fetched.
+    pub dram_lines: u64,
+    /// DRAM cycles at the configured bandwidth.
+    pub dram_cycles: u64,
+}
+
+/// Replays (a bounded sample of) a layer's output-stationary access
+/// stream: for each pass over a row-group, the weight slices stream in
+/// and the activation blocks for the pass's column group are read.
+///
+/// `max_passes` bounds the replay cost; passes sample the full pass space
+/// evenly.
+#[must_use]
+pub fn replay_layer(
+    gemm: &LayerGemm,
+    cfg: &SimConfig,
+    cache_cfg: CacheConfig,
+    max_passes: usize,
+) -> ReplayReport {
+    let p = cfg.core.sub_array_dim;
+    let q = p * 4;
+    let (n, k, m) = (gemm.shape.n, gemm.shape.k, gemm.shape.m);
+    let rowgroups = n.div_ceil(p);
+    let slices = k.div_ceil(q);
+    let colgroups = m.div_ceil(p * cfg.core.grid_cols);
+
+    // Address map: weights at 0, activations at 1 TiB (disjoint tags).
+    const ACT_BASE: u64 = 1 << 40;
+    // Compressed weight-slice bytes (payload + metadata at ~19 bits/value).
+    let wslice_bytes = ((p * q) as f64 * gemm.weight_density * 2.4).ceil() as u64;
+    // Activation block for one (slice, colgroup): unique input rows only
+    // (implicit GEMM re-reads hit the register file, not the L2).
+    let act_block_bytes =
+        (gemm.unique_act_bytes / (slices as u64 * colgroups as u64).max(1)).max(2);
+
+    let mut cache = Cache::new(cache_cfg);
+    let (mut act_hits, mut act_total) = (0u64, 0u64);
+    let (mut w_hits, mut w_total) = (0u64, 0u64);
+    let mut dram_lines = 0u64;
+
+    // Replay a contiguous prefix of the pass space: sampling strided
+    // passes would destroy exactly the temporal locality being measured.
+    let total_passes = rowgroups * colgroups;
+    for pass in 0..total_passes.min(max_passes.max(1)) {
+        let rg = pass % rowgroups;
+        let cg = pass / rowgroups;
+        for si in 0..slices {
+            let w_addr = (rg * slices + si) as u64 * wslice_bytes;
+            let (lines, miss) = cache.access_range(w_addr, wslice_bytes);
+            w_total += lines;
+            w_hits += lines - miss;
+            dram_lines += miss;
+
+            let a_addr = ACT_BASE + (cg * slices + si) as u64 * act_block_bytes;
+            let (lines, miss) = cache.access_range(a_addr, act_block_bytes);
+            act_total += lines;
+            act_hits += lines - miss;
+            dram_lines += miss;
+        }
+    }
+
+    let dram_bytes = dram_lines * cache_cfg.line_bytes as u64;
+    ReplayReport {
+        act_hit_rate: if act_total == 0 {
+            0.0
+        } else {
+            act_hits as f64 / act_total as f64
+        },
+        weight_hit_rate: if w_total == 0 {
+            0.0
+        } else {
+            w_hits as f64 / w_total as f64
+        },
+        dram_lines,
+        dram_cycles: (dram_bytes as f64 / cfg.mem.bytes_per_cycle).ceil() as u64,
+    }
+}
+
+/// Measures the *inter-layer* activation residency the analytic memory
+/// model assumes (`MemoryConfig::l2_act_residency`): the fraction of a
+/// producer layer's output tensor still resident in the L2 when the
+/// consumer layer reads it, after the consumer's weights have streamed
+/// through the cache in between.
+#[must_use]
+pub fn interlayer_residency(
+    tensor_bytes: u64,
+    intervening_weight_bytes: u64,
+    cache_cfg: CacheConfig,
+) -> f64 {
+    const OUT_BASE: u64 = 2 << 40;
+    let mut cache = Cache::new(cache_cfg);
+    // Producer writes its output tensor.
+    cache.access_range(OUT_BASE, tensor_bytes);
+    // Consumer streams its weights (evicting part of the tensor).
+    cache.access_range(0, intervening_weight_bytes);
+    // Consumer reads the tensor back: hits = resident fraction.
+    let (lines, missed) = cache.access_range(OUT_BASE, tensor_bytes);
+    if lines == 0 {
+        return 0.0;
+    }
+    (lines - missed) as f64 / lines as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eureka_models::GemmShape;
+
+    fn tiny_cache() -> CacheConfig {
+        CacheConfig {
+            size_bytes: 4096,
+            line_bytes: 64,
+            ways: 4,
+        }
+    }
+
+    #[test]
+    fn geometry() {
+        assert_eq!(tiny_cache().sets(), 16);
+        assert_eq!(CacheConfig::ampere_l2().sets(), 20480);
+    }
+
+    #[test]
+    fn hit_and_miss_behaviour() {
+        let mut c = Cache::new(tiny_cache());
+        assert!(!c.access(0)); // compulsory miss
+        assert!(c.access(8)); // same line
+        assert!(c.access(0));
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.hits(), 2);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let cfg = CacheConfig {
+            size_bytes: 256,
+            line_bytes: 64,
+            ways: 2,
+        }; // 2 sets x 2 ways
+        let mut c = Cache::new(cfg);
+        // Three lines mapping to set 0: lines 0, 2, 4 (line % 2 == 0).
+        assert!(!c.access(0));
+        assert!(!c.access(2 * 64));
+        assert!(!c.access(4 * 64)); // evicts line 0 (LRU)
+        assert!(!c.access(0)); // line 0 gone
+        assert!(c.access(4 * 64)); // still resident
+    }
+
+    #[test]
+    fn access_range_counts_lines() {
+        let mut c = Cache::new(tiny_cache());
+        assert_eq!(c.access_range(0, 200), (4, 4)); // lines 0..=3 cold
+        assert_eq!(c.access_range(0, 200), (4, 0)); // all hot
+        assert_eq!(c.access_range(0, 0), (0, 0));
+        // An unaligned range spans an extra line.
+        assert_eq!(c.access_range(60, 8), (2, 0)); // lines 0 and 1, both hot
+    }
+
+    #[test]
+    fn small_working_set_is_resident() {
+        // A layer whose activations fit the L2 easily: high residency.
+        let gemm = LayerGemm {
+            name: "small".into(),
+            shape: GemmShape {
+                n: 256,
+                k: 512,
+                m: 4096,
+            },
+            unique_act_bytes: 4 << 20, // 4 MB
+            weight_density: 0.13,
+            clustered: false,
+            depthwise: false,
+        };
+        let cfg = SimConfig::fast();
+        let r = replay_layer(&gemm, &cfg, CacheConfig::ampere_l2(), 256);
+        assert!(r.act_hit_rate > 0.8, "act hit rate {}", r.act_hit_rate);
+        // Weights re-stream once per pass: high reuse too.
+        assert!(
+            r.weight_hit_rate > 0.8,
+            "weight hit rate {}",
+            r.weight_hit_rate
+        );
+    }
+
+    #[test]
+    fn oversized_working_set_thrashes() {
+        // 5 MB of compressed weights re-streamed four times.
+        let gemm = LayerGemm {
+            name: "huge".into(),
+            shape: GemmShape {
+                n: 256,
+                k: 16384,
+                m: 16384,
+            },
+            unique_act_bytes: 64 << 20,
+            weight_density: 0.5,
+            clustered: false,
+            depthwise: false,
+        };
+        let cfg = SimConfig::fast();
+        let small = CacheConfig {
+            size_bytes: 1 << 20,
+            line_bytes: 128,
+            ways: 16,
+        };
+        let thrashed = replay_layer(&gemm, &cfg, small, 256);
+        let roomy = replay_layer(&gemm, &cfg, CacheConfig::ampere_l2(), 256);
+        // Re-streaming the weights through a too-small cache loses the
+        // temporal hits the 40 MB L2 keeps (spatial line sharing between
+        // adjacent compressed slices remains in both).
+        assert!(
+            thrashed.weight_hit_rate < roomy.weight_hit_rate - 0.2,
+            "thrashed {} vs roomy {}",
+            thrashed.weight_hit_rate,
+            roomy.weight_hit_rate
+        );
+        assert!(thrashed.dram_lines > roomy.dram_lines);
+        assert!(thrashed.dram_cycles > 0);
+    }
+
+    #[test]
+    fn intralayer_activation_reuse_is_high() {
+        // Within a layer, each activation block is re-read once per
+        // row-group pass — the reuse the output-stationary dataflow (and
+        // the paper's §3.4 "tensor cores achieve similar on-chip reuse as
+        // the TPU") relies on.
+        let gemm = LayerGemm {
+            name: "conv4".into(),
+            shape: GemmShape {
+                n: 256,
+                k: 2304,
+                m: 6272,
+            },
+            unique_act_bytes: 2 * 256 * 14 * 14 * 32,
+            weight_density: 0.13,
+            clustered: false,
+            depthwise: false,
+        };
+        let cfg = SimConfig::fast();
+        let r = replay_layer(&gemm, &cfg, CacheConfig::ampere_l2(), 512);
+        assert!(r.act_hit_rate > 0.9, "act hit rate {}", r.act_hit_rate);
+    }
+
+    #[test]
+    fn analytic_residency_matches_interlayer_band() {
+        // The analytic default (0.7) is an inter-layer producer-consumer
+        // residency: ResNet50/MobileNet tensors at batch 32 span roughly
+        // 6..80 MB against the 40 MB L2; the measured band must bracket
+        // the default.
+        let l2 = CacheConfig::ampere_l2();
+        let weights = 8 << 20; // a consumer layer's compressed weights
+        let sizes: [u64; 4] = [6 << 20, 25 << 20, 50 << 20, 80 << 20];
+        let rates: Vec<f64> = sizes
+            .iter()
+            .map(|&s| interlayer_residency(s, weights, l2))
+            .collect();
+        // Small tensors stay fully resident; oversized ones mostly do not.
+        assert!(rates[0] > 0.95, "6MB residency {}", rates[0]);
+        assert!(rates[3] < 0.5, "80MB residency {}", rates[3]);
+        let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+        assert!(
+            (0.4..0.95).contains(&mean),
+            "mean residency {mean} should bracket the analytic 0.7"
+        );
+    }
+}

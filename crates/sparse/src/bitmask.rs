@@ -1,0 +1,143 @@
+//! SparTen-style chunked bitmask format.
+//!
+//! SparTen (MICRO 2019; modelled as a baseline in the Eureka paper §4)
+//! represents vectors as fixed-size chunks of a bitmask plus packed non-zero
+//! values. Its inner-product datapath ANDs a filter chunk's mask with an
+//! activation chunk's mask; the popcount of the intersection is the number
+//! of multiply cycles that chunk pair contributes.
+
+use crate::pattern::SparsityPattern;
+
+/// SparTen's chunk width in values (two double-buffered input chunks of 32
+/// FP16 values each, paper §4).
+pub const CHUNK_WIDTH: usize = 32;
+
+/// One row of a matrix in chunked-bitmask form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MaskedRow {
+    /// One 32-bit mask per chunk; bit set ⇒ non-zero value present.
+    pub chunks: Vec<u32>,
+    /// Number of valid columns (the final chunk may be partial).
+    pub cols: usize,
+}
+
+impl MaskedRow {
+    /// Extracts row `row` of `pattern` into chunked form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    #[must_use]
+    pub fn from_pattern(pattern: &SparsityPattern, row: usize) -> Self {
+        let cols = pattern.cols();
+        let n_chunks = cols.div_ceil(CHUNK_WIDTH);
+        let mut chunks = vec![0u32; n_chunks];
+        for c in pattern.row_indices(row) {
+            chunks[c / CHUNK_WIDTH] |= 1 << (c % CHUNK_WIDTH);
+        }
+        MaskedRow { chunks, cols }
+    }
+
+    /// Total non-zeros in the row.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.chunks.iter().map(|c| c.count_ones() as usize).sum()
+    }
+
+    /// Number of chunks.
+    #[must_use]
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Whether chunk `i` holds no non-zeros (a fetch-and-skip chunk in
+    /// SparTen's pipeline — wasted front-end work on coarse sparsity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    pub fn chunk_is_empty(&self, i: usize) -> bool {
+        self.chunks[i] == 0
+    }
+
+    /// Per-chunk matched non-zero pairs against another row: the multiply
+    /// work of SparTen's inner product for this row pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have different widths.
+    #[must_use]
+    pub fn matches_per_chunk(&self, other: &MaskedRow) -> Vec<usize> {
+        assert_eq!(self.cols, other.cols, "row widths differ");
+        self.chunks
+            .iter()
+            .zip(&other.chunks)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .collect()
+    }
+
+    /// Total matched pairs against another row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have different widths.
+    #[must_use]
+    pub fn total_matches(&self, other: &MaskedRow) -> usize {
+        self.matches_per_chunk(other).iter().sum()
+    }
+
+    /// Storage cost in bits: one mask bit per column plus 16 bits per
+    /// non-zero value.
+    #[must_use]
+    pub fn storage_bits(&self) -> usize {
+        self.cols + 16 * self.nnz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunking_and_nnz() {
+        let p = SparsityPattern::from_fn(1, 70, |_, c| c % 7 == 0);
+        let r = MaskedRow::from_pattern(&p, 0);
+        assert_eq!(r.chunk_count(), 3);
+        assert_eq!(r.nnz(), 10);
+        assert_eq!(r.cols, 70);
+    }
+
+    #[test]
+    fn match_counting() {
+        let a = MaskedRow::from_pattern(&SparsityPattern::from_fn(1, 64, |_, c| c % 2 == 0), 0);
+        let b = MaskedRow::from_pattern(&SparsityPattern::from_fn(1, 64, |_, c| c % 3 == 0), 0);
+        // Multiples of 6 in 0..64: 0,6,...,60 -> 11 values.
+        assert_eq!(a.total_matches(&b), 11);
+        assert_eq!(a.matches_per_chunk(&b).len(), 2);
+    }
+
+    #[test]
+    fn empty_chunk_detection() {
+        let p = SparsityPattern::from_fn(1, 96, |_, c| c < 32);
+        let r = MaskedRow::from_pattern(&p, 0);
+        assert!(!r.chunk_is_empty(0));
+        assert!(r.chunk_is_empty(1));
+        assert!(r.chunk_is_empty(2));
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let p = SparsityPattern::from_fn(1, 64, |_, c| c < 4);
+        let r = MaskedRow::from_pattern(&p, 0);
+        assert_eq!(r.storage_bits(), 64 + 16 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row widths differ")]
+    fn width_mismatch_panics() {
+        let a = MaskedRow::from_pattern(&SparsityPattern::empty(1, 32), 0);
+        let b = MaskedRow::from_pattern(&SparsityPattern::empty(1, 64), 0);
+        let _ = a.total_matches(&b);
+    }
+}

@@ -1,0 +1,84 @@
+//! Error types for the sparse substrate.
+
+use core::fmt;
+
+/// Errors produced by sparse-matrix construction and transformation.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum SparseError {
+    /// Two operands' dimensions are incompatible for the requested
+    /// operation.
+    DimensionMismatch {
+        /// Description of the expected shape.
+        expected: String,
+        /// Description of the shape actually provided.
+        actual: String,
+    },
+    /// A tile shape parameter is invalid (zero, or wider than the 64-column
+    /// bitmask datapath).
+    InvalidTileShape {
+        /// Requested number of tile rows.
+        rows: usize,
+        /// Requested number of tile columns.
+        cols: usize,
+    },
+    /// An index is out of bounds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound.
+        bound: usize,
+    },
+    /// A density parameter is outside `[0, 1]`.
+    InvalidDensity(f64),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            SparseError::InvalidTileShape { rows, cols } => {
+                write!(
+                    f,
+                    "invalid tile shape {rows}x{cols} (rows and cols must be in 1..=64)"
+                )
+            }
+            SparseError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds for length {bound}")
+            }
+            SparseError::InvalidDensity(d) => {
+                write!(f, "density {d} outside the unit interval")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SparseError::InvalidTileShape { rows: 0, cols: 4 };
+        assert!(e.to_string().contains("0x4"));
+        let e = SparseError::InvalidDensity(1.5);
+        assert!(e.to_string().contains("1.5"));
+        let e = SparseError::IndexOutOfBounds { index: 9, bound: 4 };
+        assert!(e.to_string().contains('9'));
+        let e = SparseError::DimensionMismatch {
+            expected: "4x4".into(),
+            actual: "4x5".into(),
+        };
+        assert!(e.to_string().contains("4x5"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_err<E: std::error::Error + Send + Sync + 'static>(_: E) {}
+        takes_err(SparseError::InvalidDensity(2.0));
+    }
+}

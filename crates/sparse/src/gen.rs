@@ -1,0 +1,214 @@
+//! Deterministic synthetic sparsity and value generators.
+//!
+//! The paper evaluates on SparseZoo checkpoints; this reproduction
+//! substitutes seeded synthetic patterns with matched densities (see
+//! DESIGN.md §5). Two pattern families are provided:
+//!
+//! * [`uniform_pattern`] — i.i.d. Bernoulli non-zeros, the standard model
+//!   for magnitude-pruned CNN filters;
+//! * [`clustered_pattern`] — block-structured density variation modelling
+//!   BERT's "large chunks of high sparsity in the filters" (paper §5.1),
+//!   which is what makes SparTen fetch-and-skip whole chunks while Eureka's
+//!   SUDS keeps its MACs fed.
+
+use crate::matrix::Matrix;
+use crate::pattern::SparsityPattern;
+use crate::rng::DetRng;
+use eureka_fp16::F16;
+
+/// I.i.d. Bernoulli pattern with the given non-zero `density`.
+///
+/// # Panics
+///
+/// Panics if `density` is not in `[0, 1]` or a dimension is zero.
+#[must_use]
+pub fn uniform_pattern(
+    rows: usize,
+    cols: usize,
+    density: f64,
+    rng: &mut DetRng,
+) -> SparsityPattern {
+    assert!(
+        (0.0..=1.0).contains(&density),
+        "density {density} not in [0,1]"
+    );
+    SparsityPattern::from_fn(rows, cols, |_, _| rng.bernoulli(density))
+}
+
+/// Block-clustered pattern: the matrix is divided into `block_rows ×
+/// block_cols` blocks; each block draws its own density from a two-point
+/// mixture so that a fraction `dense_block_fraction` of blocks carry almost
+/// all the non-zeros while the rest are nearly empty. The overall expected
+/// density equals `density`.
+///
+/// This reproduces the coarse filter-sparsity structure of pruned
+/// transformer weights: whole attention heads / FFN slices pruned away.
+///
+/// # Panics
+///
+/// Panics if `density` or `dense_block_fraction` are outside `(0, 1]`, or a
+/// dimension/block size is zero.
+#[must_use]
+pub fn clustered_pattern(
+    rows: usize,
+    cols: usize,
+    density: f64,
+    block_rows: usize,
+    block_cols: usize,
+    dense_block_fraction: f64,
+    rng: &mut DetRng,
+) -> SparsityPattern {
+    assert!(
+        (0.0..=1.0).contains(&density),
+        "density {density} not in [0,1]"
+    );
+    assert!(
+        dense_block_fraction > 0.0 && dense_block_fraction <= 1.0,
+        "dense_block_fraction must be in (0,1]"
+    );
+    assert!(
+        block_rows > 0 && block_cols > 0,
+        "block shape must be positive"
+    );
+    // Dense blocks get density d_hi, sparse blocks d_lo, with
+    //   f*d_hi + (1-f)*d_lo = density,  d_lo = 0.1 * d_hi (residual
+    // stragglers). When the target is high enough that d_hi would exceed
+    // 1, cap the blocks at fully dense and widen the dense fraction
+    // instead, keeping the mixture mean exact.
+    let f = dense_block_fraction;
+    let (f, d_hi, d_lo) = {
+        let d_hi = density / (f + 0.1 * (1.0 - f));
+        if d_hi <= 1.0 {
+            (f, d_hi, 0.1 * d_hi)
+        } else {
+            (((density - 0.1) / 0.9).clamp(0.0, 1.0), 1.0, 0.1)
+        }
+    };
+    let grid_cols = cols.div_ceil(block_cols);
+    let grid_rows = rows.div_ceil(block_rows);
+    let block_density: Vec<f64> = (0..grid_rows * grid_cols)
+        .map(|_| if rng.bernoulli(f) { d_hi } else { d_lo })
+        .collect();
+    SparsityPattern::from_fn(rows, cols, |r, c| {
+        let b = (r / block_rows) * grid_cols + c / block_cols;
+        rng.bernoulli(block_density[b])
+    })
+}
+
+/// Fills the non-zero positions of `pattern` with synthetic magnitudes: a
+/// Gaussian sample scaled to a typical pruned-weight range, never exactly
+/// zero (so value-level density matches the pattern).
+#[must_use]
+pub fn values_for_pattern(pattern: &SparsityPattern, rng: &mut DetRng) -> Matrix {
+    Matrix::from_fn(pattern.rows(), pattern.cols(), |r, c| {
+        if pattern.get(r, c) {
+            nonzero_weight(rng)
+        } else {
+            F16::ZERO
+        }
+    })
+}
+
+/// A single nonzero synthetic weight.
+fn nonzero_weight(rng: &mut DetRng) -> F16 {
+    loop {
+        let v = rng.next_gaussian() * 0.25;
+        // Survivors of magnitude pruning sit away from zero; reject tiny
+        // values (also guarantees the FP16 rounding can't produce 0).
+        if v.abs() >= 0.01 {
+            return F16::from_f64(v);
+        }
+    }
+}
+
+/// Small random integer-valued matrix (values in `[-4, 4]`, never zero at
+/// pattern positions). Products and short sums of such values are exact in
+/// FP16, so functional-equivalence tests can require bit equality.
+#[must_use]
+pub fn integer_values_for_pattern(pattern: &SparsityPattern, rng: &mut DetRng) -> Matrix {
+    Matrix::from_fn(pattern.rows(), pattern.cols(), |r, c| {
+        if pattern.get(r, c) {
+            let mag = 1 + rng.next_below(4) as i32;
+            let sign = if rng.bernoulli(0.5) { 1 } else { -1 };
+            F16::from_f32((sign * mag) as f32)
+        } else {
+            F16::ZERO
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_density_converges() {
+        let mut rng = DetRng::new(1);
+        let p = uniform_pattern(128, 512, 0.13, &mut rng);
+        assert!((p.density() - 0.13).abs() < 0.01, "density {}", p.density());
+    }
+
+    #[test]
+    fn uniform_is_deterministic() {
+        let a = uniform_pattern(32, 32, 0.5, &mut DetRng::new(7));
+        let b = uniform_pattern(32, 32, 0.5, &mut DetRng::new(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn clustered_density_matches_target() {
+        let mut rng = DetRng::new(2);
+        for target in [0.10, 0.28, 0.5, 0.9] {
+            let p = clustered_pattern(256, 512, target, 16, 32, 0.2, &mut rng);
+            assert!(
+                (p.density() - target).abs() < 0.04,
+                "target {target}: density {}",
+                p.density()
+            );
+        }
+    }
+
+    #[test]
+    fn clustered_is_coarser_than_uniform() {
+        // Clustered patterns should have many more empty 32-column chunks
+        // than uniform patterns of the same density.
+        let mut rng = DetRng::new(3);
+        let uni = uniform_pattern(128, 512, 0.10, &mut rng);
+        let clu = clustered_pattern(128, 512, 0.10, 16, 32, 0.2, &mut rng);
+        let empty_chunks = |p: &SparsityPattern| -> usize {
+            (0..p.rows())
+                .map(|r| {
+                    let row = crate::bitmask::MaskedRow::from_pattern(p, r);
+                    (0..row.chunk_count())
+                        .filter(|&i| row.chunk_is_empty(i))
+                        .count()
+                })
+                .sum()
+        };
+        let eu = empty_chunks(&uni);
+        let ec = empty_chunks(&clu);
+        assert!(ec > 2 * eu.max(1), "uniform {eu} clustered {ec}");
+    }
+
+    #[test]
+    fn values_match_pattern() {
+        let mut rng = DetRng::new(4);
+        let p = uniform_pattern(16, 16, 0.3, &mut rng);
+        let m = values_for_pattern(&p, &mut rng);
+        assert_eq!(m.pattern(), p);
+        let mi = integer_values_for_pattern(&p, &mut rng);
+        assert_eq!(mi.pattern(), p);
+        for r in 0..16 {
+            for c in 0..16 {
+                let v = mi.get(r, c).to_f32();
+                assert!(v.abs() <= 4.0 && v.fract() == 0.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not in [0,1]")]
+    fn density_validation() {
+        let _ = uniform_pattern(4, 4, 1.5, &mut DetRng::new(0));
+    }
+}

@@ -1,0 +1,160 @@
+//! Left-aligned tiles with original-column metadata (paper Figure 4).
+//!
+//! The sparse tensor core packs each row's non-zeros to the left; a per-value
+//! metadata field records the original column so the broadcast-side
+//! multiplexer (4-1 for 2:4, 8-1/16-1 after compaction) can select the
+//! matching activation row.
+
+use crate::tile::TilePattern;
+
+/// A tile whose rows hold original-column indices of the non-zeros, packed
+/// left (ascending by construction).
+///
+/// # Examples
+///
+/// ```
+/// use eureka_sparse::{AlignedTile, TilePattern};
+///
+/// let t = TilePattern::from_rows(&[0b1010, 0b0001, 0, 0b1111], 4).unwrap();
+/// let a = AlignedTile::from_tile(&t);
+/// assert_eq!(a.row(0), &[1, 3]);
+/// assert_eq!(a.max_row_len(), 4);
+/// assert_eq!(a.metadata_bits(), 2); // 4 columns -> 2-bit indices
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AlignedTile {
+    q: usize,
+    rows: Vec<Vec<u16>>,
+}
+
+impl AlignedTile {
+    /// Left-aligns a tile.
+    #[must_use]
+    pub fn from_tile(tile: &TilePattern) -> Self {
+        let rows = (0..tile.p())
+            .map(|r| tile.row_indices(r).iter().map(|&c| c as u16).collect())
+            .collect();
+        AlignedTile { q: tile.q(), rows }
+    }
+
+    /// Builds directly from per-row original-column lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= q` or `q` is not in `1..=64`.
+    #[must_use]
+    pub fn from_rows(rows: Vec<Vec<u16>>, q: usize) -> Self {
+        assert!((1..=64).contains(&q), "q must be in 1..=64");
+        for row in &rows {
+            for &c in row {
+                assert!((c as usize) < q, "column index {c} out of bounds for q={q}");
+            }
+        }
+        AlignedTile { q, rows }
+    }
+
+    /// Original tile width (the multiplexer fan-in).
+    #[must_use]
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn p(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Original-column indices of row `r`, left-packed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[u16] {
+        &self.rows[r]
+    }
+
+    /// Per-row non-zero counts.
+    #[must_use]
+    pub fn row_lens(&self) -> Vec<usize> {
+        self.rows.iter().map(Vec::len).collect()
+    }
+
+    /// The longest row (the aligned tile's critical path).
+    #[must_use]
+    pub fn max_row_len(&self) -> usize {
+        self.rows.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Total non-zeros.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+
+    /// Metadata bits needed per value to encode the original column
+    /// (2 bits for 2:4's q=4, 4 bits for compaction factor 4's q=16).
+    #[must_use]
+    pub fn metadata_bits(&self) -> u32 {
+        usize::BITS - (self.q - 1).leading_zeros()
+    }
+
+    /// Reconstructs the (unaligned) sparsity tile; inverse of
+    /// [`from_tile`](Self::from_tile).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile shape would be invalid (cannot happen for values
+    /// built through the public constructors).
+    #[must_use]
+    pub fn to_tile(&self) -> TilePattern {
+        let masks: Vec<u64> = self
+            .rows
+            .iter()
+            .map(|row| row.iter().fold(0u64, |m, &c| m | (1 << c)))
+            .collect();
+        TilePattern::from_rows(&masks, self.q).expect("indices validated on construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_roundtrip() {
+        let t = TilePattern::from_rows(&[0b1011, 0, 0b1000, 0b0110], 4).unwrap();
+        let a = AlignedTile::from_tile(&t);
+        assert_eq!(a.to_tile(), t);
+        assert_eq!(a.row(0), &[0, 1, 3]);
+        assert_eq!(a.row(2), &[3]);
+        assert_eq!(a.nnz(), t.nnz());
+        assert_eq!(a.max_row_len(), t.critical_path());
+    }
+
+    #[test]
+    fn metadata_bit_widths() {
+        let mk = |q: usize| AlignedTile::from_rows(vec![vec![]], q).metadata_bits();
+        assert_eq!(mk(4), 2);
+        assert_eq!(mk(8), 3);
+        assert_eq!(mk(16), 4);
+        assert_eq!(mk(64), 6);
+    }
+
+    #[test]
+    fn figure4_example_shape() {
+        // A 2:4 sparse tile: every row has exactly two non-zeros, first in
+        // columns 0..3, second in columns 1..4 — left-aligns to two columns.
+        let t = TilePattern::from_rows(&[0b0011, 0b1010, 0b0101, 0b1100], 4).unwrap();
+        let a = AlignedTile::from_tile(&t);
+        assert!(a.row_lens().iter().all(|&l| l == 2));
+        assert_eq!(a.max_row_len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn from_rows_validates_indices() {
+        let _ = AlignedTile::from_rows(vec![vec![4]], 4);
+    }
+}

@@ -1,0 +1,54 @@
+//! Sparse matrix substrate for the Eureka (MICRO 2023) reproduction.
+//!
+//! Every scheme evaluated in the paper — dense tensor cores, Ampere's 2:4
+//! structured sparsity, Cnvlutin-like compaction, DSTC, SparTen, S2TA and
+//! Eureka itself — consumes sparse *filter* matrices and (for the two-sided
+//! baselines) sparse *activation* matrices. This crate provides their shared
+//! representations:
+//!
+//! * [`Matrix`] — a dense row-major FP16 value matrix;
+//! * [`SparsityPattern`] — a bit matrix of non-zero positions;
+//! * [`TilePattern`] / [`TileGrid`] — the `p×q` sub-matrix windows the MAC
+//!   sub-arrays operate on;
+//! * [`AlignedTile`] — a left-aligned tile with original-column metadata
+//!   (paper Figure 4);
+//! * [`structured`] — 2:4 structured pruning and its 2-bit metadata format;
+//! * [`bitmask`] — SparTen-style chunked bitmask format;
+//! * [`gen`] — deterministic uniform and clustered sparsity generators;
+//! * [`rng::DetRng`] — a seedable, version-stable random number generator so
+//!   every experiment is reproducible bit-for-bit.
+//!
+//! # Examples
+//!
+//! ```
+//! use eureka_sparse::{gen, rng::DetRng, TileGrid};
+//!
+//! let mut rng = DetRng::new(42);
+//! let pattern = gen::uniform_pattern(16, 64, 0.13, &mut rng);
+//! let tiles = TileGrid::new(&pattern, 4, 16);
+//! let worst = tiles.iter().map(|t| t.critical_path()).max().unwrap();
+//! assert!(worst <= 16);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitmask;
+pub mod error;
+pub mod gen;
+pub mod leftalign;
+pub mod matrix;
+pub mod pattern;
+pub mod rng;
+pub mod stats;
+pub mod storage;
+pub mod structured;
+pub mod tile;
+pub mod tiling;
+
+pub use error::SparseError;
+pub use leftalign::AlignedTile;
+pub use matrix::Matrix;
+pub use pattern::SparsityPattern;
+pub use tile::TilePattern;
+pub use tiling::TileGrid;

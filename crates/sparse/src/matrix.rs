@@ -1,0 +1,301 @@
+//! Dense row-major FP16 matrices and reference matrix multiplication.
+
+use crate::error::SparseError;
+use crate::pattern::SparsityPattern;
+use eureka_fp16::F16;
+
+/// A dense row-major matrix of binary16 values.
+///
+/// Used as the ground-truth value container: the simulator works on
+/// [`SparsityPattern`]s, while the functional executor in `eureka-core`
+/// multiplies real `Matrix` values to prove numerical equivalence of the
+/// displaced schedules.
+///
+/// # Examples
+///
+/// ```
+/// use eureka_sparse::Matrix;
+/// use eureka_fp16::F16;
+///
+/// let m = Matrix::from_fn(2, 3, |r, c| F16::from_f32((r * 3 + c) as f32));
+/// assert_eq!(m.get(1, 2).to_f32(), 5.0);
+/// assert_eq!(m.transpose().get(2, 1).to_f32(), 5.0);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<F16>,
+}
+
+impl Matrix {
+    /// Creates a zero-filled matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix {
+            rows,
+            cols,
+            data: vec![F16::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` at every position.
+    #[must_use]
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> F16) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.set(r, c, f(r, c));
+            }
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major value slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] if `values.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, values: &[F16]) -> Result<Self, SparseError> {
+        if values.len() != rows * cols {
+            return Err(SparseError::DimensionMismatch {
+                expected: format!("{rows}x{cols} = {} values", rows * cols),
+                actual: format!("{} values", values.len()),
+            });
+        }
+        Ok(Matrix {
+            rows,
+            cols,
+            data: values.to_vec(),
+        })
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Value at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position is out of bounds.
+    #[must_use]
+    pub fn get(&self, row: usize, col: usize) -> F16 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the value at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position is out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, value: F16) {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Borrow of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[F16] {
+        assert!(r < self.rows, "row out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The non-zero structure of this matrix.
+    #[must_use]
+    pub fn pattern(&self) -> SparsityPattern {
+        SparsityPattern::from_fn(self.rows, self.cols, |r, c| !self.get(r, c).is_zero())
+    }
+
+    /// Transposed copy.
+    #[must_use]
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Fraction of non-zero values.
+    #[must_use]
+    pub fn density(&self) -> f64 {
+        let nnz = self.data.iter().filter(|v| !v.is_zero()).count();
+        nnz as f64 / self.data.len() as f64
+    }
+
+    /// Applies `f` to every element, returning a new matrix.
+    #[must_use]
+    pub fn map(&self, mut f: impl FnMut(F16) -> F16) -> Matrix {
+        Matrix::from_fn(self.rows, self.cols, |r, c| f(self.get(r, c)))
+    }
+
+    /// Element-wise ReLU: negative values (and `-0.0`) become `+0.0` —
+    /// the non-linearity whose zeros the two-sided baselines exploit.
+    #[must_use]
+    pub fn relu(&self) -> Matrix {
+        self.map(|v| {
+            if v.is_sign_negative() || v.is_nan() {
+                F16::ZERO
+            } else {
+                v
+            }
+        })
+    }
+
+    /// Reference matrix product computed in `f64` and rounded once per
+    /// output element. The gold standard the hardware paths are tested
+    /// against (exact for integer-valued inputs with small dot products).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] if `self.cols() != rhs.rows()`.
+    pub fn matmul_reference(&self, rhs: &Matrix) -> Result<Matrix, SparseError> {
+        if self.cols != rhs.rows {
+            return Err(SparseError::DimensionMismatch {
+                expected: format!("rhs with {} rows", self.cols),
+                actual: format!("{}x{}", rhs.rows, rhs.cols),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for j in 0..rhs.cols {
+                let mut acc = 0.0f64;
+                for k in 0..self.cols {
+                    acc += self.get(i, k).to_f64() * rhs.get(k, j).to_f64();
+                }
+                out.set(i, j, F16::from_f64(acc));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Hardware-path matrix product: per output element, FP16 products
+    /// accumulated in FP16 in `k` order, matching the undisplaced
+    /// output-stationary dataflow.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] if `self.cols() != rhs.rows()`.
+    pub fn matmul_hw(&self, rhs: &Matrix) -> Result<Matrix, SparseError> {
+        if self.cols != rhs.rows {
+            return Err(SparseError::DimensionMismatch {
+                expected: format!("rhs with {} rows", self.cols),
+                actual: format!("{}x{}", rhs.rows, rhs.cols),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for j in 0..rhs.cols {
+                let mut mac = eureka_fp16::MacUnit::new();
+                for k in 0..self.cols {
+                    mac.fma(self.get(i, k), rhs.get(k, j));
+                }
+                out.set(i, j, mac.value());
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(x: f32) -> F16 {
+        F16::from_f32(x)
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let m = Matrix::from_fn(3, 2, |r, c| f((r * 2 + c) as f32));
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.get(2, 1).to_f32(), 5.0);
+        assert_eq!(m.row(1), &[f(2.0), f(3.0)]);
+    }
+
+    #[test]
+    fn from_rows_validates_length() {
+        let err = Matrix::from_rows(2, 2, &[F16::ZERO; 3]).unwrap_err();
+        assert!(matches!(err, SparseError::DimensionMismatch { .. }));
+        let ok = Matrix::from_rows(2, 2, &[F16::ONE; 4]).unwrap();
+        assert_eq!(ok.get(1, 1), F16::ONE);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_fn(3, 5, |r, c| f((r * 5 + c) as f32));
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn pattern_and_density() {
+        let m = Matrix::from_fn(2, 2, |r, c| if r == c { F16::ONE } else { F16::ZERO });
+        assert_eq!(m.density(), 0.5);
+        let p = m.pattern();
+        assert!(p.get(0, 0));
+        assert!(!p.get(0, 1));
+    }
+
+    #[test]
+    fn map_and_relu() {
+        let m = Matrix::from_fn(2, 2, |r, c| f(if (r + c) % 2 == 0 { -1.5 } else { 2.0 }));
+        let doubled = m.map(|v| v + v);
+        assert_eq!(doubled.get(0, 1).to_f32(), 4.0);
+        let rel = m.relu();
+        assert_eq!(rel.get(0, 0), F16::ZERO);
+        assert_eq!(rel.get(0, 1).to_f32(), 2.0);
+        // -0.0 normalizes to +0.0 so density counts stay consistent.
+        let z = Matrix::from_fn(1, 1, |_, _| F16::NEG_ZERO).relu();
+        assert_eq!(z.get(0, 0).to_bits(), 0);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::from_fn(3, 3, |r, c| f((r * 3 + c + 1) as f32));
+        let id = Matrix::from_fn(3, 3, |r, c| if r == c { F16::ONE } else { F16::ZERO });
+        assert_eq!(a.matmul_reference(&id).unwrap(), a);
+        assert_eq!(a.matmul_hw(&id).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(2, 2, &[f(1.0), f(2.0), f(3.0), f(4.0)]).unwrap();
+        let b = Matrix::from_rows(2, 2, &[f(5.0), f(6.0), f(7.0), f(8.0)]).unwrap();
+        let c = a.matmul_reference(&b).unwrap();
+        assert_eq!(c.get(0, 0).to_f32(), 19.0);
+        assert_eq!(c.get(0, 1).to_f32(), 22.0);
+        assert_eq!(c.get(1, 0).to_f32(), 43.0);
+        assert_eq!(c.get(1, 1).to_f32(), 50.0);
+        assert_eq!(a.matmul_hw(&b).unwrap(), c);
+    }
+
+    #[test]
+    fn matmul_dimension_check() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 2);
+        assert!(a.matmul_reference(&b).is_err());
+        assert!(a.matmul_hw(&b).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dims_panic() {
+        let _ = Matrix::zeros(0, 3);
+    }
+}

@@ -1,0 +1,282 @@
+//! Bit matrices of non-zero positions.
+//!
+//! Timing in every architecture model depends only on *where* the non-zeros
+//! are, not on their values, so the simulator works on [`SparsityPattern`]s
+//! and leaves values to [`crate::Matrix`].
+
+use crate::error::SparseError;
+
+/// A rows×cols bit matrix; bit set ⇒ non-zero at that position.
+///
+/// Rows are stored as packed 64-bit words.
+///
+/// # Examples
+///
+/// ```
+/// use eureka_sparse::SparsityPattern;
+///
+/// let p = SparsityPattern::from_fn(2, 3, |r, c| (r + c) % 2 == 0);
+/// assert_eq!(p.nnz(), 3);
+/// assert_eq!(p.row_nnz(0), 2);
+/// assert!((p.density() - 0.5).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SparsityPattern {
+    rows: usize,
+    cols: usize,
+    words_per_row: usize,
+    words: Vec<u64>,
+}
+
+impl SparsityPattern {
+    /// Creates an all-zero pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn empty(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "pattern dimensions must be positive");
+        let words_per_row = cols.div_ceil(64);
+        SparsityPattern {
+            rows,
+            cols,
+            words_per_row,
+            words: vec![0; rows * words_per_row],
+        }
+    }
+
+    /// Creates a pattern by evaluating a predicate at every position.
+    #[must_use]
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> bool) -> Self {
+        let mut p = SparsityPattern::empty(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                if f(r, c) {
+                    p.insert(r, c);
+                }
+            }
+        }
+        p
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Whether position `(row, col)` is non-zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[must_use]
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        let w = self.words[row * self.words_per_row + col / 64];
+        (w >> (col % 64)) & 1 == 1
+    }
+
+    /// Marks position `(row, col)` non-zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn insert(&mut self, row: usize, col: usize) {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.words[row * self.words_per_row + col / 64] |= 1 << (col % 64);
+    }
+
+    /// Clears position `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn remove(&mut self, row: usize, col: usize) {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.words[row * self.words_per_row + col / 64] &= !(1 << (col % 64));
+    }
+
+    /// Total number of non-zeros.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of non-zeros in `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    #[must_use]
+    pub fn row_nnz(&self, row: usize) -> usize {
+        assert!(row < self.rows, "row out of bounds");
+        self.words[row * self.words_per_row..(row + 1) * self.words_per_row]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// Fraction of non-zero positions.
+    #[must_use]
+    pub fn density(&self) -> f64 {
+        self.nnz() as f64 / (self.rows * self.cols) as f64
+    }
+
+    /// Column indices of the non-zeros in `row`, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    #[must_use]
+    pub fn row_indices(&self, row: usize) -> Vec<usize> {
+        assert!(row < self.rows, "row out of bounds");
+        let mut out = Vec::with_capacity(self.row_nnz(row));
+        for wi in 0..self.words_per_row {
+            let mut w = self.words[row * self.words_per_row + wi];
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                out.push(wi * 64 + bit);
+                w &= w - 1;
+            }
+        }
+        out
+    }
+
+    /// A `row_count × col_count` window starting at `(row0, col0)`,
+    /// zero-padded past the matrix edge (tiles at the boundary of a layer
+    /// whose dimensions aren't tile multiples).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::IndexOutOfBounds`] if the window origin is
+    /// outside the matrix.
+    pub fn window(
+        &self,
+        row0: usize,
+        col0: usize,
+        row_count: usize,
+        col_count: usize,
+    ) -> Result<SparsityPattern, SparseError> {
+        if row0 >= self.rows {
+            return Err(SparseError::IndexOutOfBounds {
+                index: row0,
+                bound: self.rows,
+            });
+        }
+        if col0 >= self.cols {
+            return Err(SparseError::IndexOutOfBounds {
+                index: col0,
+                bound: self.cols,
+            });
+        }
+        Ok(SparsityPattern::from_fn(row_count, col_count, |r, c| {
+            let (rr, cc) = (row0 + r, col0 + c);
+            rr < self.rows && cc < self.cols && self.get(rr, cc)
+        }))
+    }
+
+    /// Transposed copy.
+    #[must_use]
+    pub fn transpose(&self) -> SparsityPattern {
+        SparsityPattern::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Element-wise AND (the SparTen inner-product match set).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] on shape mismatch.
+    pub fn intersect(&self, other: &SparsityPattern) -> Result<SparsityPattern, SparseError> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(SparseError::DimensionMismatch {
+                expected: format!("{}x{}", self.rows, self.cols),
+                actual: format!("{}x{}", other.rows, other.cols),
+            });
+        }
+        let mut out = self.clone();
+        for (w, o) in out.words.iter_mut().zip(&other.words) {
+            *w &= o;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut p = SparsityPattern::empty(3, 70);
+        assert!(!p.get(2, 69));
+        p.insert(2, 69);
+        assert!(p.get(2, 69));
+        assert_eq!(p.nnz(), 1);
+        p.remove(2, 69);
+        assert_eq!(p.nnz(), 0);
+    }
+
+    #[test]
+    fn row_statistics() {
+        let p = SparsityPattern::from_fn(2, 130, |r, c| r == 0 && c % 3 == 0);
+        assert_eq!(p.row_nnz(0), 44);
+        assert_eq!(p.row_nnz(1), 0);
+        assert_eq!(p.nnz(), 44);
+        let idx = p.row_indices(0);
+        assert_eq!(idx[0], 0);
+        assert_eq!(idx[1], 3);
+        assert_eq!(*idx.last().unwrap(), 129);
+    }
+
+    #[test]
+    fn window_zero_pads() {
+        let p = SparsityPattern::from_fn(4, 4, |r, c| r == c);
+        let w = p.window(2, 2, 4, 4).unwrap();
+        assert!(w.get(0, 0));
+        assert!(w.get(1, 1));
+        assert!(!w.get(2, 2)); // past the edge, zero-padded
+        assert_eq!(w.nnz(), 2);
+    }
+
+    #[test]
+    fn window_origin_validation() {
+        let p = SparsityPattern::empty(4, 4);
+        assert!(p.window(4, 0, 2, 2).is_err());
+        assert!(p.window(0, 9, 2, 2).is_err());
+    }
+
+    #[test]
+    fn intersect_counts_matches() {
+        let a = SparsityPattern::from_fn(1, 8, |_, c| c % 2 == 0);
+        let b = SparsityPattern::from_fn(1, 8, |_, c| c < 4);
+        let m = a.intersect(&b).unwrap();
+        assert_eq!(m.nnz(), 2); // columns 0 and 2
+        let bad = SparsityPattern::empty(2, 8);
+        assert!(a.intersect(&bad).is_err());
+    }
+
+    #[test]
+    fn density() {
+        let p = SparsityPattern::from_fn(10, 10, |r, _| r < 3);
+        assert!((p.density() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let p = SparsityPattern::from_fn(5, 70, |r, c| (r * 13 + c * 7) % 4 == 0);
+        let t = p.transpose();
+        assert_eq!(t.rows(), 70);
+        assert_eq!(t.cols(), 5);
+        assert_eq!(t.nnz(), p.nnz());
+        assert_eq!(t.transpose(), p);
+        assert_eq!(p.get(2, 64), t.get(64, 2));
+    }
+}

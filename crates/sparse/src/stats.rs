@@ -1,0 +1,226 @@
+//! Small statistics helpers: histograms and summary moments for the
+//! critical-path distributions of Figure 9 and for test assertions.
+
+/// A histogram over small non-negative integers (e.g. tile critical paths).
+///
+/// # Examples
+///
+/// ```
+/// use eureka_sparse::stats::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [1usize, 2, 2, 3] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.bin(2), 2);
+/// assert_eq!(h.max(), Some(3));
+/// assert!((h.mean() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    bins: Vec<u64>,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: usize) {
+        if value >= self.bins.len() {
+            self.bins.resize(value + 1, 0);
+        }
+        self.bins[value] += 1;
+        self.count += 1;
+    }
+
+    /// Number of observations recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Number of observations equal to `value`.
+    #[must_use]
+    pub fn bin(&self, value: usize) -> u64 {
+        self.bins.get(value).copied().unwrap_or(0)
+    }
+
+    /// Largest observed value.
+    #[must_use]
+    pub fn max(&self) -> Option<usize> {
+        self.bins.iter().rposition(|&c| c > 0)
+    }
+
+    /// Smallest observed value.
+    #[must_use]
+    pub fn min(&self) -> Option<usize> {
+        self.bins.iter().position(|&c| c > 0)
+    }
+
+    /// Mean of the observations (0 for an empty histogram).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self
+            .bins
+            .iter()
+            .enumerate()
+            .map(|(v, &c)| v as u64 * c)
+            .sum();
+        sum as f64 / self.count as f64
+    }
+
+    /// Population standard deviation (0 for fewer than two observations).
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let ss: f64 = self
+            .bins
+            .iter()
+            .enumerate()
+            .map(|(v, &c)| c as f64 * (v as f64 - mean) * (v as f64 - mean))
+            .sum();
+        (ss / self.count as f64).sqrt()
+    }
+
+    /// Fraction of observations equal to `value`.
+    #[must_use]
+    pub fn fraction(&self, value: usize) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.bin(value) as f64 / self.count as f64
+    }
+
+    /// Iterates `(value, count)` pairs for non-empty bins.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.bins
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(v, &c)| (v, c))
+    }
+}
+
+impl FromIterator<usize> for Histogram {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut h = Histogram::new();
+        for v in iter {
+            h.record(v);
+        }
+        h
+    }
+}
+
+impl Extend<usize> for Histogram {
+    fn extend<I: IntoIterator<Item = usize>>(&mut self, iter: I) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+/// Arithmetic mean of an f64 slice (0 for empty input).
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Geometric mean of positive values (0 if any value is non-positive or the
+/// slice is empty). The paper's cross-benchmark means are arithmetic, but
+/// the geomean is provided for sensitivity checks.
+#[must_use]
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() || xs.iter().any(|&x| x <= 0.0) {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Weighted arithmetic mean; weights are normalized internally.
+///
+/// # Panics
+///
+/// Panics if slices differ in length or total weight is zero.
+#[must_use]
+pub fn weighted_mean(xs: &[f64], weights: &[f64]) -> f64 {
+    assert_eq!(xs.len(), weights.len(), "length mismatch");
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "total weight must be positive");
+    xs.iter().zip(weights).map(|(x, w)| x * w).sum::<f64>() / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_basics() {
+        let h: Histogram = [3usize, 1, 3, 3, 0].into_iter().collect();
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.bin(3), 3);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(3));
+        assert!((h.mean() - 2.0).abs() < 1e-12);
+        assert!((h.fraction(3) - 0.6).abs() < 1e-12);
+        let pairs: Vec<_> = h.iter().collect();
+        assert_eq!(pairs, vec![(0, 1), (1, 1), (3, 3)]);
+    }
+
+    #[test]
+    fn histogram_std_dev() {
+        let h: Histogram = [2usize, 2, 2].into_iter().collect();
+        assert_eq!(h.std_dev(), 0.0);
+        let h: Histogram = [0usize, 4].into_iter().collect();
+        assert!((h.std_dev() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.fraction(1), 0.0);
+    }
+
+    #[test]
+    fn extend_accumulates() {
+        let mut h = Histogram::new();
+        h.extend([1usize, 1]);
+        h.extend([2usize]);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn means() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[1.0, -1.0]), 0.0);
+        // Paper's rep-mean: 75% BERT, 25% CNN average.
+        let m = weighted_mean(&[8.0, 4.0], &[0.75, 0.25]);
+        assert!((m - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn weighted_mean_validates() {
+        let _ = weighted_mean(&[1.0], &[0.5, 0.5]);
+    }
+}

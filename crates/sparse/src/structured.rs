@@ -1,0 +1,145 @@
+//! 2:4 structured sparsity (Nvidia Ampere's sparse tensor core format).
+//!
+//! Every group of four consecutive values along the reduction dimension
+//! keeps at most two non-zeros; groups with fewer than two are treated as
+//! two for regularity (paper §1). Re-pruning an unstructured matrix keeps
+//! the top-2 magnitudes per group, which is how the Ampere baseline runs
+//! the paper's unstructured-pruned models.
+
+use crate::matrix::Matrix;
+use crate::pattern::SparsityPattern;
+use eureka_fp16::F16;
+
+/// Result of structured 2:4 pruning.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TwoFourPruned {
+    /// Values with losers zeroed.
+    pub matrix: Matrix,
+    /// Fraction of originally non-zero values that survived.
+    pub kept_fraction: f64,
+}
+
+/// Prunes `m` to 2:4 along the columns (reduction dimension), keeping the
+/// two largest magnitudes per group of four.
+///
+/// # Examples
+///
+/// ```
+/// use eureka_sparse::{structured, Matrix};
+/// use eureka_fp16::F16;
+///
+/// let m = Matrix::from_fn(1, 4, |_, c| F16::from_f32([4.0, 1.0, 3.0, 2.0][c]));
+/// let pruned = structured::prune_2_4(&m);
+/// assert_eq!(pruned.matrix.get(0, 0).to_f32(), 4.0);
+/// assert_eq!(pruned.matrix.get(0, 1).to_f32(), 0.0);
+/// assert_eq!(pruned.matrix.get(0, 2).to_f32(), 3.0);
+/// assert_eq!(pruned.matrix.get(0, 3).to_f32(), 0.0);
+/// ```
+#[must_use]
+pub fn prune_2_4(m: &Matrix) -> TwoFourPruned {
+    let mut out = m.clone();
+    let mut original_nnz = 0usize;
+    let mut kept_nnz = 0usize;
+    for r in 0..m.rows() {
+        let mut c0 = 0;
+        while c0 < m.cols() {
+            let group_end = (c0 + 4).min(m.cols());
+            let mut entries: Vec<(usize, f64)> = (c0..group_end)
+                .map(|c| (c, m.get(r, c).to_f64().abs()))
+                .collect();
+            original_nnz += entries.iter().filter(|(_, v)| *v != 0.0).count();
+            // Keep the two largest magnitudes (stable on ties by index).
+            entries.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            for &(c, v) in entries.iter().skip(2) {
+                if v != 0.0 {
+                    out.set(r, c, F16::ZERO);
+                }
+            }
+            kept_nnz += entries.iter().take(2).filter(|(_, v)| *v != 0.0).count();
+            c0 = group_end;
+        }
+    }
+    let kept_fraction = if original_nnz == 0 {
+        1.0
+    } else {
+        kept_nnz as f64 / original_nnz as f64
+    };
+    TwoFourPruned {
+        matrix: out,
+        kept_fraction,
+    }
+}
+
+/// Checks that a pattern satisfies the 2:4 constraint along the columns.
+#[must_use]
+pub fn satisfies_2_4(p: &SparsityPattern) -> bool {
+    for r in 0..p.rows() {
+        let mut c0 = 0;
+        while c0 < p.cols() {
+            let group_end = (c0 + 4).min(p.cols());
+            let nnz = (c0..group_end).filter(|&c| p.get(r, c)).count();
+            if nnz > 2 {
+                return false;
+            }
+            c0 = group_end;
+        }
+    }
+    true
+}
+
+/// Per-value metadata bits for 2:4 (the value's position within its group
+/// of four).
+pub const METADATA_BITS_2_4: u32 = 2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(x: f32) -> F16 {
+        F16::from_f32(x)
+    }
+
+    #[test]
+    fn prune_keeps_top_two_per_group() {
+        let vals = [1.0f32, -5.0, 2.0, 0.5, 3.0, 3.0, -1.0, 0.0];
+        let m = Matrix::from_fn(1, 8, |_, c| f(vals[c]));
+        let p = prune_2_4(&m);
+        // Group 1: keep -5 and 2.
+        assert_eq!(p.matrix.get(0, 0).to_f32(), 0.0);
+        assert_eq!(p.matrix.get(0, 1).to_f32(), -5.0);
+        assert_eq!(p.matrix.get(0, 2).to_f32(), 2.0);
+        assert_eq!(p.matrix.get(0, 3).to_f32(), 0.0);
+        // Group 2: keep both 3.0s.
+        assert_eq!(p.matrix.get(0, 4).to_f32(), 3.0);
+        assert_eq!(p.matrix.get(0, 5).to_f32(), 3.0);
+        assert_eq!(p.matrix.get(0, 6).to_f32(), 0.0);
+        assert!(satisfies_2_4(&p.matrix.pattern()));
+        assert!((p.kept_fraction - 4.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn already_sparse_groups_untouched() {
+        let m = Matrix::from_fn(2, 4, |r, c| if c == r { f(1.0) } else { F16::ZERO });
+        let p = prune_2_4(&m);
+        assert_eq!(p.matrix, m);
+        assert_eq!(p.kept_fraction, 1.0);
+    }
+
+    #[test]
+    fn ragged_tail_group() {
+        // 6 columns: the final group has width 2, nothing pruned there.
+        let m = Matrix::from_fn(1, 6, |_, c| f((c + 1) as f32));
+        let p = prune_2_4(&m);
+        assert_eq!(p.matrix.get(0, 4).to_f32(), 5.0);
+        assert_eq!(p.matrix.get(0, 5).to_f32(), 6.0);
+        assert!(satisfies_2_4(&p.matrix.pattern()));
+    }
+
+    #[test]
+    fn satisfies_detects_violation() {
+        let p = SparsityPattern::from_fn(1, 4, |_, _| true);
+        assert!(!satisfies_2_4(&p));
+        let ok = SparsityPattern::from_fn(1, 4, |_, c| c < 2);
+        assert!(satisfies_2_4(&ok));
+    }
+}

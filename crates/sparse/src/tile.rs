@@ -1,0 +1,232 @@
+//! Fixed-size sparsity tiles — the unit the MAC sub-arrays operate on.
+//!
+//! A tensor-core sub-array multiplies a `p × q` *filter* sub-matrix
+//! (p = sub-array dimension, q = p × compaction factor after compaction)
+//! against a broadcast activation tile. All the paper's timing quantities —
+//! row lengths, the critical path, the nnz lower bound — are tile-local,
+//! so [`TilePattern`] stores each row as one 64-bit mask.
+
+use crate::error::SparseError;
+use crate::pattern::SparsityPattern;
+
+/// The non-zero structure of one `p × q` tile (`q <= 64`).
+///
+/// # Examples
+///
+/// ```
+/// use eureka_sparse::TilePattern;
+///
+/// let t = TilePattern::from_rows(&[0b1011, 0b0001, 0b0000, 0b1000], 4).unwrap();
+/// assert_eq!(t.critical_path(), 3);      // row 0 has three non-zeros
+/// assert_eq!(t.nnz(), 5);
+/// assert_eq!(t.min_critical_path(), 2);  // ceil(5 / 4)
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TilePattern {
+    cols: usize,
+    rows: Vec<u64>,
+}
+
+impl TilePattern {
+    /// Creates a tile from per-row bitmasks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::InvalidTileShape`] if there are no rows, the
+    /// column count is not in `1..=64`, or a mask has bits above `cols`.
+    pub fn from_rows(rows: &[u64], cols: usize) -> Result<Self, SparseError> {
+        if rows.is_empty() || cols == 0 || cols > 64 {
+            return Err(SparseError::InvalidTileShape {
+                rows: rows.len(),
+                cols,
+            });
+        }
+        let valid = if cols == 64 {
+            u64::MAX
+        } else {
+            (1u64 << cols) - 1
+        };
+        if rows.iter().any(|&m| m & !valid != 0) {
+            return Err(SparseError::InvalidTileShape {
+                rows: rows.len(),
+                cols,
+            });
+        }
+        Ok(TilePattern {
+            cols,
+            rows: rows.to_vec(),
+        })
+    }
+
+    /// Extracts the tile at window `(row0, col0)` of a pattern, zero-padded
+    /// past the edges.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the shape is invalid or the origin out of bounds.
+    pub fn from_pattern(
+        pattern: &SparsityPattern,
+        row0: usize,
+        col0: usize,
+        p: usize,
+        q: usize,
+    ) -> Result<Self, SparseError> {
+        if p == 0 || q == 0 || q > 64 {
+            return Err(SparseError::InvalidTileShape { rows: p, cols: q });
+        }
+        let w = pattern.window(row0, col0, p, q)?;
+        let mut rows = vec![0u64; p];
+        for (r, mask) in rows.iter_mut().enumerate() {
+            for c in w.row_indices(r) {
+                *mask |= 1 << c;
+            }
+        }
+        Ok(TilePattern { cols: q, rows })
+    }
+
+    /// Number of rows `p`.
+    #[must_use]
+    pub fn p(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns `q`.
+    #[must_use]
+    pub fn q(&self) -> usize {
+        self.cols
+    }
+
+    /// Raw bitmask of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    #[must_use]
+    pub fn row_mask(&self, r: usize) -> u64 {
+        self.rows[r]
+    }
+
+    /// Non-zero count of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    #[must_use]
+    pub fn row_len(&self, r: usize) -> usize {
+        self.rows[r].count_ones() as usize
+    }
+
+    /// Per-row non-zero counts.
+    #[must_use]
+    pub fn row_lens(&self) -> Vec<usize> {
+        self.rows.iter().map(|m| m.count_ones() as usize).collect()
+    }
+
+    /// Total non-zeros in the tile.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.rows.iter().map(|m| m.count_ones() as usize).sum()
+    }
+
+    /// The tile's critical path: the longest row, i.e. the cycles an
+    /// output-stationary sub-array needs for this tile after left-alignment
+    /// (paper §3).
+    #[must_use]
+    pub fn critical_path(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|m| m.count_ones() as usize)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The information-theoretic lower bound on any balanced critical path:
+    /// `ceil(nnz / p)` (paper §3.2, the lower bound of the `K` search).
+    #[must_use]
+    pub fn min_critical_path(&self) -> usize {
+        self.nnz().div_ceil(self.p())
+    }
+
+    /// Whether the tile has no non-zeros.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.iter().all(|&m| m == 0)
+    }
+
+    /// Fraction of non-zero cells.
+    #[must_use]
+    pub fn density(&self) -> f64 {
+        self.nnz() as f64 / (self.p() * self.q()) as f64
+    }
+
+    /// Column indices of non-zeros in row `r`, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    #[must_use]
+    pub fn row_indices(&self, r: usize) -> Vec<usize> {
+        let mut m = self.rows[r];
+        let mut out = Vec::with_capacity(m.count_ones() as usize);
+        while m != 0 {
+            out.push(m.trailing_zeros() as usize);
+            m &= m - 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_validates() {
+        assert!(TilePattern::from_rows(&[], 4).is_err());
+        assert!(TilePattern::from_rows(&[0], 0).is_err());
+        assert!(TilePattern::from_rows(&[0], 65).is_err());
+        assert!(TilePattern::from_rows(&[0b10000], 4).is_err()); // bit 4 invalid for cols=4
+        assert!(TilePattern::from_rows(&[0b1111], 4).is_ok());
+        assert!(TilePattern::from_rows(&[u64::MAX], 64).is_ok());
+    }
+
+    #[test]
+    fn counts_and_critical_path() {
+        let t = TilePattern::from_rows(&[0b1111, 0b0011, 0, 0b1000], 4).unwrap();
+        assert_eq!(t.p(), 4);
+        assert_eq!(t.q(), 4);
+        assert_eq!(t.nnz(), 7);
+        assert_eq!(t.critical_path(), 4);
+        assert_eq!(t.min_critical_path(), 2);
+        assert_eq!(t.row_lens(), vec![4, 2, 0, 1]);
+        assert!(!t.is_empty());
+        assert_eq!(t.density(), 7.0 / 16.0);
+    }
+
+    #[test]
+    fn empty_tile() {
+        let t = TilePattern::from_rows(&[0, 0], 8).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.critical_path(), 0);
+        assert_eq!(t.min_critical_path(), 0);
+    }
+
+    #[test]
+    fn from_pattern_window() {
+        let p = SparsityPattern::from_fn(8, 8, |r, c| r == c);
+        let t = TilePattern::from_pattern(&p, 4, 4, 4, 4).unwrap();
+        assert_eq!(t.nnz(), 4);
+        assert_eq!(t.row_indices(2), vec![2]);
+        // Zero-padded window past the edge.
+        let t = TilePattern::from_pattern(&p, 6, 6, 4, 4).unwrap();
+        assert_eq!(t.nnz(), 2);
+        assert!(TilePattern::from_pattern(&p, 8, 0, 4, 4).is_err());
+        assert!(TilePattern::from_pattern(&p, 0, 0, 0, 4).is_err());
+    }
+
+    #[test]
+    fn row_indices_order() {
+        let t = TilePattern::from_rows(&[0b1010_0001], 8).unwrap();
+        assert_eq!(t.row_indices(0), vec![0, 5, 7]);
+    }
+}

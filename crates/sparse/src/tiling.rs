@@ -1,0 +1,183 @@
+//! Splitting a full filter matrix into the tile stream a tensor core
+//! consumes.
+
+use crate::error::SparseError;
+use crate::pattern::SparsityPattern;
+use crate::tile::TilePattern;
+
+/// A grid view of a [`SparsityPattern`] as `p × q` tiles, zero-padded at
+/// the boundary.
+///
+/// Iteration order is row-major over tiles: all `q`-wide slices of the
+/// reduction dimension for the first `p` filters, then the next `p`
+/// filters, matching the order in which an output-stationary tensor core
+/// walks a layer's weight matrix.
+///
+/// # Examples
+///
+/// ```
+/// use eureka_sparse::{SparsityPattern, TileGrid};
+///
+/// let pattern = SparsityPattern::from_fn(8, 32, |r, c| (r + c) % 5 == 0);
+/// let grid = TileGrid::new(&pattern, 4, 16);
+/// assert_eq!(grid.tile_rows(), 2);
+/// assert_eq!(grid.tile_cols(), 2);
+/// assert_eq!(grid.iter().count(), 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TileGrid {
+    tiles: Vec<TilePattern>,
+    tile_rows: usize,
+    tile_cols: usize,
+    p: usize,
+    q: usize,
+}
+
+impl TileGrid {
+    /// Tiles `pattern` into `p × q` windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0` or `q` is not in `1..=64`. (Tile shapes are
+    /// compile-time-ish configuration, not data, so this is a programming
+    /// error rather than a recoverable condition.)
+    #[must_use]
+    pub fn new(pattern: &SparsityPattern, p: usize, q: usize) -> Self {
+        assert!(p > 0 && (1..=64).contains(&q), "invalid tile shape {p}x{q}");
+        let tile_rows = pattern.rows().div_ceil(p);
+        let tile_cols = pattern.cols().div_ceil(q);
+        let mut tiles = Vec::with_capacity(tile_rows * tile_cols);
+        for tr in 0..tile_rows {
+            for tc in 0..tile_cols {
+                let tile = TilePattern::from_pattern(pattern, tr * p, tc * q, p, q)
+                    .expect("window origin in bounds by construction");
+                tiles.push(tile);
+            }
+        }
+        TileGrid {
+            tiles,
+            tile_rows,
+            tile_cols,
+            p,
+            q,
+        }
+    }
+
+    /// Number of tile rows (filter groups).
+    #[must_use]
+    pub fn tile_rows(&self) -> usize {
+        self.tile_rows
+    }
+
+    /// Number of tile columns (reduction slices).
+    #[must_use]
+    pub fn tile_cols(&self) -> usize {
+        self.tile_cols
+    }
+
+    /// Tile height.
+    #[must_use]
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Tile width.
+    #[must_use]
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// The tile at grid position `(tile_row, tile_col)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::IndexOutOfBounds`] if the position is outside
+    /// the grid.
+    pub fn tile(&self, tile_row: usize, tile_col: usize) -> Result<&TilePattern, SparseError> {
+        if tile_row >= self.tile_rows {
+            return Err(SparseError::IndexOutOfBounds {
+                index: tile_row,
+                bound: self.tile_rows,
+            });
+        }
+        if tile_col >= self.tile_cols {
+            return Err(SparseError::IndexOutOfBounds {
+                index: tile_col,
+                bound: self.tile_cols,
+            });
+        }
+        Ok(&self.tiles[tile_row * self.tile_cols + tile_col])
+    }
+
+    /// Iterates tiles in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = &TilePattern> + '_ {
+        self.tiles.iter()
+    }
+
+    /// Iterates the tiles of one tile row (all reduction slices of one
+    /// filter group).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile_row` is out of bounds.
+    pub fn row_iter(&self, tile_row: usize) -> impl Iterator<Item = &TilePattern> + '_ {
+        assert!(tile_row < self.tile_rows, "tile row out of bounds");
+        self.tiles[tile_row * self.tile_cols..(tile_row + 1) * self.tile_cols].iter()
+    }
+
+    /// Total non-zeros across all tiles (equals the source pattern's nnz).
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.tiles.iter().map(TilePattern::nnz).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_shape_and_padding() {
+        // 6x20 pattern with 4x16 tiles -> 2x2 grid, padded.
+        let p = SparsityPattern::from_fn(6, 20, |_, _| true);
+        let g = TileGrid::new(&p, 4, 16);
+        assert_eq!((g.tile_rows(), g.tile_cols()), (2, 2));
+        assert_eq!(g.tile(0, 0).unwrap().nnz(), 64);
+        assert_eq!(g.tile(0, 1).unwrap().nnz(), 16); // 4 rows x 4 remaining cols
+        assert_eq!(g.tile(1, 0).unwrap().nnz(), 32); // 2 remaining rows x 16
+        assert_eq!(g.tile(1, 1).unwrap().nnz(), 8);
+        assert_eq!(g.nnz(), 120);
+    }
+
+    #[test]
+    fn tile_lookup_bounds() {
+        let p = SparsityPattern::empty(4, 16);
+        let g = TileGrid::new(&p, 4, 16);
+        assert!(g.tile(1, 0).is_err());
+        assert!(g.tile(0, 1).is_err());
+    }
+
+    #[test]
+    fn row_iter_covers_reduction_slices() {
+        let p = SparsityPattern::from_fn(4, 32, |r, c| r == 0 && c % 16 == 0);
+        let g = TileGrid::new(&p, 4, 16);
+        let row: Vec<_> = g.row_iter(0).collect();
+        assert_eq!(row.len(), 2);
+        assert_eq!(row[0].nnz(), 1);
+        assert_eq!(row[1].nnz(), 1);
+    }
+
+    #[test]
+    fn nnz_preserved() {
+        let p = SparsityPattern::from_fn(9, 33, |r, c| (r * 31 + c * 7) % 3 == 0);
+        let g = TileGrid::new(&p, 4, 8);
+        assert_eq!(g.nnz(), p.nnz());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid tile shape")]
+    fn invalid_shape_panics() {
+        let p = SparsityPattern::empty(4, 4);
+        let _ = TileGrid::new(&p, 0, 4);
+    }
+}

@@ -1,0 +1,128 @@
+//! End-to-end inference of a small CNN ("MicroNet") through the complete
+//! Eureka offline pipeline: every layer's pruned weights are compiled to
+//! the serialized displaced format, executed via the implicit-GEMM view,
+//! and checked against a plain direct-convolution reference.
+//!
+//! Along the way, the post-ReLU activation densities show the two-sided
+//! sparsity the paper's CNN baselines feed on — and that BERT lacks.
+//!
+//! Run with `cargo run --release --example micronet_inference`.
+
+use eureka::models::functional::{activation_matrix, conv_reference, output_dims, Tensor3};
+use eureka::models::{Layer, LayerKind};
+use eureka::offline::CompiledLayer;
+use eureka::prelude::*;
+
+fn conv_layer(name: &str, in_ch: usize, out_ch: usize, stride: usize, hw: usize) -> Layer {
+    Layer::new(
+        name,
+        LayerKind::Conv {
+            in_ch,
+            out_ch,
+            kernel: (3, 3),
+            stride,
+            input: (hw, hw),
+            same_pad: true,
+        },
+    )
+}
+
+fn pruned_weights(n: usize, k: usize, density: f64, rng: &mut DetRng) -> Matrix {
+    let pattern = gen::uniform_pattern(n, k, density, rng);
+    gen::values_for_pattern(&pattern, rng)
+}
+
+/// Runs one conv layer through the compiled Eureka format + ReLU.
+fn conv_forward(
+    layer: &Layer,
+    input: &Tensor3,
+    weights: &Matrix,
+) -> Result<(Tensor3, f64), Box<dyn std::error::Error>> {
+    let compiled = CompiledLayer::compile(weights, 4, 4)?;
+    let acts = activation_matrix(layer, input);
+    let out = compiled.execute(&acts)?.relu();
+    let (oh, ow) = output_dims(layer, input);
+    Ok((Tensor3::from_gemm_output(&out, oh, ow), out.density()))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = DetRng::new(7);
+    // A 12x12 RGB input.
+    let input = Tensor3::from_fn(3, 12, 12, |_, _, _| {
+        F16::from_f64(rng.next_gaussian() * 0.5)
+    });
+
+    // --- MicroNet: conv(3->8) -> conv(8->16, /2) -> fc(16*6*6 -> 10) ---
+    let conv1 = conv_layer("conv1", 3, 8, 1, 12);
+    let conv2 = conv_layer("conv2", 8, 16, 2, 12);
+    let w1 = pruned_weights(8, 27, 0.4, &mut rng);
+    let w2 = pruned_weights(16, 72, 0.2, &mut rng);
+    let w_fc = pruned_weights(10, 16 * 6 * 6, 0.15, &mut rng);
+
+    println!("MicroNet inference through the compiled Eureka format:\n");
+    let (a1, d1) = conv_forward(&conv1, &input, &w1)?;
+    println!(
+        "  conv1: 3->8 @12x12, filter density 40%  | post-ReLU activation density {:.0}%",
+        100.0 * d1
+    );
+    let (a2, d2) = conv_forward(&conv2, &a1, &w2)?;
+    println!(
+        "  conv2: 8->16 /2,   filter density 20%  | post-ReLU activation density {:.0}%",
+        100.0 * d2
+    );
+
+    // FC head: flatten CHW and multiply.
+    let flat = Matrix::from_fn(16 * 6 * 6, 1, |r, _| a2.get(r / 36, (r / 6) % 6, r % 6));
+    let fc = CompiledLayer::compile(&w_fc, 4, 4)?;
+    let logits = fc.execute(&flat)?;
+    print!("  logits:");
+    for c in 0..10 {
+        print!(" {:+.2}", logits.get(c, 0).to_f32());
+    }
+    println!("\n");
+
+    // --- Verify every step against plain references --------------------
+    // With continuous weights, the displaced accumulation order differs
+    // from the direct loop by half-precision rounding only; assert the
+    // deviation stays at noise level. (Integer-valued runs are bit-exact;
+    // see tests/end_to_end_correctness.rs.)
+    let relu = |t: &Tensor3| {
+        Tensor3::from_fn(t.channels(), t.height(), t.width(), |c, y, x| {
+            let v = t.get(c, y, x);
+            if v.is_sign_negative() {
+                F16::ZERO
+            } else {
+                v
+            }
+        })
+    };
+    let close = |a: &Tensor3, b: &Tensor3, what: &str| {
+        let mut worst = 0.0f64;
+        for c in 0..a.channels() {
+            for y in 0..a.height() {
+                for x in 0..a.width() {
+                    worst = worst.max((a.get(c, y, x).to_f64() - b.get(c, y, x).to_f64()).abs());
+                }
+            }
+        }
+        assert!(worst < 0.02, "{what}: worst |delta| {worst}");
+        worst
+    };
+    let r1 = relu(&conv_reference(&conv1, &input, &w1));
+    let d1 = close(&a1, &r1, "conv1");
+    let r2 = relu(&conv_reference(&conv2, &r1, &w2));
+    let d2 = close(&a2, &r2, "conv2");
+    let ref_logits = w_fc.matmul_hw(&flat)?;
+    let mut d3 = 0.0f64;
+    for c in 0..10 {
+        d3 = d3.max((logits.get(c, 0).to_f64() - ref_logits.get(c, 0).to_f64()).abs());
+    }
+    assert!(d3 < 0.02, "fc: worst |delta| {d3}");
+    println!(
+        "every layer verified against the direct reference ✓ (worst FP16 reorder \
+         noise: {d1:.4} / {d2:.4} / {d3:.4})"
+    );
+    println!("(post-ReLU densities ~50% are exactly the CNN activation sparsity the");
+    println!(" two-sided baselines exploit and transformers lack — paper §1, §2.2)");
+    Ok(())
+}

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Full verification: format, lints, tests, docs, experiment smoke.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo test --workspace
+cargo doc --workspace --no-deps
+cargo bench --workspace -- --test   # criterion harness smoke (no timing)
+echo "CI OK"

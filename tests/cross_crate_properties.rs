@@ -1,0 +1,157 @@
+//! Cross-crate property tests: invariants that span the sparse substrate,
+//! the offline techniques and the simulator.
+
+use eureka::models::workload::LayerGemm;
+use eureka::models::GemmShape;
+use eureka::prelude::*;
+use eureka::sim::arch::{Architecture, LayerCtx};
+use proptest::prelude::*;
+
+fn small_gemm() -> impl Strategy<Value = LayerGemm> {
+    (
+        2usize..=16, // n in tiles of 4
+        2usize..=12, // k in slices of 16
+        1usize..=4,  // m in blocks of 1024
+        1usize..=19, // density 5%..95%
+        any::<bool>(),
+    )
+        .prop_map(|(nt, kt, mt, d, clustered)| LayerGemm {
+            name: "prop".into(),
+            shape: GemmShape {
+                n: nt * 4,
+                k: kt * 16,
+                m: mt * 1024,
+            },
+            unique_act_bytes: (kt * 16 * mt * 1024 * 2) as u64,
+            weight_density: d as f64 * 0.05,
+            clustered,
+            depthwise: false,
+        })
+}
+
+fn ctx(seed: u64) -> LayerCtx {
+    LayerCtx {
+        act_density: 0.5,
+        s2ta_act_density: Some(0.44),
+        s2ta_fil_density: Some(0.38),
+        rng: DetRng::new(seed),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn simulation_is_deterministic(gemm in small_gemm(), seed in 0u64..100) {
+        let cfg = SimConfig::fast();
+        let a = arch::eureka_p4().simulate_layer(&gemm, &ctx(seed), &cfg).unwrap();
+        let b = arch::eureka_p4().simulate_layer(&gemm, &ctx(seed), &cfg).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn eureka_between_ampere_and_ideal(gemm in small_gemm(), seed in 0u64..100) {
+        let cfg = SimConfig::fast();
+        let c = ctx(seed);
+        let dense = arch::dense().simulate_layer(&gemm, &c, &cfg).unwrap();
+        let eureka = arch::eureka_p4().simulate_layer(&gemm, &c, &cfg).unwrap();
+        let ideal = arch::ideal().simulate_layer(&gemm, &c, &cfg).unwrap();
+        // Below a handful of device cycles the ceil/floor rounding
+        // dominates; the bound claims only make sense past that. Clustered
+        // mixtures on small layers also leave too few tile samples for the
+        // sampled-nnz/exact-nnz comparison behind this bound.
+        prop_assume!(dense.compute_cycles >= 20);
+        prop_assume!(!gemm.clustered);
+        prop_assume!(gemm.shape.n >= 16 && gemm.shape.k >= 64);
+        // Eureka can never beat the one-sided nnz bound (15% slack for
+        // sampling noise on small layers) and never loses to dense by more
+        // than the empty-tile floor.
+        prop_assert!(eureka.compute_cycles as f64 >= ideal.compute_cycles as f64 * 0.85,
+            "eureka {} vs ideal {}", eureka.compute_cycles, ideal.compute_cycles);
+        prop_assert!(eureka.compute_cycles <= dense.compute_cycles * 2,
+            "eureka {} vs dense {}", eureka.compute_cycles, dense.compute_cycles);
+    }
+
+    #[test]
+    fn figure12_variants_never_regress(gemm in small_gemm(), seed in 0u64..100) {
+        let cfg = SimConfig::fast();
+        let c = ctx(seed);
+        let unopt = arch::eureka_unopt().simulate_layer(&gemm, &c, &cfg).unwrap();
+        let compact = arch::compaction_only(4).simulate_layer(&gemm, &c, &cfg).unwrap();
+        let optimal = arch::optimal_suds_p4().simulate_layer(&gemm, &c, &cfg).unwrap();
+        let full = arch::eureka_p4().simulate_layer(&gemm, &c, &cfg).unwrap();
+        prop_assume!(unopt.compute_cycles >= 20); // rounding floor regime
+        prop_assume!(gemm.shape.n >= 32 && gemm.shape.k >= 128); // sample-count floor
+        // Clustered mixtures draw block densities independently per
+        // variant, adding sampling variance this ordering check can't
+        // tolerate at small sizes; Fig 12's own test covers clustered
+        // workloads at full sampling.
+        prop_assume!(!gemm.clustered);
+        // 10% + constant slack: the variants draw independent tile samples.
+        let le = |a: u64, b: u64| a as f64 <= b as f64 * 1.10 + 3.0;
+        prop_assert!(le(compact.compute_cycles, unopt.compute_cycles));
+        prop_assert!(le(optimal.compute_cycles, compact.compute_cycles));
+        prop_assert!(le(full.compute_cycles, optimal.compute_cycles));
+    }
+
+    #[test]
+    fn mac_work_conservation(gemm in small_gemm(), seed in 0u64..100) {
+        // One-sided schemes execute every stored non-zero exactly m times.
+        let cfg = SimConfig::fast();
+        let c = ctx(seed);
+        let r = arch::eureka_p4().simulate_layer(&gemm, &c, &cfg).unwrap();
+        let expect = (gemm.shape.n * gemm.shape.k) as f64
+            * gemm.weight_density
+            * gemm.shape.m as f64;
+        let got = r.mac_ops as f64;
+        // Generous tolerance: small layers sample few tiles, and clustered
+        // mixtures add block-level variance.
+        let slack = if gemm.clustered { 0.6 } else { 0.3 };
+        prop_assert!(
+            (got - expect).abs() <= expect.max(1.0) * slack + 128.0 * gemm.shape.m as f64,
+            "got {got} expect {expect}"
+        );
+    }
+
+    #[test]
+    fn suds_pipeline_is_exact_on_random_tiles(
+        masks in prop::collection::vec(0u64..(1 << 16), 4),
+        seed in 0u64..1000,
+    ) {
+        // From pattern to displaced schedule to functional execution: the
+        // result equals the reference for integer-valued data.
+        let tile = TilePattern::from_rows(&masks, 16).unwrap();
+        let plan = suds::optimize(&tile.row_lens());
+        let schedule = DisplacedTile::from_plan(&AlignedTile::from_tile(&tile), &plan).unwrap();
+        schedule.validate().unwrap();
+        let mut rng = DetRng::new(seed);
+        let pattern = SparsityPattern::from_fn(4, 16, |r, c| tile.row_mask(r) >> c & 1 == 1);
+        let weights = gen::integer_values_for_pattern(&pattern, &mut rng);
+        let acts = gen::integer_values_for_pattern(
+            &SparsityPattern::from_fn(16, 2, |_, _| true),
+            &mut rng,
+        );
+        let got = exec::execute(&schedule, &weights, &acts).unwrap();
+        let want = exec::reference(&weights, &acts).unwrap();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn energy_is_positive_and_monotone_in_dram_price(gemm in small_gemm(), seed in 0u64..50) {
+        let cfg = SimConfig::fast();
+        let c = ctx(seed);
+        let r = arch::eureka_p4().simulate_layer(&gemm, &c, &cfg).unwrap();
+        let report = eureka::sim::SimReport {
+            arch: "Eureka P=4".into(),
+            workload: "prop".into(),
+            layers: vec![r],
+        };
+        let cheap = EnergyModel::with_dram(0.5);
+        let pricey = EnergyModel::with_dram(5.0);
+        let e1 = cheap.energy(&report, &cfg);
+        let e2 = pricey.energy(&report, &cfg);
+        prop_assert!(e1.compute_pj > 0.0);
+        prop_assert!((e2.compute_pj - e1.compute_pj).abs() < 1e-6);
+        prop_assert!(e2.memory_pj >= e1.memory_pj * 9.99);
+    }
+}

@@ -1,0 +1,153 @@
+//! End-to-end functional correctness: a full (small) GEMM computed through
+//! the complete Eureka offline pipeline — tiling, compaction, optimal
+//! SUDS, base-row rotation, displaced execution — must equal the dense
+//! hardware matrix product bit for bit.
+
+use eureka::prelude::*;
+
+/// Multiplies `weights (n×k) × activations (k×m)` through the Eureka
+/// pipeline with compaction factor `factor` on 4-row tiles.
+fn eureka_matmul(weights: &Matrix, activations: &Matrix, factor: usize) -> Matrix {
+    let p = 4;
+    let q = p * factor;
+    let grid = TileGrid::new(&weights.pattern(), p, q);
+    let m = activations.cols();
+    let mut out = Matrix::zeros(weights.rows(), m);
+
+    for tr in 0..grid.tile_rows() {
+        for tc in 0..grid.tile_cols() {
+            let tile = grid.tile(tr, tc).unwrap();
+            let plan = suds::optimize(&tile.row_lens());
+            let schedule = DisplacedTile::from_plan(&AlignedTile::from_tile(tile), &plan).unwrap();
+            schedule.validate().unwrap();
+
+            // Source window of weights (zero-padded at the edges).
+            let w_window = Matrix::from_fn(p, q, |r, c| {
+                let (rr, cc) = (tr * p + r, tc * q + c);
+                if rr < weights.rows() && cc < weights.cols() {
+                    weights.get(rr, cc)
+                } else {
+                    F16::ZERO
+                }
+            });
+            // Activation block for this reduction slice.
+            let a_window = Matrix::from_fn(q, m, |r, c| {
+                let rr = tc * q + r;
+                if rr < activations.rows() {
+                    activations.get(rr, c)
+                } else {
+                    F16::ZERO
+                }
+            });
+            let partial = exec::execute(&schedule, &w_window, &a_window).unwrap();
+            // Accumulate the partial block into the output.
+            for r in 0..p {
+                let rr = tr * p + r;
+                if rr >= out.rows() {
+                    continue;
+                }
+                for c in 0..m {
+                    out.set(rr, c, out.get(rr, c) + partial.get(r, c));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn full_gemm_through_suds_equals_reference() {
+    // Integer-valued FP16 data keeps every sum exact, so equality is
+    // bit-for-bit regardless of accumulation order.
+    let mut rng = DetRng::new(777);
+    for (n, k, m, density, factor) in [
+        (8, 32, 6, 0.13, 4),
+        (12, 48, 5, 0.25, 4),
+        (8, 24, 4, 0.40, 2),
+        (4, 16, 3, 0.05, 4),
+    ] {
+        let pattern = gen::uniform_pattern(n, k, density, &mut rng);
+        let weights = gen::integer_values_for_pattern(&pattern, &mut rng);
+        let act_pattern = gen::uniform_pattern(k, m, 0.9, &mut rng);
+        let activations = gen::integer_values_for_pattern(&act_pattern, &mut rng);
+
+        let got = eureka_matmul(&weights, &activations, factor);
+        let want = weights.matmul_hw(&activations).unwrap();
+        // Compare value-by-value (integer-exact).
+        for r in 0..n {
+            for c in 0..m {
+                assert_eq!(
+                    got.get(r, c).to_f32(),
+                    want.get(r, c).to_f32(),
+                    "mismatch at ({r},{c}) for n={n} k={k} m={m} d={density} P={factor}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn clustered_weights_also_exact() {
+    let mut rng = DetRng::new(31337);
+    let pattern = gen::clustered_pattern(16, 64, 0.10, 4, 16, 0.2, &mut rng);
+    let weights = gen::integer_values_for_pattern(&pattern, &mut rng);
+    let act_pattern = gen::uniform_pattern(64, 4, 1.0, &mut rng);
+    let activations = gen::integer_values_for_pattern(&act_pattern, &mut rng);
+    let got = eureka_matmul(&weights, &activations, 4);
+    let want = weights.matmul_hw(&activations).unwrap();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn real_convolution_through_the_compiled_format() {
+    // The full adoption path: a pruned conv layer -> implicit-GEMM
+    // activation view -> offline-compiled Eureka format -> displaced
+    // execution -> folded feature map == direct convolution.
+    use eureka::models::functional::{activation_matrix, conv_reference, output_dims, Tensor3};
+    use eureka::models::{Layer, LayerKind};
+    use eureka::offline::CompiledLayer;
+
+    let layer = Layer::new(
+        "conv",
+        LayerKind::Conv {
+            in_ch: 4,
+            out_ch: 8,
+            kernel: (3, 3),
+            stride: 1,
+            input: (6, 6),
+            same_pad: true,
+        },
+    );
+    let mut rng = DetRng::new(2024);
+    let input = Tensor3::from_fn(4, 6, 6, |_, _, _| {
+        F16::from_f32(rng.next_below(5) as f32 - 2.0)
+    });
+    let wp = gen::uniform_pattern(8, 36, 0.2, &mut rng);
+    let weights = gen::integer_values_for_pattern(&wp, &mut rng);
+
+    let direct = conv_reference(&layer, &input, &weights);
+
+    let acts = activation_matrix(&layer, &input);
+    let compiled = CompiledLayer::compile(&weights, 4, 4).unwrap();
+    let gemm_out = compiled.execute(&acts).unwrap();
+    let (oh, ow) = output_dims(&layer, &input);
+    let folded = Tensor3::from_gemm_output(&gemm_out, oh, ow);
+
+    // FP16 sums of small integers are exact, so the comparison is
+    // bit-for-bit despite the displaced accumulation order.
+    assert_eq!(folded, direct);
+}
+
+#[test]
+fn dense_weights_degenerate_case() {
+    // Fully dense weights: SUDS displaces nothing and the pipeline reduces
+    // to the plain dense dataflow.
+    let mut rng = DetRng::new(9);
+    let pattern = gen::uniform_pattern(8, 16, 1.0, &mut rng);
+    let weights = gen::integer_values_for_pattern(&pattern, &mut rng);
+    let act_pattern = gen::uniform_pattern(16, 3, 1.0, &mut rng);
+    let activations = gen::integer_values_for_pattern(&act_pattern, &mut rng);
+    let got = eureka_matmul(&weights, &activations, 4);
+    let want = weights.matmul_hw(&activations).unwrap();
+    assert_eq!(got, want);
+}

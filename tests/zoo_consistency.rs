@@ -1,0 +1,137 @@
+//! Structural consistency of the model-zoo layer tables: channel flow,
+//! spatial flow, and GEMM-lowering coherence. A typo in a layer table
+//! would silently skew every figure; these checks pin the graphs down.
+
+use eureka::models::zoo;
+use eureka::models::{Layer, LayerKind};
+
+fn conv_fields(l: &Layer) -> Option<(usize, usize, usize, (usize, usize))> {
+    match l.kind {
+        LayerKind::Conv {
+            in_ch,
+            out_ch,
+            input,
+            ..
+        } => Some((in_ch, out_ch, 0, input)),
+        _ => None,
+    }
+}
+
+#[test]
+fn mobilenet_channel_and_spatial_flow() {
+    // MobileNetV1 is strictly sequential: each layer's input channels and
+    // spatial size must equal the previous layer's output.
+    let layers = zoo::mobilenet_v1();
+    let mut prev_out_ch = None;
+    let mut prev_hw = None;
+    for l in &layers {
+        let (in_ch, out_ch, input) = match l.kind {
+            LayerKind::Conv {
+                in_ch,
+                out_ch,
+                input,
+                ..
+            } => (in_ch, out_ch, input),
+            LayerKind::DepthwiseConv {
+                channels, input, ..
+            } => (channels, channels, input),
+            LayerKind::MatMul { .. } => continue,
+        };
+        if let Some(p) = prev_out_ch {
+            assert_eq!(in_ch, p, "{}: channel flow broken", l.name);
+        }
+        if let Some(hw) = prev_hw {
+            assert_eq!(input, hw, "{}: spatial flow broken", l.name);
+        }
+        prev_out_ch = Some(out_ch);
+        prev_hw = Some(l.output_hw());
+    }
+}
+
+#[test]
+fn resnet_bottleneck_internal_flow() {
+    // Within each bottleneck, 1x1a -> 3x3 -> 1x1b must chain channels, and
+    // the projection must match the block's input/output.
+    let layers = zoo::resnet50();
+    let mut i = 1; // skip the stem
+    while i + 2 < layers.len() {
+        let name = &layers[i].name;
+        if !name.ends_with("/1x1a") {
+            i += 1;
+            continue;
+        }
+        let (block_in, mid_a, _, _) = conv_fields(&layers[i]).unwrap();
+        let (mid_in, mid_out, _, _) = conv_fields(&layers[i + 1]).unwrap();
+        let (b_in, block_out, _, _) = conv_fields(&layers[i + 2]).unwrap();
+        assert_eq!(mid_in, mid_a, "{name}: 1x1a -> 3x3");
+        assert_eq!(b_in, mid_out, "{name}: 3x3 -> 1x1b");
+        // Projection (when present) maps block_in -> block_out.
+        if let Some(proj) = layers.get(i + 3) {
+            if proj.name.ends_with("/proj") {
+                let (p_in, p_out, _, _) = conv_fields(proj).unwrap();
+                assert_eq!(p_in, block_in, "{name}: proj input");
+                assert_eq!(p_out, block_out, "{name}: proj output");
+            }
+        }
+        i += 3;
+    }
+}
+
+#[test]
+fn bert_block_channel_flow() {
+    // Q/K/V take the hidden width; FFN1 expands 4x; FFN2 contracts back.
+    for block in zoo::bert_squad().chunks(6) {
+        let dims: Vec<(usize, usize)> = block
+            .iter()
+            .map(|l| match l.kind {
+                LayerKind::MatMul {
+                    in_features,
+                    out_features,
+                    ..
+                } => (in_features, out_features),
+                _ => panic!("BERT layers are matmuls"),
+            })
+            .collect();
+        for &(i, o) in &dims[..4] {
+            assert_eq!((i, o), (768, 768));
+        }
+        assert_eq!(dims[4], (768, 3072));
+        assert_eq!(dims[5], (3072, 768));
+    }
+}
+
+#[test]
+fn inception_concat_widths() {
+    // Branch outputs must sum to the next block's input channels at the
+    // three grid sizes (35 -> 288, 17 -> 768, 8 -> 2048 after C1).
+    let layers = zoo::inception_v3();
+    let in_ch_of = |name: &str| -> usize {
+        match layers.iter().find(|l| l.name == name).unwrap().kind {
+            LayerKind::Conv { in_ch, .. } => in_ch,
+            _ => unreachable!(),
+        }
+    };
+    // InceptionA3 consumed 288 (64+64+96+64 from A2).
+    assert_eq!(in_ch_of("a3/1x1"), 288);
+    // The first B block consumes ReductionA's 384+96+288 = 768.
+    assert_eq!(in_ch_of("b1/1x1"), 768);
+    // C2 consumes C1's 320 + 384*2 + 384*2 + 192 = 2048.
+    assert_eq!(in_ch_of("c2/1x1"), 2048);
+}
+
+#[test]
+fn gemm_lowering_matches_layer_macs() {
+    // For every layer of every network, the lowered GEMM at batch 1 has
+    // exactly the layer's MAC count.
+    for layers in [
+        zoo::mobilenet_v1(),
+        zoo::inception_v3(),
+        zoo::resnet50(),
+        zoo::bert_squad(),
+    ] {
+        for l in &layers {
+            let g = eureka::models::gemm::lower(l, 1);
+            assert_eq!(g.macs(), l.macs(), "{}", l.name);
+        }
+    }
+}
