@@ -1,0 +1,59 @@
+//! Serial vs parallel runner on the headline workload (ResNet-50,
+//! moderate pruning, Eureka P=4), plus the measured speedup.
+//!
+//! The cache is disabled and cleared so both modes do the full per-layer
+//! work every iteration; the determinism contract guarantees they produce
+//! bit-identical reports, so any timing gap is pure scheduling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eureka_models::{Benchmark, PruningLevel, Workload};
+use eureka_sim::{arch, runner, Runner, SimConfig, SimJob};
+use std::time::Instant;
+
+fn bench_cfg() -> SimConfig {
+    SimConfig {
+        rowgroup_samples: 48,
+        slice_samples: 48,
+        act_samples: 32,
+        ..SimConfig::paper_default()
+    }
+}
+
+fn serial_vs_parallel(c: &mut Criterion) {
+    let w = Workload::new(Benchmark::ResNet50, PruningLevel::Moderate, 32);
+    let cfg = bench_cfg();
+    let eureka = arch::eureka_p4();
+    let job = SimJob::new(&eureka, &w, cfg);
+    runner::clear_cache();
+
+    let mut group = c.benchmark_group("runner/resnet50-moderate");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| Runner::serial().without_cache().run(&job).unwrap())
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| Runner::parallel().without_cache().run(&job).unwrap())
+    });
+    group.finish();
+
+    // Record the speedup directly in the bench output.
+    let time = |r: Runner| {
+        let start = Instant::now();
+        for _ in 0..5 {
+            r.without_cache().run(&job).unwrap();
+        }
+        start.elapsed()
+    };
+    let serial = time(Runner::serial());
+    let parallel = time(Runner::parallel());
+    println!(
+        "runner/resnet50-moderate speedup: {:.2}x ({} workers; serial {:.1} ms, parallel {:.1} ms per run)",
+        serial.as_secs_f64() / parallel.as_secs_f64(),
+        Runner::parallel().effective_jobs(),
+        serial.as_secs_f64() * 1e3 / 5.0,
+        parallel.as_secs_f64() * 1e3 / 5.0,
+    );
+}
+
+criterion_group!(benches, serial_vs_parallel);
+criterion_main!(benches);

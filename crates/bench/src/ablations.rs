@@ -15,7 +15,7 @@ use crate::FigTable;
 use eureka_energy::calibrate;
 use eureka_models::{Benchmark, PruningLevel, Workload};
 use eureka_sim::arch::{self, Architecture};
-use eureka_sim::{engine, SimConfig};
+use eureka_sim::{engine, Runner, SimConfig, SimJob};
 
 /// The two workloads the ablations sweep: a sparsity-friendly CNN and the
 /// clustered transformer.
@@ -36,16 +36,30 @@ fn speedup_table(
         columns: archs.iter().map(|(n, _)| n.clone()).collect(),
         rows: Vec::new(),
     };
-    for w in probe_workloads() {
+    // One job batch for the whole table: each column pairs a Dense
+    // baseline with its variant at that column's configuration (the
+    // runner's cache collapses the repeated baselines).
+    let workloads = probe_workloads();
+    let dense = arch::dense();
+    let mut jobs = Vec::with_capacity(workloads.len() * archs.len() * 2);
+    for w in &workloads {
+        for (i, (_, a)) in archs.iter().enumerate() {
+            let cfg = cfg_for(i);
+            jobs.push(SimJob::new(&dense, w, cfg));
+            jobs.push(SimJob::new(a.as_ref(), w, cfg));
+        }
+    }
+    let mut results = Runner::default().run_all(&jobs).into_iter();
+    for w in &workloads {
         let cells = archs
             .iter()
-            .enumerate()
-            .map(|(i, (_, a))| {
-                let cfg = cfg_for(i);
-                let dense = engine::simulate(&arch::dense(), &w, &cfg);
-                engine::try_simulate(a.as_ref(), &w, &cfg)
+            .map(|_| {
+                let dense_r = results.next().expect("dense job").expect("Dense runs");
+                results
+                    .next()
+                    .expect("variant job")
                     .ok()
-                    .map(|r| engine::speedup(&dense, &r))
+                    .map(|r| engine::speedup(&dense_r, &r))
             })
             .collect();
         table.rows.push((
@@ -175,25 +189,40 @@ pub fn sparten_calibration(cfg: &SimConfig) -> FigTable {
             .collect(),
         rows: Vec::new(),
     };
-    for w in probe_workloads() {
-        let dense = engine::simulate(&arch::dense(), &w, cfg);
+    let workloads = probe_workloads();
+    let dense = arch::dense();
+    let sparten = arch::sparten();
+    let eureka = arch::eureka_p4();
+    let mut jobs = Vec::with_capacity(workloads.len() * (mins.len() * 2 + 2));
+    for w in &workloads {
+        for &m in &mins {
+            let c = SimConfig {
+                sparten_chunk_min_cycles: m,
+                ..*cfg
+            };
+            jobs.push(SimJob::new(&dense, w, c));
+            jobs.push(SimJob::new(&sparten, w, c));
+        }
+        jobs.push(SimJob::new(&dense, w, *cfg));
+        jobs.push(SimJob::new(&eureka, w, *cfg));
+    }
+    let mut results = Runner::default().run_all(&jobs).into_iter();
+    let mut next = || {
+        results
+            .next()
+            .expect("one result per job")
+            .expect("all sparten-calibration archs run")
+    };
+    for w in &workloads {
         let mut cells: Vec<Option<f64>> = mins
             .iter()
-            .map(|&m| {
-                let c = SimConfig {
-                    sparten_chunk_min_cycles: m,
-                    ..*cfg
-                };
-                Some(engine::speedup(
-                    &engine::simulate(&arch::dense(), &w, &c),
-                    &engine::simulate(&arch::sparten(), &w, &c),
-                ))
+            .map(|_| {
+                let d = next();
+                Some(engine::speedup(&d, &next()))
             })
             .collect();
-        cells.push(Some(engine::speedup(
-            &dense,
-            &engine::simulate(&arch::eureka_p4(), &w, cfg),
-        )));
+        let d = next();
+        cells.push(Some(engine::speedup(&d, &next())));
         table.rows.push((
             format!("{} ({})", w.benchmark().name(), w.pruning().label()),
             cells,
@@ -214,12 +243,29 @@ pub fn batch_sweep(cfg: &SimConfig) -> FigTable {
         columns: batches.iter().map(|b| format!("batch {b}")).collect(),
         rows: Vec::new(),
     };
-    for bench in [Benchmark::ResNet50, Benchmark::BertSquad] {
+    let benches = [Benchmark::ResNet50, Benchmark::BertSquad];
+    let eureka = arch::eureka_p4();
+    let workloads: Vec<Workload> = benches
+        .iter()
+        .flat_map(|&bench| {
+            batches
+                .iter()
+                .map(move |&b| Workload::new(bench, PruningLevel::Moderate, b))
+        })
+        .collect();
+    let jobs: Vec<SimJob<'_>> = workloads
+        .iter()
+        .map(|w| SimJob::new(&eureka, w, *cfg))
+        .collect();
+    let mut results = Runner::default().run_all(&jobs).into_iter();
+    for bench in benches {
         let cells = batches
             .iter()
             .map(|&b| {
-                let w = Workload::new(bench, PruningLevel::Moderate, b);
-                let r = engine::simulate(&arch::eureka_p4(), &w, cfg);
+                let r = results
+                    .next()
+                    .expect("one result per job")
+                    .expect("Eureka runs");
                 Some(r.throughput_per_s(b, 1.0))
             })
             .collect();
@@ -245,10 +291,18 @@ pub fn clock_penalty(cfg: &SimConfig) -> FigTable {
         columns: vec!["iso-clock".into(), "with delay penalty".into()],
         rows: Vec::new(),
     };
-    for w in probe_workloads() {
-        let dense = engine::simulate(&arch::dense(), &w, cfg);
-        let eureka = engine::simulate(&arch::eureka_p4(), &w, cfg);
-        let iso = engine::speedup(&dense, &eureka);
+    let workloads = probe_workloads();
+    let dense = arch::dense();
+    let eureka = arch::eureka_p4();
+    let jobs: Vec<SimJob<'_>> = workloads
+        .iter()
+        .flat_map(|w| [SimJob::new(&dense, w, *cfg), SimJob::new(&eureka, w, *cfg)])
+        .collect();
+    let mut results = Runner::default().run_all(&jobs).into_iter();
+    for w in &workloads {
+        let d = results.next().expect("dense job").expect("Dense runs");
+        let e = results.next().expect("eureka job").expect("Eureka runs");
+        let iso = engine::speedup(&d, &e);
         table.rows.push((
             format!("{} ({})", w.benchmark().name(), w.pruning().label()),
             vec![Some(iso), Some(iso / penalty)],
@@ -275,14 +329,27 @@ pub fn two_sided_energy(cfg: &SimConfig) -> FigTable {
         columns: archs.iter().map(|(n, _)| n.clone()).collect(),
         rows: Vec::new(),
     };
-    for w in probe_workloads() {
-        let dense = model.energy(&engine::simulate(&arch::dense(), &w, cfg), cfg);
+    let workloads = probe_workloads();
+    let dense = arch::dense();
+    let mut jobs = Vec::with_capacity(workloads.len() * (archs.len() + 1));
+    for w in &workloads {
+        jobs.push(SimJob::new(&dense, w, *cfg));
+        for (_, a) in &archs {
+            jobs.push(SimJob::new(a.as_ref(), w, *cfg));
+        }
+    }
+    let mut results = Runner::default().run_all(&jobs).into_iter();
+    for w in &workloads {
+        let dense_r = results.next().expect("dense job").expect("Dense runs");
+        let dense_e = model.energy(&dense_r, cfg);
         let cells = archs
             .iter()
-            .map(|(_, a)| {
-                engine::try_simulate(a.as_ref(), &w, cfg)
+            .map(|_| {
+                results
+                    .next()
+                    .expect("variant job")
                     .ok()
-                    .map(|r| model.energy(&r, cfg).total_pj() / dense.total_pj())
+                    .map(|r| model.energy(&r, cfg).total_pj() / dense_e.total_pj())
             })
             .collect();
         table.rows.push((

@@ -25,7 +25,7 @@ pub mod svg;
 use eureka_energy::{area, calibrate, MacVariant};
 use eureka_models::{Benchmark, PruningLevel, Workload};
 use eureka_sim::arch::{self, Architecture};
-use eureka_sim::{engine, sweep, SimConfig};
+use eureka_sim::{engine, sweep, Runner, SimConfig, SimJob, SimReport};
 use eureka_sparse::stats::Histogram;
 
 /// A labelled results grid: one row per workload/configuration, one column
@@ -167,24 +167,42 @@ fn row_label(w: &Workload) -> String {
     format!("{} ({})", w.benchmark().name(), w.pruning().label())
 }
 
-/// Computes one labelled row per workload of the grid, fanned out across
-/// threads (each workload is independent and the architectures are plain
-/// configuration data).
-fn rows_over_grid<F>(per_workload: F) -> Vec<(String, Vec<Option<f64>>)>
+/// Simulates the whole grid — Dense plus every listed architecture for
+/// every workload — as one batch of runner jobs (the runner fans the
+/// per-layer units out across cores), then maps each workload's reports
+/// to row cells. Architectures that cannot run a workload (S2TA on
+/// InceptionV3) yield `None` reports, matching the paper's blank cells.
+fn rows_over_grid<F>(
+    archs: &[Box<dyn Architecture>],
+    cfg: &SimConfig,
+    per_row: F,
+) -> Vec<(String, Vec<Option<f64>>)>
 where
-    F: Fn(&Workload) -> Vec<Option<f64>> + Sync,
+    F: Fn(&Workload, &SimReport, &[Option<SimReport>]) -> Vec<Option<f64>>,
 {
     let grid = workload_grid(32);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = grid
-            .iter()
-            .map(|w| scope.spawn(|| (row_label(w), per_workload(w))))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("workload row computation panicked"))
-            .collect()
-    })
+    let dense = arch::dense();
+    let mut jobs = Vec::with_capacity(grid.len() * (archs.len() + 1));
+    for w in &grid {
+        jobs.push(SimJob::new(&dense, w, *cfg));
+        for a in archs {
+            jobs.push(SimJob::new(a.as_ref(), w, *cfg));
+        }
+    }
+    let mut results = Runner::default().run_all(&jobs).into_iter();
+    grid.iter()
+        .map(|w| {
+            let dense_r = results
+                .next()
+                .expect("one result per job")
+                .expect("Dense runs every workload");
+            let arch_rs: Vec<Option<SimReport>> = archs
+                .iter()
+                .map(|_| results.next().expect("one result per job").ok())
+                .collect();
+            (row_label(w), per_row(w, &dense_r, &arch_rs))
+        })
+        .collect()
 }
 
 /// Table 1: the benchmark summary (delegates to `eureka-models`).
@@ -277,15 +295,10 @@ pub fn figure11(cfg: &SimConfig) -> FigTable {
         columns: archs.iter().map(|a| a.name().to_string()).collect(),
         rows: Vec::new(),
     };
-    table.rows = rows_over_grid(|w| {
-        let dense = engine::simulate(&arch::dense(), w, cfg);
-        archs
+    table.rows = rows_over_grid(&archs, cfg, |_, dense, reports| {
+        reports
             .iter()
-            .map(|a| {
-                engine::try_simulate(a.as_ref(), w, cfg)
-                    .ok()
-                    .map(|r| engine::speedup(&dense, &r))
-            })
+            .map(|r| r.as_ref().map(|r| engine::speedup(dense, r)))
             .collect()
     });
     table.push_mean_row("mean");
@@ -316,15 +329,10 @@ pub fn figure12(cfg: &SimConfig) -> FigTable {
         columns: archs.iter().map(|a| a.name().to_string()).collect(),
         rows: Vec::new(),
     };
-    table.rows = rows_over_grid(|w| {
-        let dense = engine::simulate(&arch::dense(), w, cfg);
-        archs
+    table.rows = rows_over_grid(&archs, cfg, |_, dense, reports| {
+        reports
             .iter()
-            .map(|a| {
-                engine::try_simulate(a.as_ref(), w, cfg)
-                    .ok()
-                    .map(|r| engine::speedup(&dense, &r))
-            })
+            .map(|r| r.as_ref().map(|r| engine::speedup(dense, r)))
             .collect()
     });
     table.push_mean_row("mean");
@@ -343,14 +351,13 @@ pub fn figure13(cfg: &SimConfig) -> FigTable {
         columns: archs.iter().map(|a| a.name().to_string()).collect(),
         rows: Vec::new(),
     };
-    table.rows = rows_over_grid(|w| {
-        let dense = model.energy(&engine::simulate(&arch::dense(), w, cfg), cfg);
-        archs
+    table.rows = rows_over_grid(&archs, cfg, |_, dense, reports| {
+        let dense = model.energy(dense, cfg);
+        reports
             .iter()
-            .map(|a| {
-                engine::try_simulate(a.as_ref(), w, cfg)
-                    .ok()
-                    .map(|r| model.energy(&r, cfg).total_pj() / dense.total_pj())
+            .map(|r| {
+                r.as_ref()
+                    .map(|r| model.energy(r, cfg).total_pj() / dense.total_pj())
             })
             .collect()
     });
@@ -445,12 +452,34 @@ pub fn figure14(cfg: &SimConfig) -> FigTable {
         columns: variants.iter().map(|v| v.label.to_string()).collect(),
         rows: Vec::new(),
     };
-    table.rows = rows_over_grid(|w| {
-        variants
-            .iter()
-            .map(|v| Some(sweep::speedup_at(v, w, cfg)))
-            .collect()
-    });
+    // Every (geometry, workload) cell compares a matched Eureka against
+    // Dense at that geometry: one job batch for the whole figure.
+    let grid = workload_grid(32);
+    let dense = arch::dense();
+    let archs: Vec<_> = variants.iter().map(sweep::variant_arch).collect();
+    let mut jobs = Vec::with_capacity(grid.len() * variants.len() * 2);
+    for w in &grid {
+        for (v, a) in variants.iter().zip(&archs) {
+            let c = cfg.with_core(v.core);
+            jobs.push(SimJob::new(&dense, w, c));
+            jobs.push(SimJob::new(a, w, c));
+        }
+    }
+    let mut results = Runner::default().run_all(&jobs).into_iter();
+    table.rows = grid
+        .iter()
+        .map(|w| {
+            let cells = variants
+                .iter()
+                .map(|_| {
+                    let d = results.next().expect("dense job").expect("Dense runs");
+                    let e = results.next().expect("eureka job").expect("Eureka runs");
+                    Some(engine::speedup(&d, &e))
+                })
+                .collect();
+            (row_label(w), cells)
+        })
+        .collect();
     table.push_mean_row("mean");
     table.push_rep_mean_row("rep mean");
     table

@@ -33,6 +33,8 @@ pub enum Command {
         csv: bool,
         /// Use reduced sampling.
         fast: bool,
+        /// Simulation worker threads (`None` = all cores).
+        jobs: Option<usize>,
     },
     /// Compile one layer's (synthetic) pruned weights to the offline
     /// format and report compression/cycle statistics.
@@ -65,6 +67,8 @@ pub enum Command {
         fast: bool,
         /// Emit the per-layer CSV.
         csv: bool,
+        /// Simulation worker threads (`None` = all cores).
+        jobs: Option<usize>,
     },
 }
 
@@ -75,10 +79,11 @@ eureka — reproduction of the Eureka sparse tensor core (MICRO 2023)
 USAGE:
   eureka help
   eureka archs
-  eureka figure <table1|table2|fig09|fig11|fig12|fig13|fig14|ablations> [--csv] [--fast]
+  eureka figure <table1|table2|fig09|fig11|fig12|fig13|fig14|ablations>
+                  [--csv] [--fast] [--jobs <N>]
   eureka simulate --benchmark <mobilenetv1|inceptionv3|resnet50|bert>
                   [--pruning <dense|cons|mod>] [--arch <name>]
-                  [--batch <N>] [--csv] [--fast]
+                  [--batch <N>] [--csv] [--fast] [--jobs <N>]
   eureka compile  --benchmark <name> --layer <layer-name> [--factor <P>]
   eureka trace    --benchmark <name> --layer <layer-name>   (Chrome-trace JSON)
 
@@ -92,6 +97,14 @@ fn parse_benchmark(s: &str) -> Result<Benchmark, String> {
         "bert" | "bert-squad" | "bertsquad" => Ok(Benchmark::BertSquad),
         other => Err(format!("unknown benchmark '{other}'")),
     }
+}
+
+fn parse_jobs(s: &str) -> Result<usize, String> {
+    let n: usize = s.parse().map_err(|e| format!("bad --jobs: {e}"))?;
+    if n == 0 {
+        return Err("--jobs must be positive".into());
+    }
+    Ok(n)
 }
 
 fn parse_pruning(s: &str) -> Result<PruningLevel, String> {
@@ -142,16 +155,26 @@ where
                     "unknown figure '{name}' (expected one of {known:?})"
                 ));
             }
-            let rest = &args[2..];
-            for a in rest {
-                if a != "--csv" && a != "--fast" {
-                    return Err(format!("unknown flag '{a}' for figure"));
+            let mut csv = false;
+            let mut fast = false;
+            let mut jobs = None;
+            let mut it = args[2..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--csv" => csv = true,
+                    "--fast" => fast = true,
+                    "--jobs" => {
+                        let v = it.next().ok_or("--jobs requires a value")?;
+                        jobs = Some(parse_jobs(v)?);
+                    }
+                    other => return Err(format!("unknown flag '{other}' for figure")),
                 }
             }
             Ok(Command::Figure {
                 name,
-                csv: rest.iter().any(|a| a == "--csv"),
-                fast: rest.iter().any(|a| a == "--fast"),
+                csv,
+                fast,
+                jobs,
             })
         }
         "compile" => {
@@ -213,6 +236,7 @@ where
             let mut batch = 32usize;
             let mut fast = false;
             let mut csv = false;
+            let mut jobs = None;
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
                 let mut value = |flag: &str| {
@@ -231,6 +255,7 @@ where
                     }
                     "--fast" => fast = true,
                     "--csv" => csv = true,
+                    "--jobs" => jobs = Some(parse_jobs(&value("--jobs")?)?),
                     other => return Err(format!("unknown flag '{other}' for simulate")),
                 }
             }
@@ -250,6 +275,7 @@ where
                 batch,
                 fast,
                 csv,
+                jobs,
             })
         }
         other => Err(format!("unknown command '{other}'; try `eureka help`")),
@@ -273,7 +299,15 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             }
             Ok(out)
         }
-        Command::Figure { name, csv, fast } => {
+        Command::Figure {
+            name,
+            csv,
+            fast,
+            jobs,
+        } => {
+            if let Some(n) = jobs {
+                eureka_sim::runner::set_global_jobs(*n);
+            }
             let cfg = if *fast {
                 SimConfig::fast()
             } else {
@@ -378,7 +412,11 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             batch,
             fast,
             csv,
+            jobs,
         } => {
+            if let Some(n) = jobs {
+                eureka_sim::runner::set_global_jobs(*n);
+            }
             let cfg = if *fast {
                 SimConfig::fast()
             } else {
@@ -438,12 +476,32 @@ mod tests {
             Command::Figure {
                 name: "fig11".into(),
                 csv: true,
-                fast: false
+                fast: false,
+                jobs: None,
             }
         );
         assert!(parse(["figure", "fig99"]).is_err());
         assert!(parse(["figure"]).is_err());
         assert!(parse(["figure", "fig11", "--bogus"]).is_err());
+    }
+
+    #[test]
+    fn parse_jobs_flag() {
+        let cmd = parse(["figure", "fig11", "--jobs", "4"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Figure {
+                name: "fig11".into(),
+                csv: false,
+                fast: false,
+                jobs: Some(4),
+            }
+        );
+        let cmd = parse(["simulate", "--benchmark", "bert", "--jobs", "2"]).unwrap();
+        assert!(matches!(cmd, Command::Simulate { jobs: Some(2), .. }));
+        assert!(parse(["figure", "fig11", "--jobs"]).is_err());
+        assert!(parse(["figure", "fig11", "--jobs", "0"]).is_err());
+        assert!(parse(["simulate", "--benchmark", "bert", "--jobs", "x"]).is_err());
     }
 
     #[test]
@@ -457,12 +515,14 @@ mod tests {
                 batch,
                 fast,
                 csv,
+                jobs,
             } => {
                 assert_eq!(benchmark, Benchmark::BertSquad);
                 assert_eq!(pruning, PruningLevel::Moderate);
                 assert_eq!(arch, "eureka-p4");
                 assert_eq!(batch, 32);
                 assert!(!fast && !csv);
+                assert_eq!(jobs, None);
             }
             other => panic!("unexpected {other:?}"),
         }

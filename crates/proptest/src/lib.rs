@@ -1,0 +1,209 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! this vendored shim implements exactly the API subset the workspace's
+//! property tests use: the [`proptest!`] macro (with the
+//! `#![proptest_config(...)]` header), range / tuple / `any` / `prop_map` /
+//! `collection::vec` strategies, and the `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case panics with the assertion message and
+//!   the case's RNG seed context; re-running reproduces it exactly because
+//!   generation is deterministic per test name.
+//! * **Simple distributions.** Integer ranges are uniform; `any::<f32>()`
+//!   draws uniformly random *bit patterns* (so NaNs, infinities and
+//!   subnormals all occur), which is what the FP16 datapath tests rely on.
+//! * **Deterministic seeding.** Each test derives its RNG stream from its
+//!   own (module path, name), so failures are stable across runs and
+//!   machines and adding one test never perturbs another.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything the tests import via `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// The `prop::` namespace (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Declares property tests.
+///
+/// Supports the form used across this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn holds(x in 0u64..100, v in prop::collection::vec(any::<u8>(), 0..10)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { [$cfg] $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            [$crate::test_runner::ProptestConfig::default()] $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ([$cfg:expr]) => {};
+    ([$cfg:expr]
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[allow(unreachable_code)]
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            let mut accepted: u32 = 0;
+            let mut attempts: u64 = 0;
+            let max_attempts = u64::from(config.cases) * 32 + 256;
+            while accepted < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= max_attempts,
+                    "test {} rejected too many generated cases ({} accepted of {} wanted)",
+                    stringify!($name),
+                    accepted,
+                    config.cases
+                );
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let outcome = (move || -> ::core::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => accepted += 1,
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject,
+                    ) => continue,
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(msg),
+                    ) => panic!(
+                        "proptest case #{} of {} failed: {}",
+                        accepted,
+                        stringify!($name),
+                        msg
+                    ),
+                }
+            }
+        }
+        $crate::__proptest_items! { [$cfg] $($rest)* }
+    };
+}
+
+/// Skips the current case when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Fails the current case when the condition does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)*)),
+            ));
+        }
+    };
+}
+
+/// Fails the current case when the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(format!(
+                            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                            l, r
+                        )),
+                    );
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(format!(
+                            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+                            l, r, format!($($fmt)*)
+                        )),
+                    );
+                }
+            }
+        }
+    };
+}
+
+/// Fails the current case when the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                        format!(
+                            "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+                            l, r
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}

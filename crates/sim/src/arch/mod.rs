@@ -76,6 +76,11 @@ impl std::error::Error for SimError {}
 /// can fan out across threads.
 pub trait Architecture: Send + Sync {
     /// Display name used in the figures.
+    ///
+    /// The name must uniquely identify the architecture's simulation
+    /// behaviour: the [`crate::runner`] unit cache keys results on it, so
+    /// two differently-configured architectures sharing a name would
+    /// alias each other's cached layers.
     fn name(&self) -> &str;
 
     /// Simulates one pruned GEMM.
@@ -174,52 +179,48 @@ pub(crate) fn binomial(n: usize, p: f64, rng: &mut DetRng) -> usize {
     (0..n).filter(|_| rng.bernoulli(p)).count()
 }
 
+/// A registry constructor: builds one boxed architecture.
+type ArchCtor = fn() -> Box<dyn Architecture>;
+
+/// The single name → constructor table behind [`registry_names`] and
+/// [`by_name`], in figure order. Constructors must yield architectures
+/// whose display names are pairwise distinct (the runner's unit cache
+/// keys on [`Architecture::name`]); the registry test enforces this.
+static REGISTRY: [(&str, ArchCtor); 16] = [
+    ("dense", || Box::new(onesided::dense())),
+    ("ampere", || Box::new(onesided::ampere())),
+    ("cnvlutin", || Box::new(onesided::cnvlutin_like())),
+    ("eureka-p2", || Box::new(onesided::eureka_p2())),
+    ("eureka-p4", || Box::new(onesided::eureka_p4())),
+    ("ideal", || Box::new(ideal::ideal())),
+    ("dstc", || Box::new(dstc::dstc())),
+    ("sparten", || Box::new(sparten::sparten())),
+    ("s2ta", || Box::new(s2ta::s2ta())),
+    ("eureka-unopt", || Box::new(onesided::eureka_unopt())),
+    ("compaction-p4", || Box::new(onesided::compaction_only(4))),
+    ("greedy-suds", || Box::new(onesided::greedy_suds_p4())),
+    ("optimal-suds", || Box::new(onesided::optimal_suds_p4())),
+    ("eureka-no-suds", || Box::new(onesided::eureka_no_suds_p4())),
+    ("eureka-reach2", || Box::new(onesided::eureka_multistep(2))),
+    ("eureka-act-gate", || {
+        Box::new(extensions::eureka_two_sided())
+    }),
+];
+
 /// All architecture names [`by_name`] resolves, in figure order.
 #[must_use]
 pub fn registry_names() -> Vec<&'static str> {
-    vec![
-        "dense",
-        "ampere",
-        "cnvlutin",
-        "eureka-p2",
-        "eureka-p4",
-        "ideal",
-        "dstc",
-        "sparten",
-        "s2ta",
-        "eureka-unopt",
-        "compaction-p4",
-        "greedy-suds",
-        "optimal-suds",
-        "eureka-no-suds",
-        "eureka-reach2",
-        "eureka-act-gate",
-    ]
+    REGISTRY.iter().map(|(name, _)| *name).collect()
 }
 
 /// Resolves an architecture by its kebab-case name (see
 /// [`registry_names`]); `None` for unknown names.
 #[must_use]
 pub fn by_name(name: &str) -> Option<Box<dyn Architecture>> {
-    Some(match name {
-        "dense" => Box::new(onesided::dense()),
-        "ampere" => Box::new(onesided::ampere()),
-        "cnvlutin" => Box::new(onesided::cnvlutin_like()),
-        "eureka-p2" => Box::new(onesided::eureka_p2()),
-        "eureka-p4" => Box::new(onesided::eureka_p4()),
-        "ideal" => Box::new(ideal::ideal()),
-        "dstc" => Box::new(dstc::dstc()),
-        "sparten" => Box::new(sparten::sparten()),
-        "s2ta" => Box::new(s2ta::s2ta()),
-        "eureka-unopt" => Box::new(onesided::eureka_unopt()),
-        "compaction-p4" => Box::new(onesided::compaction_only(4)),
-        "greedy-suds" => Box::new(onesided::greedy_suds_p4()),
-        "optimal-suds" => Box::new(onesided::optimal_suds_p4()),
-        "eureka-no-suds" => Box::new(onesided::eureka_no_suds_p4()),
-        "eureka-reach2" => Box::new(onesided::eureka_multistep(2)),
-        "eureka-act-gate" => Box::new(extensions::eureka_two_sided()),
-        _ => return None,
-    })
+    REGISTRY
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, build)| build())
 }
 
 /// Samples weight tiles of a layer at the Eureka P=4 geometry
@@ -322,10 +323,17 @@ mod tests {
 
     #[test]
     fn registry_is_complete_and_consistent() {
+        let mut display_names = Vec::new();
         for name in registry_names() {
             let arch = by_name(name).unwrap_or_else(|| panic!("{name} missing"));
             assert!(!arch.name().is_empty());
+            display_names.push(arch.name().to_string());
         }
+        // Display names are the runner's cache identity: no duplicates.
+        let mut uniq = display_names.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), display_names.len(), "{display_names:?}");
         assert!(by_name("not-an-arch").is_none());
         assert_eq!(by_name("eureka-p4").unwrap().name(), "Eureka P=4");
     }

@@ -1,13 +1,20 @@
-//! Workload-level simulation driver.
+//! Workload-level simulation entry points.
+//!
+//! These are thin wrappers over the [`crate::runner`] drive path — one
+//! job, default runner — kept for API continuity and for callers that
+//! simulate a single `(architecture, workload)` pair.
 
-use crate::arch::{Architecture, LayerCtx, SimError};
+use crate::arch::{Architecture, SimError};
 use crate::config::SimConfig;
 use crate::report::SimReport;
-use eureka_models::activation;
+use crate::runner::{Runner, SimJob};
 use eureka_models::Workload;
-use eureka_sparse::rng::DetRng;
 
 /// Simulates every layer of a workload under an architecture.
+///
+/// Equivalent to submitting one [`SimJob`] to the default [`Runner`];
+/// sweeps over many pairs should batch jobs through
+/// [`Runner::run_all`] instead of calling this in a loop.
 ///
 /// # Errors
 ///
@@ -18,60 +25,7 @@ pub fn try_simulate(
     workload: &Workload,
     cfg: &SimConfig,
 ) -> Result<SimReport, SimError> {
-    let base_rng = DetRng::new(workload.seed());
-    let bench = workload.benchmark();
-    let mut layers = Vec::with_capacity(workload.layer_count());
-    for (i, gemm) in workload.gemms().iter().enumerate() {
-        let ctx = LayerCtx {
-            act_density: workload.activation_density(),
-            s2ta_act_density: activation::s2ta_activation_density(bench),
-            s2ta_fil_density: activation::s2ta_filter_density(bench),
-            rng: base_rng.fork(i as u64),
-        };
-        let mut report = arch.simulate_layer(gemm, &ctx, cfg)?;
-        if cfg.detailed_memory {
-            // Replace the analytic residency constant with a measured
-            // one from the cache substrate, and re-derive the exposure.
-            let residency = crate::cachesim::replay_layer(
-                gemm,
-                cfg,
-                crate::cachesim::CacheConfig::ampere_l2(),
-                96,
-            )
-            .act_hit_rate;
-            let mem = crate::config::MemoryConfig {
-                l2_act_residency: residency,
-                ..cfg.mem
-            };
-            report.mem_cycles = crate::memory::exposed_cycles(&report, &mem);
-        }
-        layers.push(report);
-    }
-    // Weight-free attention matmuls run dense on every architecture.
-    if cfg.include_attention_aux {
-        let aux = workload.attention_aux_macs();
-        if aux > 0 {
-            let compute = (aux as f64 / cfg.total_macs() as f64).ceil() as u64;
-            layers.push(crate::report::LayerReport {
-                name: "attention-aux".into(),
-                compute_cycles: compute,
-                mem_cycles: (cfg.mem.ramp_fraction * compute as f64).ceil() as u64,
-                mac_ops: aux,
-                idle_mac_cycles: 0,
-                ..crate::report::LayerReport::default()
-            });
-        }
-    }
-    Ok(SimReport {
-        arch: arch.name().to_string(),
-        workload: format!(
-            "{} ({}, batch {})",
-            bench.name(),
-            workload.pruning().label(),
-            workload.batch()
-        ),
-        layers,
-    })
+    Runner::default().run(&SimJob::new(arch, workload, *cfg))
 }
 
 /// Like [`try_simulate`] but panics on unsupported combinations.

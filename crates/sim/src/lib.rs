@@ -45,7 +45,9 @@ pub mod config;
 pub mod engine;
 pub mod memory;
 pub mod report;
+pub mod runner;
 pub mod sweep;
 
 pub use config::{MemoryConfig, SimConfig, TensorCoreConfig};
 pub use report::{LayerReport, OpCounts, SimReport};
+pub use runner::{Runner, SimJob};

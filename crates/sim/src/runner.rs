@@ -1,0 +1,545 @@
+//! The unified simulation drive path: explicit jobs, a plan/execute split,
+//! parallel execution and a content-keyed result cache.
+//!
+//! Every consumer of the simulator — [`crate::engine`], the figure drivers
+//! in `eureka-bench`, the ablation sweeps and the CLI — submits
+//! [`SimJob`]s to a [`Runner`] instead of hand-rolling a serial loop over
+//! `(architecture × workload × layer)`. The runner
+//!
+//! 1. **plans** each job into independent per-layer [work units](`WorkUnit`)
+//!    (every unit owns its forked [`DetRng`] stream, so units are
+//!    order-independent by construction),
+//! 2. **executes** the units — serially or fanned out across a scoped
+//!    thread pool — consulting a process-wide content-keyed cache first,
+//!    and
+//! 3. **reduces** the results back into [`SimReport`]s in layer-index
+//!    order.
+//!
+//! # Determinism contract
+//!
+//! [`Runner::parallel`] output is bit-identical to [`Runner::serial`]
+//! output: units are pure functions of their content key, the reduction
+//! assembles layers by index (never by completion order), and no
+//! floating-point accumulation crosses unit boundaries. The workspace
+//! test-suite asserts `SimReport` equality across both modes for every
+//! registry architecture.
+//!
+//! # Caching
+//!
+//! Figure sweeps re-simulate identical dense baselines dozens of times
+//! (every speedup column divides by the same dense run). Units are
+//! memoized behind a hash of their full content: architecture name, GEMM
+//! descriptor, per-layer RNG stream, and every timing-relevant
+//! [`SimConfig`] field. Architecture display names must therefore uniquely
+//! identify simulation behaviour — an invariant the registry upholds and
+//! [`Architecture::name`] documents. Cached replays are bit-identical to
+//! cold misses because unit execution is deterministic.
+
+use crate::arch::{Architecture, LayerCtx, SimError};
+use crate::config::SimConfig;
+use crate::report::{LayerReport, SimReport};
+use eureka_models::{activation, workload::LayerGemm, Workload};
+use eureka_sparse::rng::DetRng;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// One simulation request: an architecture applied to a workload under a
+/// configuration.
+#[derive(Clone, Copy)]
+pub struct SimJob<'a> {
+    /// The architecture to simulate.
+    pub arch: &'a dyn Architecture,
+    /// The workload to run.
+    pub workload: &'a Workload,
+    /// The simulator configuration.
+    pub cfg: SimConfig,
+}
+
+impl<'a> SimJob<'a> {
+    /// A job simulating `workload` on `arch` under `cfg`.
+    #[must_use]
+    pub fn new(arch: &'a dyn Architecture, workload: &'a Workload, cfg: SimConfig) -> Self {
+        SimJob {
+            arch,
+            workload,
+            cfg,
+        }
+    }
+}
+
+/// The smallest schedulable piece of a job: one layer of one workload on
+/// one architecture. Owns everything needed to execute independently.
+struct WorkUnit<'a> {
+    arch: &'a dyn Architecture,
+    gemm: LayerGemm,
+    ctx: LayerCtx,
+    cfg: SimConfig,
+    key: UnitKey,
+}
+
+/// Bit-exact content key of a work unit. Two units with equal keys are
+/// guaranteed to produce equal [`LayerReport`]s, because unit execution is
+/// a pure function of exactly these inputs.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct UnitKey {
+    arch: String,
+    gemm_name: String,
+    n: usize,
+    k: usize,
+    m: usize,
+    unique_act_bytes: u64,
+    weight_density: u64,
+    clustered: bool,
+    depthwise: bool,
+    act_density: u64,
+    s2ta_act_density: Option<u64>,
+    s2ta_fil_density: Option<u64>,
+    rng_seed: u64,
+    rng_stream: u64,
+    cfg: CfgKey,
+}
+
+/// The timing-relevant [`SimConfig`] fields, with floats as raw bits.
+/// `include_attention_aux` is deliberately excluded: it only affects the
+/// reduce step, never a unit's result.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct CfgKey {
+    tensor_cores: usize,
+    sub_array_dim: usize,
+    grid_rows: usize,
+    grid_cols: usize,
+    window: usize,
+    bytes_per_cycle: u64,
+    l2_act_residency: u64,
+    ramp_fraction: u64,
+    rowgroup_samples: usize,
+    slice_samples: usize,
+    act_samples: usize,
+    row_density_sigma: u64,
+    sparten_chunk_min_cycles: u64,
+    dstc_crossbar_width: usize,
+    detailed_memory: bool,
+}
+
+impl CfgKey {
+    fn of(cfg: &SimConfig) -> Self {
+        CfgKey {
+            tensor_cores: cfg.tensor_cores,
+            sub_array_dim: cfg.core.sub_array_dim,
+            grid_rows: cfg.core.grid_rows,
+            grid_cols: cfg.core.grid_cols,
+            window: cfg.core.window,
+            bytes_per_cycle: cfg.mem.bytes_per_cycle.to_bits(),
+            l2_act_residency: cfg.mem.l2_act_residency.to_bits(),
+            ramp_fraction: cfg.mem.ramp_fraction.to_bits(),
+            rowgroup_samples: cfg.rowgroup_samples,
+            slice_samples: cfg.slice_samples,
+            act_samples: cfg.act_samples,
+            row_density_sigma: cfg.row_density_sigma.to_bits(),
+            sparten_chunk_min_cycles: cfg.sparten_chunk_min_cycles.to_bits(),
+            dstc_crossbar_width: cfg.dstc_crossbar_width,
+            detailed_memory: cfg.detailed_memory,
+        }
+    }
+}
+
+/// Requested worker count when the runner should use every available core.
+const AUTO: usize = 0;
+
+/// Process-wide default worker count override (0 = auto-detect), set by
+/// [`set_global_jobs`] — the CLI's `--jobs` flag lands here.
+static GLOBAL_JOBS: AtomicUsize = AtomicUsize::new(AUTO);
+
+/// Sets the process-wide default worker count for runners constructed with
+/// [`Runner::parallel`] / [`Runner::default`]. `0` restores auto-detection
+/// (all available cores). Runners built with [`Runner::with_jobs`] or
+/// [`Runner::serial`] are unaffected.
+pub fn set_global_jobs(jobs: usize) {
+    GLOBAL_JOBS.store(jobs, Ordering::Relaxed);
+}
+
+/// The process-wide unit cache plus hit/miss counters.
+struct Cache {
+    map: Mutex<HashMap<UnitKey, LayerReport>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+fn cache() -> &'static Cache {
+    static CACHE: OnceLock<Cache> = OnceLock::new();
+    CACHE.get_or_init(|| Cache {
+        map: Mutex::new(HashMap::new()),
+        hits: AtomicU64::new(0),
+        misses: AtomicU64::new(0),
+    })
+}
+
+/// Empties the process-wide unit cache (for cold-start measurements).
+pub fn clear_cache() {
+    cache().map.lock().expect("cache poisoned").clear();
+}
+
+/// `(hits, misses, entries)` counters of the process-wide unit cache.
+#[must_use]
+pub fn cache_stats() -> (u64, u64, usize) {
+    let c = cache();
+    let entries = c.map.lock().expect("cache poisoned").len();
+    (
+        c.hits.load(Ordering::Relaxed),
+        c.misses.load(Ordering::Relaxed),
+        entries,
+    )
+}
+
+/// Executes [`SimJob`]s: plans per-layer units, runs them (optionally in
+/// parallel, optionally memoized) and reduces deterministically.
+///
+/// The parallel and serial modes produce bit-identical [`SimReport`]s; see
+/// the [module docs](self) for the contract.
+#[derive(Clone, Copy, Debug)]
+pub struct Runner {
+    jobs: usize,
+    cached: bool,
+}
+
+impl Default for Runner {
+    /// The standard drive path: parallel across all cores (or the
+    /// [`set_global_jobs`] override), with the unit cache enabled.
+    fn default() -> Self {
+        Runner::parallel()
+    }
+}
+
+impl Runner {
+    /// A runner executing units one at a time, in plan order.
+    #[must_use]
+    pub fn serial() -> Self {
+        Runner {
+            jobs: 1,
+            cached: true,
+        }
+    }
+
+    /// A runner fanning units out across all available cores (or the
+    /// process-wide [`set_global_jobs`] override).
+    #[must_use]
+    pub fn parallel() -> Self {
+        Runner {
+            jobs: AUTO,
+            cached: true,
+        }
+    }
+
+    /// A runner with an explicit worker count (`0` = auto-detect).
+    #[must_use]
+    pub fn with_jobs(jobs: usize) -> Self {
+        Runner { jobs, cached: true }
+    }
+
+    /// Disables the unit cache for this runner (every unit recomputes).
+    #[must_use]
+    pub fn without_cache(mut self) -> Self {
+        self.cached = false;
+        self
+    }
+
+    /// The worker count this runner would use right now.
+    #[must_use]
+    pub fn effective_jobs(&self) -> usize {
+        let requested = match self.jobs {
+            AUTO => GLOBAL_JOBS.load(Ordering::Relaxed),
+            n => n,
+        };
+        match requested {
+            AUTO => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        }
+    }
+
+    /// Runs one job.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Unsupported`] if the architecture cannot run
+    /// the workload (e.g. S2TA on InceptionV3).
+    pub fn run(&self, job: &SimJob<'_>) -> Result<SimReport, SimError> {
+        self.run_all(std::slice::from_ref(job))
+            .pop()
+            .expect("one job in, one report out")
+    }
+
+    /// Runs a batch of jobs, fanning all their units out together, and
+    /// returns one result per job in submission order.
+    pub fn run_all(&self, jobs: &[SimJob<'_>]) -> Vec<Result<SimReport, SimError>> {
+        // Plan: enumerate every job's per-layer units.
+        let mut units = Vec::new();
+        let mut spans = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            let start = units.len();
+            plan(job, &mut units);
+            spans.push(start..units.len());
+        }
+        // Execute: serial order or index-claimed pool, cache-first.
+        let results = self.execute(&units);
+        // Reduce: reassemble per job, in layer-index order.
+        jobs.iter()
+            .zip(spans)
+            .map(|(job, span)| reduce(job, &results[span]))
+            .collect()
+    }
+
+    /// Executes planned units, returning results in unit order.
+    fn execute(&self, units: &[WorkUnit<'_>]) -> Vec<Result<LayerReport, SimError>> {
+        let workers = self.effective_jobs().min(units.len());
+        if workers <= 1 {
+            return units.iter().map(|u| self.run_unit(u)).collect();
+        }
+        let slots: Vec<OnceLock<Result<LayerReport, SimError>>> =
+            (0..units.len()).map(|_| OnceLock::new()).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(unit) = units.get(i) else { break };
+                    slots[i]
+                        .set(self.run_unit(unit))
+                        .unwrap_or_else(|_| unreachable!("unit {i} claimed twice"));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every slot filled"))
+            .collect()
+    }
+
+    /// Executes one unit, consulting the cache first.
+    fn run_unit(&self, unit: &WorkUnit<'_>) -> Result<LayerReport, SimError> {
+        if self.cached {
+            if let Some(hit) = cache()
+                .map
+                .lock()
+                .expect("cache poisoned")
+                .get(&unit.key)
+                .cloned()
+            {
+                cache().hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(hit);
+            }
+        }
+        let result = execute_unit(unit);
+        if self.cached {
+            cache().misses.fetch_add(1, Ordering::Relaxed);
+            if let Ok(report) = &result {
+                cache()
+                    .map
+                    .lock()
+                    .expect("cache poisoned")
+                    .insert(unit.key.clone(), report.clone());
+            }
+        }
+        result
+    }
+}
+
+/// Plans one job into per-layer units appended to `units`.
+fn plan<'a>(job: &SimJob<'a>, units: &mut Vec<WorkUnit<'a>>) {
+    let workload = job.workload;
+    let bench = workload.benchmark();
+    let base_rng = DetRng::new(workload.seed());
+    let act_density = workload.activation_density();
+    let s2ta_act_density = activation::s2ta_activation_density(bench);
+    let s2ta_fil_density = activation::s2ta_filter_density(bench);
+    for (i, gemm) in workload.gemms().into_iter().enumerate() {
+        let stream = i as u64;
+        let key = UnitKey {
+            arch: job.arch.name().to_string(),
+            gemm_name: gemm.name.clone(),
+            n: gemm.shape.n,
+            k: gemm.shape.k,
+            m: gemm.shape.m,
+            unique_act_bytes: gemm.unique_act_bytes,
+            weight_density: gemm.weight_density.to_bits(),
+            clustered: gemm.clustered,
+            depthwise: gemm.depthwise,
+            act_density: act_density.to_bits(),
+            s2ta_act_density: s2ta_act_density.map(f64::to_bits),
+            s2ta_fil_density: s2ta_fil_density.map(f64::to_bits),
+            rng_seed: workload.seed(),
+            rng_stream: stream,
+            cfg: CfgKey::of(&job.cfg),
+        };
+        units.push(WorkUnit {
+            arch: job.arch,
+            gemm,
+            ctx: LayerCtx {
+                act_density,
+                s2ta_act_density,
+                s2ta_fil_density,
+                rng: base_rng.fork(stream),
+            },
+            cfg: job.cfg,
+            key,
+        });
+    }
+}
+
+/// The pure per-layer computation: architecture timing, plus the measured
+/// cache-replay residency when `detailed_memory` is on.
+fn execute_unit(unit: &WorkUnit<'_>) -> Result<LayerReport, SimError> {
+    let mut report = unit.arch.simulate_layer(&unit.gemm, &unit.ctx, &unit.cfg)?;
+    if unit.cfg.detailed_memory {
+        // Replace the analytic residency constant with a measured one from
+        // the cache substrate, and re-derive the exposure.
+        let residency = crate::cachesim::replay_layer(
+            &unit.gemm,
+            &unit.cfg,
+            crate::cachesim::CacheConfig::ampere_l2(),
+            96,
+        )
+        .act_hit_rate;
+        let mem = crate::config::MemoryConfig {
+            l2_act_residency: residency,
+            ..unit.cfg.mem
+        };
+        report.mem_cycles = crate::memory::exposed_cycles(&report, &mem);
+    }
+    Ok(report)
+}
+
+/// Assembles one job's unit results (already in layer order) into a
+/// [`SimReport`], surfacing the lowest-index error if any unit failed.
+fn reduce(
+    job: &SimJob<'_>,
+    results: &[Result<LayerReport, SimError>],
+) -> Result<SimReport, SimError> {
+    let mut layers = Vec::with_capacity(results.len() + 1);
+    for r in results {
+        layers.push(r.clone()?);
+    }
+    // Weight-free attention matmuls run dense on every architecture.
+    if job.cfg.include_attention_aux {
+        let aux = job.workload.attention_aux_macs();
+        if aux > 0 {
+            let compute = (aux as f64 / job.cfg.total_macs() as f64).ceil() as u64;
+            layers.push(LayerReport {
+                name: "attention-aux".into(),
+                compute_cycles: compute,
+                mem_cycles: (job.cfg.mem.ramp_fraction * compute as f64).ceil() as u64,
+                mac_ops: aux,
+                idle_mac_cycles: 0,
+                ..LayerReport::default()
+            });
+        }
+    }
+    Ok(SimReport {
+        arch: job.arch.name().to_string(),
+        workload: format!(
+            "{} ({}, batch {})",
+            job.workload.benchmark().name(),
+            job.workload.pruning().label(),
+            job.workload.batch()
+        ),
+        layers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch;
+    use eureka_models::{Benchmark, PruningLevel, Workload};
+
+    fn tiny_cfg() -> SimConfig {
+        SimConfig {
+            rowgroup_samples: 8,
+            slice_samples: 8,
+            act_samples: 8,
+            ..SimConfig::paper_default()
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_on_one_job() {
+        let w = Workload::new(Benchmark::MobileNetV1, PruningLevel::Moderate, 32);
+        let cfg = tiny_cfg();
+        let a = arch::eureka_p4();
+        let job = SimJob::new(&a, &w, cfg);
+        let serial = Runner::serial().without_cache().run(&job).unwrap();
+        let parallel = Runner::with_jobs(4).without_cache().run(&job).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn run_all_preserves_submission_order() {
+        let w = Workload::new(Benchmark::MobileNetV1, PruningLevel::Moderate, 32);
+        let cfg = tiny_cfg();
+        let dense = arch::dense();
+        let eureka = arch::eureka_p4();
+        let jobs = [SimJob::new(&dense, &w, cfg), SimJob::new(&eureka, &w, cfg)];
+        let out = Runner::with_jobs(3).run_all(&jobs);
+        assert_eq!(out[0].as_ref().unwrap().arch, "Dense");
+        assert_eq!(out[1].as_ref().unwrap().arch, "Eureka P=4");
+    }
+
+    #[test]
+    fn unsupported_arch_errors_like_engine() {
+        let w = Workload::new(Benchmark::InceptionV3, PruningLevel::Moderate, 32);
+        let cfg = tiny_cfg();
+        let s2ta = arch::s2ta();
+        let job = SimJob::new(&s2ta, &w, cfg);
+        let serial = Runner::serial().run(&job);
+        let parallel = Runner::with_jobs(4).run(&job);
+        assert!(serial.is_err());
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn cache_counts_hits_and_returns_identical_results() {
+        let w = Workload::new(Benchmark::MobileNetV1, PruningLevel::Conservative, 16);
+        let cfg = SimConfig {
+            rowgroup_samples: 7, // distinctive: avoid collisions with other tests
+            ..tiny_cfg()
+        };
+        let a = arch::ampere();
+        let job = SimJob::new(&a, &w, cfg);
+        let cold = Runner::serial().run(&job).unwrap();
+        let (h0, _, _) = cache_stats();
+        let warm = Runner::serial().run(&job).unwrap();
+        let (h1, _, _) = cache_stats();
+        assert_eq!(cold, warm);
+        assert!(
+            h1 >= h0 + w.layer_count() as u64,
+            "expected {} cache hits, saw {}",
+            w.layer_count(),
+            h1 - h0
+        );
+    }
+
+    #[test]
+    fn global_jobs_override_applies_to_auto_runners() {
+        set_global_jobs(3);
+        assert_eq!(Runner::parallel().effective_jobs(), 3);
+        assert_eq!(Runner::serial().effective_jobs(), 1);
+        assert_eq!(Runner::with_jobs(5).effective_jobs(), 5);
+        set_global_jobs(0);
+        assert!(Runner::parallel().effective_jobs() >= 1);
+    }
+
+    #[test]
+    fn attention_aux_reduces_identically_in_both_modes() {
+        let w = Workload::new(Benchmark::BertSquad, PruningLevel::Moderate, 8);
+        let cfg = SimConfig {
+            include_attention_aux: true,
+            ..tiny_cfg()
+        };
+        let a = arch::dense();
+        let job = SimJob::new(&a, &w, cfg);
+        let serial = Runner::serial().without_cache().run(&job).unwrap();
+        let parallel = Runner::with_jobs(2).without_cache().run(&job).unwrap();
+        assert_eq!(serial, parallel);
+        assert!(serial.layers.iter().any(|l| l.name == "attention-aux"));
+    }
+}

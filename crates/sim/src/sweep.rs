@@ -6,9 +6,10 @@
 //! unbalanced row idles `p` MACs instead of 4. Systolic scale-up keeps
 //! `p = 4` and pays only modest pipeline-bubble costs.
 
-use crate::arch::{onesided, Architecture};
+use crate::arch::onesided;
 use crate::config::{SimConfig, TensorCoreConfig};
 use crate::engine;
+use crate::runner::{Runner, SimJob};
 use eureka_models::Workload;
 
 /// One Figure 14 configuration.
@@ -47,24 +48,35 @@ pub fn figure14_variants() -> Vec<ArrayVariant> {
     ]
 }
 
+/// The Eureka configuration matched to one geometry: the compaction
+/// factor is capped so the tile width fits the 64-bit masks (16x16 plain
+/// with P=4 is exactly 64).
+#[must_use]
+pub fn variant_arch(variant: &ArrayVariant) -> onesided::OneSided {
+    let p = variant.core.sub_array_dim;
+    let factor = (64 / p).min(4);
+    onesided::OneSided::new(
+        format!("Eureka P={factor}"),
+        factor,
+        onesided::TileTimer::OptimalSuds,
+        onesided::ScheduleMode::Grouped,
+    )
+}
+
 /// Eureka-P=4-over-Dense speedup for one workload under one geometry
 /// (device MAC budget held constant).
 #[must_use]
 pub fn speedup_at(variant: &ArrayVariant, workload: &Workload, base_cfg: &SimConfig) -> f64 {
     let cfg = base_cfg.with_core(variant.core);
-    let dense = engine::simulate(&onesided::dense(), workload, &cfg);
-    // Compaction factor capped so the tile width fits the 64-bit masks
-    // (16x16 plain with P=4 is exactly 64).
-    let p = variant.core.sub_array_dim;
-    let factor = (64 / p).min(4);
-    let eureka = onesided::OneSided::new(
-        format!("Eureka P={factor}"),
-        factor,
-        onesided::TileTimer::OptimalSuds,
-        onesided::ScheduleMode::Grouped,
-    );
-    let report = engine::simulate(&eureka, workload, &cfg);
-    let _ = eureka.name();
+    let dense = onesided::dense();
+    let eureka = variant_arch(variant);
+    let jobs = [
+        SimJob::new(&dense, workload, cfg),
+        SimJob::new(&eureka, workload, cfg),
+    ];
+    let mut out = Runner::default().run_all(&jobs).into_iter();
+    let dense = out.next().expect("dense job").expect("dense always runs");
+    let report = out.next().expect("eureka job").expect("eureka always runs");
     engine::speedup(&dense, &report)
 }
 
@@ -78,16 +90,24 @@ pub fn core_count_sweep(
     core_counts: &[usize],
     base_cfg: &SimConfig,
 ) -> Vec<(usize, u64)> {
-    core_counts
+    let eureka = onesided::eureka_p4();
+    let jobs: Vec<SimJob<'_>> = core_counts
         .iter()
         .map(|&cores| {
-            let cfg = SimConfig {
-                tensor_cores: cores,
-                ..*base_cfg
-            };
-            let r = engine::simulate(&onesided::eureka_p4(), workload, &cfg);
-            (cores, r.total_cycles())
+            SimJob::new(
+                &eureka,
+                workload,
+                SimConfig {
+                    tensor_cores: cores,
+                    ..*base_cfg
+                },
+            )
         })
+        .collect();
+    core_counts
+        .iter()
+        .zip(Runner::default().run_all(&jobs))
+        .map(|(&cores, r)| (cores, r.expect("eureka always runs").total_cycles()))
         .collect()
 }
 

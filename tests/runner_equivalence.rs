@@ -1,0 +1,100 @@
+//! The runner's determinism contract, enforced end to end: parallel
+//! execution is bit-identical to serial execution for every architecture
+//! in the registry, and cache replays are bit-identical to cold misses.
+
+use eureka_models::{Benchmark, PruningLevel, Workload};
+use eureka_sim::arch;
+use eureka_sim::{runner, Runner, SimConfig, SimJob};
+
+/// Small sampling counts so the full registry sweep stays fast; distinct
+/// from every named preset so these tests never share cache entries with
+/// other suites.
+fn test_cfg() -> SimConfig {
+    SimConfig {
+        rowgroup_samples: 10,
+        slice_samples: 10,
+        act_samples: 10,
+        ..SimConfig::paper_default()
+    }
+}
+
+#[test]
+fn parallel_equals_serial_for_every_registry_arch() {
+    // ResNet50 is the one benchmark every registry architecture supports
+    // (S2TA has no structured-sparsity data for InceptionV3).
+    let w = Workload::new(Benchmark::ResNet50, PruningLevel::Moderate, 32);
+    let cfg = test_cfg();
+    for name in arch::registry_names() {
+        let a = arch::by_name(name).expect("registry name resolves");
+        let job = SimJob::new(a.as_ref(), &w, cfg);
+        let serial = Runner::serial().without_cache().run(&job);
+        let parallel = Runner::with_jobs(8).without_cache().run(&job);
+        assert_eq!(serial, parallel, "{name}: parallel must be bit-identical");
+        assert!(serial.is_ok(), "{name} must support ResNet50");
+    }
+}
+
+#[test]
+fn parallel_equals_serial_on_unsupported_combinations() {
+    // Error paths must agree too: the lowest-index failure wins in both
+    // modes.
+    let w = Workload::new(Benchmark::InceptionV3, PruningLevel::Moderate, 32);
+    let cfg = test_cfg();
+    let s2ta = arch::by_name("s2ta").expect("registered");
+    let job = SimJob::new(s2ta.as_ref(), &w, cfg);
+    let serial = Runner::serial().without_cache().run(&job);
+    let parallel = Runner::with_jobs(8).without_cache().run(&job);
+    assert!(serial.is_err());
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn cache_hit_equals_cold_miss() {
+    let w = Workload::new(Benchmark::BertSquad, PruningLevel::Conservative, 32);
+    let cfg = SimConfig {
+        // Distinctive sampling so this test owns its cache entries.
+        rowgroup_samples: 11,
+        ..test_cfg()
+    };
+    let a = arch::by_name("eureka-p4").expect("registered");
+    let job = SimJob::new(a.as_ref(), &w, cfg);
+
+    runner::clear_cache();
+    let cold = Runner::parallel().run(&job).expect("supported");
+    let (_, misses_after_cold, _) = runner::cache_stats();
+    let warm = Runner::parallel().run(&job).expect("supported");
+    let (hits_after_warm, misses_after_warm, _) = runner::cache_stats();
+
+    assert_eq!(cold, warm, "cache replay must be bit-identical");
+    assert_eq!(
+        misses_after_cold, misses_after_warm,
+        "warm run must not recompute any unit"
+    );
+    assert!(
+        hits_after_warm >= w.layer_count() as u64,
+        "warm run must hit on every layer"
+    );
+
+    // And a cleared cache recomputes to the same report.
+    runner::clear_cache();
+    let recomputed = Runner::parallel().run(&job).expect("supported");
+    assert_eq!(cold, recomputed);
+}
+
+#[test]
+fn batch_submission_matches_individual_runs() {
+    let w1 = Workload::new(Benchmark::MobileNetV1, PruningLevel::Moderate, 32);
+    let w2 = Workload::new(Benchmark::ResNet50, PruningLevel::Conservative, 32);
+    let cfg = test_cfg();
+    let dense = arch::by_name("dense").expect("registered");
+    let eureka = arch::by_name("eureka-p4").expect("registered");
+    let jobs = [
+        SimJob::new(dense.as_ref(), &w1, cfg),
+        SimJob::new(eureka.as_ref(), &w2, cfg),
+    ];
+    let batched = Runner::parallel().run_all(&jobs);
+    for (job, batched) in jobs.iter().zip(&batched) {
+        let solo = Runner::serial().run(job);
+        assert_eq!(&solo, batched);
+    }
+}
