@@ -1,5 +1,6 @@
 //! Serial vs parallel runner on the headline workload (ResNet-50,
-//! moderate pruning, Eureka P=4), plus the measured speedup.
+//! moderate pruning, Eureka P=4), plus the measured speedup and the
+//! telemetry (span-recording) overhead on the serial path.
 //!
 //! The cache is disabled and cleared so both modes do the full per-layer
 //! work every iteration; the determinism contract guarantees they produce
@@ -55,5 +56,53 @@ fn serial_vs_parallel(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, serial_vs_parallel);
+/// Serial run with span recording on vs off — the instrumentation budget
+/// (acceptance: well under 5% on this workload).
+fn telemetry_overhead(c: &mut Criterion) {
+    let w = Workload::new(Benchmark::ResNet50, PruningLevel::Moderate, 32);
+    let cfg = bench_cfg();
+    let eureka = arch::eureka_p4();
+    let job = SimJob::new(&eureka, &w, cfg);
+    runner::clear_cache();
+
+    let mut group = c.benchmark_group("runner/telemetry");
+    group.sample_size(10);
+    eureka_obs::span::set_enabled(false);
+    group.bench_function("spans-off", |b| {
+        b.iter(|| Runner::serial().without_cache().run(&job).unwrap())
+    });
+    eureka_obs::span::set_enabled(true);
+    group.bench_function("spans-on", |b| {
+        b.iter(|| {
+            let r = Runner::serial().without_cache().run(&job).unwrap();
+            eureka_obs::span::clear(); // keep the buffer from growing unbounded
+            r
+        })
+    });
+    eureka_obs::span::set_enabled(false);
+    eureka_obs::span::clear();
+    group.finish();
+
+    let time = |on: bool| {
+        eureka_obs::span::set_enabled(on);
+        let start = Instant::now();
+        for _ in 0..5 {
+            Runner::serial().without_cache().run(&job).unwrap();
+            eureka_obs::span::clear();
+        }
+        let t = start.elapsed();
+        eureka_obs::span::set_enabled(false);
+        t
+    };
+    let off = time(false);
+    let on = time(true);
+    println!(
+        "runner/telemetry overhead: {:+.2}% (off {:.1} ms, on {:.1} ms per run)",
+        100.0 * (on.as_secs_f64() / off.as_secs_f64() - 1.0),
+        off.as_secs_f64() * 1e3 / 5.0,
+        on.as_secs_f64() * 1e3 / 5.0,
+    );
+}
+
+criterion_group!(benches, serial_vs_parallel, telemetry_overhead);
 criterion_main!(benches);

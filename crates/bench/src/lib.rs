@@ -219,6 +219,7 @@ pub fn figure9(cfg: &SimConfig) -> FigTable {
     use eureka_core::suds;
     use eureka_sim::arch::tile_samples_for_layer;
 
+    let _span = eureka_obs::span!("bench.figure9");
     let w = Workload::new(Benchmark::ResNet50, PruningLevel::Moderate, 32);
     let gemm = w
         .gemms()
@@ -289,6 +290,7 @@ pub fn figure11_archs() -> Vec<Box<dyn Architecture>> {
 /// pruning level, plus the mean and representative-mean rows.
 #[must_use]
 pub fn figure11(cfg: &SimConfig) -> FigTable {
+    let _span = eureka_obs::span!("bench.figure11");
     let archs = figure11_archs();
     let mut table = FigTable {
         title: "Figure 11: speedup over Dense (batch 32, 432 tensor cores)".to_string(),
@@ -323,6 +325,7 @@ pub fn figure12_archs() -> Vec<Box<dyn Architecture>> {
 /// scheduling; speedups over Dense.
 #[must_use]
 pub fn figure12(cfg: &SimConfig) -> FigTable {
+    let _span = eureka_obs::span!("bench.figure12");
     let archs = figure12_archs();
     let mut table = FigTable {
         title: "Figure 12: isolation of Eureka's techniques (speedup over Dense)".to_string(),
@@ -344,6 +347,7 @@ pub fn figure12(cfg: &SimConfig) -> FigTable {
 /// sparsity-hardware overhead on dense models.
 #[must_use]
 pub fn figure13(cfg: &SimConfig) -> FigTable {
+    let _span = eureka_obs::span!("bench.figure13");
     let model = calibrate::calibrated_model(cfg);
     let archs = figure11_archs();
     let mut table = FigTable {
@@ -446,6 +450,7 @@ pub fn table2() -> String {
 /// across MAC-array geometries, at a constant device MAC budget.
 #[must_use]
 pub fn figure14(cfg: &SimConfig) -> FigTable {
+    let _span = eureka_obs::span!("bench.figure14");
     let variants = sweep::figure14_variants();
     let mut table = FigTable {
         title: "Figure 14: sensitivity to MAC array size (Eureka speedup over Dense)".to_string(),

@@ -35,6 +35,12 @@ pub enum Command {
         fast: bool,
         /// Simulation worker threads (`None` = all cores).
         jobs: Option<usize>,
+        /// Write a Chrome-trace JSON of the run here.
+        trace_out: Option<String>,
+        /// Write a metrics-registry JSON snapshot here.
+        metrics_out: Option<String>,
+        /// Diagnostic verbosity (0, 1 = `-v`, 2 = `-vv`).
+        verbose: u8,
     },
     /// Compile one layer's (synthetic) pruned weights to the offline
     /// format and report compression/cycle statistics.
@@ -69,6 +75,12 @@ pub enum Command {
         csv: bool,
         /// Simulation worker threads (`None` = all cores).
         jobs: Option<usize>,
+        /// Write a Chrome-trace JSON of the run here.
+        trace_out: Option<String>,
+        /// Write a metrics-registry JSON snapshot here.
+        metrics_out: Option<String>,
+        /// Diagnostic verbosity (0, 1 = `-v`, 2 = `-vv`).
+        verbose: u8,
     },
 }
 
@@ -81,11 +93,20 @@ USAGE:
   eureka archs
   eureka figure <table1|table2|fig09|fig11|fig12|fig13|fig14|ablations>
                   [--csv] [--fast] [--jobs <N>]
+                  [--trace-out <file>] [--metrics-out <file>] [-v|-vv]
   eureka simulate --benchmark <mobilenetv1|inceptionv3|resnet50|bert>
                   [--pruning <dense|cons|mod>] [--arch <name>]
                   [--batch <N>] [--csv] [--fast] [--jobs <N>]
+                  [--trace-out <file>] [--metrics-out <file>] [-v|-vv]
   eureka compile  --benchmark <name> --layer <layer-name> [--factor <P>]
   eureka trace    --benchmark <name> --layer <layer-name>   (Chrome-trace JSON)
+
+TELEMETRY:
+  --trace-out <file>    Chrome Trace Event JSON of the run (one track per
+                        worker thread; open in chrome://tracing or Perfetto)
+  --metrics-out <file>  JSON snapshot of the metrics registry (unit/cache
+                        counters, exec-time histograms, utilization)
+  -v / -vv              telemetry summary / per-layer breakdown on stderr
 
 Run `eureka archs` for the architecture registry.";
 
@@ -158,15 +179,24 @@ where
             let mut csv = false;
             let mut fast = false;
             let mut jobs = None;
+            let mut trace_out = None;
+            let mut metrics_out = None;
+            let mut verbose = 0u8;
             let mut it = args[2..].iter();
             while let Some(a) = it.next() {
+                let mut value = |flag: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{flag} requires a value"))
+                };
                 match a.as_str() {
                     "--csv" => csv = true,
                     "--fast" => fast = true,
-                    "--jobs" => {
-                        let v = it.next().ok_or("--jobs requires a value")?;
-                        jobs = Some(parse_jobs(v)?);
-                    }
+                    "--jobs" => jobs = Some(parse_jobs(&value("--jobs")?)?),
+                    "--trace-out" => trace_out = Some(value("--trace-out")?),
+                    "--metrics-out" => metrics_out = Some(value("--metrics-out")?),
+                    "-v" | "--verbose" => verbose = verbose.saturating_add(1),
+                    "-vv" => verbose = verbose.saturating_add(2),
                     other => return Err(format!("unknown flag '{other}' for figure")),
                 }
             }
@@ -175,6 +205,9 @@ where
                 csv,
                 fast,
                 jobs,
+                trace_out,
+                metrics_out,
+                verbose,
             })
         }
         "compile" => {
@@ -237,6 +270,9 @@ where
             let mut fast = false;
             let mut csv = false;
             let mut jobs = None;
+            let mut trace_out = None;
+            let mut metrics_out = None;
+            let mut verbose = 0u8;
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
                 let mut value = |flag: &str| {
@@ -256,6 +292,10 @@ where
                     "--fast" => fast = true,
                     "--csv" => csv = true,
                     "--jobs" => jobs = Some(parse_jobs(&value("--jobs")?)?),
+                    "--trace-out" => trace_out = Some(value("--trace-out")?),
+                    "--metrics-out" => metrics_out = Some(value("--metrics-out")?),
+                    "-v" | "--verbose" => verbose = verbose.saturating_add(1),
+                    "-vv" => verbose = verbose.saturating_add(2),
                     other => return Err(format!("unknown flag '{other}' for simulate")),
                 }
             }
@@ -276,9 +316,57 @@ where
                 fast,
                 csv,
                 jobs,
+                trace_out,
+                metrics_out,
+                verbose,
             })
         }
         other => Err(format!("unknown command '{other}'; try `eureka help`")),
+    }
+}
+
+/// Telemetry wiring shared by `figure` and `simulate`: sets the
+/// process verbosity, arms span recording when a trace is requested,
+/// and writes the `--trace-out` / `--metrics-out` exports afterwards.
+struct Telemetry<'a> {
+    trace_out: Option<&'a str>,
+    metrics_out: Option<&'a str>,
+    verbose: u8,
+}
+
+impl<'a> Telemetry<'a> {
+    fn begin(trace_out: Option<&'a str>, metrics_out: Option<&'a str>, verbose: u8) -> Self {
+        eureka_obs::log::set_verbosity(verbose);
+        eureka_obs::metrics::reset();
+        if trace_out.is_some() {
+            eureka_obs::span::clear();
+            eureka_obs::span::set_enabled(true);
+        }
+        Telemetry {
+            trace_out,
+            metrics_out,
+            verbose,
+        }
+    }
+
+    fn finish(self) -> Result<(), String> {
+        if let Some(path) = self.trace_out {
+            eureka_obs::span::set_enabled(false);
+            let json = eureka_obs::chrome::export_trace_json();
+            std::fs::write(path, &json)
+                .map_err(|e| format!("cannot write trace to {path}: {e}"))?;
+            eureka_obs::info!("trace: {} bytes to {path}", json.len());
+        }
+        if let Some(path) = self.metrics_out {
+            let json = eureka_obs::metrics::snapshot_json(true);
+            std::fs::write(path, &json)
+                .map_err(|e| format!("cannot write metrics to {path}: {e}"))?;
+            eureka_obs::info!("metrics: {} bytes to {path}", json.len());
+        }
+        if self.verbose >= 1 {
+            eureka_obs::info!("{}", eureka_obs::metrics::human_summary());
+        }
+        Ok(())
     }
 }
 
@@ -304,23 +392,22 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             csv,
             fast,
             jobs,
+            trace_out,
+            metrics_out,
+            verbose,
         } => {
             if let Some(n) = jobs {
                 eureka_sim::runner::set_global_jobs(*n);
             }
+            let tel = Telemetry::begin(trace_out.as_deref(), metrics_out.as_deref(), *verbose);
             let cfg = if *fast {
                 SimConfig::fast()
             } else {
                 SimConfig::paper_default()
             };
-            let table = match name.as_str() {
-                "table1" => return Ok(eureka_bench::table1()),
-                "table2" => return Ok(eureka_bench::table2()),
-                "fig09" => eureka_bench::figure9(&cfg),
-                "fig11" => eureka_bench::figure11(&cfg),
-                "fig12" => eureka_bench::figure12(&cfg),
-                "fig13" => eureka_bench::figure13(&cfg),
-                "fig14" => eureka_bench::figure14(&cfg),
+            let out = match name.as_str() {
+                "table1" => eureka_bench::table1(),
+                "table2" => eureka_bench::table2(),
                 "ablations" => {
                     let mut out = String::new();
                     for t in [
@@ -333,11 +420,26 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                         out.push_str(&if *csv { t.to_csv() } else { t.render() });
                         out.push('\n');
                     }
-                    return Ok(out);
+                    out
                 }
-                _ => unreachable!("validated in parse"),
+                fig => {
+                    let table = match fig {
+                        "fig09" => eureka_bench::figure9(&cfg),
+                        "fig11" => eureka_bench::figure11(&cfg),
+                        "fig12" => eureka_bench::figure12(&cfg),
+                        "fig13" => eureka_bench::figure13(&cfg),
+                        "fig14" => eureka_bench::figure14(&cfg),
+                        _ => unreachable!("validated in parse"),
+                    };
+                    if *csv {
+                        table.to_csv()
+                    } else {
+                        table.render()
+                    }
+                }
             };
-            Ok(if *csv { table.to_csv() } else { table.render() })
+            tel.finish()?;
+            Ok(out)
         }
         Command::Compile {
             benchmark,
@@ -413,10 +515,14 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             fast,
             csv,
             jobs,
+            trace_out,
+            metrics_out,
+            verbose,
         } => {
             if let Some(n) = jobs {
                 eureka_sim::runner::set_global_jobs(*n);
             }
+            let tel = Telemetry::begin(trace_out.as_deref(), metrics_out.as_deref(), *verbose);
             let cfg = if *fast {
                 SimConfig::fast()
             } else {
@@ -426,7 +532,9 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             let a = arch::by_name(arch_name).expect("validated in parse");
             let report =
                 engine::try_simulate(a.as_ref(), &workload, &cfg).map_err(|e| e.to_string())?;
+            report.log_layers();
             if *csv {
+                tel.finish()?;
                 return Ok(report.to_csv());
             }
             let dense = engine::simulate(&arch::dense(), &workload, &cfg);
@@ -452,6 +560,7 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 "  MAC utilization: {:.1}%\n",
                 100.0 * report.mac_utilization()
             ));
+            tel.finish()?;
             Ok(out)
         }
     }
@@ -478,6 +587,9 @@ mod tests {
                 csv: true,
                 fast: false,
                 jobs: None,
+                trace_out: None,
+                metrics_out: None,
+                verbose: 0,
             }
         );
         assert!(parse(["figure", "fig99"]).is_err());
@@ -495,6 +607,9 @@ mod tests {
                 csv: false,
                 fast: false,
                 jobs: Some(4),
+                trace_out: None,
+                metrics_out: None,
+                verbose: 0,
             }
         );
         let cmd = parse(["simulate", "--benchmark", "bert", "--jobs", "2"]).unwrap();
@@ -516,6 +631,9 @@ mod tests {
                 fast,
                 csv,
                 jobs,
+                trace_out,
+                metrics_out,
+                verbose,
             } => {
                 assert_eq!(benchmark, Benchmark::BertSquad);
                 assert_eq!(pruning, PruningLevel::Moderate);
@@ -523,6 +641,9 @@ mod tests {
                 assert_eq!(batch, 32);
                 assert!(!fast && !csv);
                 assert_eq!(jobs, None);
+                assert_eq!(trace_out, None);
+                assert_eq!(metrics_out, None);
+                assert_eq!(verbose, 0);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -611,6 +732,77 @@ mod tests {
         .unwrap();
         let err = run(&cmd).unwrap_err();
         assert!(err.contains("S2TA"), "{err}");
+    }
+
+    #[test]
+    fn parse_telemetry_flags() {
+        let cmd = parse([
+            "simulate",
+            "--benchmark",
+            "bert",
+            "--trace-out",
+            "t.json",
+            "--metrics-out",
+            "m.json",
+            "-v",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Simulate {
+                trace_out,
+                metrics_out,
+                verbose,
+                ..
+            } => {
+                assert_eq!(trace_out.as_deref(), Some("t.json"));
+                assert_eq!(metrics_out.as_deref(), Some("m.json"));
+                assert_eq!(verbose, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd = parse(["figure", "fig11", "-vv", "--metrics-out", "m.json"]).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Figure {
+                verbose: 2,
+                metrics_out: Some(_),
+                ..
+            }
+        ));
+        assert!(parse(["simulate", "--benchmark", "bert", "--trace-out"]).is_err());
+        assert!(parse(["figure", "fig11", "--metrics-out"]).is_err());
+    }
+
+    #[test]
+    fn run_simulate_writes_trace_and_metrics() {
+        // Span recording is process-global; one test drives it.
+        let dir = std::env::temp_dir().join(format!("eureka-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("trace.json");
+        let metrics = dir.join("metrics.json");
+        let cmd = parse([
+            "simulate",
+            "--benchmark",
+            "mobilenet",
+            "--arch",
+            "eureka-p4",
+            "--fast",
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ])
+        .unwrap();
+        run(&cmd).unwrap();
+        let t = std::fs::read_to_string(&trace).unwrap();
+        assert!(t.starts_with('[') && t.trim_end().ends_with(']'));
+        assert!(t.contains("\"name\":\"unit.exec\""), "unit spans present");
+        assert!(t.contains("\"ph\":\"M\""), "thread_name metadata present");
+        let m = std::fs::read_to_string(&metrics).unwrap();
+        assert!(m.contains("\"cache.hits\""), "{m}");
+        assert!(m.contains("\"runner.units_planned\""), "{m}");
+        assert!(m.contains("\"unit.exec_micros\""), "{m}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

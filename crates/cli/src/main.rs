@@ -10,8 +10,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(msg) => {
-            eprintln!("error: {msg}");
-            eprintln!("{}", eureka_cli::USAGE);
+            eureka_obs::error!("{msg}\n{}", eureka_cli::USAGE);
             ExitCode::FAILURE
         }
     }

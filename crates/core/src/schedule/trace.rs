@@ -7,46 +7,42 @@
 //! Handy for eyeballing why a schedule has the utilization it has.
 
 use super::pipeline::SystolicConfig;
-
-fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
+use eureka_obs::chrome::TraceBuilder;
 
 /// Serializes macro-steps as Trace Event Format JSON.
 ///
 /// `steps[k]` are the per-row work sums of step `k`, exactly as produced
 /// by [`super::grouping::schedule_grouped_steps`]. Timestamps are in
-/// cycles (reported as microseconds to the viewer).
+/// cycles (reported as microseconds to the viewer). Event syntax and
+/// JSON-string escaping are shared with the span exporter via
+/// [`eureka_obs::chrome`].
 #[must_use]
 pub fn to_chrome_json(steps: &[Vec<u64>], cfg: &SystolicConfig) -> String {
     cfg.assert_valid();
-    let mut events = Vec::new();
+    let mut trace = TraceBuilder::new();
     let mut t0 = 0u64;
     for (k, row_sums) in steps.iter().enumerate() {
         let duration = row_sums.iter().copied().max().unwrap_or(0);
         for row in 0..cfg.rows {
             let work = row_sums.get(row).copied().unwrap_or(0);
             if work > 0 {
-                events.push(format!(
-                    "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{}}}",
-                    escape(&format!("step {k}")),
-                    t0,
-                    work,
-                    row
-                ));
+                trace.complete(&format!("step {k}"), t0, work, 0, row as u64);
             }
             if duration > work {
-                events.push(format!(
-                    "{{\"name\":\"bubble\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{},\"cname\":\"terrible\"}}",
+                trace.complete_with(
+                    "bubble",
                     t0 + work,
                     duration - work,
-                    row
-                ));
+                    0,
+                    row as u64,
+                    Some("terrible"),
+                    &[],
+                );
             }
         }
         t0 += duration;
     }
-    format!("[{}]", events.join(","))
+    trace.build()
 }
 
 #[cfg(test)]

@@ -1,0 +1,70 @@
+//! Minimal JSON building blocks shared by every exporter in the
+//! workspace (the span trace, the metrics snapshot, and the systolic
+//! schedule traces in `eureka-core`).
+
+/// Escapes a string for embedding inside a JSON string literal:
+/// backslash, double quote, and every control character below U+0020
+/// (`\n`/`\r`/`\t` named, the rest as `\u00XX`).
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON value: finite numbers via Rust's shortest
+/// round-trip `Display`, non-finite values as `null` (JSON has no
+/// NaN/Infinity).
+#[must_use]
+pub fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_backslash_and_quote() {
+        assert_eq!(escape(r#"a\b"c"#), r#"a\\b\"c"#);
+    }
+
+    #[test]
+    fn escapes_named_control_characters() {
+        assert_eq!(escape("a\nb\tc\rd"), r"a\nb\tc\rd");
+    }
+
+    #[test]
+    fn escapes_other_control_characters_as_unicode() {
+        assert_eq!(escape("\u{0}x\u{1f}"), "\\u0000x\\u001f");
+    }
+
+    #[test]
+    fn passes_plain_text_through() {
+        assert_eq!(escape("conv4_2/3x3 αβ"), "conv4_2/3x3 αβ");
+    }
+
+    #[test]
+    fn floats_format_as_json_values() {
+        assert_eq!(fmt_f64(1.5), "1.5");
+        assert_eq!(fmt_f64(3.0), "3");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+    }
+}

@@ -1,0 +1,103 @@
+//! Verbosity-gated stderr logging.
+//!
+//! One helper for every diagnostic line in the workspace — CLI errors,
+//! `-v` telemetry summaries, `-vv` per-layer breakdowns — instead of
+//! stray `eprintln!` call sites. Output always goes to **stderr**, so
+//! machine-readable stdout (CSV, JSON) stays clean.
+//!
+//! Levels: [`Level::Error`] always prints; [`Level::Info`] prints at
+//! verbosity ≥ 1 (`-v`); [`Level::Debug`] prints at verbosity ≥ 2
+//! (`-vv`). Use the [`crate::error!`], [`crate::info!`] and
+//! [`crate::debug!`] macros.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+static VERBOSITY: AtomicU8 = AtomicU8::new(0);
+
+/// Sets the process-wide verbosity (0 = errors only, 1 = `-v`, 2+ = `-vv`).
+pub fn set_verbosity(v: u8) {
+    VERBOSITY.store(v, Ordering::Relaxed);
+}
+
+/// Current process-wide verbosity.
+#[must_use]
+pub fn verbosity() -> u8 {
+    VERBOSITY.load(Ordering::Relaxed)
+}
+
+/// Log severity, gated against [`verbosity`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Always printed, prefixed `error:`.
+    Error,
+    /// Printed at verbosity ≥ 1.
+    Info,
+    /// Printed at verbosity ≥ 2, prefixed `debug:`.
+    Debug,
+}
+
+/// Whether `level` would currently print.
+#[must_use]
+pub fn enabled(level: Level) -> bool {
+    match level {
+        Level::Error => true,
+        Level::Info => verbosity() >= 1,
+        Level::Debug => verbosity() >= 2,
+    }
+}
+
+/// Writes one line at `level` to stderr if the verbosity allows it.
+/// Prefer the [`crate::error!`]/[`crate::info!`]/[`crate::debug!`]
+/// macros over calling this directly.
+pub fn write(level: Level, args: fmt::Arguments<'_>) {
+    if !enabled(level) {
+        return;
+    }
+    match level {
+        Level::Error => eprintln!("error: {args}"),
+        Level::Info => eprintln!("{args}"),
+        Level::Debug => eprintln!("debug: {args}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// Verbosity is process-global; serialize the tests that set it.
+    fn exclusive() -> MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn levels_gate_on_verbosity() {
+        let _x = exclusive();
+        let prev = verbosity();
+        set_verbosity(0);
+        assert!(enabled(Level::Error));
+        assert!(!enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        set_verbosity(1);
+        assert!(enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        set_verbosity(2);
+        assert!(enabled(Level::Debug));
+        set_verbosity(prev);
+    }
+
+    #[test]
+    fn macros_format_without_panicking() {
+        let _x = exclusive();
+        let prev = verbosity();
+        set_verbosity(0);
+        // Error always prints; info/debug are suppressed at verbosity 0.
+        crate::error!("test error {}", 1);
+        crate::info!("suppressed {}", 2);
+        crate::debug!("suppressed {}", 3);
+        set_verbosity(prev);
+    }
+}

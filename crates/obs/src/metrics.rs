@@ -1,0 +1,405 @@
+//! Process-wide metrics registry: named counters, gauges and
+//! fixed-bucket histograms.
+//!
+//! Metrics are registered on first use ([`counter`], [`gauge`],
+//! [`histogram`]) and live for the whole process; handles are
+//! `&'static`, so hot paths update plain atomics. Every metric carries a
+//! [`Class`]:
+//!
+//! * [`Class::Deterministic`] — counts and cycle-derived values that are
+//!   byte-identical across reruns of the same work (unit/cache counts).
+//! * [`Class::Timing`] — wall-clock derived (exec-time histograms,
+//!   utilization); excluded from the deterministic snapshot **by
+//!   design** so `snapshot_json(false)` can be diffed across runs.
+//!
+//! [`snapshot_json`] serializes the registry as deterministic JSON
+//! (names sorted, no timestamps); [`human_summary`] renders the same
+//! data for terminal output under `-v`.
+
+use crate::json;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Determinism class of a metric (fixed at registration).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Class {
+    /// Counts / cycle-derived values: byte-identical across reruns.
+    Deterministic,
+    /// Wall-clock derived: excluded from the deterministic snapshot.
+    Timing,
+}
+
+/// A monotonic counter.
+#[derive(Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-value-wins gauge holding an `f64`.
+#[derive(Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.set(0.0);
+    }
+}
+
+/// Default bucket bounds (microseconds) for time histograms; values
+/// above the last bound land in the implicit `+inf` bucket.
+pub const TIME_BUCKETS_US: &[u64] = &[
+    10, 50, 100, 500, 1_000, 5_000, 10_000, 50_000, 100_000, 1_000_000,
+];
+
+/// A fixed-bucket histogram over `u64` samples, tracking per-bucket
+/// counts plus count/sum/min/max.
+pub struct Histogram {
+    bounds: &'static [u64],
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &'static [u64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds,
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count() == 0 {
+            0
+        } else {
+            self.min.load(Ordering::Relaxed)
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Resets every bucket and summary statistic.
+    pub fn reset(&self) {
+        for b in self.buckets.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    fn to_json(&self) -> String {
+        let mut buckets = Vec::with_capacity(self.buckets.len());
+        for (i, b) in self.buckets.iter().enumerate() {
+            let le = self
+                .bounds
+                .get(i)
+                .map_or_else(|| "\"+inf\"".to_string(), u64::to_string);
+            buckets.push(format!(
+                "{{\"le\":{le},\"count\":{}}}",
+                b.load(Ordering::Relaxed)
+            ));
+        }
+        format!(
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[{}]}}",
+            self.count(),
+            self.sum(),
+            self.min(),
+            self.max(),
+            buckets.join(",")
+        )
+    }
+}
+
+enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+struct Entry {
+    class: Class,
+    metric: Metric,
+}
+
+fn registry() -> MutexGuard<'static, BTreeMap<&'static str, Entry>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<&'static str, Entry>>> = OnceLock::new();
+    REGISTRY
+        .get_or_init(|| Mutex::new(BTreeMap::new()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Gets or registers the counter `name`. The class is fixed by the first
+/// registration.
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a different metric type.
+pub fn counter(name: &'static str, class: Class) -> &'static Counter {
+    let mut reg = registry();
+    let entry = reg.entry(name).or_insert_with(|| Entry {
+        class,
+        metric: Metric::Counter(Box::leak(Box::default())),
+    });
+    match entry.metric {
+        Metric::Counter(c) => c,
+        _ => panic!("metric '{name}' is not a counter"),
+    }
+}
+
+/// Gets or registers the gauge `name`.
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a different metric type.
+pub fn gauge(name: &'static str, class: Class) -> &'static Gauge {
+    let mut reg = registry();
+    let entry = reg.entry(name).or_insert_with(|| Entry {
+        class,
+        metric: Metric::Gauge(Box::leak(Box::default())),
+    });
+    match entry.metric {
+        Metric::Gauge(g) => g,
+        _ => panic!("metric '{name}' is not a gauge"),
+    }
+}
+
+/// Gets or registers the histogram `name` with the given bucket bounds
+/// (used only on first registration).
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a different metric type, or
+/// if `bounds` is not strictly increasing.
+pub fn histogram(name: &'static str, class: Class, bounds: &'static [u64]) -> &'static Histogram {
+    let mut reg = registry();
+    let entry = reg.entry(name).or_insert_with(|| Entry {
+        class,
+        metric: Metric::Histogram(Box::leak(Box::new(Histogram::new(bounds)))),
+    });
+    match entry.metric {
+        Metric::Histogram(h) => h,
+        _ => panic!("metric '{name}' is not a histogram"),
+    }
+}
+
+/// Resets every registered metric to its zero state (registrations and
+/// classes persist).
+pub fn reset() {
+    for entry in registry().values() {
+        match entry.metric {
+            Metric::Counter(c) => c.reset(),
+            Metric::Gauge(g) => g.reset(),
+            Metric::Histogram(h) => h.reset(),
+        }
+    }
+}
+
+/// Serializes the registry as deterministic JSON: metric names sorted,
+/// grouped by type. With `include_timing == false`, [`Class::Timing`]
+/// metrics are omitted entirely, so the result is byte-identical across
+/// reruns of the same (deterministic) work.
+#[must_use]
+pub fn snapshot_json(include_timing: bool) -> String {
+    let reg = registry();
+    let keep = |e: &&Entry| include_timing || e.class == Class::Deterministic;
+    let mut counters = Vec::new();
+    let mut gauges = Vec::new();
+    let mut histograms = Vec::new();
+    for (name, entry) in reg.iter() {
+        if !keep(&entry) {
+            continue;
+        }
+        let key = format!("\"{}\"", json::escape(name));
+        match entry.metric {
+            Metric::Counter(c) => counters.push(format!("{key}:{}", c.get())),
+            Metric::Gauge(g) => gauges.push(format!("{key}:{}", json::fmt_f64(g.get()))),
+            Metric::Histogram(h) => histograms.push(format!("{key}:{}", h.to_json())),
+        }
+    }
+    format!(
+        "{{\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":{{{}}}}}",
+        counters.join(","),
+        gauges.join(","),
+        histograms.join(",")
+    )
+}
+
+/// Renders the registry as an indented, human-readable summary (for the
+/// CLI's `-v` output).
+#[must_use]
+pub fn human_summary() -> String {
+    let reg = registry();
+    let mut out = String::from("telemetry summary:\n");
+    for (name, entry) in reg.iter() {
+        match entry.metric {
+            Metric::Counter(c) => out.push_str(&format!("  {name:<28} {}\n", c.get())),
+            Metric::Gauge(g) => out.push_str(&format!("  {name:<28} {:.4}\n", g.get())),
+            Metric::Histogram(h) => out.push_str(&format!(
+                "  {name:<28} n={} sum={} min={} max={}\n",
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.max()
+            )),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let c = counter("test.counter", Class::Deterministic);
+        c.reset();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+        // Re-registration returns the same cell.
+        assert_eq!(counter("test.counter", Class::Deterministic).get(), 0);
+    }
+
+    #[test]
+    fn gauges_hold_last_value() {
+        let g = gauge("test.gauge", Class::Timing);
+        g.set(0.75);
+        assert!((g.get() - 0.75).abs() < 1e-12);
+        g.reset();
+        assert_eq!(g.get(), 0.0);
+    }
+
+    #[test]
+    fn histograms_bucket_and_summarize() {
+        let h = histogram("test.hist", Class::Timing, &[10, 100]);
+        h.reset();
+        h.record(5);
+        h.record(50);
+        h.record(500);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 555);
+        assert_eq!(h.min(), 5);
+        assert_eq!(h.max(), 500);
+        let json = h.to_json();
+        assert!(json.contains("\"buckets\":[{\"le\":10,\"count\":1},{\"le\":100,\"count\":1},{\"le\":\"+inf\",\"count\":1}]"), "{json}");
+        h.reset();
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn snapshot_sorts_names_and_filters_timing() {
+        counter("test.z_det", Class::Deterministic).reset();
+        counter("test.a_det", Class::Deterministic).reset();
+        gauge("test.timing_gauge", Class::Timing).set(1.0);
+        let full = snapshot_json(true);
+        let det = snapshot_json(false);
+        assert!(full.contains("test.timing_gauge"));
+        assert!(!det.contains("test.timing_gauge"));
+        let a = det.find("test.a_det").expect("a present");
+        let z = det.find("test.z_det").expect("z present");
+        assert!(a < z, "names sorted");
+        assert!(det.starts_with('{') && det.ends_with('}'));
+    }
+
+    #[test]
+    fn human_summary_lists_metrics() {
+        counter("test.summary", Class::Deterministic).add(2);
+        let s = human_summary();
+        assert!(s.starts_with("telemetry summary:"));
+        assert!(s.contains("test.summary"));
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a gauge")]
+    fn type_mismatch_panics() {
+        counter("test.mismatch", Class::Deterministic);
+        gauge("test.mismatch", Class::Deterministic);
+    }
+}

@@ -1,0 +1,290 @@
+//! Structured tracing spans.
+//!
+//! A [`Span`] is a RAII guard: entering records a start timestamp,
+//! dropping records the duration. Completed spans land in a
+//! **thread-local** buffer — the hot path takes no lock — and are moved
+//! into a process-wide collector by [`flush_thread`] or when the owning
+//! thread exits. Worker threads should call [`flush_thread`] as the last
+//! statement of their closure: `std::thread::scope` unblocks when the
+//! closure returns, which can be *before* the thread-local destructor
+//! runs, so destructor-only flushing would race with the caller's
+//! export (the runner's workers flush explicitly for this reason).
+//!
+//! Recording is gated by a process-wide flag ([`set_enabled`]): while
+//! disabled, [`crate::span!`] costs one relaxed atomic load and records
+//! nothing, so instrumentation can stay in release builds.
+//!
+//! Every recording thread is assigned a stable track id (`tid`) and a
+//! track name (the thread's name, or `worker-<tid>` for the runner's
+//! anonymous scoped workers) — the Chrome-trace exporter emits one track
+//! per thread.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns span recording on or off process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether spans are currently being recorded.
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The process-wide trace epoch: all span timestamps are microseconds
+/// since the first span-related call in the process.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// One completed span, ready for export.
+#[derive(Clone, Debug)]
+pub struct SpanEvent {
+    /// Instrumentation-point name (e.g. `unit.exec`).
+    pub name: &'static str,
+    /// Free-form detail (arch/layer/...); empty when none was given.
+    pub detail: String,
+    /// Track id of the recording thread.
+    pub tid: u64,
+    /// Start, in microseconds since the process trace epoch.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+}
+
+struct Collector {
+    events: Mutex<Vec<SpanEvent>>,
+    tracks: Mutex<BTreeMap<u64, String>>,
+}
+
+fn collector() -> &'static Collector {
+    static COLLECTOR: OnceLock<Collector> = OnceLock::new();
+    COLLECTOR.get_or_init(|| Collector {
+        events: Mutex::new(Vec::new()),
+        tracks: Mutex::new(BTreeMap::new()),
+    })
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+struct ThreadBuf {
+    tid: u64,
+    events: Vec<SpanEvent>,
+}
+
+impl ThreadBuf {
+    fn new() -> Self {
+        static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+        let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+        let name = std::thread::current()
+            .name()
+            .map_or_else(|| format!("worker-{tid}"), str::to_string);
+        lock(&collector().tracks).insert(tid, name);
+        ThreadBuf {
+            tid,
+            events: Vec::new(),
+        }
+    }
+
+    fn flush(&mut self) {
+        if !self.events.is_empty() {
+            lock(&collector().events).append(&mut self.events);
+        }
+    }
+}
+
+impl Drop for ThreadBuf {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static BUF: RefCell<Option<ThreadBuf>> = const { RefCell::new(None) };
+}
+
+fn with_buf(f: impl FnOnce(&mut ThreadBuf)) {
+    // Ignore records arriving while the thread-local is being torn down.
+    let _ = BUF.try_with(|b| {
+        let mut b = b.borrow_mut();
+        f(b.get_or_insert_with(ThreadBuf::new));
+    });
+}
+
+/// A RAII span guard: measures from [`Span::enter`] until drop.
+///
+/// Construct via [`crate::span!`]; bind to a named variable so the guard
+/// lives to the end of the scope.
+#[must_use = "a span measures until dropped; bind it to a named variable"]
+pub struct Span(Option<ActiveSpan>);
+
+struct ActiveSpan {
+    name: &'static str,
+    detail: String,
+    start_us: u64,
+    started: Instant,
+}
+
+impl Span {
+    /// Opens a span (no-op when recording is disabled).
+    pub fn enter(name: &'static str, detail: String) -> Span {
+        if !enabled() {
+            return Span(None);
+        }
+        let e = epoch();
+        let started = Instant::now();
+        Span(Some(ActiveSpan {
+            name,
+            detail,
+            start_us: duration_us(started.saturating_duration_since(e)),
+            started,
+        }))
+    }
+
+    /// A span that records nothing (the disabled arm of [`crate::span!`]).
+    pub fn disabled() -> Span {
+        Span(None)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(active) = self.0.take() {
+            let dur_us = duration_us(active.started.elapsed());
+            with_buf(|buf| {
+                buf.events.push(SpanEvent {
+                    name: active.name,
+                    detail: active.detail,
+                    tid: buf.tid,
+                    start_us: active.start_us,
+                    dur_us,
+                });
+            });
+        }
+    }
+}
+
+fn duration_us(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Moves the current thread's buffered spans into the process collector.
+pub fn flush_thread() {
+    let _ = BUF.try_with(|b| {
+        if let Some(buf) = b.borrow_mut().as_mut() {
+            buf.flush();
+        }
+    });
+}
+
+/// Drains every collected span (flushing the current thread first) and
+/// returns them with the track-name table. Spans buffered on other
+/// still-live threads are not included until those threads exit or flush.
+#[must_use]
+pub fn take_events() -> (Vec<SpanEvent>, BTreeMap<u64, String>) {
+    flush_thread();
+    let events = std::mem::take(&mut *lock(&collector().events));
+    let tracks = lock(&collector().tracks).clone();
+    (events, tracks)
+}
+
+/// Discards every collected span (current thread included). Track names
+/// persist — ids are stable for the life of each thread.
+pub fn clear() {
+    let _ = BUF.try_with(|b| {
+        if let Some(buf) = b.borrow_mut().as_mut() {
+            buf.events.clear();
+        }
+    });
+    lock(&collector().events).clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::MutexGuard;
+
+    /// Spans are process-global; serialize the tests that drain them.
+    fn exclusive() -> MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _x = exclusive();
+        set_enabled(false);
+        clear();
+        {
+            let _s = crate::span!("test.disabled", "{}", 1);
+        }
+        let (events, _) = take_events();
+        assert!(events.iter().all(|e| e.name != "test.disabled"));
+    }
+
+    #[test]
+    fn enabled_spans_are_collected_with_detail() {
+        let _x = exclusive();
+        clear();
+        set_enabled(true);
+        {
+            let _s = crate::span!("test.enabled", "layer {}", 3);
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+        set_enabled(false);
+        let (events, tracks) = take_events();
+        let e = events
+            .iter()
+            .find(|e| e.name == "test.enabled")
+            .expect("span collected");
+        assert_eq!(e.detail, "layer 3");
+        assert!(e.dur_us >= 1, "non-zero duration");
+        assert!(tracks.contains_key(&e.tid), "track registered");
+    }
+
+    #[test]
+    fn worker_threads_get_their_own_tracks() {
+        let _x = exclusive();
+        clear();
+        set_enabled(true);
+        {
+            let _s = crate::span!("test.main");
+            std::thread::scope(|scope| {
+                for _ in 0..2 {
+                    scope.spawn(|| {
+                        {
+                            let _w = crate::span!("test.worker");
+                        }
+                        // Scope exit does not wait for TLS destructors;
+                        // workers flush explicitly (as the runner does).
+                        flush_thread();
+                    });
+                }
+            });
+        }
+        set_enabled(false);
+        let (events, tracks) = take_events();
+        let worker_tids: std::collections::BTreeSet<u64> = events
+            .iter()
+            .filter(|e| e.name == "test.worker")
+            .map(|e| e.tid)
+            .collect();
+        assert_eq!(worker_tids.len(), 2, "one track per worker thread");
+        let main = events.iter().find(|e| e.name == "test.main").unwrap();
+        assert!(!worker_tids.contains(&main.tid));
+        for tid in &worker_tids {
+            assert!(tracks[tid].starts_with("worker-"), "{}", tracks[tid]);
+        }
+    }
+}

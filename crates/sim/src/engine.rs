@@ -25,6 +25,12 @@ pub fn try_simulate(
     workload: &Workload,
     cfg: &SimConfig,
 ) -> Result<SimReport, SimError> {
+    let _span = eureka_obs::span!(
+        "engine.simulate",
+        "{} on {}",
+        arch.name(),
+        workload.benchmark().name()
+    );
     Runner::default().run(&SimJob::new(arch, workload, *cfg))
 }
 

@@ -34,15 +34,28 @@
 //! identify simulation behaviour — an invariant the registry upholds and
 //! [`Architecture::name`] documents. Cached replays are bit-identical to
 //! cold misses because unit execution is deterministic.
+//!
+//! # Telemetry
+//!
+//! The runner is fully instrumented through [`eureka_obs`]: every phase
+//! opens a span (`runner.run_all`, `runner.plan`, `unit.exec`,
+//! `runner.reduce`) and updates the process-wide metrics registry
+//! (`runner.*`, `cache.*`, `unit.*` — see the table in `DESIGN.md`).
+//! Telemetry never feeds back into simulation: spans cost one relaxed
+//! atomic load while disabled, metric updates are plain atomics, and no
+//! measured time influences any unit's result, so instrumented output
+//! stays bit-identical to uninstrumented output.
 
 use crate::arch::{Architecture, LayerCtx, SimError};
 use crate::config::SimConfig;
 use crate::report::{LayerReport, SimReport};
 use eureka_models::{activation, workload::LayerGemm, Workload};
+use eureka_obs::metrics::{self, Class, Counter, Gauge, Histogram};
 use eureka_sparse::rng::DetRng;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
 
 /// One simulation request: an architecture applied to a workload under a
 /// configuration.
@@ -159,37 +172,88 @@ pub fn set_global_jobs(jobs: usize) {
     GLOBAL_JOBS.store(jobs, Ordering::Relaxed);
 }
 
-/// The process-wide unit cache plus hit/miss counters.
+/// The process-wide unit cache. Hit/miss/insert counts live in the
+/// telemetry registry (`cache.hits` / `cache.misses` / `cache.inserts`),
+/// not here — see [`telemetry`].
 struct Cache {
     map: Mutex<HashMap<UnitKey, LayerReport>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
 }
 
 fn cache() -> &'static Cache {
     static CACHE: OnceLock<Cache> = OnceLock::new();
     CACHE.get_or_init(|| Cache {
         map: Mutex::new(HashMap::new()),
-        hits: AtomicU64::new(0),
-        misses: AtomicU64::new(0),
     })
 }
 
+/// `&'static` handles to every runner metric, registered on first use.
+/// The `cache.*` / `runner.units_*` / `runner.jobs` counters are
+/// [`Class::Deterministic`]: with [`cache_reset`] +
+/// [`metrics::reset`] beforehand they are byte-identical across reruns
+/// of the same work. The wall-clock histograms and the utilization gauge
+/// are [`Class::Timing`] and excluded from deterministic snapshots.
+struct Telemetry {
+    jobs: &'static Counter,
+    units_planned: &'static Counter,
+    units_executed: &'static Counter,
+    units_cached: &'static Counter,
+    cache_hits: &'static Counter,
+    cache_misses: &'static Counter,
+    cache_inserts: &'static Counter,
+    exec_micros: &'static Histogram,
+    queue_wait_micros: &'static Histogram,
+    reduce_micros: &'static Histogram,
+    exec_wall_micros: &'static Histogram,
+    worker_utilization: &'static Gauge,
+}
+
+fn telemetry() -> &'static Telemetry {
+    static TELEMETRY: OnceLock<Telemetry> = OnceLock::new();
+    let t = metrics::TIME_BUCKETS_US;
+    TELEMETRY.get_or_init(|| Telemetry {
+        jobs: metrics::counter("runner.jobs", Class::Deterministic),
+        units_planned: metrics::counter("runner.units_planned", Class::Deterministic),
+        units_executed: metrics::counter("runner.units_executed", Class::Deterministic),
+        units_cached: metrics::counter("runner.units_cached", Class::Deterministic),
+        cache_hits: metrics::counter("cache.hits", Class::Deterministic),
+        cache_misses: metrics::counter("cache.misses", Class::Deterministic),
+        cache_inserts: metrics::counter("cache.inserts", Class::Deterministic),
+        exec_micros: metrics::histogram("unit.exec_micros", Class::Timing, t),
+        queue_wait_micros: metrics::histogram("unit.queue_wait_micros", Class::Timing, t),
+        reduce_micros: metrics::histogram("runner.reduce_micros", Class::Timing, t),
+        exec_wall_micros: metrics::histogram("runner.exec_wall_micros", Class::Timing, t),
+        worker_utilization: metrics::gauge("runner.worker_utilization", Class::Timing),
+    })
+}
+
+fn micros(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
 /// Empties the process-wide unit cache (for cold-start measurements).
+/// Leaves the `cache.*` counters running; see [`cache_reset`] to zero
+/// them too.
 pub fn clear_cache() {
     cache().map.lock().expect("cache poisoned").clear();
+}
+
+/// Empties the unit cache **and** zeroes the `cache.*` counters, so
+/// callers can assert exact hit/miss counts no matter what ran earlier
+/// in the process (test execution order, warm-up passes, ...).
+pub fn cache_reset() {
+    let t = telemetry();
+    cache().map.lock().expect("cache poisoned").clear();
+    t.cache_hits.reset();
+    t.cache_misses.reset();
+    t.cache_inserts.reset();
 }
 
 /// `(hits, misses, entries)` counters of the process-wide unit cache.
 #[must_use]
 pub fn cache_stats() -> (u64, u64, usize) {
-    let c = cache();
-    let entries = c.map.lock().expect("cache poisoned").len();
-    (
-        c.hits.load(Ordering::Relaxed),
-        c.misses.load(Ordering::Relaxed),
-        entries,
-    )
+    let t = telemetry();
+    let entries = cache().map.lock().expect("cache poisoned").len();
+    (t.cache_hits.get(), t.cache_misses.get(), entries)
 }
 
 /// Executes [`SimJob`]s: plans per-layer units, runs them (optionally in
@@ -272,51 +336,97 @@ impl Runner {
     /// Runs a batch of jobs, fanning all their units out together, and
     /// returns one result per job in submission order.
     pub fn run_all(&self, jobs: &[SimJob<'_>]) -> Vec<Result<SimReport, SimError>> {
+        let t = telemetry();
+        let _run_span = eureka_obs::span!("runner.run_all", "{} job(s)", jobs.len());
+        t.jobs.add(jobs.len() as u64);
         // Plan: enumerate every job's per-layer units.
         let mut units = Vec::new();
-        let mut spans = Vec::with_capacity(jobs.len());
-        for job in jobs {
-            let start = units.len();
-            plan(job, &mut units);
-            spans.push(start..units.len());
+        let mut ranges = Vec::with_capacity(jobs.len());
+        {
+            let _plan_span = eureka_obs::span!("runner.plan");
+            for job in jobs {
+                let start = units.len();
+                plan(job, &mut units);
+                ranges.push(start..units.len());
+            }
         }
+        t.units_planned.add(units.len() as u64);
         // Execute: serial order or index-claimed pool, cache-first.
         let results = self.execute(&units);
         // Reduce: reassemble per job, in layer-index order.
-        jobs.iter()
-            .zip(spans)
-            .map(|(job, span)| reduce(job, &results[span]))
-            .collect()
+        let _reduce_span = eureka_obs::span!("runner.reduce");
+        let reduce_started = Instant::now();
+        let out = jobs
+            .iter()
+            .zip(ranges)
+            .map(|(job, range)| reduce(job, &results[range]))
+            .collect();
+        t.reduce_micros.record(micros(reduce_started.elapsed()));
+        out
     }
 
     /// Executes planned units, returning results in unit order.
     fn execute(&self, units: &[WorkUnit<'_>]) -> Vec<Result<LayerReport, SimError>> {
+        let t = telemetry();
         let workers = self.effective_jobs().min(units.len());
-        if workers <= 1 {
-            return units.iter().map(|u| self.run_unit(u)).collect();
-        }
-        let slots: Vec<OnceLock<Result<LayerReport, SimError>>> =
-            (0..units.len()).map(|_| OnceLock::new()).collect();
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(unit) = units.get(i) else { break };
-                    slots[i]
-                        .set(self.run_unit(unit))
-                        .unwrap_or_else(|_| unreachable!("unit {i} claimed twice"));
-                });
+        let wall = Instant::now();
+        let busy_us = AtomicU64::new(0);
+        let results: Vec<Result<LayerReport, SimError>> = if workers <= 1 {
+            units
+                .iter()
+                .map(|unit| {
+                    t.queue_wait_micros.record(micros(wall.elapsed()));
+                    let started = Instant::now();
+                    let result = self.run_unit(unit);
+                    busy_us.fetch_add(micros(started.elapsed()), Ordering::Relaxed);
+                    result
+                })
+                .collect()
+        } else {
+            let slots: Vec<OnceLock<Result<LayerReport, SimError>>> =
+                (0..units.len()).map(|_| OnceLock::new()).collect();
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| {
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(unit) = units.get(i) else { break };
+                            t.queue_wait_micros.record(micros(wall.elapsed()));
+                            let started = Instant::now();
+                            slots[i]
+                                .set(self.run_unit(unit))
+                                .unwrap_or_else(|_| unreachable!("unit {i} claimed twice"));
+                            busy_us.fetch_add(micros(started.elapsed()), Ordering::Relaxed);
+                        }
+                        // `thread::scope` unblocks when this closure
+                        // returns — possibly before TLS destructors run —
+                        // so hand buffered spans over explicitly.
+                        eureka_obs::span::flush_thread();
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|slot| slot.into_inner().expect("every slot filled"))
+                .collect()
+        };
+        let wall_us = micros(wall.elapsed());
+        if !units.is_empty() {
+            t.exec_wall_micros.record(wall_us);
+            if wall_us > 0 {
+                let busy = busy_us.load(Ordering::Relaxed) as f64;
+                t.worker_utilization
+                    .set(busy / (workers.max(1) as f64 * wall_us as f64));
             }
-        });
-        slots
-            .into_iter()
-            .map(|slot| slot.into_inner().expect("every slot filled"))
-            .collect()
+        }
+        results
     }
 
     /// Executes one unit, consulting the cache first.
     fn run_unit(&self, unit: &WorkUnit<'_>) -> Result<LayerReport, SimError> {
+        let t = telemetry();
+        let _span = eureka_obs::span!("unit.exec", "{} {}", unit.key.arch, unit.gemm.name);
         if self.cached {
             if let Some(hit) = cache()
                 .map
@@ -325,19 +435,24 @@ impl Runner {
                 .get(&unit.key)
                 .cloned()
             {
-                cache().hits.fetch_add(1, Ordering::Relaxed);
+                t.cache_hits.inc();
+                t.units_cached.inc();
                 return Ok(hit);
             }
         }
+        let started = Instant::now();
         let result = execute_unit(unit);
+        t.exec_micros.record(micros(started.elapsed()));
+        t.units_executed.inc();
         if self.cached {
-            cache().misses.fetch_add(1, Ordering::Relaxed);
+            t.cache_misses.inc();
             if let Ok(report) = &result {
                 cache()
                     .map
                     .lock()
                     .expect("cache poisoned")
                     .insert(unit.key.clone(), report.clone());
+                t.cache_inserts.inc();
             }
         }
         result

@@ -67,6 +67,7 @@ pub fn variant_arch(variant: &ArrayVariant) -> onesided::OneSided {
 /// (device MAC budget held constant).
 #[must_use]
 pub fn speedup_at(variant: &ArrayVariant, workload: &Workload, base_cfg: &SimConfig) -> f64 {
+    let _span = eureka_obs::span!("sweep.speedup_at", "{}", variant.label);
     let cfg = base_cfg.with_core(variant.core);
     let dense = onesided::dense();
     let eureka = variant_arch(variant);
@@ -90,6 +91,7 @@ pub fn core_count_sweep(
     core_counts: &[usize],
     base_cfg: &SimConfig,
 ) -> Vec<(usize, u64)> {
+    let _span = eureka_obs::span!("sweep.core_count", "{} point(s)", core_counts.len());
     let eureka = onesided::eureka_p4();
     let jobs: Vec<SimJob<'_>> = core_counts
         .iter()

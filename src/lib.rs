@@ -13,7 +13,10 @@
 //!   lowering;
 //! * [`sim`] — the cycle-level tensor-core simulator with all nine
 //!   evaluated architectures;
-//! * [`energy`] — ASIC area/power models (Table 2) and energy accounting.
+//! * [`energy`] — ASIC area/power models (Table 2) and energy accounting;
+//! * [`obs`] — telemetry: tracing spans, the metrics registry, and the
+//!   Chrome-trace / metrics-snapshot exporters behind the CLI's
+//!   `--trace-out` / `--metrics-out` flags.
 //!
 //! The experiment harness lives in the `eureka-bench` crate
 //! (`cargo run -p eureka-bench --bin fig11`, etc.).
@@ -44,6 +47,7 @@ pub use eureka_core as offline;
 pub use eureka_energy as energy;
 pub use eureka_fp16 as fp16;
 pub use eureka_models as models;
+pub use eureka_obs as obs;
 pub use eureka_sim as sim;
 pub use eureka_sparse as sparse;
 

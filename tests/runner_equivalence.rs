@@ -5,6 +5,14 @@
 use eureka_models::{Benchmark, PruningLevel, Workload};
 use eureka_sim::arch;
 use eureka_sim::{runner, Runner, SimConfig, SimJob};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// The unit cache and its counters are process-global; serialize the
+/// tests so exact-count assertions don't depend on execution order.
+fn exclusive() -> MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Small sampling counts so the full registry sweep stays fast; distinct
 /// from every named preset so these tests never share cache entries with
@@ -20,6 +28,7 @@ fn test_cfg() -> SimConfig {
 
 #[test]
 fn parallel_equals_serial_for_every_registry_arch() {
+    let _x = exclusive();
     // ResNet50 is the one benchmark every registry architecture supports
     // (S2TA has no structured-sparsity data for InceptionV3).
     let w = Workload::new(Benchmark::ResNet50, PruningLevel::Moderate, 32);
@@ -36,6 +45,7 @@ fn parallel_equals_serial_for_every_registry_arch() {
 
 #[test]
 fn parallel_equals_serial_on_unsupported_combinations() {
+    let _x = exclusive();
     // Error paths must agree too: the lowest-index failure wins in both
     // modes.
     let w = Workload::new(Benchmark::InceptionV3, PruningLevel::Moderate, 32);
@@ -50,6 +60,7 @@ fn parallel_equals_serial_on_unsupported_combinations() {
 
 #[test]
 fn cache_hit_equals_cold_miss() {
+    let _x = exclusive();
     let w = Workload::new(Benchmark::BertSquad, PruningLevel::Conservative, 32);
     let cfg = SimConfig {
         // Distinctive sampling so this test owns its cache entries.
@@ -58,31 +69,40 @@ fn cache_hit_equals_cold_miss() {
     };
     let a = arch::by_name("eureka-p4").expect("registered");
     let job = SimJob::new(a.as_ref(), &w, cfg);
+    let layers = w.layer_count() as u64;
 
-    runner::clear_cache();
+    // cache_reset zeroes the counters too, so the assertions below are
+    // exact regardless of what ran earlier in the process.
+    runner::cache_reset();
     let cold = Runner::parallel().run(&job).expect("supported");
-    let (_, misses_after_cold, _) = runner::cache_stats();
+    let (hits_after_cold, misses_after_cold, _) = runner::cache_stats();
     let warm = Runner::parallel().run(&job).expect("supported");
     let (hits_after_warm, misses_after_warm, _) = runner::cache_stats();
 
     assert_eq!(cold, warm, "cache replay must be bit-identical");
+    assert_eq!(hits_after_cold, 0, "cold run hits nothing after a reset");
+    assert_eq!(misses_after_cold, layers, "cold run misses once per layer");
     assert_eq!(
-        misses_after_cold, misses_after_warm,
+        misses_after_warm, layers,
         "warm run must not recompute any unit"
     );
-    assert!(
-        hits_after_warm >= w.layer_count() as u64,
-        "warm run must hit on every layer"
-    );
+    assert_eq!(hits_after_warm, layers, "warm run must hit on every layer");
 
     // And a cleared cache recomputes to the same report.
     runner::clear_cache();
     let recomputed = Runner::parallel().run(&job).expect("supported");
     assert_eq!(cold, recomputed);
+    let (_, misses_after_recompute, _) = runner::cache_stats();
+    assert_eq!(
+        misses_after_recompute,
+        2 * layers,
+        "clear_cache leaves counters running"
+    );
 }
 
 #[test]
 fn batch_submission_matches_individual_runs() {
+    let _x = exclusive();
     let w1 = Workload::new(Benchmark::MobileNetV1, PruningLevel::Moderate, 32);
     let w2 = Workload::new(Benchmark::ResNet50, PruningLevel::Conservative, 32);
     let cfg = test_cfg();

@@ -1,0 +1,147 @@
+//! The telemetry layer's end-to-end guarantees: metrics snapshots are
+//! deterministic, the cache counters reconcile with the planner, trace
+//! export covers every unit on every worker track, and — above all —
+//! telemetry never changes simulation output.
+
+use eureka::obs;
+use eureka_models::{Benchmark, PruningLevel, Workload};
+use eureka_sim::{arch, runner, Runner, SimConfig, SimJob};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Spans, the metrics registry and the unit cache are process-global;
+/// serialize the tests that reset or drain them.
+fn exclusive() -> MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Sampling counts distinct from every named preset so these tests never
+/// share cache entries with other suites.
+fn test_cfg() -> SimConfig {
+    SimConfig {
+        rowgroup_samples: 9,
+        slice_samples: 9,
+        act_samples: 9,
+        ..SimConfig::paper_default()
+    }
+}
+
+#[test]
+fn metrics_snapshot_is_byte_identical_across_reruns() {
+    let _x = exclusive();
+    let w = Workload::new(Benchmark::MobileNetV1, PruningLevel::Moderate, 32);
+    let cfg = test_cfg();
+    let a = arch::by_name("eureka-p4").expect("registered");
+    let job = SimJob::new(a.as_ref(), &w, cfg);
+
+    let snapshot = || {
+        runner::cache_reset();
+        obs::metrics::reset();
+        Runner::serial().run(&job).expect("supported");
+        obs::metrics::snapshot_json(false)
+    };
+    let first = snapshot();
+    let second = snapshot();
+    // Timing metrics are excluded by design, so the deterministic
+    // snapshot carries only counts — byte-identical across reruns.
+    assert_eq!(first, second);
+    assert!(first.contains("\"cache.hits\":0"), "{first}");
+    assert!(!first.contains("exec_micros"), "timing excluded: {first}");
+    // The full snapshot includes the timing histograms.
+    let full = obs::metrics::snapshot_json(true);
+    assert!(full.contains("\"unit.exec_micros\""), "{full}");
+    assert!(full.contains("\"runner.worker_utilization\""), "{full}");
+}
+
+#[test]
+fn cache_counters_reconcile_with_the_planner() {
+    let _x = exclusive();
+    let w = Workload::new(Benchmark::ResNet50, PruningLevel::Conservative, 32);
+    let cfg = SimConfig {
+        rowgroup_samples: 13, // distinctive: this test owns its entries
+        ..test_cfg()
+    };
+    let a = arch::by_name("ampere").expect("registered");
+    let job = SimJob::new(a.as_ref(), &w, cfg);
+
+    runner::cache_reset();
+    obs::metrics::reset();
+    Runner::with_jobs(4).run(&job).expect("supported");
+    Runner::with_jobs(4).run(&job).expect("supported");
+
+    let (hits, misses, _) = runner::cache_stats();
+    let planned =
+        obs::metrics::counter("runner.units_planned", obs::metrics::Class::Deterministic).get();
+    assert_eq!(planned, 2 * w.layer_count() as u64);
+    // Every planned unit either hit or missed the cache.
+    assert_eq!(hits + misses, planned);
+    assert_eq!(misses, w.layer_count() as u64);
+}
+
+#[test]
+fn trace_export_has_unit_spans_on_worker_tracks() {
+    let _x = exclusive();
+    let w = Workload::new(Benchmark::ResNet50, PruningLevel::Moderate, 32);
+    let cfg = test_cfg();
+    let a = arch::by_name("eureka-p4").expect("registered");
+    let job = SimJob::new(a.as_ref(), &w, cfg);
+
+    runner::cache_reset();
+    obs::span::clear();
+    obs::span::set_enabled(true);
+    Runner::with_jobs(4).run(&job).expect("supported");
+    obs::span::set_enabled(false);
+    let (events, tracks) = obs::span::take_events();
+
+    let unit_spans: Vec<_> = events.iter().filter(|e| e.name == "unit.exec").collect();
+    assert_eq!(
+        unit_spans.len(),
+        w.layer_count(),
+        "one unit.exec span per planned unit"
+    );
+    let worker_tids: std::collections::BTreeSet<u64> = unit_spans.iter().map(|e| e.tid).collect();
+    assert!(
+        worker_tids.len() >= 2,
+        "units spread across worker tracks: {worker_tids:?}"
+    );
+    for tid in &worker_tids {
+        assert!(tracks.contains_key(tid), "every track is named");
+    }
+    for phase in ["runner.run_all", "runner.plan", "runner.reduce"] {
+        assert!(
+            events.iter().any(|e| e.name == phase),
+            "{phase} span missing"
+        );
+    }
+    // And the Chrome-trace serialization is loadable syntax.
+    let json = obs::chrome::spans_to_json(&events, &tracks);
+    assert!(json.starts_with('[') && json.ends_with(']'));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert!(json.contains("\"ph\":\"M\""));
+}
+
+#[test]
+fn telemetry_does_not_change_simulation_output() {
+    let _x = exclusive();
+    let w = Workload::new(Benchmark::BertSquad, PruningLevel::Moderate, 16);
+    let cfg = test_cfg();
+    let a = arch::by_name("dstc").expect("registered");
+    let job = SimJob::new(a.as_ref(), &w, cfg);
+
+    obs::span::set_enabled(false);
+    let plain = Runner::with_jobs(4)
+        .without_cache()
+        .run(&job)
+        .expect("supported");
+
+    obs::span::clear();
+    obs::span::set_enabled(true);
+    let traced = Runner::with_jobs(4)
+        .without_cache()
+        .run(&job)
+        .expect("supported");
+    obs::span::set_enabled(false);
+    obs::span::clear();
+
+    assert_eq!(plain, traced, "tracing must not perturb results");
+}
