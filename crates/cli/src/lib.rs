@@ -82,6 +82,21 @@ pub enum Command {
         /// Diagnostic verbosity (0, 1 = `-v`, 2 = `-vv`).
         verbose: u8,
     },
+    /// Run the differential verification suite (dense-GEMM oracle,
+    /// brute-force SUDS checker, metamorphic invariants) over seeded
+    /// random cases.
+    Verify {
+        /// Seeded cases per architecture.
+        cases: u32,
+        /// Master seed for the case stream.
+        seed: u64,
+        /// Restrict to one registry architecture (`None` = all).
+        arch: Option<String>,
+        /// Persist shrunk failing cases under this directory.
+        corpus_dir: Option<String>,
+        /// Replay this corpus directory instead of fuzzing.
+        replay: Option<String>,
+    },
 }
 
 /// Usage text.
@@ -100,6 +115,8 @@ USAGE:
                   [--trace-out <file>] [--metrics-out <file>] [-v|-vv]
   eureka compile  --benchmark <name> --layer <layer-name> [--factor <P>]
   eureka trace    --benchmark <name> --layer <layer-name>   (Chrome-trace JSON)
+  eureka verify   [--cases <N>] [--seed <S>] [--arch <name>]
+                  [--corpus-dir <dir>] [--replay <dir>]
 
 TELEMETRY:
   --trace-out <file>    Chrome Trace Event JSON of the run (one track per
@@ -319,6 +336,52 @@ where
                 trace_out,
                 metrics_out,
                 verbose,
+            })
+        }
+        "verify" => {
+            let mut cases = 200u32;
+            let mut seed = 42u64;
+            let mut arch_name = None;
+            let mut corpus_dir = None;
+            let mut replay = None;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                let mut value = |flag: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{flag} requires a value"))
+                };
+                match a.as_str() {
+                    "--cases" => {
+                        cases = value("--cases")?
+                            .parse()
+                            .map_err(|e| format!("bad --cases: {e}"))?;
+                    }
+                    "--seed" => {
+                        seed = value("--seed")?
+                            .parse()
+                            .map_err(|e| format!("bad --seed: {e}"))?;
+                    }
+                    "--arch" => arch_name = Some(value("--arch")?),
+                    "--corpus-dir" => corpus_dir = Some(value("--corpus-dir")?),
+                    "--replay" => replay = Some(value("--replay")?),
+                    other => return Err(format!("unknown flag '{other}' for verify")),
+                }
+            }
+            if cases == 0 && replay.is_none() {
+                return Err("--cases must be positive".into());
+            }
+            if let Some(name) = &arch_name {
+                if arch::by_name(name).is_none() {
+                    return Err(format!("unknown architecture '{name}'; run `eureka archs`"));
+                }
+            }
+            Ok(Command::Verify {
+                cases,
+                seed,
+                arch: arch_name,
+                corpus_dir,
+                replay,
             })
         }
         other => Err(format!("unknown command '{other}'; try `eureka help`")),
@@ -562,6 +625,23 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             ));
             tel.finish()?;
             Ok(out)
+        }
+        Command::Verify {
+            cases,
+            seed,
+            arch,
+            corpus_dir,
+            replay,
+        } => {
+            if let Some(dir) = replay {
+                return eureka_verify::replay_corpus(std::path::Path::new(dir));
+            }
+            eureka_verify::run(&eureka_verify::VerifyOptions {
+                cases: *cases,
+                seed: *seed,
+                arch: arch.clone(),
+                corpus_dir: corpus_dir.as_ref().map(std::path::PathBuf::from),
+            })
         }
     }
 }
@@ -820,5 +900,72 @@ mod tests {
         let out = run(&cmd).unwrap();
         assert!(out.starts_with("layer,compute_cycles"));
         assert_eq!(out.lines().count(), 28); // header + 27 layers
+    }
+
+    #[test]
+    fn parse_verify_defaults_and_flags() {
+        assert_eq!(
+            parse(["verify"]).unwrap(),
+            Command::Verify {
+                cases: 200,
+                seed: 42,
+                arch: None,
+                corpus_dir: None,
+                replay: None,
+            }
+        );
+        assert_eq!(
+            parse([
+                "verify",
+                "--cases",
+                "17",
+                "--seed",
+                "9",
+                "--arch",
+                "eureka-p2",
+                "--corpus-dir",
+                "corpus",
+            ])
+            .unwrap(),
+            Command::Verify {
+                cases: 17,
+                seed: 9,
+                arch: Some("eureka-p2".into()),
+                corpus_dir: Some("corpus".into()),
+                replay: None,
+            }
+        );
+        assert!(parse(["verify", "--cases", "0"]).is_err());
+        assert!(parse(["verify", "--arch", "nope"]).is_err());
+        assert!(parse(["verify", "--bogus"]).is_err());
+        // Replaying needs no cases.
+        assert!(matches!(
+            parse(["verify", "--cases", "0", "--replay", "tests/corpus"]).unwrap(),
+            Command::Verify { cases: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn run_verify_single_arch() {
+        let cmd = parse([
+            "verify",
+            "--cases",
+            "3",
+            "--seed",
+            "7",
+            "--arch",
+            "eureka-p4",
+        ])
+        .unwrap();
+        let out = run(&cmd).unwrap();
+        assert!(out.contains("eureka-p4"), "{out}");
+        assert!(out.contains("all architectures verified"), "{out}");
+    }
+
+    #[test]
+    fn run_verify_replays_committed_corpus() {
+        let cmd = parse(["verify", "--replay", "../../tests/corpus"]).unwrap();
+        let out = run(&cmd).unwrap();
+        assert!(out.contains("all pass"), "{out}");
     }
 }

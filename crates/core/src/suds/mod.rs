@@ -12,8 +12,8 @@
 //! * [`greedy`] — the single-pass greedy strawman of Figure 7(b);
 //! * [`DisplacedTile`] — the concrete per-cycle schedule with base-row
 //!   rotation and hardware-constraint validation;
-//! * [`verify`] — brute-force optimum for small tiles, used by the tests to
-//!   certify optimality.
+//! * [`verify`] — brute-force optimum for small tiles plus the structured
+//!   plan checker ([`check_plan`]) the differential oracle reports with.
 
 mod assignment;
 pub mod decision;
@@ -27,6 +27,7 @@ pub use assignment::{DisplacedTile, Slot};
 pub use decision::{feasible, DisplacementPlan};
 pub use greedy::greedy;
 pub use optimal::optimize;
+pub use verify::{check_plan, PlanViolation};
 
 use eureka_sparse::TilePattern;
 

@@ -1,10 +1,173 @@
-//! Brute-force reference for the SUDS optimum.
+//! Brute-force reference for the SUDS optimum, plus the structured plan
+//! checker the differential oracle reports with.
 //!
-//! Enumerates every single-step downward displacement vector (with
-//! wraparound) and reports the best achievable longest row. Exponential in
-//! `p` — usable only for small tiles — but exact, so the test suite uses it
-//! to certify that Algorithm 1 + binary search is optimal (the paper's
-//! correctness claim in §3.2).
+//! [`brute_force_optimum`] enumerates every single-step downward
+//! displacement vector (with wraparound) and reports the best achievable
+//! longest row. Exponential in `p` — usable only for small tiles — but
+//! exact, so the test suite uses it to certify that Algorithm 1 + binary
+//! search is optimal (the paper's correctness claim in §3.2).
+//!
+//! [`check_plan`] validates a concrete [`DisplacementPlan`] against its row
+//! lengths and returns *every* violation it finds — which row overflowed
+//! `K`, by how much, which row displaced more than it owns — rather than a
+//! bare pass/fail, so oracle failure messages can say exactly what broke.
+
+use super::decision::DisplacementPlan;
+use core::fmt;
+
+/// One way a [`DisplacementPlan`] can violate the SUDS constraints for a
+/// given row-length vector (paper Definition 1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanViolation {
+    /// The plan's displacement vector is sized for a different tile.
+    SizeMismatch {
+        /// Rows the plan covers.
+        plan_rows: usize,
+        /// Rows the tile has.
+        tile_rows: usize,
+    },
+    /// A row displaces more elements than it owns.
+    OverDisplaced {
+        /// The offending row.
+        row: usize,
+        /// Elements the row tried to displace.
+        disp: usize,
+        /// Elements the row actually holds.
+        len: usize,
+    },
+    /// The base row — by definition a row that displaces nothing — sends
+    /// work downward.
+    BaseRowDisplaces {
+        /// The plan's base row.
+        base_row: usize,
+        /// Elements it displaces.
+        disp: usize,
+    },
+    /// The base-row index is outside the tile.
+    BaseRowOutOfRange {
+        /// The plan's base row.
+        base_row: usize,
+        /// Rows the tile has.
+        tile_rows: usize,
+    },
+    /// A row's post-displacement length exceeds the plan's claimed bound
+    /// `K` (the row would overflow its cycle budget in hardware).
+    RowOverflowsK {
+        /// The overflowing row.
+        row: usize,
+        /// Its length after displacement.
+        resulting_len: usize,
+        /// The plan's claimed bound.
+        k: usize,
+    },
+}
+
+impl fmt::Display for PlanViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanViolation::SizeMismatch {
+                plan_rows,
+                tile_rows,
+            } => write!(f, "plan covers {plan_rows} rows but tile has {tile_rows}"),
+            PlanViolation::OverDisplaced { row, disp, len } => {
+                write!(f, "row {row} displaces {disp} of only {len} elements")
+            }
+            PlanViolation::BaseRowDisplaces { base_row, disp } => {
+                write!(f, "base row {base_row} displaces {disp} elements")
+            }
+            PlanViolation::BaseRowOutOfRange {
+                base_row,
+                tile_rows,
+            } => write!(f, "base row {base_row} outside {tile_rows}-row tile"),
+            PlanViolation::RowOverflowsK {
+                row,
+                resulting_len,
+                k,
+            } => write!(
+                f,
+                "row {row} ends at {resulting_len} elements, over the K = {k} bound"
+            ),
+        }
+    }
+}
+
+/// Checks a displacement plan against the row lengths it claims to
+/// balance, reporting **all** violations (empty = valid).
+///
+/// # Examples
+///
+/// ```
+/// use eureka_core::suds::{self, verify::check_plan};
+///
+/// let lens = [4usize, 1, 0, 1];
+/// let plan = suds::optimize(&lens);
+/// assert!(check_plan(&lens, &plan).is_empty());
+///
+/// let mut bad = plan.clone();
+/// bad.disp[0] += 2; // off-by-two: row 0 now sheds 4 of its 4 elements
+/// let violations = check_plan(&lens, &bad);
+/// assert!(!violations.is_empty());
+/// ```
+#[must_use]
+pub fn check_plan(lens: &[usize], plan: &DisplacementPlan) -> Vec<PlanViolation> {
+    let p = lens.len();
+    let mut out = Vec::new();
+    if plan.disp.len() != p {
+        out.push(PlanViolation::SizeMismatch {
+            plan_rows: plan.disp.len(),
+            tile_rows: p,
+        });
+        return out; // nothing below is well-defined
+    }
+    if p == 0 {
+        return out;
+    }
+    if plan.base_row >= p {
+        out.push(PlanViolation::BaseRowOutOfRange {
+            base_row: plan.base_row,
+            tile_rows: p,
+        });
+    } else if plan.disp[plan.base_row] != 0 {
+        out.push(PlanViolation::BaseRowDisplaces {
+            base_row: plan.base_row,
+            disp: plan.disp[plan.base_row],
+        });
+    }
+    for (row, (&len, &disp)) in lens.iter().zip(&plan.disp).enumerate() {
+        if disp > len {
+            out.push(PlanViolation::OverDisplaced { row, disp, len });
+        }
+    }
+    // Resulting lengths are only meaningful when no row over-displaces
+    // (otherwise the subtraction underflows).
+    if out
+        .iter()
+        .all(|v| !matches!(v, PlanViolation::OverDisplaced { .. }))
+    {
+        for (row, &len) in lens.iter().enumerate() {
+            let resulting_len = len - plan.disp[row] + plan.disp[(row + p - 1) % p];
+            if resulting_len > plan.k {
+                out.push(PlanViolation::RowOverflowsK {
+                    row,
+                    resulting_len,
+                    k: plan.k,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Renders a violation list as one human-readable line per violation, for
+/// oracle failure messages.
+#[must_use]
+pub fn explain(violations: &[PlanViolation]) -> String {
+    violations
+        .iter()
+        .map(|v| format!("  - {v}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
 
 /// Exhaustively computes the minimum achievable longest row for the given
 /// row lengths under single-step downward displacement.
@@ -99,6 +262,92 @@ mod tests {
             let brute = brute_force_optimum(&lens);
             assert_eq!(alg, brute, "mismatch on {lens:?}");
         }
+    }
+
+    #[test]
+    fn check_plan_accepts_every_optimal_plan() {
+        for a in 0..=4usize {
+            for b in 0..=4usize {
+                for c in 0..=4usize {
+                    for d in 0..=4usize {
+                        let lens = [a, b, c, d];
+                        let plan = optimize(&lens);
+                        let v = check_plan(&lens, &plan);
+                        assert!(v.is_empty(), "{lens:?}: {}", explain(&v));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn check_plan_reports_each_violation_kind() {
+        let lens = [4usize, 1, 0, 1];
+        let good = optimize(&lens);
+
+        let mut over = good.clone();
+        over.disp[2] = 1; // row 2 owns nothing
+        assert!(check_plan(&lens, &over)
+            .iter()
+            .any(|v| matches!(v, PlanViolation::OverDisplaced { row: 2, .. })));
+
+        let mut base = good.clone();
+        base.disp[base.base_row] = 1;
+        // Row 2 is the optimal base here (it owns 0 elements), so force a
+        // displace from a row that owns work to isolate the base check.
+        if lens[base.base_row] == 0 {
+            base.base_row = 0;
+            base.disp = vec![1, 0, 0, 0];
+        }
+        assert!(check_plan(&lens, &base)
+            .iter()
+            .any(|v| matches!(v, PlanViolation::BaseRowDisplaces { .. })));
+
+        let mut short_k = good.clone();
+        short_k.k = 1; // total 6 elements cannot fit 4 rows x 1
+        let v = check_plan(&lens, &short_k);
+        assert!(
+            v.iter()
+                .any(|v| matches!(v, PlanViolation::RowOverflowsK { .. })),
+            "{}",
+            explain(&v)
+        );
+
+        let wrong_size = DisplacementPlan {
+            k: 2,
+            base_row: 0,
+            disp: vec![0; 3],
+        };
+        assert_eq!(
+            check_plan(&lens, &wrong_size),
+            vec![PlanViolation::SizeMismatch {
+                plan_rows: 3,
+                tile_rows: 4
+            }]
+        );
+
+        let oob_base = DisplacementPlan {
+            k: 4,
+            base_row: 9,
+            disp: vec![0; 4],
+        };
+        assert!(check_plan(&lens, &oob_base)
+            .iter()
+            .any(|v| matches!(v, PlanViolation::BaseRowOutOfRange { .. })));
+    }
+
+    #[test]
+    fn violations_render_row_and_bound() {
+        let lens = [3usize, 3, 3, 3];
+        let mut plan = optimize(&lens);
+        plan.k = 2;
+        let v = check_plan(&lens, &plan);
+        let text = explain(&v);
+        assert!(text.contains("over the K = 2 bound"), "{text}");
+        // Every violation names the offending row.
+        assert!(v
+            .iter()
+            .all(|v| matches!(v, PlanViolation::RowOverflowsK { .. })));
     }
 
     #[test]

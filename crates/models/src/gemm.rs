@@ -6,6 +6,8 @@
 //! batch). Depthwise convolutions lower per channel with `K = R·S`.
 
 use crate::layer::{Layer, LayerKind};
+use eureka_fp16::F16;
+use eureka_sparse::{Matrix, SparseError};
 
 /// One GEMM: `weights (n × k) × activations (k × m)`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -61,6 +63,45 @@ pub fn unique_act_bytes(layer: &Layer, batch: usize) -> u64 {
         } => in_features * tokens,
     };
     2 * (elems * batch) as u64
+}
+
+/// The naive dense GEMM reference: the schoolbook triple loop over
+/// `weights (n × k) × activations (k × m)`, accumulating each dot product
+/// in `f64` and rounding once to FP16 at the end.
+///
+/// This is the ground truth the differential oracle (`eureka-verify`)
+/// compares every sparse execution path against. It deliberately shares
+/// *no* code with the hardware dataflow models in `eureka-fp16` /
+/// `eureka-core`: on integer-valued test data (see
+/// `eureka_sparse::gen::integer_values_for_pattern`) every product and
+/// partial sum is exactly representable in FP16, so any disagreement with
+/// the sparse path — whatever its accumulation order — is a real bug, not
+/// rounding.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if `weights.cols() !=
+/// activations.rows()`.
+pub fn naive_gemm(weights: &Matrix, activations: &Matrix) -> Result<Matrix, SparseError> {
+    if weights.cols() != activations.rows() {
+        return Err(SparseError::DimensionMismatch {
+            expected: format!("activations with {} rows", weights.cols()),
+            actual: format!("{}x{}", activations.rows(), activations.cols()),
+        });
+    }
+    let (n, k, m) = (weights.rows(), weights.cols(), activations.cols());
+    let mut out = Matrix::zeros(n, m);
+    for i in 0..n {
+        for j in 0..m {
+            let mut acc = 0.0f64;
+            for kk in 0..k {
+                acc += f64::from(weights.get(i, kk).to_f32())
+                    * f64::from(activations.get(kk, j).to_f32());
+            }
+            out.set(i, j, F16::from_f64(acc));
+        }
+    }
+    Ok(out)
 }
 
 /// Lowers a layer to its GEMM at the given batch size.
@@ -192,6 +233,29 @@ mod tests {
             },
         );
         assert_eq!(unique_act_bytes(&mm, 1), lower(&mm, 1).activation_bytes());
+    }
+
+    #[test]
+    fn naive_gemm_matches_hardware_dataflow_on_integers() {
+        use eureka_sparse::{gen, rng::DetRng};
+        let mut rng = DetRng::new(11);
+        let wp = gen::uniform_pattern(6, 24, 0.4, &mut rng);
+        let w = gen::integer_values_for_pattern(&wp, &mut rng);
+        let ap = gen::uniform_pattern(24, 5, 1.0, &mut rng);
+        let a = gen::integer_values_for_pattern(&ap, &mut rng);
+        let naive = naive_gemm(&w, &a).unwrap();
+        // Exact integer data: the f64-accumulated naive product must agree
+        // bit-for-bit with both FP16 dataflows.
+        assert_eq!(naive, w.matmul_hw(&a).unwrap());
+        assert_eq!(naive, w.matmul_reference(&a).unwrap());
+    }
+
+    #[test]
+    fn naive_gemm_rejects_shape_mismatch() {
+        let w = Matrix::zeros(2, 3);
+        let a = Matrix::zeros(4, 2);
+        assert!(naive_gemm(&w, &a).is_err());
+        assert!(naive_gemm(&w, &Matrix::zeros(3, 2)).is_ok());
     }
 
     #[test]

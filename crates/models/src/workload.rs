@@ -139,6 +139,7 @@ pub struct Workload {
     batch: usize,
     layers: Vec<Layer>,
     densities: Vec<f64>,
+    seed_override: Option<u64>,
 }
 
 impl Workload {
@@ -159,6 +160,7 @@ impl Workload {
             batch,
             layers,
             densities,
+            seed_override: None,
         }
     }
 
@@ -185,7 +187,21 @@ impl Workload {
             batch,
             layers,
             densities,
+            seed_override: None,
         }
+    }
+
+    /// Replaces the derived RNG seed with an explicit one.
+    ///
+    /// Two otherwise-identical workloads with different seeds draw
+    /// different synthetic weights, so the simulation runner must treat
+    /// them as distinct cache keys — the verification suite and the
+    /// cache-keying tests rely on this to materialize independent
+    /// instances of the same benchmark × pruning point.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed_override = Some(seed);
+        self
     }
 
     /// The benchmark.
@@ -279,9 +295,14 @@ impl Workload {
     }
 
     /// Deterministic RNG seed for this workload's synthetic weights, stable
-    /// across runs and independent of evaluation order.
+    /// across runs and independent of evaluation order. An explicit
+    /// [`with_seed`](Self::with_seed) override takes precedence over the
+    /// derived benchmark × pruning seed.
     #[must_use]
     pub fn seed(&self) -> u64 {
+        if let Some(seed) = self.seed_override {
+            return seed;
+        }
         let b = match self.benchmark {
             Benchmark::MobileNetV1 => 1,
             Benchmark::InceptionV3 => 2,
@@ -366,6 +387,17 @@ mod tests {
                 assert!(seeds.insert(Workload::new(b, level, 32).seed()));
             }
         }
+    }
+
+    #[test]
+    fn seed_override_takes_precedence() {
+        let w = Workload::new(Benchmark::ResNet50, PruningLevel::Moderate, 32);
+        let derived = w.seed();
+        let overridden = w.clone().with_seed(0xDEAD_BEEF);
+        assert_eq!(overridden.seed(), 0xDEAD_BEEF);
+        assert_ne!(overridden.seed(), derived);
+        // Everything else is untouched.
+        assert_eq!(overridden.gemms(), w.gemms());
     }
 
     #[test]

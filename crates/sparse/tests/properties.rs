@@ -1,0 +1,94 @@
+//! Property tests for the left-alignment and tiling round trips: the
+//! transformations the execution pipeline rests on must lose no structure.
+
+use eureka_sparse::rng::DetRng;
+use eureka_sparse::{gen, AlignedTile, SparsityPattern, TileGrid, TilePattern};
+use proptest::prelude::*;
+
+/// Strategy: a 4-row tile pattern of width `q` as raw masks.
+fn tile_masks(q: usize) -> impl Strategy<Value = Vec<u64>> {
+    let max = if q == 64 { u64::MAX } else { (1u64 << q) - 1 };
+    prop::collection::vec(0..=max, 4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn leftalign_round_trips(masks in tile_masks(16)) {
+        let tile = TilePattern::from_rows(&masks, 16).unwrap();
+        let aligned = AlignedTile::from_tile(&tile);
+        prop_assert_eq!(aligned.to_tile(), tile);
+    }
+
+    #[test]
+    fn leftalign_preserves_structure(masks in tile_masks(12)) {
+        let tile = TilePattern::from_rows(&masks, 12).unwrap();
+        let aligned = AlignedTile::from_tile(&tile);
+        prop_assert_eq!(aligned.nnz(), tile.nnz());
+        prop_assert_eq!(aligned.row_lens(), tile.row_lens());
+        prop_assert_eq!(aligned.max_row_len(), tile.critical_path());
+        // Each aligned row is the sorted column list of the source row.
+        for r in 0..tile.p() {
+            let cols: Vec<u16> =
+                tile.row_indices(r).into_iter().map(|c| c as u16).collect();
+            prop_assert_eq!(aligned.row(r), &cols[..]);
+        }
+    }
+
+    #[test]
+    fn tiling_reassembles_the_pattern(
+        rows in 1usize..=21,
+        cols in 1usize..=37,
+        density_milli in 0u32..=1000,
+        seed in 0u64..=u64::MAX,
+    ) {
+        let mut rng = DetRng::new(seed);
+        let pattern = gen::uniform_pattern(
+            rows,
+            cols,
+            f64::from(density_milli) / 1000.0,
+            &mut rng,
+        );
+        let (p, q) = (4usize, 8usize);
+        let grid = TileGrid::new(&pattern, p, q);
+        prop_assert_eq!(grid.tile_rows(), rows.div_ceil(p));
+        prop_assert_eq!(grid.tile_cols(), cols.div_ceil(q));
+        prop_assert_eq!(grid.nnz(), pattern.nnz());
+
+        // Rebuild the (padded) pattern from the tiles and compare: inside
+        // the matrix every bit must match, outside every bit must be zero.
+        let mut rebuilt = SparsityPattern::empty(rows, cols);
+        for tr in 0..grid.tile_rows() {
+            for tc in 0..grid.tile_cols() {
+                let tile = grid.tile(tr, tc).unwrap();
+                for r in 0..p {
+                    for c in tile.row_indices(r) {
+                        let (gr, gc) = (tr * p + r, tc * q + c);
+                        prop_assert!(
+                            gr < rows && gc < cols,
+                            "tile ({},{}) has a bit at ({},{}) in the zero padding",
+                            tr, tc, r, c
+                        );
+                        rebuilt.insert(gr, gc);
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(rebuilt, pattern);
+    }
+
+    #[test]
+    fn tiling_then_leftalign_round_trips(
+        seed in 0u64..=u64::MAX,
+        density_milli in 0u32..=1000,
+    ) {
+        // The pipeline composition: pattern -> tiles -> aligned -> back.
+        let mut rng = DetRng::new(seed);
+        let pattern = gen::uniform_pattern(9, 19, f64::from(density_milli) / 1000.0, &mut rng);
+        let grid = TileGrid::new(&pattern, 4, 16);
+        for tile in grid.iter() {
+            prop_assert_eq!(&AlignedTile::from_tile(tile).to_tile(), tile);
+        }
+    }
+}

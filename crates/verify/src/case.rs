@@ -1,0 +1,140 @@
+//! Fuzz-case parameters: a seeded random GEMM workload description.
+//!
+//! A case is *self-describing*: the dimensions and density are stored
+//! explicitly rather than re-derived from the seed on replay, so a corpus
+//! entry keeps reproducing the same workload even if the generator's
+//! sampling ranges change later. The seed still drives the value-level
+//! randomness (which positions are non-zero, which integers they hold).
+
+use proptest::test_runner::TestRng;
+
+/// Upper bounds for generated GEMM dimensions.
+///
+/// `k` is capped at 48 so that with integer test values in `±4` every dot
+/// product is bounded by `|Σ| ≤ 48·16 = 768 < 2048`, keeping all FP16
+/// partial sums exactly representable — any oracle mismatch is then a real
+/// dataflow bug, never rounding.
+pub const MAX_N: usize = 12;
+/// See [`MAX_N`].
+pub const MAX_K: usize = 48;
+/// See [`MAX_N`].
+pub const MAX_M: usize = 6;
+
+/// One randomized differential-test case.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CaseParams {
+    /// Seed for the value-level randomness (sparsity mask, integers).
+    pub seed: u64,
+    /// Weight-matrix rows (filters).
+    pub n: usize,
+    /// Reduction dimension.
+    pub k: usize,
+    /// Activation columns.
+    pub m: usize,
+    /// Weight density in thousandths (0..=1000).
+    pub density_milli: u32,
+}
+
+impl CaseParams {
+    /// Derives a case from a single seed (the fuzz driver's per-case seed).
+    #[must_use]
+    pub fn generate(seed: u64) -> Self {
+        let mut rng = TestRng::from_seed(seed);
+        let n = 1 + rng.below_inclusive(MAX_N as u64 - 1) as usize;
+        let k = 1 + rng.below_inclusive(MAX_K as u64 - 1) as usize;
+        let m = 1 + rng.below_inclusive(MAX_M as u64 - 1) as usize;
+        let density_milli = rng.below_inclusive(1000) as u32;
+        CaseParams {
+            seed,
+            n,
+            k,
+            m,
+            density_milli,
+        }
+    }
+
+    /// Weight density as a fraction.
+    #[must_use]
+    pub fn density(&self) -> f64 {
+        f64::from(self.density_milli) / 1000.0
+    }
+
+    /// Strictly-smaller variants of this case, for shrinking a failure.
+    ///
+    /// Each candidate halves one dimension (or the density) while keeping
+    /// the seed, so the shrink search walks a lattice toward the minimal
+    /// reproducer instead of re-rolling unrelated workloads.
+    #[must_use]
+    pub fn shrink_candidates(&self) -> Vec<CaseParams> {
+        let mut out = Vec::new();
+        if self.n > 1 {
+            out.push(CaseParams {
+                n: self.n / 2,
+                ..*self
+            });
+        }
+        if self.k > 1 {
+            out.push(CaseParams {
+                k: self.k / 2,
+                ..*self
+            });
+        }
+        if self.m > 1 {
+            out.push(CaseParams {
+                m: self.m / 2,
+                ..*self
+            });
+        }
+        if self.density_milli > 0 {
+            out.push(CaseParams {
+                density_milli: self.density_milli / 2,
+                ..*self
+            });
+        }
+        out
+    }
+
+    /// Total elements; the shrink loop uses this as a strict progress
+    /// measure so it always terminates.
+    #[must_use]
+    pub fn weight(&self) -> u64 {
+        self.n as u64 * self.k as u64 * self.m as u64 + u64::from(self.density_milli)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_is_deterministic_and_in_bounds() {
+        for seed in [0u64, 1, 42, u64::MAX] {
+            let a = CaseParams::generate(seed);
+            let b = CaseParams::generate(seed);
+            assert_eq!(a, b);
+            assert!((1..=MAX_N).contains(&a.n));
+            assert!((1..=MAX_K).contains(&a.k));
+            assert!((1..=MAX_M).contains(&a.m));
+            assert!(a.density_milli <= 1000);
+        }
+        assert_ne!(CaseParams::generate(1), CaseParams::generate(2));
+    }
+
+    #[test]
+    fn shrink_candidates_strictly_decrease_weight() {
+        let c = CaseParams::generate(7);
+        for s in c.shrink_candidates() {
+            assert!(s.weight() < c.weight(), "{s:?} vs {c:?}");
+            assert_eq!(s.seed, c.seed);
+        }
+        // A fully minimal case has nowhere left to go.
+        let min = CaseParams {
+            seed: 0,
+            n: 1,
+            k: 1,
+            m: 1,
+            density_milli: 0,
+        };
+        assert!(min.shrink_candidates().is_empty());
+    }
+}

@@ -1,0 +1,201 @@
+//! Persistent failure corpus: one replayable line per failing fuzz case.
+//!
+//! The format is deliberately line-oriented plain text so failures can be
+//! pasted into bug reports and committed under `tests/corpus/`:
+//!
+//! ```text
+//! # comment
+//! arch=eureka-p4 check=numeric seed=42 n=8 k=16 m=4 density_milli=500
+//! ```
+//!
+//! `arch` is the registry key (`eureka_sim::arch::registry_names`), never
+//! the display name, so lines stay whitespace-free. The dimensions are
+//! authoritative on replay — a corpus entry reproduces the exact workload
+//! it recorded even if the case generator's sampling ranges change.
+
+use crate::case::CaseParams;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::Path;
+
+/// One corpus line: which arch, which check, which case.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CorpusEntry {
+    /// Registry key of the architecture under test.
+    pub arch: String,
+    /// Which oracle failed: `numeric`, `suds`, `metamorphic`, or `sim`.
+    pub check: String,
+    /// The (shrunk) failing case.
+    pub case: CaseParams,
+}
+
+impl CorpusEntry {
+    /// Serializes to the one-line `key=value` format.
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        format!(
+            "arch={} check={} seed={} n={} k={} m={} density_milli={}",
+            self.arch,
+            self.check,
+            self.case.seed,
+            self.case.n,
+            self.case.k,
+            self.case.m,
+            self.case.density_milli
+        )
+    }
+
+    /// Parses one corpus line; `None` for comments, blanks, or malformed
+    /// input (malformed lines are reported by [`load_dir`] instead of
+    /// silently skipped).
+    #[must_use]
+    pub fn parse_line(line: &str) -> Option<CorpusEntry> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return None;
+        }
+        let mut arch = None;
+        let mut check = None;
+        let (mut seed, mut n, mut k, mut m, mut dm) = (None, None, None, None, None);
+        for field in line.split_whitespace() {
+            let (key, value) = field.split_once('=')?;
+            match key {
+                "arch" => arch = Some(value.to_string()),
+                "check" => check = Some(value.to_string()),
+                "seed" => seed = value.parse::<u64>().ok(),
+                "n" => n = value.parse::<usize>().ok(),
+                "k" => k = value.parse::<usize>().ok(),
+                "m" => m = value.parse::<usize>().ok(),
+                "density_milli" => dm = value.parse::<u32>().ok(),
+                _ => return None,
+            }
+        }
+        Some(CorpusEntry {
+            arch: arch?,
+            check: check?,
+            case: CaseParams {
+                seed: seed?,
+                n: n?,
+                k: k?,
+                m: m?,
+                density_milli: dm?,
+            },
+        })
+    }
+}
+
+/// Loads every entry from every `*.txt` file under `dir`, sorted by file
+/// name for determinism. A missing directory is an empty corpus.
+///
+/// # Errors
+///
+/// I/O failures, or any non-comment line that does not parse (a corrupt
+/// corpus should fail loudly, not shrink silently).
+pub fn load_dir(dir: &Path) -> io::Result<Vec<CorpusEntry>> {
+    let mut entries = Vec::new();
+    if !dir.exists() {
+        return Ok(entries);
+    }
+    let mut files: Vec<_> = fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "txt"))
+        .collect();
+    files.sort();
+    for file in files {
+        for (idx, line) in fs::read_to_string(&file)?.lines().enumerate() {
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            match CorpusEntry::parse_line(trimmed) {
+                Some(entry) => entries.push(entry),
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "{}:{}: malformed corpus line: {trimmed}",
+                            file.display(),
+                            idx + 1
+                        ),
+                    ))
+                }
+            }
+        }
+    }
+    Ok(entries)
+}
+
+/// Appends one entry to `dir/failures.txt`, creating the directory and
+/// file as needed.
+///
+/// # Errors
+///
+/// Propagates filesystem failures.
+pub fn append(dir: &Path, entry: &CorpusEntry) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let mut file = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(dir.join("failures.txt"))?;
+    writeln!(file, "{}", entry.to_line())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry() -> CorpusEntry {
+        CorpusEntry {
+            arch: "eureka-p4".into(),
+            check: "numeric".into(),
+            case: CaseParams {
+                seed: 42,
+                n: 8,
+                k: 16,
+                m: 4,
+                density_milli: 500,
+            },
+        }
+    }
+
+    #[test]
+    fn line_round_trips() {
+        let e = entry();
+        assert_eq!(CorpusEntry::parse_line(&e.to_line()), Some(e));
+    }
+
+    #[test]
+    fn comments_blanks_and_garbage() {
+        assert_eq!(CorpusEntry::parse_line("# a comment"), None);
+        assert_eq!(CorpusEntry::parse_line("   "), None);
+        assert_eq!(CorpusEntry::parse_line("arch=x check=y seed=1"), None); // missing fields
+        assert_eq!(CorpusEntry::parse_line("not-a-field"), None);
+        assert_eq!(
+            CorpusEntry::parse_line("arch=x check=y seed=zz n=1 k=1 m=1 density_milli=0"),
+            None
+        );
+    }
+
+    #[test]
+    fn append_then_load_round_trips() {
+        let dir = std::env::temp_dir().join(format!("eureka-corpus-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let e = entry();
+        append(&dir, &e).unwrap();
+        append(&dir, &e).unwrap();
+        let loaded = load_dir(&dir).unwrap();
+        assert_eq!(loaded, vec![e.clone(), e]);
+        // Corrupt line fails loudly.
+        fs::write(dir.join("bad.txt"), "arch=only\n").unwrap();
+        assert!(load_dir(&dir).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_dir_is_empty() {
+        let dir = Path::new("/nonexistent/eureka-corpus");
+        assert_eq!(load_dir(dir).unwrap(), Vec::new());
+    }
+}

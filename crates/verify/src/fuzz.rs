@@ -1,0 +1,232 @@
+//! The seeded fuzz driver: generate cases, run every applicable check,
+//! shrink failures to minimal reproducers, and emit replayable corpus
+//! entries.
+//!
+//! Determinism contract: `run_arch(arch, cases, seed)` always runs the
+//! same case sequence for a given `seed` (the per-case seeds stream from
+//! one `TestRng`), and a recorded [`CorpusEntry`] replays the exact failing
+//! workload via [`replay`] because the case stores its dimensions rather
+//! than re-deriving them.
+
+use crate::case::CaseParams;
+use crate::corpus::CorpusEntry;
+use crate::metamorphic::{check_metamorphic, check_sim};
+use crate::oracle::{check_numeric, numeric_path};
+use crate::suds_oracle::check_suds;
+use proptest::test_runner::TestRng;
+
+/// Maximum shrink steps per failure. Each step strictly decreases the
+/// case's weight, so this is a safety margin, not the usual stopping rule.
+const SHRINK_BUDGET: usize = 256;
+
+/// One shrunk, replayable failure.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Replayable corpus entry for the minimal failing case.
+    pub entry: CorpusEntry,
+    /// The check's diagnostic at the minimal case.
+    pub message: String,
+}
+
+/// Outcome of fuzzing one architecture.
+#[derive(Clone, Debug)]
+pub struct FuzzReport {
+    /// Registry key fuzzed.
+    pub arch: String,
+    /// Cases generated.
+    pub cases: u32,
+    /// Individual check invocations (excluding shrink re-runs).
+    pub checks: u64,
+    /// Shrunk failures, in discovery order.
+    pub failures: Vec<Failure>,
+}
+
+/// The checks that apply to `arch_key`, in the order they run.
+#[must_use]
+pub fn checks_for(arch_key: &str) -> Vec<&'static str> {
+    let mut checks = Vec::new();
+    if numeric_path(arch_key).is_some() {
+        checks.push("numeric");
+    }
+    checks.extend(["suds", "metamorphic", "sim"]);
+    checks
+}
+
+/// Runs one named check for one case. Panics inside the checked code are
+/// caught and reported as failures — a crashing case must shrink and land
+/// in the corpus like any other counterexample, not kill the driver.
+///
+/// # Errors
+///
+/// The check's diagnostic, or an error for an unknown check name /
+/// a `numeric` replay against an architecture without a numeric path.
+pub fn run_check(arch_key: &str, check: &str, case: &CaseParams) -> Result<(), String> {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_check_inner(arch_key, check, case)
+    }));
+    match result {
+        Ok(outcome) => outcome,
+        Err(payload) => {
+            let what = payload
+                .downcast_ref::<&str>()
+                .map(ToString::to_string)
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(format!(
+                "[{check}] arch={arch_key} case={case:?}: panicked: {what}"
+            ))
+        }
+    }
+}
+
+fn run_check_inner(arch_key: &str, check: &str, case: &CaseParams) -> Result<(), String> {
+    match check {
+        "numeric" => match numeric_path(arch_key) {
+            Some(path) => check_numeric(arch_key, path, case),
+            None => Err(format!(
+                "corpus entry asks for a numeric check but {arch_key} has no \
+                 numeric path"
+            )),
+        },
+        "suds" => check_suds(case),
+        "metamorphic" => check_metamorphic(case),
+        "sim" => check_sim(arch_key, case),
+        other => Err(format!("unknown check kind {other:?}")),
+    }
+}
+
+/// Shrinks a failing case: repeatedly move to the first strictly-smaller
+/// candidate that still fails the same check. Returns the minimal case and
+/// its diagnostic.
+#[must_use]
+pub fn shrink(
+    arch_key: &str,
+    check: &str,
+    case: CaseParams,
+    message: String,
+) -> (CaseParams, String) {
+    let mut current = case;
+    let mut current_message = message;
+    // Shrinking a panicking case re-triggers the panic dozens of times;
+    // silence the hook for the duration (the original report already
+    // printed once at discovery).
+    let saved_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    for _ in 0..SHRINK_BUDGET {
+        let next = current
+            .shrink_candidates()
+            .into_iter()
+            .find_map(|candidate| {
+                run_check(arch_key, check, &candidate)
+                    .err()
+                    .map(|msg| (candidate, msg))
+            });
+        match next {
+            Some((smaller, msg)) => {
+                current = smaller;
+                current_message = msg;
+            }
+            None => break,
+        }
+    }
+    std::panic::set_hook(saved_hook);
+    (current, current_message)
+}
+
+/// Fuzzes one architecture for `cases` seeded cases.
+#[must_use]
+pub fn run_arch(arch_key: &str, cases: u32, seed: u64) -> FuzzReport {
+    let mut seeds = TestRng::from_seed(seed);
+    let mut report = FuzzReport {
+        arch: arch_key.to_string(),
+        cases,
+        checks: 0,
+        failures: Vec::new(),
+    };
+    for _ in 0..cases {
+        let case = CaseParams::generate(seeds.next_u64());
+        for check in checks_for(arch_key) {
+            report.checks += 1;
+            if let Err(message) = run_check(arch_key, check, &case) {
+                let (minimal, minimal_message) = shrink(arch_key, check, case, message);
+                report.failures.push(Failure {
+                    entry: CorpusEntry {
+                        arch: arch_key.to_string(),
+                        check: check.to_string(),
+                        case: minimal,
+                    },
+                    message: minimal_message,
+                });
+            }
+        }
+    }
+    report
+}
+
+/// Replays one corpus entry.
+///
+/// # Errors
+///
+/// The check's diagnostic if the entry still fails.
+pub fn replay(entry: &CorpusEntry) -> Result<(), String> {
+    run_check(&entry.arch, &entry.check, &entry.case)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_arch_is_deterministic() {
+        let a = run_arch("eureka-p4", 3, 42);
+        let b = run_arch("eureka-p4", 3, 42);
+        assert_eq!(a.checks, b.checks);
+        assert_eq!(a.failures.len(), b.failures.len());
+        assert!(a.failures.is_empty(), "{:?}", a.failures);
+        assert_eq!(a.checks, 3 * 4); // numeric + suds + metamorphic + sim
+    }
+
+    #[test]
+    fn unmapped_arch_skips_numeric() {
+        assert_eq!(checks_for("dstc"), vec!["suds", "metamorphic", "sim"]);
+        assert_eq!(
+            checks_for("eureka-p4"),
+            vec!["numeric", "suds", "metamorphic", "sim"]
+        );
+        let report = run_arch("dstc", 2, 7);
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+    }
+
+    #[test]
+    fn unknown_check_is_an_error() {
+        let case = CaseParams::generate(1);
+        assert!(run_check("dense", "bogus", &case).is_err());
+        assert!(run_check("dstc", "numeric", &case).is_err());
+    }
+
+    #[test]
+    fn shrink_reaches_a_local_minimum() {
+        // A check that fails whenever n > 2: shrinking must land exactly
+        // on the smallest still-failing n along the halving chain.
+        // (Uses the real machinery with a synthetic predicate by probing
+        // shrink_candidates directly.)
+        let case = CaseParams {
+            seed: 0,
+            n: 11,
+            k: 1,
+            m: 1,
+            density_milli: 0,
+        };
+        let fails = |c: &CaseParams| c.n > 2;
+        let mut current = case;
+        while let Some(smaller) = current.shrink_candidates().into_iter().find(|c| fails(c)) {
+            current = smaller;
+        }
+        // 11 -> 5 -> .. stops when n / 2 <= 2 i.e. n == 5 shrinks to
+        // n = 2 (passes), so the minimum along the chain is n = 5? No:
+        // candidates are single-halving steps, 11 -> 5 (fails) -> 2
+        // (passes) leaves 5 as the minimal failure on this lattice path.
+        assert_eq!(current.n, 5);
+        assert!(fails(&current));
+    }
+}

@@ -1,0 +1,235 @@
+//! The dense-GEMM numeric oracle.
+//!
+//! For every architecture whose timing model corresponds to a concrete
+//! functional dataflow (compaction factor + displacement plan), this module
+//! runs a random sparse GEMM through the *real* execution pipeline —
+//! tiling → compaction → left-alignment → SUDS work assignment →
+//! `eureka_core::exec::execute` — and demands **bit-exact** agreement with
+//! the schoolbook reference `eureka_models::gemm::naive_gemm`.
+//!
+//! Bit-exactness is achievable because test values are integers in `±4`
+//! (see [`eureka_sparse::gen::integer_values_for_pattern`]) and the
+//! reduction dimension is capped (see [`crate::case::MAX_K`]), so every
+//! FP16 product and partial sum is exactly representable: accumulation
+//! order cannot matter, and any disagreement is a real dataflow bug.
+
+use crate::case::CaseParams;
+use eureka_core::compact::CompactedTile;
+use eureka_core::exec;
+use eureka_core::suds::{self, check_plan, verify::explain, DisplacementPlan};
+use eureka_core::DisplacedTile;
+use eureka_fp16::F16;
+use eureka_models::gemm::naive_gemm;
+use eureka_sparse::gen;
+use eureka_sparse::rng::DetRng;
+use eureka_sparse::{Matrix, TileGrid};
+
+/// Paper-default MAC sub-array dimension (4×4).
+pub const SUB_ARRAY_DIM: usize = 4;
+
+/// How an architecture assigns SUDS work within a compacted tile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanKind {
+    /// No displacement: every row executes in place (`disp = 0`).
+    Undisplaced,
+    /// The single-pass greedy plan of Figure 7(b).
+    Greedy,
+    /// Algorithm 1 + binary search (the paper's optimal plan).
+    Optimal,
+}
+
+/// The functional execution path an architecture's timing model stands on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NumericPath {
+    /// Matrix-compaction factor `P` (tile is `p × p·P`).
+    pub factor: usize,
+    /// Displacement-plan flavour.
+    pub plan: PlanKind,
+}
+
+/// Maps a registry key to its numeric path, or `None` for architectures
+/// whose dataflow the functional executor does not model (DSTC's outer
+/// products, SparTen's prefix sums, S2TA's two-sided structure, and the
+/// multi-step / activation-gated Eureka extensions). Those are still
+/// covered by the metamorphic and simulator-determinism checks.
+#[must_use]
+pub fn numeric_path(arch_key: &str) -> Option<NumericPath> {
+    let (factor, plan) = match arch_key {
+        // Dense math: one logical column per MAC column, no displacement.
+        "dense" | "ampere" | "eureka-unopt" => (1, PlanKind::Undisplaced),
+        // Compaction without SUDS: cycles = longest row, rows in place.
+        "cnvlutin" | "compaction-p4" | "eureka-no-suds" => (4, PlanKind::Undisplaced),
+        "greedy-suds" => (4, PlanKind::Greedy),
+        // `ideal` times at perfect balance but executes the optimal plan.
+        "eureka-p4" | "optimal-suds" | "ideal" => (4, PlanKind::Optimal),
+        "eureka-p2" => (2, PlanKind::Optimal),
+        _ => return None,
+    };
+    Some(NumericPath { factor, plan })
+}
+
+/// Zero-padded `rows × cols` window of `src` anchored at `(row0, col0)`.
+fn window(src: &Matrix, row0: usize, col0: usize, rows: usize, cols: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |r, c| {
+        let (sr, sc) = (row0 + r, col0 + c);
+        if sr < src.rows() && sc < src.cols() {
+            src.get(sr, sc)
+        } else {
+            F16::from_f32(0.0)
+        }
+    })
+}
+
+/// Runs `case` through `path`'s execution pipeline and compares against
+/// the naive dense reference bit-for-bit.
+///
+/// # Errors
+///
+/// A human-readable diagnostic naming the tile, the displacement plan, the
+/// structured [`check_plan`] violations (if the plan itself is invalid),
+/// or the first mismatching output element.
+pub fn check_numeric(arch_key: &str, path: NumericPath, case: &CaseParams) -> Result<(), String> {
+    let p = SUB_ARRAY_DIM;
+    let q = p * path.factor;
+    let ctx = |detail: &str| format!("[numeric] arch={arch_key} case={case:?}: {detail}");
+
+    let mut rng = DetRng::new(case.seed);
+    let wp = gen::uniform_pattern(case.n, case.k, case.density(), &mut rng);
+    let weights = gen::integer_values_for_pattern(&wp, &mut rng);
+    let ap = gen::uniform_pattern(case.k, case.m, 1.0, &mut rng);
+    let activations = gen::integer_values_for_pattern(&ap, &mut rng);
+
+    let expected = naive_gemm(&weights, &activations).map_err(|e| ctx(&format!("{e:?}")))?;
+    let mut actual = Matrix::zeros(case.n, case.m);
+
+    let grid = TileGrid::new(&wp, p, q);
+    for tr in 0..grid.tile_rows() {
+        for tc in 0..grid.tile_cols() {
+            let tile = grid.tile(tr, tc).map_err(|e| ctx(&format!("{e:?}")))?;
+            let tile_ctx = |detail: &str| ctx(&format!("tile ({tr},{tc}): {detail}"));
+
+            let compacted =
+                CompactedTile::new(tile, path.factor).map_err(|e| tile_ctx(&format!("{e:?}")))?;
+            let lens = compacted.row_lens();
+            let plan = match path.plan {
+                PlanKind::Undisplaced => DisplacementPlan::identity(&lens),
+                PlanKind::Greedy => suds::greedy(&lens),
+                PlanKind::Optimal => suds::optimize(&lens),
+            };
+            let violations = check_plan(&lens, &plan);
+            if !violations.is_empty() {
+                return Err(tile_ctx(&format!(
+                    "{:?} plan {plan:?} violates SUDS constraints on rows {lens:?}:\n{}",
+                    path.plan,
+                    explain(&violations)
+                )));
+            }
+            let displaced = DisplacedTile::from_plan(compacted.aligned(), &plan)
+                .map_err(|e| tile_ctx(&format!("{e:?}")))?;
+            displaced
+                .validate()
+                .map_err(|e| tile_ctx(&format!("schedule invalid: {e:?}")))?;
+
+            let w_win = window(&weights, tr * p, tc * q, p, q);
+            let a_win = window(&activations, tc * q, 0, q, case.m);
+            let partial = exec::execute(&displaced, &w_win, &a_win)
+                .map_err(|e| tile_ctx(&format!("{e:?}")))?;
+
+            // Accumulate the p × m partial into the output block. All
+            // values are exact small integers, so F16 addition via f64 is
+            // exact regardless of the tile-column order.
+            for r in 0..p {
+                let out_r = tr * p + r;
+                if out_r >= case.n {
+                    break;
+                }
+                for c in 0..case.m {
+                    let sum = actual.get(out_r, c).to_f64() + partial.get(r, c).to_f64();
+                    actual.set(out_r, c, F16::from_f64(sum));
+                }
+            }
+        }
+    }
+
+    if actual != expected {
+        for i in 0..case.n {
+            for j in 0..case.m {
+                if actual.get(i, j) != expected.get(i, j) {
+                    return Err(ctx(&format!(
+                        "output[{i}][{j}] = {} but dense reference says {} \
+                         (factor={}, plan={:?})",
+                        actual.get(i, j).to_f32(),
+                        expected.get(i, j).to_f32(),
+                        path.factor,
+                        path.plan
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_mapped_arch_passes_a_smoke_case() {
+        let case = CaseParams {
+            seed: 1,
+            n: 9,
+            k: 21,
+            m: 3,
+            density_milli: 400,
+        };
+        for key in eureka_sim::arch::registry_names() {
+            if let Some(path) = numeric_path(key) {
+                check_numeric(key, path, &case).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_dims_and_densities() {
+        for (n, k, m, dm) in [
+            (1, 1, 1, 0),
+            (1, 1, 1, 1000),
+            (4, 48, 6, 1000),
+            (5, 7, 2, 0),
+        ] {
+            let case = CaseParams {
+                seed: 3,
+                n,
+                k,
+                m,
+                density_milli: dm,
+            };
+            for (key, path) in [
+                ("dense", numeric_path("dense").unwrap()),
+                ("eureka-p2", numeric_path("eureka-p2").unwrap()),
+                ("eureka-p4", numeric_path("eureka-p4").unwrap()),
+                ("greedy-suds", numeric_path("greedy-suds").unwrap()),
+            ] {
+                check_numeric(key, path, &case).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn unmapped_archs_are_explicit() {
+        for key in [
+            "dstc",
+            "sparten",
+            "s2ta",
+            "eureka-reach2",
+            "eureka-act-gate",
+        ] {
+            assert_eq!(numeric_path(key), None, "{key}");
+        }
+        // Every registry key is either mapped or deliberately unmapped.
+        for key in eureka_sim::arch::registry_names() {
+            let _ = numeric_path(key); // must not panic
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! The brute-force SUDS oracle.
+//!
+//! For random row-length vectors this certifies, per case, the paper's
+//! §3.2 correctness claims about work assignment:
+//!
+//! 1. `suds::optimize` (Algorithm 1 + binary search) returns a plan that
+//!    satisfies every SUDS constraint ([`check_plan`] finds no violation);
+//! 2. its `K` equals the exhaustive [`brute_force_optimum`] — optimality;
+//! 3. no plan achieves `K - 1` (`feasible` rejects it) — minimality from
+//!    the decision procedure's own viewpoint;
+//! 4. the greedy strawman is valid but never *beats* the optimum.
+
+use crate::case::CaseParams;
+use eureka_core::suds::{self, check_plan, feasible, verify::brute_force_optimum, verify::explain};
+use proptest::test_runner::TestRng;
+
+/// Row count of the generated tiles (the paper's 4×4 sub-array).
+const ROWS: usize = 4;
+/// Cap on per-row lengths, keeping the brute-force odometer cheap
+/// (`(MAX_LEN + 1)^ROWS` plans).
+const MAX_LEN: u64 = 12;
+
+/// Derives a row-length vector from the case and checks all four claims.
+///
+/// # Errors
+///
+/// A diagnostic naming the row lengths and which claim failed.
+pub fn check_suds(case: &CaseParams) -> Result<(), String> {
+    // Independent stream from the numeric oracle's: same seed, distinct
+    // domain, so shrinking one check never perturbs the other.
+    let mut rng = TestRng::from_seed(case.seed ^ 0x5005_D15B_A1A9_CE00);
+    let max_len = MAX_LEN.min(case.k as u64);
+    let lens: Vec<usize> = (0..ROWS)
+        .map(|_| rng.below_inclusive(max_len) as usize)
+        .collect();
+    let ctx = |detail: &str| format!("[suds] case={case:?} lens={lens:?}: {detail}");
+
+    let optimal = suds::optimize(&lens);
+    let violations = check_plan(&lens, &optimal);
+    if !violations.is_empty() {
+        return Err(ctx(&format!(
+            "optimal plan {optimal:?} violates its own constraints:\n{}",
+            explain(&violations)
+        )));
+    }
+
+    let brute = brute_force_optimum(&lens);
+    if optimal.k != brute {
+        return Err(ctx(&format!(
+            "optimize reports K = {} but exhaustive search achieves {brute}",
+            optimal.k
+        )));
+    }
+
+    if feasible(&lens, optimal.k).is_none() {
+        return Err(ctx(&format!(
+            "decision procedure rejects its own optimum K = {}",
+            optimal.k
+        )));
+    }
+    if optimal.k > 0 && feasible(&lens, optimal.k - 1).is_some() {
+        return Err(ctx(&format!(
+            "K = {} is not minimal: K - 1 is also feasible",
+            optimal.k
+        )));
+    }
+
+    let greedy = suds::greedy(&lens);
+    let greedy_violations = check_plan(&lens, &greedy);
+    if !greedy_violations.is_empty() {
+        return Err(ctx(&format!(
+            "greedy plan {greedy:?} violates SUDS constraints:\n{}",
+            explain(&greedy_violations)
+        )));
+    }
+    if greedy.k < optimal.k {
+        return Err(ctx(&format!(
+            "greedy K = {} beats the proven optimum {} — the brute force or \
+             the decision procedure is wrong",
+            greedy.k, optimal.k
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn many_seeds_pass() {
+        for seed in 0..200u64 {
+            let case = CaseParams::generate(seed);
+            check_suds(&case).unwrap();
+        }
+    }
+
+    #[test]
+    fn lens_respect_case_k() {
+        // With k = 1 the stream must stay within [0, 1].
+        let case = CaseParams {
+            seed: 9,
+            n: 1,
+            k: 1,
+            m: 1,
+            density_milli: 500,
+        };
+        check_suds(&case).unwrap();
+    }
+}

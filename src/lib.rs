@@ -14,6 +14,9 @@
 //! * [`sim`] — the cycle-level tensor-core simulator with all nine
 //!   evaluated architectures;
 //! * [`energy`] — ASIC area/power models (Table 2) and energy accounting;
+//! * [`verify`] — differential verification: the dense-GEMM numeric
+//!   oracle, the brute-force SUDS checker, metamorphic invariants, and
+//!   the seeded shrinking fuzz driver behind `eureka verify`;
 //! * [`obs`] — telemetry: tracing spans, the metrics registry, and the
 //!   Chrome-trace / metrics-snapshot exporters behind the CLI's
 //!   `--trace-out` / `--metrics-out` flags.
@@ -50,6 +53,7 @@ pub use eureka_models as models;
 pub use eureka_obs as obs;
 pub use eureka_sim as sim;
 pub use eureka_sparse as sparse;
+pub use eureka_verify as verify;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {

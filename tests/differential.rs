@@ -1,0 +1,86 @@
+//! Tier-1 differential verification: replay the committed failure corpus
+//! and run a fresh seeded fuzz sweep over every registry architecture.
+//!
+//! The corpus under `tests/corpus/` holds minimal cases the fuzz driver
+//! shrank out of real (intentionally injected) bugs; replaying them keeps
+//! those regressions pinned. The sweep then exercises the generators
+//! end to end so a fresh clone gets differential coverage without any
+//! corpus at all.
+
+use eureka_verify::case::CaseParams;
+use eureka_verify::oracle::{check_numeric, numeric_path};
+use eureka_verify::{fuzz, replay_corpus, run, VerifyOptions};
+use std::path::Path;
+
+fn corpus_dir() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus"))
+}
+
+#[test]
+fn committed_corpus_replays_clean() {
+    let summary = replay_corpus(corpus_dir()).unwrap();
+    // The corpus must actually contain the pinned regressions — an empty
+    // directory silently passing would defeat the point.
+    assert!(
+        !summary.contains("replayed 0"),
+        "corpus is missing or empty: {summary}"
+    );
+}
+
+#[test]
+fn seeded_sweep_passes_for_every_registry_arch() {
+    let out = run(&VerifyOptions {
+        cases: 25,
+        seed: 42,
+        arch: None,
+        corpus_dir: None,
+    })
+    .unwrap();
+    assert!(out.contains("all architectures verified"), "{out}");
+    // Every registry architecture appears in the summary.
+    for key in eureka_sim::arch::registry_names() {
+        assert!(out.contains(key), "summary missing {key}: {out}");
+    }
+}
+
+#[test]
+fn numeric_oracle_covers_every_execution_path_shape() {
+    // One representative case through each (factor, plan) combination the
+    // registry maps to, at dimensions that exercise zero-padded edge
+    // tiles (n and k not multiples of the tile shape).
+    let case = CaseParams {
+        seed: 0xD1FF,
+        n: 11,
+        k: 37,
+        m: 5,
+        density_milli: 350,
+    };
+    let mut shapes = std::collections::BTreeSet::new();
+    for key in eureka_sim::arch::registry_names() {
+        if let Some(path) = numeric_path(key) {
+            check_numeric(key, path, &case).unwrap();
+            shapes.insert((path.factor, format!("{:?}", path.plan)));
+        }
+    }
+    // 1/Undisplaced, 4/Undisplaced, 4/Greedy, 4/Optimal, 2/Optimal.
+    assert_eq!(shapes.len(), 5, "{shapes:?}");
+}
+
+#[test]
+fn fuzz_failure_lines_replay_verbatim() {
+    // The driver's corpus lines and the replay path agree end to end:
+    // serialize, parse back, and run for a handful of passing cases.
+    for seed in [1u64, 99, 12345] {
+        let case = CaseParams::generate(seed);
+        for check in fuzz::checks_for("eureka-p4") {
+            let entry = eureka_verify::CorpusEntry {
+                arch: "eureka-p4".into(),
+                check: check.into(),
+                case,
+            };
+            let parsed = eureka_verify::CorpusEntry::parse_line(&entry.to_line()).unwrap();
+            assert_eq!(parsed, entry);
+            fuzz::replay(&parsed).unwrap();
+        }
+    }
+}

@@ -101,6 +101,99 @@ fn cache_hit_equals_cold_miss() {
 }
 
 #[test]
+fn jobs_differing_only_in_seed_do_not_share_cache_entries() {
+    let _x = exclusive();
+    let cfg = SimConfig {
+        // Distinctive sampling so this test owns its cache entries.
+        rowgroup_samples: 12,
+        ..test_cfg()
+    };
+    let base = Workload::new(Benchmark::MobileNetV1, PruningLevel::Moderate, 32);
+    let reseeded = Workload::new(Benchmark::MobileNetV1, PruningLevel::Moderate, 32)
+        .with_seed(base.seed() ^ 0xDEAD_BEEF);
+    assert_eq!(
+        base.gemms(),
+        reseeded.gemms(),
+        "same layers, only seed differs"
+    );
+    let a = arch::by_name("eureka-p4").expect("registered");
+    let layers = base.layer_count() as u64;
+
+    runner::cache_reset();
+    let first = Runner::parallel()
+        .run(&SimJob::new(a.as_ref(), &base, cfg))
+        .expect("supported");
+    let second = Runner::parallel()
+        .run(&SimJob::new(a.as_ref(), &reseeded, cfg))
+        .expect("supported");
+    let (hits, misses, _) = runner::cache_stats();
+    assert_eq!(
+        hits, 0,
+        "a different seed must never hit the other's entries"
+    );
+    assert_eq!(misses, 2 * layers, "both runs must fully recompute");
+    // Different RNG streams really do produce different sampled timings.
+    assert_ne!(
+        first.total_cycles(),
+        second.total_cycles(),
+        "reseeding must change the sampled simulation"
+    );
+
+    // Replaying the reseeded job now hits every layer.
+    let replay = Runner::parallel()
+        .run(&SimJob::new(a.as_ref(), &reseeded, cfg))
+        .expect("supported");
+    assert_eq!(second, replay);
+    let (hits_after_replay, misses_after_replay, _) = runner::cache_stats();
+    assert_eq!(hits_after_replay, layers);
+    assert_eq!(misses_after_replay, 2 * layers);
+}
+
+#[test]
+fn cache_hits_are_independent_of_arch_ordering() {
+    let _x = exclusive();
+    let cfg = SimConfig {
+        // Distinctive sampling so this test owns its cache entries.
+        rowgroup_samples: 13,
+        ..test_cfg()
+    };
+    let w = Workload::new(Benchmark::MobileNetV1, PruningLevel::Moderate, 32);
+    let layers = w.layer_count() as u64;
+    let dense = arch::by_name("dense").expect("registered");
+    let eureka = arch::by_name("eureka-p4").expect("registered");
+
+    // Warm the cache in one order...
+    runner::cache_reset();
+    let d1 = Runner::parallel()
+        .run(&SimJob::new(dense.as_ref(), &w, cfg))
+        .expect("supported");
+    let e1 = Runner::parallel()
+        .run(&SimJob::new(eureka.as_ref(), &w, cfg))
+        .expect("supported");
+    let (hits_cold, misses_cold, _) = runner::cache_stats();
+    assert_eq!(hits_cold, 0, "distinct archs must not alias each other");
+    assert_eq!(misses_cold, 2 * layers);
+
+    // ...then replay in the opposite order: every layer hits, and the
+    // reports are bit-identical to the cold runs.
+    let e2 = Runner::parallel()
+        .run(&SimJob::new(eureka.as_ref(), &w, cfg))
+        .expect("supported");
+    let d2 = Runner::parallel()
+        .run(&SimJob::new(dense.as_ref(), &w, cfg))
+        .expect("supported");
+    let (hits_warm, misses_warm, _) = runner::cache_stats();
+    assert_eq!(
+        hits_warm,
+        2 * layers,
+        "identical jobs hit regardless of order"
+    );
+    assert_eq!(misses_warm, 2 * layers, "no recomputation on replay");
+    assert_eq!(d1, d2);
+    assert_eq!(e1, e2);
+}
+
+#[test]
 fn batch_submission_matches_individual_runs() {
     let _x = exclusive();
     let w1 = Workload::new(Benchmark::MobileNetV1, PruningLevel::Moderate, 32);
