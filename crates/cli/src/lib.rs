@@ -41,6 +41,12 @@ pub enum Command {
         metrics_out: Option<String>,
         /// Diagnostic verbosity (0, 1 = `-v`, 2 = `-vv`).
         verbose: u8,
+        /// Extra attempts per failed work unit (0 = fail immediately).
+        retries: u32,
+        /// Persist completed unit results under this directory.
+        checkpoint_dir: Option<String>,
+        /// Replay completed units from `checkpoint_dir` before executing.
+        resume: bool,
     },
     /// Compile one layer's (synthetic) pruned weights to the offline
     /// format and report compression/cycle statistics.
@@ -81,6 +87,18 @@ pub enum Command {
         metrics_out: Option<String>,
         /// Diagnostic verbosity (0, 1 = `-v`, 2 = `-vv`).
         verbose: u8,
+        /// Keep going past failed layers: emit the surviving layers plus
+        /// a structured failure report instead of aborting.
+        keep_going: bool,
+        /// With `keep_going`, fail anyway once more than this many layers
+        /// failed.
+        max_failures: Option<u64>,
+        /// Extra attempts per failed work unit (0 = fail immediately).
+        retries: u32,
+        /// Persist completed unit results under this directory.
+        checkpoint_dir: Option<String>,
+        /// Replay completed units from `checkpoint_dir` before executing.
+        resume: bool,
     },
     /// Run the differential verification suite (dense-GEMM oracle,
     /// brute-force SUDS checker, metamorphic invariants) over seeded
@@ -96,6 +114,9 @@ pub enum Command {
         corpus_dir: Option<String>,
         /// Replay this corpus directory instead of fuzzing.
         replay: Option<String>,
+        /// Run the seeded fault-injection matrix (panic, error, stall ×
+        /// serial, parallel) instead of fuzzing.
+        fault_matrix: bool,
     },
 }
 
@@ -108,21 +129,39 @@ USAGE:
   eureka archs
   eureka figure <table1|table2|fig09|fig11|fig12|fig13|fig14|ablations>
                   [--csv] [--fast] [--jobs <N>]
+                  [--retries <N>] [--checkpoint-dir <dir>] [--resume]
                   [--trace-out <file>] [--metrics-out <file>] [-v|-vv]
   eureka simulate --benchmark <mobilenetv1|inceptionv3|resnet50|bert>
                   [--pruning <dense|cons|mod>] [--arch <name>]
                   [--batch <N>] [--csv] [--fast] [--jobs <N>]
+                  [--keep-going] [--max-failures <N>] [--retries <N>]
+                  [--checkpoint-dir <dir>] [--resume]
                   [--trace-out <file>] [--metrics-out <file>] [-v|-vv]
   eureka compile  --benchmark <name> --layer <layer-name> [--factor <P>]
   eureka trace    --benchmark <name> --layer <layer-name>   (Chrome-trace JSON)
   eureka verify   [--cases <N>] [--seed <S>] [--arch <name>]
-                  [--corpus-dir <dir>] [--replay <dir>]
+                  [--corpus-dir <dir>] [--replay <dir>] [--fault-matrix]
+
+FAULT TOLERANCE:
+  --keep-going          don't abort on a failed layer: print the surviving
+                        layers plus a structured failure report naming every
+                        (job, layer, kind, seed) site (CSV mode keeps stdout
+                        machine-readable; the report goes to stderr)
+  --max-failures <N>    with --keep-going, still fail once more than N
+                        layers failed
+  --retries <N>         re-execute a failed unit up to N extra times
+                        (deterministic; unsupported combinations are never
+                        retried)
+  --checkpoint-dir <dir> persist each completed unit result, keyed by its
+                        content hash, for crash recovery
+  --resume              replay completed units from --checkpoint-dir
+                        bit-identically instead of recomputing them
 
 TELEMETRY:
   --trace-out <file>    Chrome Trace Event JSON of the run (one track per
                         worker thread; open in chrome://tracing or Perfetto)
-  --metrics-out <file>  JSON snapshot of the metrics registry (unit/cache
-                        counters, exec-time histograms, utilization)
+  --metrics-out <file>  JSON snapshot of the metrics registry (unit/cache/
+                        failure/checkpoint counters, exec-time histograms)
   -v / -vv              telemetry summary / per-layer breakdown on stderr
 
 Run `eureka archs` for the architecture registry.";
@@ -143,6 +182,10 @@ fn parse_jobs(s: &str) -> Result<usize, String> {
         return Err("--jobs must be positive".into());
     }
     Ok(n)
+}
+
+fn parse_retries(s: &str) -> Result<u32, String> {
+    s.parse().map_err(|e| format!("bad --retries: {e}"))
 }
 
 fn parse_pruning(s: &str) -> Result<PruningLevel, String> {
@@ -199,6 +242,9 @@ where
             let mut trace_out = None;
             let mut metrics_out = None;
             let mut verbose = 0u8;
+            let mut retries = 0u32;
+            let mut checkpoint_dir = None;
+            let mut resume = false;
             let mut it = args[2..].iter();
             while let Some(a) = it.next() {
                 let mut value = |flag: &str| {
@@ -214,8 +260,14 @@ where
                     "--metrics-out" => metrics_out = Some(value("--metrics-out")?),
                     "-v" | "--verbose" => verbose = verbose.saturating_add(1),
                     "-vv" => verbose = verbose.saturating_add(2),
+                    "--retries" => retries = parse_retries(&value("--retries")?)?,
+                    "--checkpoint-dir" => checkpoint_dir = Some(value("--checkpoint-dir")?),
+                    "--resume" => resume = true,
                     other => return Err(format!("unknown flag '{other}' for figure")),
                 }
+            }
+            if resume && checkpoint_dir.is_none() {
+                return Err("--resume requires --checkpoint-dir".into());
             }
             Ok(Command::Figure {
                 name,
@@ -225,6 +277,9 @@ where
                 trace_out,
                 metrics_out,
                 verbose,
+                retries,
+                checkpoint_dir,
+                resume,
             })
         }
         "compile" => {
@@ -290,6 +345,11 @@ where
             let mut trace_out = None;
             let mut metrics_out = None;
             let mut verbose = 0u8;
+            let mut keep_going = false;
+            let mut max_failures = None;
+            let mut retries = 0u32;
+            let mut checkpoint_dir = None;
+            let mut resume = false;
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
                 let mut value = |flag: &str| {
@@ -313,6 +373,17 @@ where
                     "--metrics-out" => metrics_out = Some(value("--metrics-out")?),
                     "-v" | "--verbose" => verbose = verbose.saturating_add(1),
                     "-vv" => verbose = verbose.saturating_add(2),
+                    "--keep-going" => keep_going = true,
+                    "--max-failures" => {
+                        max_failures = Some(
+                            value("--max-failures")?
+                                .parse()
+                                .map_err(|e| format!("bad --max-failures: {e}"))?,
+                        );
+                    }
+                    "--retries" => retries = parse_retries(&value("--retries")?)?,
+                    "--checkpoint-dir" => checkpoint_dir = Some(value("--checkpoint-dir")?),
+                    "--resume" => resume = true,
                     other => return Err(format!("unknown flag '{other}' for simulate")),
                 }
             }
@@ -325,6 +396,12 @@ where
             if batch == 0 {
                 return Err("--batch must be positive".into());
             }
+            if max_failures.is_some() && !keep_going {
+                return Err("--max-failures requires --keep-going".into());
+            }
+            if resume && checkpoint_dir.is_none() {
+                return Err("--resume requires --checkpoint-dir".into());
+            }
             Ok(Command::Simulate {
                 benchmark,
                 pruning,
@@ -336,6 +413,11 @@ where
                 trace_out,
                 metrics_out,
                 verbose,
+                keep_going,
+                max_failures,
+                retries,
+                checkpoint_dir,
+                resume,
             })
         }
         "verify" => {
@@ -344,6 +426,7 @@ where
             let mut arch_name = None;
             let mut corpus_dir = None;
             let mut replay = None;
+            let mut fault_matrix = false;
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
                 let mut value = |flag: &str| {
@@ -365,10 +448,11 @@ where
                     "--arch" => arch_name = Some(value("--arch")?),
                     "--corpus-dir" => corpus_dir = Some(value("--corpus-dir")?),
                     "--replay" => replay = Some(value("--replay")?),
+                    "--fault-matrix" => fault_matrix = true,
                     other => return Err(format!("unknown flag '{other}' for verify")),
                 }
             }
-            if cases == 0 && replay.is_none() {
+            if cases == 0 && replay.is_none() && !fault_matrix {
                 return Err("--cases must be positive".into());
             }
             if let Some(name) = &arch_name {
@@ -382,6 +466,7 @@ where
                 arch: arch_name,
                 corpus_dir,
                 replay,
+                fault_matrix,
             })
         }
         other => Err(format!("unknown command '{other}'; try `eureka help`")),
@@ -433,6 +518,39 @@ impl<'a> Telemetry<'a> {
     }
 }
 
+/// RAII guard for the process-wide retry/checkpoint settings consumed by
+/// `Runner::default()`. Armed only when the user asked for fault
+/// tolerance; resets both settings on drop so one command's flags never
+/// leak into library callers or tests running in the same process.
+struct RunnerGlobals {
+    armed: bool,
+}
+
+impl RunnerGlobals {
+    fn apply(retries: u32, checkpoint_dir: Option<&str>, resume: bool) -> Self {
+        let armed = retries > 0 || checkpoint_dir.is_some();
+        if retries > 0 {
+            eureka_sim::runner::set_global_retry(eureka_sim::RetryPolicy::transient(retries + 1));
+        }
+        if let Some(dir) = checkpoint_dir {
+            eureka_sim::runner::set_global_checkpoint(Some((
+                std::path::PathBuf::from(dir),
+                resume,
+            )));
+        }
+        Self { armed }
+    }
+}
+
+impl Drop for RunnerGlobals {
+    fn drop(&mut self) {
+        if self.armed {
+            eureka_sim::runner::set_global_retry(eureka_sim::RetryPolicy::NONE);
+            eureka_sim::runner::set_global_checkpoint(None);
+        }
+    }
+}
+
 /// Executes a parsed command, returning the text to print.
 ///
 /// # Errors
@@ -445,7 +563,8 @@ pub fn run(cmd: &Command) -> Result<String, String> {
         Command::Archs => {
             let mut out = String::from("architectures:\n");
             for name in arch::registry_names() {
-                let a = arch::by_name(name).expect("registry name resolves");
+                let a = arch::by_name(name)
+                    .expect("invariant: every registry name resolves to its architecture");
                 out.push_str(&format!("  {name:<18} {}\n", a.name()));
             }
             Ok(out)
@@ -458,10 +577,14 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             trace_out,
             metrics_out,
             verbose,
+            retries,
+            checkpoint_dir,
+            resume,
         } => {
             if let Some(n) = jobs {
                 eureka_sim::runner::set_global_jobs(*n);
             }
+            let _globals = RunnerGlobals::apply(*retries, checkpoint_dir.as_deref(), *resume);
             let tel = Telemetry::begin(trace_out.as_deref(), metrics_out.as_deref(), *verbose);
             let cfg = if *fast {
                 SimConfig::fast()
@@ -492,7 +615,7 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                         "fig12" => eureka_bench::figure12(&cfg),
                         "fig13" => eureka_bench::figure13(&cfg),
                         "fig14" => eureka_bench::figure14(&cfg),
-                        _ => unreachable!("validated in parse"),
+                        other => return Err(format!("unknown figure '{other}'")),
                     };
                     if *csv {
                         table.to_csv()
@@ -581,10 +704,17 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             trace_out,
             metrics_out,
             verbose,
+            keep_going,
+            max_failures,
+            retries,
+            checkpoint_dir,
+            resume,
         } => {
+            use eureka_sim::{render_failure_report, JobOutcome};
             if let Some(n) = jobs {
                 eureka_sim::runner::set_global_jobs(*n);
             }
+            let _globals = RunnerGlobals::apply(*retries, checkpoint_dir.as_deref(), *resume);
             let tel = Telemetry::begin(trace_out.as_deref(), metrics_out.as_deref(), *verbose);
             let cfg = if *fast {
                 SimConfig::fast()
@@ -592,25 +722,64 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 SimConfig::paper_default()
             };
             let workload = Workload::new(*benchmark, *pruning, *batch);
-            let a = arch::by_name(arch_name).expect("validated in parse");
-            let report =
-                engine::try_simulate(a.as_ref(), &workload, &cfg).map_err(|e| e.to_string())?;
+            let a = arch::by_name(arch_name)
+                .ok_or_else(|| format!("unknown architecture '{arch_name}'; run `eureka archs`"))?;
+            let (report, failures) = match engine::simulate_outcome(a.as_ref(), &workload, &cfg) {
+                JobOutcome::Complete(report) => (report, Vec::new()),
+                JobOutcome::Degraded {
+                    report,
+                    failed_layers,
+                } => {
+                    if !*keep_going {
+                        return Err(format!(
+                            "{}(re-run with --keep-going to accept a partial report)\n",
+                            render_failure_report(&failed_layers)
+                        ));
+                    }
+                    let budget = max_failures.unwrap_or(u64::MAX);
+                    if failed_layers.len() as u64 > budget {
+                        return Err(format!(
+                            "{}failure budget exceeded: {} failure(s) > --max-failures {budget}\n",
+                            render_failure_report(&failed_layers),
+                            failed_layers.len()
+                        ));
+                    }
+                    (report, failed_layers)
+                }
+                JobOutcome::Failed { failures } => {
+                    // A single uniform refusal (e.g. S2TA on InceptionV3)
+                    // reads better as the plain SimError than as a
+                    // per-layer failure report.
+                    return Err(if failures.len() == 1 {
+                        failures[0].to_sim_error().to_string()
+                    } else {
+                        render_failure_report(&failures)
+                    });
+                }
+            };
             report.log_layers();
             if *csv {
+                // Keep stdout machine-readable: survivors go to the CSV,
+                // the failure report goes to stderr.
+                if !failures.is_empty() {
+                    eureka_obs::error!("{}", render_failure_report(&failures));
+                }
                 tel.finish()?;
                 return Ok(report.to_csv());
             }
-            let dense = engine::simulate(&arch::dense(), &workload, &cfg);
             let mut out = format!("{} on {}\n", report.arch, report.workload);
             out.push_str(&format!(
                 "  total cycles   : {} ({:.3} ms at 1 GHz)\n",
                 report.total_cycles(),
                 report.runtime_ms(1.0)
             ));
-            out.push_str(&format!(
-                "  speedup vs Dense: {:.2}x\n",
-                engine::speedup(&dense, &report)
-            ));
+            if failures.is_empty() {
+                let dense = engine::simulate(&arch::dense(), &workload, &cfg);
+                out.push_str(&format!(
+                    "  speedup vs Dense: {:.2}x\n",
+                    engine::speedup(&dense, &report)
+                ));
+            }
             out.push_str(&format!(
                 "  throughput     : {:.0} inputs/s\n",
                 report.throughput_per_s(*batch, 1.0)
@@ -623,6 +792,14 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 "  MAC utilization: {:.1}%\n",
                 100.0 * report.mac_utilization()
             ));
+            if !failures.is_empty() {
+                out.push_str(&format!(
+                    "degraded run: {} of {} layer(s) missing\n{}",
+                    failures.len(),
+                    failures.len() + report.layers.len(),
+                    render_failure_report(&failures)
+                ));
+            }
             tel.finish()?;
             Ok(out)
         }
@@ -632,7 +809,11 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             arch,
             corpus_dir,
             replay,
+            fault_matrix,
         } => {
+            if *fault_matrix {
+                return eureka_verify::run_fault_matrix(*seed);
+            }
             if let Some(dir) = replay {
                 return eureka_verify::replay_corpus(std::path::Path::new(dir));
             }
@@ -670,6 +851,9 @@ mod tests {
                 trace_out: None,
                 metrics_out: None,
                 verbose: 0,
+                retries: 0,
+                checkpoint_dir: None,
+                resume: false,
             }
         );
         assert!(parse(["figure", "fig99"]).is_err());
@@ -690,6 +874,9 @@ mod tests {
                 trace_out: None,
                 metrics_out: None,
                 verbose: 0,
+                retries: 0,
+                checkpoint_dir: None,
+                resume: false,
             }
         );
         let cmd = parse(["simulate", "--benchmark", "bert", "--jobs", "2"]).unwrap();
@@ -714,6 +901,11 @@ mod tests {
                 trace_out,
                 metrics_out,
                 verbose,
+                keep_going,
+                max_failures,
+                retries,
+                checkpoint_dir,
+                resume,
             } => {
                 assert_eq!(benchmark, Benchmark::BertSquad);
                 assert_eq!(pruning, PruningLevel::Moderate);
@@ -724,6 +916,10 @@ mod tests {
                 assert_eq!(trace_out, None);
                 assert_eq!(metrics_out, None);
                 assert_eq!(verbose, 0);
+                assert!(!keep_going && !resume);
+                assert_eq!(max_failures, None);
+                assert_eq!(retries, 0);
+                assert_eq!(checkpoint_dir, None);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -912,6 +1108,7 @@ mod tests {
                 arch: None,
                 corpus_dir: None,
                 replay: None,
+                fault_matrix: false,
             }
         );
         assert_eq!(
@@ -933,6 +1130,7 @@ mod tests {
                 arch: Some("eureka-p2".into()),
                 corpus_dir: Some("corpus".into()),
                 replay: None,
+                fault_matrix: false,
             }
         );
         assert!(parse(["verify", "--cases", "0"]).is_err());
@@ -943,6 +1141,110 @@ mod tests {
             parse(["verify", "--cases", "0", "--replay", "tests/corpus"]).unwrap(),
             Command::Verify { cases: 0, .. }
         ));
+    }
+
+    #[test]
+    fn parse_fault_tolerance_flags() {
+        let cmd = parse([
+            "simulate",
+            "--benchmark",
+            "bert",
+            "--keep-going",
+            "--max-failures",
+            "3",
+            "--retries",
+            "2",
+            "--checkpoint-dir",
+            "ckpt",
+            "--resume",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Simulate {
+                keep_going,
+                max_failures,
+                retries,
+                checkpoint_dir,
+                resume,
+                ..
+            } => {
+                assert!(keep_going && resume);
+                assert_eq!(max_failures, Some(3));
+                assert_eq!(retries, 2);
+                assert_eq!(checkpoint_dir.as_deref(), Some("ckpt"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Validation: each dependent flag needs its anchor.
+        assert!(parse(["simulate", "--benchmark", "bert", "--max-failures", "1"]).is_err());
+        assert!(parse(["simulate", "--benchmark", "bert", "--resume"]).is_err());
+        assert!(parse(["figure", "fig11", "--resume"]).is_err());
+        assert!(parse(["simulate", "--benchmark", "bert", "--retries", "x"]).is_err());
+        // Figures accept retry/checkpoint flags (no keep-going: figures
+        // aggregate, a missing layer would corrupt the table).
+        let cmd = parse(["figure", "fig11", "--retries", "1", "--checkpoint-dir", "d"]).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Figure {
+                retries: 1,
+                checkpoint_dir: Some(_),
+                ..
+            }
+        ));
+        assert!(parse(["figure", "fig11", "--keep-going"]).is_err());
+        // Verify gains --fault-matrix, which needs no case budget.
+        assert!(matches!(
+            parse(["verify", "--fault-matrix"]).unwrap(),
+            Command::Verify {
+                fault_matrix: true,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse(["verify", "--cases", "0", "--fault-matrix"]).unwrap(),
+            Command::Verify { cases: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn run_simulate_checkpoint_resume_is_identical() {
+        let dir = std::env::temp_dir().join(format!("eureka-cli-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let args = |resume: bool| {
+            let mut v: Vec<String> = [
+                "simulate",
+                "--benchmark",
+                "mobilenet",
+                "--arch",
+                "eureka-p4",
+                "--fast",
+                "--csv",
+                "--checkpoint-dir",
+                dir.to_str().unwrap(),
+            ]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+            if resume {
+                v.push("--resume".into());
+            }
+            v
+        };
+        let first = run(&parse(args(false)).unwrap()).unwrap();
+        let units = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .path()
+                    .extension()
+                    .is_some_and(|x| x == "unit")
+            })
+            .count();
+        assert!(units > 0, "checkpoint files written");
+        let resumed = run(&parse(args(true)).unwrap()).unwrap();
+        assert_eq!(first, resumed, "resume must be bit-identical");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

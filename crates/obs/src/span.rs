@@ -187,6 +187,33 @@ pub fn flush_thread() {
     });
 }
 
+/// RAII version of [`flush_thread`]: flushes the current thread's buffered
+/// spans when dropped, **including during unwinding**. Worker closures
+/// should create one as their first statement so a panicking unit cannot
+/// strand its spans in a thread-local the caller never sees (a tail call
+/// to [`flush_thread`] is skipped by an unwind; a guard is not).
+#[must_use = "the guard flushes on drop; bind it to a named variable"]
+pub struct FlushGuard(());
+
+impl FlushGuard {
+    /// Arms a guard for the current thread.
+    pub fn new() -> Self {
+        FlushGuard(())
+    }
+}
+
+impl Default for FlushGuard {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for FlushGuard {
+    fn drop(&mut self) {
+        flush_thread();
+    }
+}
+
 /// Drains every collected span (flushing the current thread first) and
 /// returns them with the track-name table. Spans buffered on other
 /// still-live threads are not included until those threads exit or flush.
@@ -251,6 +278,33 @@ mod tests {
         assert_eq!(e.detail, "layer 3");
         assert!(e.dur_us >= 1, "non-zero duration");
         assert!(tracks.contains_key(&e.tid), "track registered");
+    }
+
+    #[test]
+    fn flush_guard_survives_a_panicking_worker() {
+        let _x = exclusive();
+        clear();
+        set_enabled(true);
+        // Silence the expected panic message while this test holds the
+        // exclusive gate, then restore the previous hook.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let worker = std::thread::Builder::new()
+            .name("panicky".into())
+            .spawn(|| {
+                let _flush = FlushGuard::new();
+                let _s = crate::span!("test.panicky");
+                panic!("worker dies after opening a span");
+            })
+            .expect("spawn");
+        assert!(worker.join().is_err(), "worker panicked");
+        std::panic::set_hook(prev);
+        set_enabled(false);
+        let (events, _) = take_events();
+        assert!(
+            events.iter().any(|e| e.name == "test.panicky"),
+            "span flushed despite the panic"
+        );
     }
 
     #[test]

@@ -56,6 +56,22 @@ pub enum SimError {
         /// Why it cannot run.
         reason: String,
     },
+    /// A work unit panicked during simulation; the runner caught it
+    /// ([`std::panic::catch_unwind`]) and converted it into this typed
+    /// error so one bad unit cannot abort a whole sweep.
+    UnitPanic {
+        /// Layer (GEMM) name of the panicking unit.
+        layer: String,
+        /// The panic message, best-effort rendered.
+        payload: String,
+    },
+    /// A fault injected by the test-only [`crate::faults`] layer. Never
+    /// produced outside fault-injection runs; treated as transient by
+    /// retry policies.
+    Injected {
+        /// The faulted layer name.
+        site: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -63,6 +79,12 @@ impl fmt::Display for SimError {
         match self {
             SimError::Unsupported { arch, reason } => {
                 write!(f, "{arch} cannot simulate this workload: {reason}")
+            }
+            SimError::UnitPanic { layer, payload } => {
+                write!(f, "layer {layer} panicked during simulation: {payload}")
+            }
+            SimError::Injected { site } => {
+                write!(f, "injected test fault at {site}")
             }
         }
     }
@@ -345,5 +367,13 @@ mod tests {
             reason: "no structured activation data".into(),
         };
         assert!(e.to_string().contains("S2TA"));
+        let p = SimError::UnitPanic {
+            layer: "conv1".into(),
+            payload: "boom".into(),
+        };
+        assert!(p.to_string().contains("conv1"));
+        assert!(p.to_string().contains("boom"));
+        let i = SimError::Injected { site: "fc".into() };
+        assert!(i.to_string().contains("fc"));
     }
 }

@@ -92,11 +92,9 @@ impl Cache {
         self.misses += 1;
         if ways.len() < self.cfg.ways {
             ways.push((tag, self.clock));
-        } else {
-            let victim = ways
-                .iter_mut()
-                .min_by_key(|(_, stamp)| *stamp)
-                .expect("nonempty ways");
+        } else if let Some(victim) = ways.iter_mut().min_by_key(|(_, stamp)| *stamp) {
+            // A zero-way cache degenerates gracefully: every access
+            // misses and nothing is retained.
             *victim = (tag, self.clock);
         }
         false

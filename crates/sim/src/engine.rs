@@ -6,6 +6,7 @@
 
 use crate::arch::{Architecture, SimError};
 use crate::config::SimConfig;
+use crate::outcome::JobOutcome;
 use crate::report::SimReport;
 use crate::runner::{Runner, SimJob};
 use eureka_models::Workload;
@@ -34,6 +35,25 @@ pub fn try_simulate(
     Runner::default().run(&SimJob::new(arch, workload, *cfg))
 }
 
+/// Like [`try_simulate`] but surfaces the full [`JobOutcome`] taxonomy:
+/// layers untouched by a failure survive as a partial report instead of
+/// being discarded with the whole job. Uses the default runner, so the
+/// process-wide retry/checkpoint settings apply.
+#[must_use]
+pub fn simulate_outcome(
+    arch: &dyn Architecture,
+    workload: &Workload,
+    cfg: &SimConfig,
+) -> JobOutcome {
+    let _span = eureka_obs::span!(
+        "engine.simulate",
+        "{} on {}",
+        arch.name(),
+        workload.benchmark().name()
+    );
+    Runner::default().run_outcome(&SimJob::new(arch, workload, *cfg))
+}
+
 /// Like [`try_simulate`] but panics on unsupported combinations.
 ///
 /// # Panics
@@ -41,7 +61,8 @@ pub fn try_simulate(
 /// Panics if the architecture cannot run the workload.
 #[must_use]
 pub fn simulate(arch: &dyn Architecture, workload: &Workload, cfg: &SimConfig) -> SimReport {
-    try_simulate(arch, workload, cfg).expect("architecture supports workload")
+    try_simulate(arch, workload, cfg)
+        .expect("caller contract: the architecture must support this workload (use try_simulate to handle refusals)")
 }
 
 /// Speedup of `other` relative to `baseline` on total cycles.

@@ -41,13 +41,19 @@
 
 pub mod arch;
 pub mod cachesim;
+pub mod checkpoint;
 pub mod config;
 pub mod engine;
+pub mod faults;
 pub mod memory;
+pub mod outcome;
 pub mod report;
 pub mod runner;
 pub mod sweep;
 
 pub use config::{MemoryConfig, SimConfig, TensorCoreConfig};
+pub use outcome::{
+    render_failure_report, FailureKind, JobOutcome, RetryPolicy, TransientKinds, UnitFailure,
+};
 pub use report::{LayerReport, OpCounts, SimReport};
 pub use runner::{Runner, SimJob};

@@ -164,6 +164,14 @@ impl SimReport {
         self.mac_ops() as f64 / denom as f64
     }
 
+    /// The layer with the given name, if present. Degraded runs drop
+    /// failed layers from `layers`, so positional lookups no longer line
+    /// up across runs — compare survivors by name instead.
+    #[must_use]
+    pub fn layer_by_name(&self, name: &str) -> Option<&LayerReport> {
+        self.layers.iter().find(|l| l.name == name)
+    }
+
     /// Wall-clock runtime in milliseconds at the given core clock.
     #[must_use]
     pub fn runtime_ms(&self, clock_ghz: f64) -> f64 {
@@ -311,6 +319,19 @@ mod tests {
         assert!(s.contains("Dense on ResNet50"));
         assert!(s.contains("cycles: 110"));
         assert!(s.contains("1 layers"));
+    }
+
+    #[test]
+    fn layer_lookup_by_name() {
+        let mut named = layer(100, 10, 1000);
+        named.name = "conv2".into();
+        let r = SimReport {
+            arch: "Dense".into(),
+            workload: "t".into(),
+            layers: vec![layer(1, 1, 1), named],
+        };
+        assert_eq!(r.layer_by_name("conv2").unwrap().compute_cycles, 100);
+        assert!(r.layer_by_name("missing").is_none());
     }
 
     #[test]

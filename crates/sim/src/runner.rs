@@ -1,5 +1,5 @@
 //! The unified simulation drive path: explicit jobs, a plan/execute split,
-//! parallel execution and a content-keyed result cache.
+//! parallel execution, fault isolation and a content-keyed result cache.
 //!
 //! Every consumer of the simulator — [`crate::engine`], the figure drivers
 //! in `eureka-bench`, the ablation sweeps and the CLI — submits
@@ -10,9 +10,9 @@
 //!    (every unit owns its forked [`DetRng`] stream, so units are
 //!    order-independent by construction),
 //! 2. **executes** the units — serially or fanned out across a scoped
-//!    thread pool — consulting a process-wide content-keyed cache first,
-//!    and
-//! 3. **reduces** the results back into [`SimReport`]s in layer-index
+//!    thread pool — consulting a process-wide content-keyed cache (and,
+//!    when resuming, an on-disk checkpoint) first, and
+//! 3. **reduces** the results back into [`JobOutcome`]s in layer-index
 //!    order.
 //!
 //! # Determinism contract
@@ -22,7 +22,22 @@
 //! assembles layers by index (never by completion order), and no
 //! floating-point accumulation crosses unit boundaries. The workspace
 //! test-suite asserts `SimReport` equality across both modes for every
-//! registry architecture.
+//! registry architecture. Fault handling preserves the contract: failures
+//! are deterministic properties of a unit's inputs, every planned unit is
+//! always executed (no early abort on failure), and outcomes are reduced
+//! by index.
+//!
+//! # Failure model
+//!
+//! Each unit executes under [`std::panic::catch_unwind`]: a panic or
+//! [`SimError`] becomes a typed [`UnitFailure`] instead of aborting the
+//! sweep, optionally retried under a bounded deterministic
+//! [`RetryPolicy`]. [`Runner::run_outcomes`] surfaces the full taxonomy
+//! ([`JobOutcome::Complete`] / [`JobOutcome::Degraded`] /
+//! [`JobOutcome::Failed`]); the legacy [`Runner::run_all`] collapses it
+//! back to `Result`s. Failed units are never inserted into the cache or
+//! the checkpoint directory, so no later run can replay a poisoned
+//! result. See DESIGN.md "Failure model & recovery".
 //!
 //! # Caching
 //!
@@ -33,28 +48,37 @@
 //! [`SimConfig`] field. Architecture display names must therefore uniquely
 //! identify simulation behaviour — an invariant the registry upholds and
 //! [`Architecture::name`] documents. Cached replays are bit-identical to
-//! cold misses because unit execution is deterministic.
+//! cold misses because unit execution is deterministic. The same content
+//! key, rendered canonically as text, names on-disk checkpoint entries
+//! ([`crate::checkpoint`]) so interrupted sweeps resume bit-identically.
 //!
 //! # Telemetry
 //!
 //! The runner is fully instrumented through [`eureka_obs`]: every phase
 //! opens a span (`runner.run_all`, `runner.plan`, `unit.exec`,
-//! `runner.reduce`) and updates the process-wide metrics registry
-//! (`runner.*`, `cache.*`, `unit.*` — see the table in `DESIGN.md`).
-//! Telemetry never feeds back into simulation: spans cost one relaxed
-//! atomic load while disabled, metric updates are plain atomics, and no
-//! measured time influences any unit's result, so instrumented output
-//! stays bit-identical to uninstrumented output.
+//! `runner.reduce`, plus zero-length `unit.retry` / `unit.failure`
+//! markers) and updates the process-wide metrics registry (`runner.*`,
+//! `cache.*`, `unit.*`, `checkpoint.*` — see the table in `DESIGN.md`).
+//! For a cache-enabled runner the deterministic counters reconcile as
+//! `runner.units_planned == cache.hits + checkpoint.hits + cache.misses +
+//! runner.failures.*` — every planned unit is accounted for exactly once,
+//! even on degraded runs. Telemetry never feeds back into simulation:
+//! spans cost one relaxed atomic load while disabled, metric updates are
+//! plain atomics, and no measured time influences any unit's result, so
+//! instrumented output stays bit-identical to uninstrumented output.
 
 use crate::arch::{Architecture, LayerCtx, SimError};
+use crate::checkpoint::CheckpointStore;
 use crate::config::SimConfig;
+use crate::outcome::{FailureKind, JobOutcome, RetryPolicy, UnitFailure};
 use crate::report::{LayerReport, SimReport};
 use eureka_models::{activation, workload::LayerGemm, Workload};
 use eureka_obs::metrics::{self, Class, Counter, Gauge, Histogram};
 use eureka_sparse::rng::DetRng;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Instant;
 
 /// One simulation request: an architecture applied to a workload under a
@@ -113,6 +137,36 @@ struct UnitKey {
     cfg: CfgKey,
 }
 
+impl UnitKey {
+    /// Stable single-line text rendering of the full content key; names
+    /// on-disk checkpoint entries, so it must be identical across
+    /// processes and platforms for identical units (floats are rendered
+    /// as raw bits, never formatted).
+    fn canonical(&self) -> String {
+        fn opt(v: Option<u64>) -> String {
+            v.map_or_else(|| "-".to_string(), |b| format!("{b:016x}"))
+        }
+        format!(
+            "v1|arch={}|gemm={}|nkm={}x{}x{}|uab={}|wd={:016x}|cl={}|dw={}|ad={:016x}|s2a={}|s2f={}|seed={:016x}|stream={}|{}",
+            self.arch,
+            self.gemm_name,
+            self.n,
+            self.k,
+            self.m,
+            self.unique_act_bytes,
+            self.weight_density,
+            self.clustered,
+            self.depthwise,
+            self.act_density,
+            opt(self.s2ta_act_density),
+            opt(self.s2ta_fil_density),
+            self.rng_seed,
+            self.rng_stream,
+            self.cfg.canonical(),
+        )
+    }
+}
+
 /// The timing-relevant [`SimConfig`] fields, with floats as raw bits.
 /// `include_attention_aux` is deliberately excluded: it only affects the
 /// reduce step, never a unit's result.
@@ -155,6 +209,28 @@ impl CfgKey {
             detailed_memory: cfg.detailed_memory,
         }
     }
+
+    /// Stable text rendering for [`UnitKey::canonical`].
+    fn canonical(&self) -> String {
+        format!(
+            "cfg=tc{},sa{},gr{},gc{},w{},bpc{:016x},l2{:016x},rf{:016x},rg{},sl{},ac{},sg{:016x},sc{:016x},xw{},dm{}",
+            self.tensor_cores,
+            self.sub_array_dim,
+            self.grid_rows,
+            self.grid_cols,
+            self.window,
+            self.bytes_per_cycle,
+            self.l2_act_residency,
+            self.ramp_fraction,
+            self.rowgroup_samples,
+            self.slice_samples,
+            self.act_samples,
+            self.row_density_sigma,
+            self.sparten_chunk_min_cycles,
+            self.dstc_crossbar_width,
+            self.detailed_memory,
+        )
+    }
 }
 
 /// Requested worker count when the runner should use every available core.
@@ -164,12 +240,42 @@ const AUTO: usize = 0;
 /// [`set_global_jobs`] — the CLI's `--jobs` flag lands here.
 static GLOBAL_JOBS: AtomicUsize = AtomicUsize::new(AUTO);
 
+/// Process-wide default retry policy, consumed only by
+/// [`Runner::default`] — the CLI's `--retries` flag lands here.
+static GLOBAL_RETRY: Mutex<RetryPolicy> = Mutex::new(RetryPolicy::NONE);
+
+/// Process-wide default checkpoint configuration `(dir, resume)`,
+/// consumed only by [`Runner::default`] — the CLI's `--checkpoint-dir` /
+/// `--resume` flags land here.
+static GLOBAL_CHECKPOINT: Mutex<Option<(PathBuf, bool)>> = Mutex::new(None);
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // The runner must stay usable after a unit panic was caught while
+    // some other thread held a shared lock: recover the data instead of
+    // propagating poisoning forever.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Sets the process-wide default worker count for runners constructed with
 /// [`Runner::parallel`] / [`Runner::default`]. `0` restores auto-detection
 /// (all available cores). Runners built with [`Runner::with_jobs`] or
 /// [`Runner::serial`] are unaffected.
 pub fn set_global_jobs(jobs: usize) {
     GLOBAL_JOBS.store(jobs, Ordering::Relaxed);
+}
+
+/// Sets the process-wide default [`RetryPolicy`], consumed only by
+/// [`Runner::default`] (explicitly constructed runners are unaffected, so
+/// tests composing their own runners stay isolated).
+pub fn set_global_retry(policy: RetryPolicy) {
+    *lock(&GLOBAL_RETRY) = policy;
+}
+
+/// Sets (or clears) the process-wide default checkpoint configuration,
+/// consumed only by [`Runner::default`]: the directory for completed-unit
+/// files and whether to resume from entries already present.
+pub fn set_global_checkpoint(cfg: Option<(PathBuf, bool)>) {
+    *lock(&GLOBAL_CHECKPOINT) = cfg;
 }
 
 /// The process-wide unit cache. Hit/miss/insert counts live in the
@@ -187,7 +293,8 @@ fn cache() -> &'static Cache {
 }
 
 /// `&'static` handles to every runner metric, registered on first use.
-/// The `cache.*` / `runner.units_*` / `runner.jobs` counters are
+/// The `cache.*` / `checkpoint.*` / `runner.units_*` / `runner.jobs` /
+/// `runner.failures.*` / `runner.retries.*` counters are
 /// [`Class::Deterministic`]: with [`cache_reset`] +
 /// [`metrics::reset`] beforehand they are byte-identical across reruns
 /// of the same work. The wall-clock histograms and the utilization gauge
@@ -200,6 +307,13 @@ struct Telemetry {
     cache_hits: &'static Counter,
     cache_misses: &'static Counter,
     cache_inserts: &'static Counter,
+    failures_panic: &'static Counter,
+    failures_sim: &'static Counter,
+    retries_attempts: &'static Counter,
+    retries_recovered: &'static Counter,
+    ckpt_hits: &'static Counter,
+    ckpt_writes: &'static Counter,
+    ckpt_errors: &'static Counter,
     exec_micros: &'static Histogram,
     queue_wait_micros: &'static Histogram,
     reduce_micros: &'static Histogram,
@@ -218,6 +332,13 @@ fn telemetry() -> &'static Telemetry {
         cache_hits: metrics::counter("cache.hits", Class::Deterministic),
         cache_misses: metrics::counter("cache.misses", Class::Deterministic),
         cache_inserts: metrics::counter("cache.inserts", Class::Deterministic),
+        failures_panic: metrics::counter("runner.failures.panic", Class::Deterministic),
+        failures_sim: metrics::counter("runner.failures.sim_error", Class::Deterministic),
+        retries_attempts: metrics::counter("runner.retries.attempts", Class::Deterministic),
+        retries_recovered: metrics::counter("runner.retries.recovered", Class::Deterministic),
+        ckpt_hits: metrics::counter("checkpoint.hits", Class::Deterministic),
+        ckpt_writes: metrics::counter("checkpoint.writes", Class::Deterministic),
+        ckpt_errors: metrics::counter("checkpoint.errors", Class::Deterministic),
         exec_micros: metrics::histogram("unit.exec_micros", Class::Timing, t),
         queue_wait_micros: metrics::histogram("unit.queue_wait_micros", Class::Timing, t),
         reduce_micros: metrics::histogram("runner.reduce_micros", Class::Timing, t),
@@ -234,44 +355,108 @@ fn micros(d: std::time::Duration) -> u64 {
 /// Leaves the `cache.*` counters running; see [`cache_reset`] to zero
 /// them too.
 pub fn clear_cache() {
-    cache().map.lock().expect("cache poisoned").clear();
+    lock(&cache().map).clear();
 }
 
-/// Empties the unit cache **and** zeroes the `cache.*` counters, so
-/// callers can assert exact hit/miss counts no matter what ran earlier
-/// in the process (test execution order, warm-up passes, ...).
+/// Empties the unit cache **and** zeroes the `cache.*`, `checkpoint.*`,
+/// `runner.failures.*` and `runner.retries.*` counters, so callers can
+/// assert exact counts no matter what ran earlier in the process (test
+/// execution order, warm-up passes, ...).
 pub fn cache_reset() {
     let t = telemetry();
-    cache().map.lock().expect("cache poisoned").clear();
+    lock(&cache().map).clear();
     t.cache_hits.reset();
     t.cache_misses.reset();
     t.cache_inserts.reset();
+    t.failures_panic.reset();
+    t.failures_sim.reset();
+    t.retries_attempts.reset();
+    t.retries_recovered.reset();
+    t.ckpt_hits.reset();
+    t.ckpt_writes.reset();
+    t.ckpt_errors.reset();
 }
 
 /// `(hits, misses, entries)` counters of the process-wide unit cache.
 #[must_use]
 pub fn cache_stats() -> (u64, u64, usize) {
     let t = telemetry();
-    let entries = cache().map.lock().expect("cache poisoned").len();
+    let entries = lock(&cache().map).len();
     (t.cache_hits.get(), t.cache_misses.get(), entries)
 }
 
+/// `(panics, sim_errors)` — units that exhausted their retry budget,
+/// by failure kind (`runner.failures.*`).
+#[must_use]
+pub fn failure_stats() -> (u64, u64) {
+    let t = telemetry();
+    (t.failures_panic.get(), t.failures_sim.get())
+}
+
+/// `(extra_attempts, recovered)` — retry attempts beyond the first, and
+/// units that ultimately succeeded after at least one failed attempt
+/// (`runner.retries.*`).
+#[must_use]
+pub fn retry_stats() -> (u64, u64) {
+    let t = telemetry();
+    (t.retries_attempts.get(), t.retries_recovered.get())
+}
+
+/// `(hits, writes, errors)` of the on-disk checkpoint layer
+/// (`checkpoint.*`).
+#[must_use]
+pub fn checkpoint_stats() -> (u64, u64, u64) {
+    let t = telemetry();
+    (t.ckpt_hits.get(), t.ckpt_writes.get(), t.ckpt_errors.get())
+}
+
+/// Checkpoint configuration carried by a runner: where completed-unit
+/// files live, and whether to consult existing entries before executing.
+#[derive(Clone, Debug)]
+struct CheckpointCfg {
+    store: CheckpointStore,
+    resume: bool,
+}
+
+/// A unit failure as seen by the execute phase, before the reduce phase
+/// attaches job/layer coordinates.
+#[derive(Clone, Debug)]
+struct UnitError {
+    kind: FailureKind,
+    payload: String,
+    attempts: u32,
+}
+
 /// Executes [`SimJob`]s: plans per-layer units, runs them (optionally in
-/// parallel, optionally memoized) and reduces deterministically.
+/// parallel, optionally memoized, optionally checkpointed) under panic
+/// isolation and a bounded retry policy, and reduces deterministically.
 ///
-/// The parallel and serial modes produce bit-identical [`SimReport`]s; see
-/// the [module docs](self) for the contract.
-#[derive(Clone, Copy, Debug)]
+/// The parallel and serial modes produce bit-identical results; see the
+/// [module docs](self) for the contract.
+#[derive(Clone, Debug)]
 pub struct Runner {
     jobs: usize,
     cached: bool,
+    retry: RetryPolicy,
+    checkpoint: Option<CheckpointCfg>,
 }
 
 impl Default for Runner {
     /// The standard drive path: parallel across all cores (or the
-    /// [`set_global_jobs`] override), with the unit cache enabled.
+    /// [`set_global_jobs`] override), with the unit cache enabled, and the
+    /// process-wide [`set_global_retry`] / [`set_global_checkpoint`]
+    /// settings applied (explicit constructors ignore those, so tests
+    /// composing their own runners stay isolated).
     fn default() -> Self {
-        Runner::parallel()
+        let mut runner = Runner::parallel();
+        runner.retry = *lock(&GLOBAL_RETRY);
+        runner.checkpoint = lock(&GLOBAL_CHECKPOINT)
+            .clone()
+            .map(|(dir, resume)| CheckpointCfg {
+                store: CheckpointStore::new(dir),
+                resume,
+            });
+        runner
     }
 }
 
@@ -282,6 +467,8 @@ impl Runner {
         Runner {
             jobs: 1,
             cached: true,
+            retry: RetryPolicy::NONE,
+            checkpoint: None,
         }
     }
 
@@ -292,19 +479,46 @@ impl Runner {
         Runner {
             jobs: AUTO,
             cached: true,
+            retry: RetryPolicy::NONE,
+            checkpoint: None,
         }
     }
 
     /// A runner with an explicit worker count (`0` = auto-detect).
     #[must_use]
     pub fn with_jobs(jobs: usize) -> Self {
-        Runner { jobs, cached: true }
+        Runner {
+            jobs,
+            cached: true,
+            retry: RetryPolicy::NONE,
+            checkpoint: None,
+        }
     }
 
     /// Disables the unit cache for this runner (every unit recomputes).
     #[must_use]
     pub fn without_cache(mut self) -> Self {
         self.cached = false;
+        self
+    }
+
+    /// Sets this runner's retry policy for failed units.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Enables checkpointing under `dir`: every successfully executed
+    /// unit is persisted, and with `resume` existing entries are replayed
+    /// instead of recomputed (bit-identically — entries are keyed by the
+    /// unit's full content key).
+    #[must_use]
+    pub fn with_checkpoint(mut self, dir: impl Into<PathBuf>, resume: bool) -> Self {
+        self.checkpoint = Some(CheckpointCfg {
+            store: CheckpointStore::new(dir.into()),
+            resume,
+        });
         self
     }
 
@@ -326,16 +540,42 @@ impl Runner {
     /// # Errors
     ///
     /// Returns [`SimError::Unsupported`] if the architecture cannot run
-    /// the workload (e.g. S2TA on InceptionV3).
+    /// the workload (e.g. S2TA on InceptionV3), or the first failure of a
+    /// degraded run ([`SimError::UnitPanic`] for caught panics). Partial
+    /// results are available via [`Runner::run_outcome`] instead.
     pub fn run(&self, job: &SimJob<'_>) -> Result<SimReport, SimError> {
         self.run_all(std::slice::from_ref(job))
             .pop()
-            .expect("one job in, one report out")
+            .expect("invariant: run_all returns exactly one result per submitted job")
+    }
+
+    /// Runs one job, surfacing the full [`JobOutcome`] taxonomy (partial
+    /// results survive individual unit failures).
+    #[must_use]
+    pub fn run_outcome(&self, job: &SimJob<'_>) -> JobOutcome {
+        self.run_outcomes(std::slice::from_ref(job))
+            .pop()
+            .expect("invariant: run_outcomes returns exactly one outcome per submitted job")
     }
 
     /// Runs a batch of jobs, fanning all their units out together, and
-    /// returns one result per job in submission order.
+    /// returns one result per job in submission order. Degraded jobs
+    /// collapse to their lowest-layer-index failure; use
+    /// [`Runner::run_outcomes`] to keep partial results.
     pub fn run_all(&self, jobs: &[SimJob<'_>]) -> Vec<Result<SimReport, SimError>> {
+        self.run_outcomes(jobs)
+            .into_iter()
+            .map(JobOutcome::into_result)
+            .collect()
+    }
+
+    /// Runs a batch of jobs under fault isolation, returning one
+    /// [`JobOutcome`] per job in submission order. Every planned unit is
+    /// executed regardless of other units' failures, so the set of
+    /// surviving layers — and their bit-exact reports — is deterministic
+    /// and identical across serial and parallel modes.
+    #[must_use]
+    pub fn run_outcomes(&self, jobs: &[SimJob<'_>]) -> Vec<JobOutcome> {
         let t = telemetry();
         let _run_span = eureka_obs::span!("runner.run_all", "{} job(s)", jobs.len());
         t.jobs.add(jobs.len() as u64);
@@ -358,20 +598,23 @@ impl Runner {
         let reduce_started = Instant::now();
         let out = jobs
             .iter()
+            .enumerate()
             .zip(ranges)
-            .map(|(job, range)| reduce(job, &results[range]))
+            .map(|((job_idx, job), range)| {
+                reduce(job, job_idx, &units[range.clone()], &results[range])
+            })
             .collect();
         t.reduce_micros.record(micros(reduce_started.elapsed()));
         out
     }
 
     /// Executes planned units, returning results in unit order.
-    fn execute(&self, units: &[WorkUnit<'_>]) -> Vec<Result<LayerReport, SimError>> {
+    fn execute(&self, units: &[WorkUnit<'_>]) -> Vec<Result<LayerReport, UnitError>> {
         let t = telemetry();
         let workers = self.effective_jobs().min(units.len());
         let wall = Instant::now();
         let busy_us = AtomicU64::new(0);
-        let results: Vec<Result<LayerReport, SimError>> = if workers <= 1 {
+        let results: Vec<Result<LayerReport, UnitError>> = if workers <= 1 {
             units
                 .iter()
                 .map(|unit| {
@@ -383,12 +626,17 @@ impl Runner {
                 })
                 .collect()
         } else {
-            let slots: Vec<OnceLock<Result<LayerReport, SimError>>> =
+            let slots: Vec<OnceLock<Result<LayerReport, UnitError>>> =
                 (0..units.len()).map(|_| OnceLock::new()).collect();
             let next = AtomicUsize::new(0);
             std::thread::scope(|scope| {
                 for _ in 0..workers {
                     scope.spawn(|| {
+                        // `thread::scope` unblocks when this closure
+                        // returns — possibly before TLS destructors run —
+                        // so hand buffered spans over via a guard that
+                        // also fires if anything below unwinds.
+                        let _flush = eureka_obs::span::FlushGuard::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             let Some(unit) = units.get(i) else { break };
@@ -399,16 +647,15 @@ impl Runner {
                                 .unwrap_or_else(|_| unreachable!("unit {i} claimed twice"));
                             busy_us.fetch_add(micros(started.elapsed()), Ordering::Relaxed);
                         }
-                        // `thread::scope` unblocks when this closure
-                        // returns — possibly before TLS destructors run —
-                        // so hand buffered spans over explicitly.
-                        eureka_obs::span::flush_thread();
                     });
                 }
             });
             slots
                 .into_iter()
-                .map(|slot| slot.into_inner().expect("every slot filled"))
+                .map(|slot| {
+                    slot.into_inner()
+                        .expect("invariant: the worker pool fills every unit slot")
+                })
                 .collect()
         };
         let wall_us = micros(wall.elapsed());
@@ -423,39 +670,125 @@ impl Runner {
         results
     }
 
-    /// Executes one unit, consulting the cache first.
-    fn run_unit(&self, unit: &WorkUnit<'_>) -> Result<LayerReport, SimError> {
+    /// Executes one unit: in-memory cache first, then (when resuming) the
+    /// on-disk checkpoint, then real execution under panic isolation and
+    /// the retry policy. Exactly one of `cache.hits`, `checkpoint.hits`,
+    /// `cache.misses` (successful execution, cached runners) or
+    /// `runner.failures.*` (final failure) fires per call.
+    fn run_unit(&self, unit: &WorkUnit<'_>) -> Result<LayerReport, UnitError> {
         let t = telemetry();
         let _span = eureka_obs::span!("unit.exec", "{} {}", unit.key.arch, unit.gemm.name);
         if self.cached {
-            if let Some(hit) = cache()
-                .map
-                .lock()
-                .expect("cache poisoned")
-                .get(&unit.key)
-                .cloned()
-            {
+            if let Some(hit) = lock(&cache().map).get(&unit.key).cloned() {
                 t.cache_hits.inc();
                 t.units_cached.inc();
+                if let Some(ck) = &self.checkpoint {
+                    // Keep the checkpoint directory complete even when
+                    // the unit never re-executes in this process.
+                    let key = unit.key.canonical();
+                    if ck.store.load(&key).is_none() {
+                        match ck.store.store(&key, &hit) {
+                            Ok(()) => t.ckpt_writes.inc(),
+                            Err(_) => t.ckpt_errors.inc(),
+                        }
+                    }
+                }
                 return Ok(hit);
             }
         }
-        let started = Instant::now();
-        let result = execute_unit(unit);
-        t.exec_micros.record(micros(started.elapsed()));
-        t.units_executed.inc();
-        if self.cached {
-            t.cache_misses.inc();
-            if let Ok(report) = &result {
-                cache()
-                    .map
-                    .lock()
-                    .expect("cache poisoned")
-                    .insert(unit.key.clone(), report.clone());
-                t.cache_inserts.inc();
+        if let Some(ck) = &self.checkpoint {
+            if ck.resume {
+                let key = unit.key.canonical();
+                if let Some(report) = ck.store.load(&key) {
+                    t.ckpt_hits.inc();
+                    t.units_cached.inc();
+                    if self.cached {
+                        lock(&cache().map).insert(unit.key.clone(), report.clone());
+                        t.cache_inserts.inc();
+                    }
+                    return Ok(report);
+                }
             }
         }
-        result
+        let mut attempt: u32 = 0;
+        loop {
+            attempt += 1;
+            if attempt > 1 {
+                t.retries_attempts.inc();
+                let _retry = eureka_obs::span!(
+                    "unit.retry",
+                    "{} {} attempt {}",
+                    unit.key.arch,
+                    unit.gemm.name,
+                    attempt
+                );
+            }
+            let started = Instant::now();
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute_unit(unit)));
+            t.exec_micros.record(micros(started.elapsed()));
+            t.units_executed.inc();
+            let failure = match outcome {
+                Ok(Ok(report)) => {
+                    if attempt > 1 {
+                        t.retries_recovered.inc();
+                    }
+                    if self.cached {
+                        t.cache_misses.inc();
+                        lock(&cache().map).insert(unit.key.clone(), report.clone());
+                        t.cache_inserts.inc();
+                    }
+                    if let Some(ck) = &self.checkpoint {
+                        match ck.store.store(&unit.key.canonical(), &report) {
+                            Ok(()) => t.ckpt_writes.inc(),
+                            Err(_) => t.ckpt_errors.inc(),
+                        }
+                    }
+                    return Ok(report);
+                }
+                Ok(Err(e)) => UnitError {
+                    payload: e.to_string(),
+                    kind: FailureKind::Sim(e),
+                    attempts: attempt,
+                },
+                Err(panic) => UnitError {
+                    payload: panic_message(panic.as_ref()),
+                    kind: FailureKind::Panic,
+                    attempts: attempt,
+                },
+            };
+            if !self.retry.should_retry(&failure.kind, attempt) {
+                match failure.kind {
+                    FailureKind::Panic => t.failures_panic.inc(),
+                    FailureKind::Sim(_) => t.failures_sim.inc(),
+                }
+                let _failure = eureka_obs::span!(
+                    "unit.failure",
+                    "{} {}: {} after {} attempt(s)",
+                    unit.key.arch,
+                    unit.gemm.name,
+                    failure.kind.label(),
+                    failure.attempts
+                );
+                return Err(failure);
+            }
+        }
+    }
+}
+
+/// Best-effort rendering of a caught panic payload. `&str` and `String`
+/// payloads (what `panic!` produces) render verbatim; the fault-injection
+/// payload renders through its `Display`; anything else gets a
+/// placeholder.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(p) = payload.downcast_ref::<crate::faults::InjectedPanic>() {
+        p.to_string()
+    } else {
+        "<non-string panic payload>".to_string()
     }
 }
 
@@ -525,14 +858,35 @@ fn execute_unit(unit: &WorkUnit<'_>) -> Result<LayerReport, SimError> {
 }
 
 /// Assembles one job's unit results (already in layer order) into a
-/// [`SimReport`], surfacing the lowest-index error if any unit failed.
+/// [`JobOutcome`]: complete when every unit succeeded, degraded when some
+/// survived, failed when none did. Surviving layers are exactly what a
+/// fault-free run produces for them; failures carry full reproduction
+/// coordinates (job, layer, kind, seed).
 fn reduce(
     job: &SimJob<'_>,
-    results: &[Result<LayerReport, SimError>],
-) -> Result<SimReport, SimError> {
+    job_idx: usize,
+    units: &[WorkUnit<'_>],
+    results: &[Result<LayerReport, UnitError>],
+) -> JobOutcome {
     let mut layers = Vec::with_capacity(results.len() + 1);
-    for r in results {
-        layers.push(r.clone()?);
+    let mut failures = Vec::new();
+    for (layer_idx, (unit, result)) in units.iter().zip(results).enumerate() {
+        match result {
+            Ok(layer) => layers.push(layer.clone()),
+            Err(e) => failures.push(UnitFailure {
+                job: job_idx,
+                layer: layer_idx,
+                layer_name: unit.gemm.name.clone(),
+                arch: unit.key.arch.clone(),
+                kind: e.kind.clone(),
+                payload: e.payload.clone(),
+                rng_seed: unit.key.rng_seed,
+                attempts: e.attempts,
+            }),
+        }
+    }
+    if layers.is_empty() && !failures.is_empty() {
+        return JobOutcome::Failed { failures };
     }
     // Weight-free attention matmuls run dense on every architecture.
     if job.cfg.include_attention_aux {
@@ -549,7 +903,7 @@ fn reduce(
             });
         }
     }
-    Ok(SimReport {
+    let report = SimReport {
         arch: job.arch.name().to_string(),
         workload: format!(
             "{} ({}, batch {})",
@@ -558,13 +912,22 @@ fn reduce(
             job.workload.batch()
         ),
         layers,
-    })
+    };
+    if failures.is_empty() {
+        JobOutcome::Complete(report)
+    } else {
+        JobOutcome::Degraded {
+            report,
+            failed_layers: failures,
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::arch;
+    use crate::faults::{FaultKind, FaultPlan, FaultSpec, FaultyArch};
     use eureka_models::{Benchmark, PruningLevel, Workload};
 
     fn tiny_cfg() -> SimConfig {
@@ -656,5 +1019,106 @@ mod tests {
         let parallel = Runner::with_jobs(2).without_cache().run(&job).unwrap();
         assert_eq!(serial, parallel);
         assert!(serial.layers.iter().any(|l| l.name == "attention-aux"));
+    }
+
+    #[test]
+    fn panicking_unit_degrades_instead_of_aborting() {
+        let w = Workload::new(Benchmark::MobileNetV1, PruningLevel::Moderate, 32);
+        let cfg = tiny_cfg();
+        let victim = w.gemms()[2].name.clone();
+        let a = FaultyArch::new(
+            Box::new(arch::dense()),
+            FaultPlan::new(vec![FaultSpec {
+                layer: victim.clone(),
+                kind: FaultKind::Panic,
+                fail_first: u32::MAX,
+            }]),
+            "runner-panic",
+        );
+        let job = SimJob::new(&a, &w, cfg);
+        let outcome = Runner::serial().without_cache().run_outcome(&job);
+        match &outcome {
+            JobOutcome::Degraded {
+                report,
+                failed_layers,
+            } => {
+                assert_eq!(report.layers.len(), w.layer_count() - 1);
+                assert_eq!(failed_layers.len(), 1);
+                assert_eq!(failed_layers[0].layer, 2);
+                assert_eq!(failed_layers[0].layer_name, victim);
+                assert_eq!(failed_layers[0].kind, FailureKind::Panic);
+                assert_eq!(failed_layers[0].rng_seed, w.seed());
+                assert_eq!(failed_layers[0].attempts, 1);
+            }
+            other => panic!("expected Degraded, got {other:?}"),
+        }
+        // The legacy Result view surfaces the panic as a typed error.
+        let err = outcome.into_result().unwrap_err();
+        assert!(matches!(err, SimError::UnitPanic { ref layer, .. } if *layer == victim));
+    }
+
+    #[test]
+    fn retry_recovers_transient_faults() {
+        let w = Workload::new(Benchmark::MobileNetV1, PruningLevel::Moderate, 32);
+        let cfg = tiny_cfg();
+        let victim = w.gemms()[0].name.clone();
+        let a = FaultyArch::new(
+            Box::new(arch::dense()),
+            FaultPlan::new(vec![FaultSpec {
+                layer: victim,
+                kind: FaultKind::Error,
+                fail_first: 1,
+            }]),
+            "runner-retry",
+        );
+        let job = SimJob::new(&a, &w, cfg);
+        // Without retries the transient fault is fatal for its layer...
+        let outcome = Runner::serial().without_cache().run_outcome(&job);
+        assert!(!outcome.is_complete());
+        // ...with one retry the whole job completes.
+        a.reset_attempts();
+        let outcome = Runner::serial()
+            .without_cache()
+            .with_retry(RetryPolicy::transient(2))
+            .run_outcome(&job);
+        assert!(outcome.is_complete(), "{outcome:?}");
+    }
+
+    #[test]
+    fn global_retry_and_checkpoint_only_affect_default_runners() {
+        set_global_retry(RetryPolicy::transient(3));
+        let dir = std::env::temp_dir().join(format!("eureka-ckpt-glob-{}", std::process::id()));
+        set_global_checkpoint(Some((dir.clone(), true)));
+        let d = Runner::default();
+        assert_eq!(d.retry.max_attempts, 3);
+        assert!(d.checkpoint.as_ref().is_some_and(|c| c.resume));
+        // Explicit constructors are unaffected (test isolation).
+        assert_eq!(Runner::serial().retry, RetryPolicy::NONE);
+        assert!(Runner::parallel().checkpoint.is_none());
+        set_global_retry(RetryPolicy::NONE);
+        set_global_checkpoint(None);
+        assert_eq!(Runner::default().retry, RetryPolicy::NONE);
+        assert!(Runner::default().checkpoint.is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn canonical_keys_are_stable_and_distinct() {
+        let w = Workload::new(Benchmark::MobileNetV1, PruningLevel::Moderate, 32);
+        let a = arch::dense();
+        let job = SimJob::new(&a, &w, tiny_cfg());
+        let mut units = Vec::new();
+        plan(&job, &mut units);
+        let keys: Vec<String> = units.iter().map(|u| u.key.canonical()).collect();
+        let mut uniq = keys.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), keys.len(), "every unit key is distinct");
+        // Same plan, same keys (the stability the checkpoint layer needs).
+        let mut units2 = Vec::new();
+        plan(&job, &mut units2);
+        let keys2: Vec<String> = units2.iter().map(|u| u.key.canonical()).collect();
+        assert_eq!(keys, keys2);
+        assert!(keys[0].starts_with("v1|arch=Dense|"));
     }
 }

@@ -76,8 +76,14 @@ pub fn speedup_at(variant: &ArrayVariant, workload: &Workload, base_cfg: &SimCon
         SimJob::new(&eureka, workload, cfg),
     ];
     let mut out = Runner::default().run_all(&jobs).into_iter();
-    let dense = out.next().expect("dense job").expect("dense always runs");
-    let report = out.next().expect("eureka job").expect("eureka always runs");
+    let dense = out
+        .next()
+        .expect("invariant: run_all returns one result per submitted job")
+        .expect("invariant: Dense supports every workload");
+    let report = out
+        .next()
+        .expect("invariant: run_all returns one result per submitted job")
+        .expect("invariant: one-sided Eureka supports every workload");
     engine::speedup(&dense, &report)
 }
 
@@ -109,7 +115,13 @@ pub fn core_count_sweep(
     core_counts
         .iter()
         .zip(Runner::default().run_all(&jobs))
-        .map(|(&cores, r)| (cores, r.expect("eureka always runs").total_cycles()))
+        .map(|(&cores, r)| {
+            (
+                cores,
+                r.expect("invariant: one-sided Eureka supports every workload")
+                    .total_cycles(),
+            )
+        })
         .collect()
 }
 

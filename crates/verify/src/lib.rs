@@ -23,6 +23,7 @@
 
 pub mod case;
 pub mod corpus;
+pub mod faultcheck;
 pub mod fuzz;
 pub mod metamorphic;
 pub mod oracle;
@@ -30,6 +31,7 @@ pub mod suds_oracle;
 
 pub use case::CaseParams;
 pub use corpus::CorpusEntry;
+pub use faultcheck::run_fault_matrix;
 pub use fuzz::{Failure, FuzzReport};
 pub use oracle::{numeric_path, NumericPath, PlanKind};
 

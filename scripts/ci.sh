@@ -10,4 +10,6 @@ cargo doc --workspace --no-deps
 cargo bench --workspace -- --test   # criterion harness smoke (no timing)
 cargo run --release -q -p eureka-cli -- verify --replay tests/corpus
 cargo run --release -q -p eureka-cli -- verify --cases 200 --seed 42 | tail -n 1
+cargo run --release -q -p eureka-cli -- verify --fault-matrix --seed 42 | tail -n 1
+scripts/resume_smoke.sh
 echo "CI OK"

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Kill-and-resume smoke test: a checkpointed `simulate` killed mid-run
+# must, when re-run with --resume, produce output byte-identical to an
+# uninterrupted run. Also passes when the run finishes before the kill
+# lands (fast machines) — resume is then a pure checkpoint replay.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=${EUREKA_BIN:-target/release/eureka}
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT
+
+args=(simulate --benchmark resnet50 --arch eureka-p4 --csv --jobs 2)
+
+# Uninterrupted reference run (checkpointing on, its own directory, so
+# the flag itself is exercised in both runs).
+"$BIN" "${args[@]}" --checkpoint-dir "$dir/ref-ckpt" > "$dir/reference.csv"
+
+# The same run again, killed mid-flight.
+"$BIN" "${args[@]}" --checkpoint-dir "$dir/ckpt" > "$dir/killed.csv" &
+pid=$!
+sleep 0.2
+kill -9 "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+
+# Resume from whatever survived. Must complete and match the
+# uninterrupted output byte for byte.
+"$BIN" "${args[@]}" --checkpoint-dir "$dir/ckpt" --resume > "$dir/resumed.csv"
+cmp "$dir/reference.csv" "$dir/resumed.csv"
+echo "kill-and-resume smoke OK ($(ls "$dir/ckpt" | wc -l) checkpoint file(s))"

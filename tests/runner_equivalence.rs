@@ -194,6 +194,54 @@ fn cache_hits_are_independent_of_arch_ordering() {
 }
 
 #[test]
+fn retried_unit_writes_cache_exactly_once_and_replays() {
+    let _x = exclusive();
+    use eureka_sim::faults::{FaultKind, FaultPlan, FaultSpec, FaultyArch};
+    use eureka_sim::RetryPolicy;
+    let cfg = SimConfig {
+        // Distinctive sampling so this test owns its cache entries.
+        rowgroup_samples: 14,
+        ..test_cfg()
+    };
+    let w = Workload::new(Benchmark::MobileNetV1, PruningLevel::Moderate, 32);
+    let layers = w.layer_count() as u64;
+    let victim = w.gemms().into_iter().nth(2).expect("has layers").name;
+    let plan = FaultPlan::new(vec![FaultSpec {
+        layer: victim,
+        kind: FaultKind::Panic,
+        fail_first: 1,
+    }]);
+    let faulty = FaultyArch::new(Box::new(arch::eureka_p4()), plan, "req-retry");
+
+    runner::cache_reset();
+    let first = Runner::parallel()
+        .with_retry(RetryPolicy::transient(2))
+        .run(&SimJob::new(&faulty, &w, cfg))
+        .expect("retry must recover the transient panic");
+    let (hits_cold, misses_cold, _) = runner::cache_stats();
+    let (attempts, recovered) = runner::retry_stats();
+    assert_eq!(hits_cold, 0, "cold run hits nothing after a reset");
+    assert_eq!(
+        misses_cold, layers,
+        "the retried unit must be counted (and cached) exactly once"
+    );
+    assert_eq!(attempts, 1, "exactly one retry attempt");
+    assert_eq!(recovered, 1, "exactly one recovery");
+
+    // Replay: every unit hits, including the once-failed one. The fault
+    // plan would fire again if the victim re-executed (its attempt
+    // counter is NOT reset), so bit-identical success here also proves
+    // cache hits never re-execute units.
+    let replay = Runner::parallel()
+        .run(&SimJob::new(&faulty, &w, cfg))
+        .expect("replay from cache");
+    assert_eq!(first, replay, "cached replay must be bit-identical");
+    let (hits_warm, misses_warm, _) = runner::cache_stats();
+    assert_eq!(hits_warm, layers, "warm run must hit on every layer");
+    assert_eq!(misses_warm, layers, "warm run must not recompute any unit");
+}
+
+#[test]
 fn batch_submission_matches_individual_runs() {
     let _x = exclusive();
     let w1 = Workload::new(Benchmark::MobileNetV1, PruningLevel::Moderate, 32);

@@ -121,6 +121,56 @@ fn trace_export_has_unit_spans_on_worker_tracks() {
 }
 
 #[test]
+fn degraded_run_counters_reconcile_and_spans_flush() {
+    let _x = exclusive();
+    use eureka_sim::faults::{FaultKind, FaultPlan, FaultyArch};
+    let w = Workload::new(Benchmark::MobileNetV1, PruningLevel::Moderate, 32);
+    let cfg = SimConfig {
+        rowgroup_samples: 15, // distinctive: this test owns its entries
+        ..test_cfg()
+    };
+    let layers: Vec<String> = w.gemms().into_iter().map(|g| g.name).collect();
+    let plan = FaultPlan::seeded(3, &layers, 3, FaultKind::Panic);
+    let faulty = FaultyArch::new(Box::new(arch::eureka_p4()), plan, "tel-degraded");
+
+    runner::cache_reset();
+    obs::metrics::reset();
+    obs::span::clear();
+    obs::span::set_enabled(true);
+    let outcome = Runner::with_jobs(4).run_outcome(&SimJob::new(&faulty, &w, cfg));
+    obs::span::set_enabled(false);
+    let (events, _) = obs::span::take_events();
+
+    let failures = outcome.failures().len() as u64;
+    assert_eq!(failures, 3, "all three planned panics surface");
+    assert!(outcome.report().is_some(), "survivors are kept");
+
+    // The degraded-run accounting invariant: every planned unit fires
+    // exactly one of cache.hits, checkpoint.hits, cache.misses or
+    // runner.failures.*.
+    let planned =
+        obs::metrics::counter("runner.units_planned", obs::metrics::Class::Deterministic).get();
+    assert_eq!(planned, w.layer_count() as u64);
+    let (hits, misses, _) = runner::cache_stats();
+    let (ckpt_hits, _, _) = runner::checkpoint_stats();
+    assert_eq!(
+        hits + ckpt_hits + misses + failures,
+        planned,
+        "hits {hits} + ckpt {ckpt_hits} + misses {misses} + failures {failures} != planned"
+    );
+    let (failed_panic, failed_sim) = runner::failure_stats();
+    assert_eq!((failed_panic, failed_sim), (3, 0));
+
+    // Worker-thread spans are flushed even though units on those workers
+    // panicked: every planned unit has its unit.exec span, and every
+    // failure emits a unit.failure span.
+    let unit_spans = events.iter().filter(|e| e.name == "unit.exec").count();
+    assert_eq!(unit_spans, w.layer_count(), "one unit.exec span per unit");
+    let failure_spans = events.iter().filter(|e| e.name == "unit.failure").count();
+    assert_eq!(failure_spans, 3, "one unit.failure span per failed unit");
+}
+
+#[test]
 fn telemetry_does_not_change_simulation_output() {
     let _x = exclusive();
     let w = Workload::new(Benchmark::BertSquad, PruningLevel::Moderate, 16);
