@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use eureka_models::{Benchmark, PruningLevel, Workload};
-use eureka_sim::{arch, runner, Runner, SimConfig, SimJob};
+use eureka_sim::{arch, runner, ProfileConfig, Runner, SimConfig, SimJob};
 use std::time::Instant;
 
 fn bench_cfg() -> SimConfig {
@@ -105,5 +105,58 @@ fn telemetry_overhead(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, serial_vs_parallel, telemetry_overhead);
+/// Plain run vs cycle-attribution profiling on the serial path — the
+/// profiler's budget (acceptance: under 5% on this workload). The plain
+/// path monomorphizes over the no-op sink, so "off" here is the exact
+/// code every non-profiled run executes.
+fn profile_overhead(c: &mut Criterion) {
+    let w = Workload::new(Benchmark::ResNet50, PruningLevel::Moderate, 32);
+    let cfg = bench_cfg();
+    let eureka = arch::eureka_p4();
+    let job = SimJob::new(&eureka, &w, cfg);
+    let pcfg = ProfileConfig::default();
+    runner::clear_cache();
+
+    let mut group = c.benchmark_group("runner/profile");
+    group.sample_size(10);
+    group.bench_function("profiling-off", |b| {
+        b.iter(|| Runner::serial().without_cache().run(&job).unwrap())
+    });
+    group.bench_function("profiling-on", |b| {
+        b.iter(|| {
+            Runner::serial()
+                .without_cache()
+                .run_profiled(&job, &pcfg)
+                .unwrap()
+        })
+    });
+    group.finish();
+
+    let start = Instant::now();
+    for _ in 0..5 {
+        Runner::serial().without_cache().run(&job).unwrap();
+    }
+    let off = start.elapsed();
+    let start = Instant::now();
+    for _ in 0..5 {
+        Runner::serial()
+            .without_cache()
+            .run_profiled(&job, &pcfg)
+            .unwrap();
+    }
+    let on = start.elapsed();
+    println!(
+        "runner/profile overhead: {:+.2}% (off {:.1} ms, profiled {:.1} ms per run)",
+        100.0 * (on.as_secs_f64() / off.as_secs_f64() - 1.0),
+        off.as_secs_f64() * 1e3 / 5.0,
+        on.as_secs_f64() * 1e3 / 5.0,
+    );
+}
+
+criterion_group!(
+    benches,
+    serial_vs_parallel,
+    telemetry_overhead,
+    profile_overhead
+);
 criterion_main!(benches);

@@ -100,6 +100,35 @@ pub enum Command {
         /// Replay completed units from `checkpoint_dir` before executing.
         resume: bool,
     },
+    /// Profile one workload on one architecture: cycle attribution
+    /// (stall taxonomy, per-row heatmap, worst tiles, SUDS displacement)
+    /// plus optional machine-readable exports.
+    Profile {
+        /// Benchmark name.
+        benchmark: Benchmark,
+        /// Pruning level.
+        pruning: PruningLevel,
+        /// Architecture registry name.
+        arch: String,
+        /// Batch size.
+        batch: usize,
+        /// Use reduced sampling.
+        fast: bool,
+        /// Simulation worker threads (`None` = all cores).
+        jobs: Option<usize>,
+        /// Write the profile JSON here (`-` = stdout).
+        json_out: Option<String>,
+        /// Write the per-row utilization heatmap CSV here (`-` = stdout).
+        heatmap_out: Option<String>,
+        /// Write the Chrome-trace occupancy tracks here (`-` = stdout).
+        trace_out: Option<String>,
+        /// Write the versioned BENCH snapshot JSON here (`-` = stdout).
+        bench_json: Option<String>,
+        /// How many worst tiles to keep per layer.
+        top_tiles: usize,
+        /// Diagnostic verbosity (0, 1 = `-v`, 2 = `-vv`).
+        verbose: u8,
+    },
     /// Run the differential verification suite (dense-GEMM oracle,
     /// brute-force SUDS checker, metamorphic invariants) over seeded
     /// random cases.
@@ -137,6 +166,10 @@ USAGE:
                   [--keep-going] [--max-failures <N>] [--retries <N>]
                   [--checkpoint-dir <dir>] [--resume]
                   [--trace-out <file>] [--metrics-out <file>] [-v|-vv]
+  eureka profile  --benchmark <name> [--pruning <level>] [--arch <name>]
+                  [--batch <N>] [--fast] [--jobs <N>] [--top-tiles <N>]
+                  [--json <file|->] [--heatmap <file|->]
+                  [--trace-out <file|->] [--bench-json <file|->] [-v|-vv]
   eureka compile  --benchmark <name> --layer <layer-name> [--factor <P>]
   eureka trace    --benchmark <name> --layer <layer-name>   (Chrome-trace JSON)
   eureka verify   [--cases <N>] [--seed <S>] [--arch <name>]
@@ -163,6 +196,20 @@ TELEMETRY:
   --metrics-out <file>  JSON snapshot of the metrics registry (unit/cache/
                         failure/checkpoint counters, exec-time histograms)
   -v / -vv              telemetry summary / per-layer breakdown on stderr
+
+PROFILING (`eureka profile`):
+  prints a ranked bottleneck report (stall taxonomy: compute / memory /
+  pipeline-bubble / tail-drain; MAC utilization; heaviest layers with their
+  worst tiles). The report is bit-identical to an unprofiled simulation.
+  --json <file|->       byte-stable profile JSON (schema eureka-profile-v1)
+  --heatmap <file|->    per-(layer,row) utilization heatmap CSV
+  --trace-out <file|->  Chrome-trace occupancy tracks (one per systolic row)
+  --bench-json <file|-> versioned BENCH snapshot (schema eureka-bench-v1):
+                        cycles, MAC utilization and speedup-vs-dense for the
+                        standard arch matrix plus the requested arch
+  --top-tiles <N>       worst tiles kept per layer (default 5)
+  at most one export may write to stdout ('-'); with a stdout export the
+  human report is suppressed to keep stdout machine-readable
 
 Run `eureka archs` for the architecture registry.";
 
@@ -418,6 +465,82 @@ where
                 retries,
                 checkpoint_dir,
                 resume,
+            })
+        }
+        "profile" => {
+            let mut benchmark = None;
+            let mut pruning = PruningLevel::Moderate;
+            let mut arch_name = "eureka-p4".to_string();
+            let mut batch = 32usize;
+            let mut fast = false;
+            let mut jobs = None;
+            let mut json_out = None;
+            let mut heatmap_out = None;
+            let mut trace_out = None;
+            let mut bench_json = None;
+            let mut top_tiles = 5usize;
+            let mut verbose = 0u8;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                let mut value = |flag: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{flag} requires a value"))
+                };
+                match a.as_str() {
+                    "--benchmark" => benchmark = Some(parse_benchmark(&value("--benchmark")?)?),
+                    "--pruning" => pruning = parse_pruning(&value("--pruning")?)?,
+                    "--arch" => arch_name = value("--arch")?,
+                    "--batch" => {
+                        batch = value("--batch")?
+                            .parse()
+                            .map_err(|e| format!("bad --batch: {e}"))?;
+                    }
+                    "--fast" => fast = true,
+                    "--jobs" => jobs = Some(parse_jobs(&value("--jobs")?)?),
+                    "--json" => json_out = Some(value("--json")?),
+                    "--heatmap" => heatmap_out = Some(value("--heatmap")?),
+                    "--trace-out" => trace_out = Some(value("--trace-out")?),
+                    "--bench-json" => bench_json = Some(value("--bench-json")?),
+                    "--top-tiles" => {
+                        top_tiles = value("--top-tiles")?
+                            .parse()
+                            .map_err(|e| format!("bad --top-tiles: {e}"))?;
+                    }
+                    "-v" | "--verbose" => verbose = verbose.saturating_add(1),
+                    "-vv" => verbose = verbose.saturating_add(2),
+                    other => return Err(format!("unknown flag '{other}' for profile")),
+                }
+            }
+            let benchmark = benchmark.ok_or("profile requires --benchmark")?;
+            if arch::by_name(&arch_name).is_none() {
+                return Err(format!(
+                    "unknown architecture '{arch_name}'; run `eureka archs`"
+                ));
+            }
+            if batch == 0 {
+                return Err("--batch must be positive".into());
+            }
+            let stdout_exports = [&json_out, &heatmap_out, &trace_out, &bench_json]
+                .iter()
+                .filter(|o| o.as_deref() == Some("-"))
+                .count();
+            if stdout_exports > 1 {
+                return Err("at most one profile export may write to stdout ('-')".into());
+            }
+            Ok(Command::Profile {
+                benchmark,
+                pruning,
+                arch: arch_name,
+                batch,
+                fast,
+                jobs,
+                json_out,
+                heatmap_out,
+                trace_out,
+                bench_json,
+                top_tiles,
+                verbose,
             })
         }
         "verify" => {
@@ -803,6 +926,89 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             tel.finish()?;
             Ok(out)
         }
+        Command::Profile {
+            benchmark,
+            pruning,
+            arch: arch_name,
+            batch,
+            fast,
+            jobs,
+            json_out,
+            heatmap_out,
+            trace_out,
+            bench_json,
+            top_tiles,
+            verbose,
+        } => {
+            if let Some(n) = jobs {
+                eureka_sim::runner::set_global_jobs(*n);
+            }
+            eureka_obs::log::set_verbosity(*verbose);
+            let cfg = if *fast {
+                SimConfig::fast()
+            } else {
+                SimConfig::paper_default()
+            };
+            let workload = Workload::new(*benchmark, *pruning, *batch);
+            let a = arch::by_name(arch_name)
+                .ok_or_else(|| format!("unknown architecture '{arch_name}'; run `eureka archs`"))?;
+            let pcfg = eureka_sim::ProfileConfig {
+                top_tiles: *top_tiles,
+            };
+            let (report, profile) = engine::try_profile(a.as_ref(), &workload, &cfg, &pcfg)
+                .map_err(|e| e.to_string())?;
+            debug_assert_eq!(profile.total_attributed_cycles(), report.total_cycles());
+            let mut stdout_payload: Option<String> = None;
+            let mut emit = |path: &str, payload: String, what: &str| -> Result<(), String> {
+                if path == "-" {
+                    stdout_payload = Some(payload);
+                    Ok(())
+                } else {
+                    std::fs::write(path, &payload)
+                        .map_err(|e| format!("cannot write {what} to {path}: {e}"))?;
+                    eureka_obs::info!("{what}: {} bytes to {path}", payload.len());
+                    Ok(())
+                }
+            };
+            if let Some(path) = json_out {
+                emit(path, profile.to_json(), "profile JSON")?;
+            }
+            if let Some(path) = heatmap_out {
+                emit(path, profile.heatmap_csv(), "heatmap CSV")?;
+            }
+            if let Some(path) = trace_out {
+                emit(path, profile.to_chrome_json(), "occupancy trace")?;
+            }
+            if let Some(path) = bench_json {
+                // The standard snapshot matrix, plus the requested arch.
+                let mut names = vec!["dense", "ampere", "cnvlutin", "eureka-p2", "eureka-p4"];
+                if !names.contains(&arch_name.as_str()) {
+                    names.push(arch_name);
+                }
+                let mut reports = Vec::with_capacity(names.len());
+                for name in &names {
+                    let a = arch::by_name(name)
+                        .expect("invariant: the snapshot matrix only names registry entries");
+                    let r = engine::try_simulate(a.as_ref(), &workload, &cfg)
+                        .map_err(|e| e.to_string())?;
+                    reports.push(r);
+                }
+                let entries: Vec<(&str, &eureka_sim::SimReport)> =
+                    names.iter().zip(&reports).map(|(n, r)| (*n, r)).collect();
+                let json = eureka_sim::profile::bench_snapshot_json(
+                    benchmark.name(),
+                    pruning.label(),
+                    *batch,
+                    if *fast { "fast" } else { "paper" },
+                    &entries,
+                );
+                emit(path, json, "BENCH snapshot")?;
+            }
+            Ok(match stdout_payload {
+                Some(payload) => payload,
+                None => profile.bottleneck_report(5),
+            })
+        }
         Command::Verify {
             cases,
             seed,
@@ -1096,6 +1302,168 @@ mod tests {
         let out = run(&cmd).unwrap();
         assert!(out.starts_with("layer,compute_cycles"));
         assert_eq!(out.lines().count(), 28); // header + 27 layers
+    }
+
+    #[test]
+    fn parse_profile_defaults_and_flags() {
+        let cmd = parse(["profile", "--benchmark", "mobilenetv1"]).unwrap();
+        match cmd {
+            Command::Profile {
+                benchmark,
+                pruning,
+                arch,
+                batch,
+                fast,
+                jobs,
+                json_out,
+                heatmap_out,
+                trace_out,
+                bench_json,
+                top_tiles,
+                verbose,
+            } => {
+                assert_eq!(benchmark, Benchmark::MobileNetV1);
+                assert_eq!(pruning, PruningLevel::Moderate);
+                assert_eq!(arch, "eureka-p4");
+                assert_eq!(batch, 32);
+                assert!(!fast);
+                assert_eq!(jobs, None);
+                assert_eq!(json_out, None);
+                assert_eq!(heatmap_out, None);
+                assert_eq!(trace_out, None);
+                assert_eq!(bench_json, None);
+                assert_eq!(top_tiles, 5);
+                assert_eq!(verbose, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd = parse([
+            "profile",
+            "--benchmark",
+            "resnet50",
+            "--arch",
+            "eureka-p2",
+            "--fast",
+            "--jobs",
+            "2",
+            "--top-tiles",
+            "3",
+            "--json",
+            "p.json",
+            "--heatmap",
+            "-",
+            "--bench-json",
+            "b.json",
+        ])
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Profile {
+                fast: true,
+                jobs: Some(2),
+                top_tiles: 3,
+                ..
+            }
+        ));
+        assert!(parse(["profile"]).is_err());
+        assert!(parse(["profile", "--benchmark", "bert", "--arch", "nope"]).is_err());
+        assert!(parse(["profile", "--benchmark", "bert", "--batch", "0"]).is_err());
+        assert!(parse(["profile", "--benchmark", "bert", "--bogus"]).is_err());
+        // At most one stdout export.
+        assert!(parse([
+            "profile",
+            "--benchmark",
+            "bert",
+            "--json",
+            "-",
+            "--heatmap",
+            "-"
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn run_profile_human_report() {
+        let cmd = parse([
+            "profile",
+            "--benchmark",
+            "mobilenet",
+            "--arch",
+            "eureka-p4",
+            "--fast",
+        ])
+        .unwrap();
+        let out = run(&cmd).unwrap();
+        assert!(out.contains("where the cycles go"), "{out}");
+        assert!(out.contains("MAC utilization"), "{out}");
+        assert!(out.contains("heaviest layers"), "{out}");
+        assert!(out.contains("worst tile"), "{out}");
+    }
+
+    #[test]
+    fn run_profile_json_stdout_is_deterministic() {
+        let args = [
+            "profile",
+            "--benchmark",
+            "mobilenet",
+            "--arch",
+            "eureka-p4",
+            "--fast",
+            "--json",
+            "-",
+        ];
+        let a = run(&parse(args).unwrap()).unwrap();
+        let b = run(&parse(args).unwrap()).unwrap();
+        assert_eq!(a, b, "profile JSON must be byte-identical across runs");
+        assert!(a.starts_with("{\"schema\":\"eureka-profile-v1\""));
+        // And across worker counts.
+        let mut serial: Vec<String> = args.iter().map(ToString::to_string).collect();
+        serial.extend(["--jobs".to_string(), "1".to_string()]);
+        let s = run(&parse(serial).unwrap()).unwrap();
+        eureka_sim::runner::set_global_jobs(0);
+        assert_eq!(a, s, "profile JSON must not depend on --jobs");
+    }
+
+    #[test]
+    fn run_profile_writes_exports() {
+        let dir = std::env::temp_dir().join(format!("eureka-cli-prof-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let json = dir.join("p.json");
+        let heatmap = dir.join("h.csv");
+        let trace = dir.join("t.json");
+        let bench = dir.join("b.json");
+        let cmd = parse([
+            "profile",
+            "--benchmark",
+            "mobilenet",
+            "--arch",
+            "eureka-p4",
+            "--fast",
+            "--json",
+            json.to_str().unwrap(),
+            "--heatmap",
+            heatmap.to_str().unwrap(),
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "--bench-json",
+            bench.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = run(&cmd).unwrap();
+        assert!(out.contains("where the cycles go"), "{out}");
+        let p = std::fs::read_to_string(&json).unwrap();
+        assert!(p.starts_with("{\"schema\":\"eureka-profile-v1\""));
+        let h = std::fs::read_to_string(&heatmap).unwrap();
+        assert!(h.starts_with("layer,row,busy,bubble,drain,utilization"));
+        let t = std::fs::read_to_string(&trace).unwrap();
+        assert!(t.contains("systolic row 0"), "{t}");
+        let b = std::fs::read_to_string(&bench).unwrap();
+        assert!(b.starts_with("{\"schema\":\"eureka-bench-v1\""));
+        assert!(b.contains("\"speedup_vs_dense\""), "{b}");
+        for name in ["dense", "ampere", "cnvlutin", "eureka-p2", "eureka-p4"] {
+            assert!(b.contains(&format!("\"name\":\"{name}\"")), "{b}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -26,6 +26,19 @@ struct RowState {
 /// fields, derived by counting cycles instead of summing maxima.
 #[must_use]
 pub fn simulate_steps(steps: &[Vec<u64>], cfg: &SystolicConfig) -> PipelineReport {
+    simulate_steps_with_sink(steps, cfg, &mut super::profile::NullSink)
+}
+
+/// [`simulate_steps`] with a cycle-attribution hook, mirroring
+/// [`super::pipeline::run_steps_with_sink`]: the sink observes each
+/// wavefront after it drains (with the measured duration and the admitted
+/// per-row work) and the trailing fill cycles, so a sink fed by either
+/// timing model accumulates identical attribution.
+pub fn simulate_steps_with_sink<S: super::profile::ProfileSink>(
+    steps: &[Vec<u64>],
+    cfg: &SystolicConfig,
+    sink: &mut S,
+) -> PipelineReport {
     cfg.assert_valid();
     let mut report = PipelineReport::default();
     let mut pending: std::collections::VecDeque<&Vec<u64>> = steps.iter().collect();
@@ -33,7 +46,9 @@ pub fn simulate_steps(steps: &[Vec<u64>], cfg: &SystolicConfig) -> PipelineRepor
     // this model; deeper stages replicate the wavefront, accounted via
     // the fill term below).
     let mut rows: Vec<RowState> = Vec::new();
+    let mut row_work: Vec<u64> = Vec::new();
     let mut first_duration = 0u64;
+    let mut index = 0usize;
 
     while let Some(step) = pending.pop_front() {
         // Admit the wavefront.
@@ -66,10 +81,18 @@ pub fn simulate_steps(steps: &[Vec<u64>], cfg: &SystolicConfig) -> PipelineRepor
             report.busy_cycles += r.work;
             report.bubble_cycles += cycles_this_step - r.work;
         }
+        row_work.clear();
+        row_work.extend(rows.iter().map(|r| r.work));
+        sink.step(index, cycles_this_step, &row_work);
+        index += 1;
     }
     // Pipeline fill, identical to the analytic model: the wavefront takes
     // stages-1 extra traversals at the first step's duration.
-    report.total_cycles += first_duration * (cfg.stages as u64 - 1);
+    let fill = first_duration * (cfg.stages as u64 - 1);
+    report.total_cycles += fill;
+    if !steps.is_empty() {
+        sink.fill(fill);
+    }
     report
 }
 
@@ -141,5 +164,39 @@ mod tests {
     fn empty_schedule() {
         let r = simulate_steps(&[], &cfg());
         assert_eq!(r, PipelineReport::default());
+    }
+
+    #[test]
+    fn sinks_agree_between_timing_models() {
+        use super::super::pipeline::run_steps_with_sink;
+        use super::super::profile::StepProfile;
+        let mut rng = DetRng::new(7);
+        for trial in 0..100 {
+            let rows = 1 + rng.next_below(4);
+            let c = SystolicConfig {
+                rows,
+                stages: 1 + rng.next_below(4),
+                window: 1 + rng.next_below(4),
+            };
+            let steps: Vec<Vec<u64>> = (0..rng.next_below(16))
+                .map(|_| {
+                    (0..=rng.next_below(rows))
+                        .map(|_| rng.next_below(9) as u64)
+                        .collect()
+                })
+                .collect();
+            let mut analytic = StepProfile::new(c.rows);
+            let a = run_steps_with_sink(&steps, &c, &mut analytic);
+            let mut cyclewise = StepProfile::new(c.rows);
+            let b = simulate_steps_with_sink(&steps, &c, &mut cyclewise);
+            assert_eq!(a, b, "trial {trial}");
+            assert_eq!(analytic, cyclewise, "trial {trial} cfg {c:?}");
+            assert_eq!(analytic.busy_cycles(), a.busy_cycles);
+            assert_eq!(
+                analytic.bubble_cycles() + analytic.drain_cycles(),
+                a.bubble_cycles,
+                "trial {trial}"
+            );
+        }
     }
 }

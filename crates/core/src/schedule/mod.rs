@@ -18,6 +18,7 @@
 pub mod cyclesim;
 pub mod grouping;
 pub mod pipeline;
+pub mod profile;
 pub mod trace;
 
 pub use grouping::{
@@ -25,3 +26,4 @@ pub use grouping::{
     schedule_natural_steps,
 };
 pub use pipeline::{PipelineReport, SystolicConfig};
+pub use profile::{NullSink, ProfileSink, StepProfile};

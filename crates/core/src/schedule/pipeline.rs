@@ -88,9 +88,23 @@ impl PipelineReport {
 /// (items entering stage by stage).
 #[must_use]
 pub fn run_steps(steps: &[Vec<u64>], cfg: &SystolicConfig) -> PipelineReport {
+    run_steps_with_sink(steps, cfg, &mut super::profile::NullSink)
+}
+
+/// [`run_steps`] with a cycle-attribution hook: the sink observes every
+/// macro-step (index, duration, per-row sums) and the trailing fill
+/// cycles. Timing is byte-identical to [`run_steps`] — the sink is
+/// called with values the accounting already computed, and with
+/// [`super::profile::NullSink`] the generic compiles down to the plain
+/// loop (profiling off costs nothing).
+pub fn run_steps_with_sink<S: super::profile::ProfileSink>(
+    steps: &[Vec<u64>],
+    cfg: &SystolicConfig,
+    sink: &mut S,
+) -> PipelineReport {
     cfg.assert_valid();
     let mut report = PipelineReport::default();
-    for row_sums in steps {
+    for (index, row_sums) in steps.iter().enumerate() {
         let duration = row_sums.iter().copied().max().unwrap_or(0);
         report.steps += 1;
         report.total_cycles += duration;
@@ -101,12 +115,15 @@ pub fn run_steps(steps: &[Vec<u64>], cfg: &SystolicConfig) -> PipelineReport {
         // Rows absent from this step (fewer entries than cfg.rows) are
         // fully idle.
         report.bubble_cycles += duration * (cfg.rows.saturating_sub(row_sums.len())) as u64;
+        sink.step(index, duration, row_sums);
     }
     // Pipeline fill: the wavefront needs (stages - 1) extra steps to reach
     // the last stage; approximate with the first step's duration.
     if let Some(first) = steps.first() {
         let d = first.iter().copied().max().unwrap_or(0);
-        report.total_cycles += d * (cfg.stages as u64 - 1);
+        let fill = d * (cfg.stages as u64 - 1);
+        report.total_cycles += fill;
+        sink.fill(fill);
     }
     report
 }
@@ -176,5 +193,78 @@ mod tests {
             window: 2,
         };
         let _ = run_steps(&[], &cfg);
+    }
+
+    #[test]
+    fn empty_steps_produce_default_report() {
+        // No steps at all: no cycles, no fill (there is no first step to
+        // size the fill from), utilization degenerates to 1.0.
+        let r = run_steps(&[], &SystolicConfig::paper_default());
+        assert_eq!(r, PipelineReport::default());
+        // A step that exists but carries no rows contributes nothing
+        // except the step count (duration 0, no row entries).
+        let r = run_steps(&[vec![]], &SystolicConfig::paper_default());
+        assert_eq!(r.steps, 1);
+        assert_eq!(r.total_cycles, 0);
+        assert_eq!(r.busy_cycles, 0);
+        assert_eq!(r.bubble_cycles, 0);
+    }
+
+    #[test]
+    fn short_steps_bill_missing_rows_as_idle() {
+        // Exercises the `saturating_sub` branch: row_sums.len() < cfg.rows
+        // bills `duration * (rows - len)` idle row-cycles; len == rows
+        // bills none; and the subtraction saturates (never underflows)
+        // when a schedule feeds more entries than configured rows.
+        let cfg = SystolicConfig {
+            rows: 3,
+            stages: 1,
+            window: 1,
+        };
+        let short = run_steps(&[vec![5u64]], &cfg); // 2 rows missing
+        assert_eq!(short.busy_cycles, 5);
+        assert_eq!(short.bubble_cycles, 10);
+        let exact = run_steps(&[vec![5u64, 5, 5]], &cfg);
+        assert_eq!(exact.bubble_cycles, 0);
+        let over = run_steps(&[vec![5u64, 5, 5, 2]], &cfg); // len > rows
+        assert_eq!(over.busy_cycles, 17);
+        assert_eq!(over.bubble_cycles, 3, "only the short extra entry idles");
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(128))]
+
+        /// Permuting the rows within a step never changes what the step
+        /// costs: duration is the max (order-free) and busy/bubble are
+        /// per-entry sums. Rotation + transposition generate every
+        /// permutation, so checking those suffices.
+        #[test]
+        fn busy_plus_bubble_invariant_under_row_permutation(
+            step in proptest::collection::vec(0u64..64, 0..8),
+            rot in 0usize..8,
+            swap_a in 0usize..8,
+            swap_b in 0usize..8,
+        ) {
+            let cfg = SystolicConfig {
+                rows: 4,
+                stages: 2,
+                window: 2,
+            };
+            let base = run_steps(std::slice::from_ref(&step), &cfg);
+            let mut permuted = step;
+            if !permuted.is_empty() {
+                let r = rot % permuted.len();
+                permuted.rotate_left(r);
+                let (a, b) = (swap_a % permuted.len(), swap_b % permuted.len());
+                permuted.swap(a, b);
+            }
+            let p = run_steps(&[permuted], &cfg);
+            proptest::prop_assert_eq!(
+                base.busy_cycles + base.bubble_cycles,
+                p.busy_cycles + p.bubble_cycles
+            );
+            proptest::prop_assert_eq!(base.busy_cycles, p.busy_cycles);
+            proptest::prop_assert_eq!(base.total_cycles, p.total_cycles);
+        }
     }
 }

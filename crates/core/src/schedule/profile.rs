@@ -1,0 +1,241 @@
+//! Cycle-attribution hooks for the macro-step timing model.
+//!
+//! [`super::pipeline::run_steps_with_sink`] and
+//! [`super::cyclesim::simulate_steps_with_sink`] report, per macro-step,
+//! which row-cycles did useful work and which were lost to macro-step
+//! mismatch — the raw material for the simulator's stall taxonomy. The
+//! hook is a trait so the non-profiled paths pay nothing: they pass
+//! [`NullSink`], the generic monomorphizes to empty inlined calls, and
+//! the emitted code is the pre-profiling loop.
+//!
+//! Attribution categories (all in *row-cycles*, i.e. one systolic row
+//! for one cycle):
+//!
+//! * **busy** — the row was executing resident work;
+//! * **bubble** — the row finished its work before the macro-step's
+//!   longest row (Figure 10(a)'s idle slots);
+//! * **drain** — the row had no work at all this macro-step (a row the
+//!   scheduler left empty, or a step with fewer entries than rows);
+//! * **fill** — cycles added for the operand wavefront to reach the last
+//!   pipeline stage (`stages - 1` traversals of the first step), during
+//!   which every row idles.
+
+/// Receives per-step attribution from the timing models.
+///
+/// Implementations must not influence timing — the models call the sink
+/// after their own accounting, with values derived from the same inputs.
+pub trait ProfileSink {
+    /// One macro-step: `index` in schedule order, the step's `duration`
+    /// (its longest row sum), and the scheduled per-row work sums
+    /// (`row_sums.len()` may be shorter than the configured row count;
+    /// missing rows are fully idle).
+    fn step(&mut self, index: usize, duration: u64, row_sums: &[u64]);
+
+    /// Pipeline-fill cycles appended after the last macro-step.
+    fn fill(&mut self, cycles: u64);
+}
+
+/// The no-op sink: profiling off. All calls inline to nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl ProfileSink for NullSink {
+    #[inline(always)]
+    fn step(&mut self, _index: usize, _duration: u64, _row_sums: &[u64]) {}
+
+    #[inline(always)]
+    fn fill(&mut self, _cycles: u64) {}
+}
+
+/// The accumulating sink: per-row busy/bubble/drain totals plus fill.
+///
+/// Invariants against the [`super::pipeline::PipelineReport`] produced by
+/// the same run (checked by unit tests):
+///
+/// * `busy_cycles() == report.busy_cycles`
+/// * `bubble_cycles() + drain_cycles() == report.bubble_cycles`
+/// * `steps() == report.steps`
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StepProfile {
+    row_busy: Vec<u64>,
+    row_bubble: Vec<u64>,
+    row_drain: Vec<u64>,
+    fill_cycles: u64,
+    steps: u64,
+}
+
+impl StepProfile {
+    /// An empty profile pre-sized for `rows` systolic rows. The vectors
+    /// grow if a schedule feeds more entries than configured rows (the
+    /// timing model bills those as busy rows too).
+    #[must_use]
+    pub fn new(rows: usize) -> Self {
+        StepProfile {
+            row_busy: vec![0; rows],
+            row_bubble: vec![0; rows],
+            row_drain: vec![0; rows],
+            fill_cycles: 0,
+            steps: 0,
+        }
+    }
+
+    fn ensure_rows(&mut self, rows: usize) {
+        if self.row_busy.len() < rows {
+            self.row_busy.resize(rows, 0);
+            self.row_bubble.resize(rows, 0);
+            self.row_drain.resize(rows, 0);
+        }
+    }
+
+    /// Per-row row-cycles spent executing work.
+    #[must_use]
+    pub fn row_busy(&self) -> &[u64] {
+        &self.row_busy
+    }
+
+    /// Per-row row-cycles idled behind a longer row in the same step.
+    #[must_use]
+    pub fn row_bubble(&self) -> &[u64] {
+        &self.row_bubble
+    }
+
+    /// Per-row row-cycles with no work scheduled at all.
+    #[must_use]
+    pub fn row_drain(&self) -> &[u64] {
+        &self.row_drain
+    }
+
+    /// Total busy row-cycles.
+    #[must_use]
+    pub fn busy_cycles(&self) -> u64 {
+        self.row_busy.iter().sum()
+    }
+
+    /// Total bubble row-cycles.
+    #[must_use]
+    pub fn bubble_cycles(&self) -> u64 {
+        self.row_bubble.iter().sum()
+    }
+
+    /// Total drain row-cycles.
+    #[must_use]
+    pub fn drain_cycles(&self) -> u64 {
+        self.row_drain.iter().sum()
+    }
+
+    /// Pipeline-fill cycles (wall-clock, not row-cycles).
+    #[must_use]
+    pub fn fill_cycles(&self) -> u64 {
+        self.fill_cycles
+    }
+
+    /// Macro-steps observed.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Number of tracked rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.row_busy.len()
+    }
+}
+
+impl ProfileSink for StepProfile {
+    fn step(&mut self, _index: usize, duration: u64, row_sums: &[u64]) {
+        self.steps += 1;
+        self.ensure_rows(row_sums.len());
+        for (r, slot) in self.row_busy.iter_mut().enumerate() {
+            let work = row_sums.get(r).copied().unwrap_or(0);
+            if work > 0 {
+                *slot += work;
+                self.row_bubble[r] += duration - work;
+            } else {
+                self.row_drain[r] += duration;
+            }
+        }
+    }
+
+    fn fill(&mut self, cycles: u64) {
+        self.fill_cycles += cycles;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::pipeline::{run_steps, run_steps_with_sink, SystolicConfig};
+    use super::*;
+
+    #[test]
+    fn null_sink_changes_nothing() {
+        let steps = vec![vec![2u64, 1], vec![3, 3], vec![4]];
+        let cfg = SystolicConfig::paper_default();
+        let plain = run_steps(&steps, &cfg);
+        let sunk = run_steps_with_sink(&steps, &cfg, &mut NullSink);
+        assert_eq!(plain, sunk);
+    }
+
+    #[test]
+    fn step_profile_reconciles_with_report() {
+        let cfg = SystolicConfig {
+            rows: 3,
+            stages: 2,
+            window: 2,
+        };
+        // Mixed shapes: full step, short step (missing rows), zero-work row.
+        let steps = vec![vec![4u64, 2, 1], vec![5], vec![3, 0, 3], vec![]];
+        let mut sink = StepProfile::new(cfg.rows);
+        let report = run_steps_with_sink(&steps, &cfg, &mut sink);
+        assert_eq!(sink.busy_cycles(), report.busy_cycles);
+        assert_eq!(
+            sink.bubble_cycles() + sink.drain_cycles(),
+            report.bubble_cycles
+        );
+        assert_eq!(sink.steps(), report.steps);
+        // Fill is the difference between wall-clock and step durations.
+        let step_cycles: u64 = steps
+            .iter()
+            .map(|s| s.iter().copied().max().unwrap_or(0))
+            .sum();
+        assert_eq!(sink.fill_cycles(), report.total_cycles - step_cycles);
+    }
+
+    #[test]
+    fn drain_separates_empty_rows_from_short_rows() {
+        let cfg = SystolicConfig {
+            rows: 2,
+            stages: 1,
+            window: 1,
+        };
+        // Row 0 works 4; row 1 absent entirely -> drain, not bubble.
+        let mut sink = StepProfile::new(cfg.rows);
+        run_steps_with_sink(&[vec![4u64]], &cfg, &mut sink);
+        assert_eq!(sink.busy_cycles(), 4);
+        assert_eq!(sink.bubble_cycles(), 0);
+        assert_eq!(sink.drain_cycles(), 4);
+        // Row 1 present but shorter -> bubble, not drain.
+        let mut sink = StepProfile::new(cfg.rows);
+        run_steps_with_sink(&[vec![4u64, 1]], &cfg, &mut sink);
+        assert_eq!(sink.busy_cycles(), 5);
+        assert_eq!(sink.bubble_cycles(), 3);
+        assert_eq!(sink.drain_cycles(), 0);
+    }
+
+    #[test]
+    fn grows_beyond_configured_rows() {
+        let cfg = SystolicConfig {
+            rows: 1,
+            stages: 1,
+            window: 1,
+        };
+        let mut sink = StepProfile::new(cfg.rows);
+        let report = run_steps_with_sink(&[vec![2u64, 2, 2]], &cfg, &mut sink);
+        assert_eq!(sink.rows(), 3);
+        assert_eq!(sink.busy_cycles(), report.busy_cycles);
+        assert_eq!(
+            sink.bubble_cycles() + sink.drain_cycles(),
+            report.bubble_cycles
+        );
+    }
+}

@@ -158,6 +158,52 @@ impl Histogram {
         self.max.load(Ordering::Relaxed)
     }
 
+    /// Estimated value at quantile `q` (clamped to `0.0..=1.0`), derived
+    /// from the cumulative bucket counts: the upper bound of the first
+    /// bucket whose cumulative count reaches `ceil(q * count)` (at least
+    /// the first sample), capped at [`Histogram::max`] so a sparse top
+    /// bucket never reports a value larger than anything observed.
+    /// Samples in the `+inf` overflow bucket report [`Histogram::max`]
+    /// (the histogram has no finite bound there). `0` when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return match self.bounds.get(i) {
+                    Some(&bound) => bound.min(self.max()),
+                    None => self.max(),
+                };
+            }
+        }
+        self.max()
+    }
+
+    /// Median estimate ([`Histogram::quantile`] at 0.5).
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.5)
+    }
+
+    /// 90th-percentile estimate.
+    #[must_use]
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.9)
+    }
+
+    /// 99th-percentile estimate.
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
     /// Resets every bucket and summary statistic.
     pub fn reset(&self) {
         for b in self.buckets.iter() {
@@ -318,11 +364,14 @@ pub fn human_summary() -> String {
             Metric::Counter(c) => out.push_str(&format!("  {name:<28} {}\n", c.get())),
             Metric::Gauge(g) => out.push_str(&format!("  {name:<28} {:.4}\n", g.get())),
             Metric::Histogram(h) => out.push_str(&format!(
-                "  {name:<28} n={} sum={} min={} max={}\n",
+                "  {name:<28} n={} sum={} min={} max={} p50={} p90={} p99={}\n",
                 h.count(),
                 h.sum(),
                 h.min(),
-                h.max()
+                h.max(),
+                h.p50(),
+                h.p90(),
+                h.p99()
             )),
         }
     }
@@ -371,6 +420,51 @@ mod tests {
         h.reset();
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn histogram_quantiles_empty_histogram_is_zero() {
+        let h = Histogram::new(&[10, 100]);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p90(), 0);
+        assert_eq!(h.p99(), 0);
+    }
+
+    #[test]
+    fn histogram_quantiles_honor_exact_bucket_boundaries() {
+        let h = Histogram::new(&[10, 100, 1000]);
+        // A sample exactly on a bound lands in that bucket (le semantics).
+        h.record(10);
+        h.record(10);
+        h.record(10);
+        assert_eq!(h.p50(), 10);
+        assert_eq!(h.p99(), 10);
+        // One sample per bucket: quantiles walk the cumulative counts.
+        let h = Histogram::new(&[10, 100, 1000]);
+        h.record(5);
+        h.record(50);
+        h.record(500);
+        assert_eq!(h.quantile(0.0), 10, "rank is at least the first sample");
+        assert_eq!(h.p50(), 100, "rank 2 of 3 falls in the le=100 bucket");
+        // The top bucket's bound (1000) is capped at the observed max.
+        assert_eq!(h.p99(), 500);
+        assert_eq!(h.quantile(1.0), 500);
+    }
+
+    #[test]
+    fn histogram_quantiles_report_max_for_overflow_bucket() {
+        let h = Histogram::new(&[10, 100]);
+        h.record(5);
+        h.record(5_000); // beyond the last bound: +inf bucket
+        assert_eq!(h.quantile(0.25), 10);
+        assert_eq!(h.p99(), 5_000, "overflow hits report the observed max");
+        // All samples in overflow: every quantile is the max.
+        let h = Histogram::new(&[10]);
+        h.record(700);
+        h.record(900);
+        assert_eq!(h.p50(), 900);
+        assert_eq!(h.p99(), 900);
     }
 
     #[test]

@@ -125,6 +125,7 @@ impl Architecture for Dstc {
             mem_cycles: 0,
             mac_ops,
             idle_mac_cycles: (compute_cycles * device_macs).saturating_sub(mac_ops),
+            bubble_cycles: 0,
             // Compressed payloads plus one mask bit per position.
             weight_bytes: (nnz_w * 2.0) as u64,
             act_bytes: (act_elems as f64 * d_a * 2.0) as u64,

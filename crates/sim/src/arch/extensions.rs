@@ -12,6 +12,7 @@
 use super::onesided::{self, OneSided};
 use super::{Architecture, LayerCtx, SimError};
 use crate::config::SimConfig;
+use crate::profile::{LayerProfile, ProfileConfig};
 use crate::report::LayerReport;
 use eureka_models::workload::LayerGemm;
 
@@ -43,19 +44,45 @@ impl Architecture for EurekaTwoSided {
     ) -> Result<LayerReport, SimError> {
         let mut report = self.inner.simulate_layer(gemm, ctx, cfg)?;
         report.name = gemm.name.clone();
-        // Timing is untouched: the MAC still occupies its cycle. Only the
-        // multiplier (and the wide mux feeding it) stops toggling when the
-        // activation operand is zero.
-        let act = ctx.act_density.clamp(0.0, 1.0);
-        let gate = |v: u64| (v as f64 * act) as u64;
-        let gated_away = report.mac_ops - gate(report.mac_ops);
-        report.mac_ops = gate(report.mac_ops);
-        report.idle_mac_cycles += gated_away;
-        report.ops.mux16 = gate(report.ops.mux16);
-        report.ops.csa = gate(report.ops.csa);
-        report.ops.mux2 = gate(report.ops.mux2);
+        apply_act_gating(&mut report, ctx);
         Ok(report)
     }
+
+    fn simulate_layer_profiled(
+        &self,
+        gemm: &LayerGemm,
+        ctx: &LayerCtx,
+        cfg: &SimConfig,
+        profile: &ProfileConfig,
+    ) -> Result<(LayerReport, LayerProfile), SimError> {
+        let (mut report, mut prof) = self
+            .inner
+            .simulate_layer_profiled(gemm, ctx, cfg, profile)?;
+        report.name = gemm.name.clone();
+        prof.name = gemm.name.clone();
+        let gated_away = apply_act_gating(&mut report, ctx);
+        // Gated multiplies were busy in the inner profile; they become
+        // slack here (the cycle is still occupied, the lane just idles).
+        prof.macs.busy = report.mac_ops;
+        prof.macs.slack += gated_away;
+        Ok((report, prof))
+    }
+}
+
+/// Timing is untouched: the MAC still occupies its cycle. Only the
+/// multiplier (and the wide mux feeding it) stops toggling when the
+/// activation operand is zero. Returns the number of multiplies gated
+/// away (moved from `mac_ops` to `idle_mac_cycles`).
+fn apply_act_gating(report: &mut LayerReport, ctx: &LayerCtx) -> u64 {
+    let act = ctx.act_density.clamp(0.0, 1.0);
+    let gate = |v: u64| (v as f64 * act) as u64;
+    let gated_away = report.mac_ops - gate(report.mac_ops);
+    report.mac_ops = gate(report.mac_ops);
+    report.idle_mac_cycles += gated_away;
+    report.ops.mux16 = gate(report.ops.mux16);
+    report.ops.csa = gate(report.ops.csa);
+    report.ops.mux2 = gate(report.ops.mux2);
+    gated_away
 }
 
 #[cfg(test)]

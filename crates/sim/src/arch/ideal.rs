@@ -43,6 +43,7 @@ impl Architecture for Ideal {
             mem_cycles: 0,
             mac_ops,
             idle_mac_cycles: (compute_cycles * cfg.total_macs() as u64).saturating_sub(mac_ops),
+            bubble_cycles: 0,
             weight_bytes: (nnz * 2.0) as u64,
             act_bytes: gemm.unique_act_bytes,
             out_bytes: (2 * n * m) as u64,

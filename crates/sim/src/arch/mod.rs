@@ -14,6 +14,7 @@ pub mod s2ta;
 pub mod sparten;
 
 use crate::config::SimConfig;
+use crate::profile::{LayerProfile, ProfileConfig};
 use crate::report::LayerReport;
 use core::fmt;
 use eureka_models::workload::LayerGemm;
@@ -117,6 +118,32 @@ pub trait Architecture: Send + Sync {
         ctx: &LayerCtx,
         cfg: &SimConfig,
     ) -> Result<LayerReport, SimError>;
+
+    /// Simulates one pruned GEMM and attributes its cycles.
+    ///
+    /// The returned report must be bit-identical to what
+    /// [`Architecture::simulate_layer`] produces for the same inputs —
+    /// profiling observes, never perturbs. The default implementation
+    /// covers architectures without pipeline-level detail: it runs the
+    /// plain simulation and attributes everything to compute/memory
+    /// ([`LayerProfile::from_report`]). Architectures with a sampled
+    /// systolic pipeline (the one-sided engine) override this to break
+    /// cycles into the full stall taxonomy.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Architecture::simulate_layer`].
+    fn simulate_layer_profiled(
+        &self,
+        gemm: &LayerGemm,
+        ctx: &LayerCtx,
+        cfg: &SimConfig,
+        _profile: &ProfileConfig,
+    ) -> Result<(LayerReport, LayerProfile), SimError> {
+        let report = self.simulate_layer(gemm, ctx, cfg)?;
+        let profile = LayerProfile::from_report(&report);
+        Ok((report, profile))
+    }
 }
 
 /// Parameters of the synthetic clustered-sparsity mixture, kept consistent

@@ -17,11 +17,20 @@
 use super::{sample_tile, tile_density, Architecture, LayerCtx, SimError};
 use crate::config::SimConfig;
 use crate::memory;
+use crate::profile::{
+    LayerProfile, MacBreakdown, ProfileConfig, RowOccupancy, StallBreakdown, SudsStats, TileStat,
+};
 use crate::report::{LayerReport, OpCounts};
-use eureka_core::schedule::{schedule_grouped, schedule_natural, SystolicConfig};
+use eureka_core::schedule::pipeline::{run_steps, run_steps_with_sink};
+use eureka_core::schedule::profile::StepProfile;
+use eureka_core::schedule::{
+    schedule_grouped, schedule_grouped_steps, schedule_natural, schedule_natural_steps,
+    SystolicConfig,
+};
 use eureka_core::suds;
 use eureka_models::workload::LayerGemm;
 use eureka_sparse::TilePattern;
+use std::collections::BTreeMap;
 
 /// How a tile's sparsity becomes a cycle count.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -105,17 +114,34 @@ impl OneSided {
 
     /// Cycles and displaced-element count for one sampled tile.
     fn time_tile(&self, tile: &TilePattern) -> (u64, u64) {
+        let (t, disp, _) = self.time_tile_full(tile);
+        (t, disp)
+    }
+
+    /// [`Self::time_tile`] plus the SUDS plan's base row (for the
+    /// profiler's rotation statistics). The base row falls out of the
+    /// plan the timer already builds, so reporting it draws no extra
+    /// randomness and changes no timing.
+    fn time_tile_full(&self, tile: &TilePattern) -> (u64, u64, Option<usize>) {
         match self.timer {
-            TileTimer::Dense => (tile.q() as u64, 0),
-            TileTimer::TwoFour => ((tile.q() as u64) / 2, 0),
-            TileTimer::MaxRow => (tile.critical_path().max(1) as u64, 0),
+            TileTimer::Dense => (tile.q() as u64, 0, None),
+            TileTimer::TwoFour => ((tile.q() as u64) / 2, 0, None),
+            TileTimer::MaxRow => (tile.critical_path().max(1) as u64, 0, None),
             TileTimer::GreedySuds => {
                 let plan = suds::greedy(&tile.row_lens());
-                (plan.k.max(1) as u64, plan.displaced_count() as u64)
+                (
+                    plan.k.max(1) as u64,
+                    plan.displaced_count() as u64,
+                    Some(plan.base_row),
+                )
             }
             TileTimer::OptimalSuds => {
                 let plan = suds::optimize(&tile.row_lens());
-                (plan.k.max(1) as u64, plan.displaced_count() as u64)
+                (
+                    plan.k.max(1) as u64,
+                    plan.displaced_count() as u64,
+                    Some(plan.base_row),
+                )
             }
             TileTimer::MultiStepSuds(reach) => {
                 let lens = tile.row_lens();
@@ -123,23 +149,46 @@ impl OneSided {
                 let k = suds::multistep::optimal_k(&lens, reach);
                 // Displaced work: at least each row's overflow must move.
                 let moved: usize = lens.iter().map(|&l| l.saturating_sub(k)).sum();
-                (k.max(1) as u64, moved as u64)
+                (k.max(1) as u64, moved as u64, None)
             }
         }
     }
 }
 
-impl Architecture for OneSided {
-    fn name(&self) -> &str {
-        &self.name
-    }
+/// What the sampled-pipeline branch hands back to the report assembly:
+/// the pipeline's row-cycle totals (always, for `bubble_cycles`) and the
+/// full attribution detail (profiled runs only).
+#[derive(Default)]
+struct SampledPipe {
+    busy_rc: u64,
+    idle_rc: u64,
+    sink: Option<StepProfile>,
+    tiles: Vec<TileStat>,
+    suds: Option<SudsStats>,
+}
 
-    fn simulate_layer(
+/// `value * num / den` in u128, floored; 0 when `den == 0`.
+fn scale(value: u64, num: u64, den: u64) -> u64 {
+    if den == 0 {
+        return 0;
+    }
+    (u128::from(value) * u128::from(num) / u128::from(den)) as u64
+}
+
+impl OneSided {
+    /// The shared simulation body. `prof` is `None` on the plain path
+    /// (no attribution work at all) and `Some` on the profiled path; the
+    /// two paths draw identical RNG sequences and produce bit-identical
+    /// [`LayerReport`]s — profiling only *additionally* records values
+    /// the simulation already computed.
+    #[allow(clippy::too_many_lines)] // one straight-line timing model
+    fn simulate_layer_impl(
         &self,
         gemm: &LayerGemm,
         ctx: &LayerCtx,
         cfg: &SimConfig,
-    ) -> Result<LayerReport, SimError> {
+        prof: Option<&ProfileConfig>,
+    ) -> Result<(LayerReport, Option<LayerProfile>), SimError> {
         let p = cfg.core.sub_array_dim;
         let q = p * self.factor;
         assert!(q <= 64, "tile width {q} exceeds the 64-bit row masks");
@@ -158,6 +207,7 @@ impl Architecture for OneSided {
             _ => None,
         };
 
+        let mut sampled = SampledPipe::default();
         let (mean_t, mean_nnz, mean_displaced, utilization) = if let Some(t) = uniform_time {
             // Uniform latency: no load imbalance, no bubbles (§2.3.1).
             let nnz_per_tile = match self.timer {
@@ -166,6 +216,14 @@ impl Architecture for OneSided {
             };
             (t as f64, nnz_per_tile, 0.0, 1.0)
         } else {
+            let profiling = prof.is_some();
+            if profiling && matches!(self.timer, TileTimer::GreedySuds | TileTimer::OptimalSuds) {
+                sampled.suds = Some(SudsStats {
+                    tiles: 0,
+                    displaced: 0,
+                    rotation: vec![0; p],
+                });
+            }
             let mut rng = ctx.rng.fork(0x0001_51DE);
             let n_rg = (cfg.rowgroup_samples as u64).min(rowgroups).max(1);
             let n_sl = (cfg.slice_samples as u64).min(slices).max(1);
@@ -187,11 +245,26 @@ impl Architecture for OneSided {
                         cfg.row_density_sigma,
                         &mut rng,
                     );
-                    let (t, disp) = self.time_tile(&tile);
+                    let (t, disp, base_row) = self.time_tile_full(&tile);
                     times.push(t);
                     sum_t += t as f64;
                     sum_nnz += tile.nnz() as f64;
                     sum_disp += disp as f64;
+                    if profiling {
+                        sampled.tiles.push(TileStat {
+                            index: (times.len() - 1) as u64,
+                            cycles: t,
+                            nnz: tile.nnz() as u64,
+                            displaced: disp,
+                        });
+                        if let (Some(su), Some(base)) = (sampled.suds.as_mut(), base_row) {
+                            su.tiles += 1;
+                            su.displaced += disp;
+                            // The crossbar rotation that lands the base
+                            // row on the last physical row.
+                            su.rotation[p - 1 - base.min(p - 1)] += 1;
+                        }
+                    }
                 }
             }
             let count = times.len() as f64;
@@ -200,10 +273,20 @@ impl Architecture for OneSided {
                 stages,
                 window: cfg.core.window,
             };
-            let pipe = match self.schedule {
-                ScheduleMode::Natural => schedule_natural(&times, &sys),
-                ScheduleMode::Grouped => schedule_grouped(&times, &sys),
+            let steps = match self.schedule {
+                ScheduleMode::Natural => schedule_natural_steps(&times, &sys),
+                ScheduleMode::Grouped => schedule_grouped_steps(&times, &sys),
             };
+            let pipe = if profiling {
+                let mut sink = StepProfile::new(sys.rows);
+                let pipe = run_steps_with_sink(&steps, &sys, &mut sink);
+                sampled.sink = Some(sink);
+                pipe
+            } else {
+                run_steps(&steps, &sys)
+            };
+            sampled.busy_rc = pipe.busy_cycles;
+            sampled.idle_rc = pipe.bubble_cycles;
             (
                 sum_t / count,
                 sum_nnz / count,
@@ -263,12 +346,19 @@ impl Architecture for OneSided {
         let metadata_bytes =
             ((nnz_total * meta_bits as f64) / 8.0) as u64 + total_tiles * rotation_bits / 8;
 
+        // Device cycles lost to pipeline idle row-cycles of any kind,
+        // scaled exactly from the sampled stream (0 for uniform timers,
+        // whose pipeline never bubbles).
+        let observed_rc = sampled.busy_rc + sampled.idle_rc;
+        let bubble_cycles = scale(compute_cycles, sampled.idle_rc, observed_rc);
+
         let mut report = LayerReport {
             name: gemm.name.clone(),
             compute_cycles,
             mem_cycles: 0,
             mac_ops,
             idle_mac_cycles,
+            bubble_cycles,
             weight_bytes,
             act_bytes: gemm.unique_act_bytes,
             out_bytes: (2 * n * m) as u64,
@@ -283,7 +373,110 @@ impl Architecture for OneSided {
             },
         };
         report.mem_cycles = memory::exposed_cycles(&report, &cfg.mem);
-        Ok(report)
+
+        let profile = prof.map(|pcfg| self.build_profile(&report, &sampled, device_macs, pcfg));
+        Ok((report, profile))
+    }
+
+    /// Assembles the [`LayerProfile`] from the finished report and the
+    /// sampled pipeline detail. Pure arithmetic on already-computed
+    /// values; every derived bucket is constructed to reconcile exactly
+    /// (stalls sum to the report's total cycles, idle-MAC buckets sum to
+    /// the report's `idle_mac_cycles`).
+    fn build_profile(
+        &self,
+        report: &LayerReport,
+        sampled: &SampledPipe,
+        device_macs: u64,
+        pcfg: &ProfileConfig,
+    ) -> LayerProfile {
+        let Some(sink) = &sampled.sink else {
+            // Uniform-latency timers have no sampled pipeline: all
+            // compute is compute-bound.
+            return LayerProfile::from_report(report);
+        };
+        let observed_rc = sampled.busy_rc + sampled.idle_rc;
+        // True macro-step bubbles scale separately from whole-row drain;
+        // the remainder assignment keeps the pair exactly equal to the
+        // report's bubble_cycles scalar.
+        let pipeline_bubble = scale(report.compute_cycles, sink.bubble_cycles(), observed_rc);
+        let tail_drain = report.bubble_cycles.saturating_sub(pipeline_bubble);
+        let compute = report.compute_cycles - report.bubble_cycles;
+
+        let idle_total = report.idle_mac_cycles;
+        let bubble_macs = pipeline_bubble.saturating_mul(device_macs).min(idle_total);
+        let drain_macs = tail_drain
+            .saturating_mul(device_macs)
+            .min(idle_total - bubble_macs);
+        let slack = idle_total - bubble_macs - drain_macs;
+
+        let rows = (0..sink.rows())
+            .map(|r| RowOccupancy {
+                busy: sink.row_busy()[r],
+                bubble: sink.row_bubble()[r],
+                drain: sink.row_drain()[r],
+            })
+            .collect();
+
+        let mut histogram: BTreeMap<u64, u64> = BTreeMap::new();
+        for t in &sampled.tiles {
+            *histogram.entry(t.cycles).or_insert(0) += 1;
+        }
+        let mut worst = sampled.tiles.clone();
+        worst.sort_by(|a, b| b.cycles.cmp(&a.cycles).then(a.index.cmp(&b.index)));
+        worst.truncate(pcfg.top_tiles);
+
+        LayerProfile {
+            name: report.name.clone(),
+            compute_cycles: report.compute_cycles,
+            mem_cycles: report.mem_cycles,
+            stalls: StallBreakdown {
+                compute,
+                memory: report.mem_cycles,
+                pipeline_bubble,
+                tail_drain,
+            },
+            macs: MacBreakdown {
+                busy: report.mac_ops,
+                bubble: bubble_macs,
+                drain: drain_macs,
+                slack,
+            },
+            rows,
+            critical_path: histogram.into_iter().collect(),
+            suds: sampled.suds.clone(),
+            worst_tiles: worst,
+        }
+    }
+}
+
+impl Architecture for OneSided {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn simulate_layer(
+        &self,
+        gemm: &LayerGemm,
+        ctx: &LayerCtx,
+        cfg: &SimConfig,
+    ) -> Result<LayerReport, SimError> {
+        self.simulate_layer_impl(gemm, ctx, cfg, None)
+            .map(|(report, _)| report)
+    }
+
+    fn simulate_layer_profiled(
+        &self,
+        gemm: &LayerGemm,
+        ctx: &LayerCtx,
+        cfg: &SimConfig,
+        profile: &ProfileConfig,
+    ) -> Result<(LayerReport, LayerProfile), SimError> {
+        self.simulate_layer_impl(gemm, ctx, cfg, Some(profile))
+            .map(|(report, prof)| {
+                let prof = prof.unwrap_or_else(|| LayerProfile::from_report(&report));
+                (report, prof)
+            })
     }
 }
 

@@ -69,6 +69,7 @@ impl Architecture for S2ta {
             mem_cycles: 0,
             mac_ops,
             idle_mac_cycles: (compute_cycles * cfg.total_macs() as u64).saturating_sub(mac_ops),
+            bubble_cycles: 0,
             weight_bytes: ((n * k) as f64 * s2ta_fil * 2.0) as u64,
             act_bytes: (gemm.unique_act_bytes as f64 * s2ta_act) as u64,
             out_bytes: (2 * n * m) as u64,

@@ -142,6 +142,7 @@ impl Architecture for SparTen {
             mem_cycles: 0,
             mac_ops,
             idle_mac_cycles: (compute_cycles * cfg.total_macs() as u64).saturating_sub(mac_ops),
+            bubble_cycles: 0,
             weight_bytes: (nnz_w * 2.0) as u64,
             act_bytes: (act_elems as f64 * d_a * 2.0) as u64,
             out_bytes: (2 * n * m) as u64,

@@ -25,7 +25,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Format marker; bump when the serialization changes incompatibly.
 /// Readers ignore entries with any other header, so mixing versions in
 /// one directory degrades to recomputation, never to wrong data.
-const HEADER: &str = "eureka-checkpoint v1";
+/// (v2 added `bubble_cycles` as the ninth field; v1 entries are
+/// recomputed.)
+const HEADER: &str = "eureka-checkpoint v2";
 
 /// FNV-1a 64-bit over `bytes` — stable across processes and platforms
 /// (unlike `DefaultHasher`, whose keys are unspecified), so checkpoint
@@ -69,13 +71,14 @@ fn unescape(s: &str) -> String {
 pub fn encode(key: &str, report: &LayerReport) -> String {
     let o = &report.ops;
     format!(
-        "{HEADER}\nkey {}\nname {}\nfields {} {} {} {} {} {} {} {}\nops {} {} {} {} {} {} {} {}\n",
+        "{HEADER}\nkey {}\nname {}\nfields {} {} {} {} {} {} {} {} {}\nops {} {} {} {} {} {} {} {}\n",
         escape(key),
         escape(&report.name),
         report.compute_cycles,
         report.mem_cycles,
         report.mac_ops,
         report.idle_mac_cycles,
+        report.bubble_cycles,
         report.weight_bytes,
         report.act_bytes,
         report.out_bytes,
@@ -120,7 +123,7 @@ pub fn decode(text: &str, expected_key: &str) -> Option<LayerReport> {
         .map(str::parse)
         .collect::<Result<_, _>>()
         .ok()?;
-    if fields.len() != 8 || ops.len() != 8 || lines.next().is_some() {
+    if fields.len() != 9 || ops.len() != 8 || lines.next().is_some() {
         return None;
     }
     Some(LayerReport {
@@ -129,10 +132,11 @@ pub fn decode(text: &str, expected_key: &str) -> Option<LayerReport> {
         mem_cycles: fields[1],
         mac_ops: fields[2],
         idle_mac_cycles: fields[3],
-        weight_bytes: fields[4],
-        act_bytes: fields[5],
-        out_bytes: fields[6],
-        metadata_bytes: fields[7],
+        bubble_cycles: fields[4],
+        weight_bytes: fields[5],
+        act_bytes: fields[6],
+        out_bytes: fields[7],
+        metadata_bytes: fields[8],
         ops: OpCounts {
             mux2: ops[0],
             mux4: ops[1],
@@ -224,6 +228,7 @@ mod tests {
             mem_cycles: 45,
             mac_ops: 6789,
             idle_mac_cycles: 10,
+            bubble_cycles: 9,
             weight_bytes: 11,
             act_bytes: 12,
             out_bytes: 13,
@@ -255,7 +260,7 @@ mod tests {
         assert_eq!(decode(&text, "k2"), None, "key mismatch is a miss");
         let truncated = &text[..text.len() / 2];
         assert_eq!(decode(truncated, "k1"), None, "truncation is a miss");
-        let skewed = text.replace("v1", "v9");
+        let skewed = text.replace("v2", "v9");
         assert_eq!(decode(&skewed, "k1"), None, "version skew is a miss");
         let trailing = format!("{text}junk\n");
         assert_eq!(decode(&trailing, "k1"), None, "trailing data is a miss");

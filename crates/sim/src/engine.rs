@@ -7,6 +7,7 @@
 use crate::arch::{Architecture, SimError};
 use crate::config::SimConfig;
 use crate::outcome::JobOutcome;
+use crate::profile::{ProfileConfig, SimProfile};
 use crate::report::SimReport;
 use crate::runner::{Runner, SimJob};
 use eureka_models::Workload;
@@ -52,6 +53,31 @@ pub fn simulate_outcome(
         workload.benchmark().name()
     );
     Runner::default().run_outcome(&SimJob::new(arch, workload, *cfg))
+}
+
+/// Like [`try_simulate`] but with cycle-attribution profiling: returns
+/// the report (bit-identical to an unprofiled run) together with its
+/// [`SimProfile`]. Uses the default runner, so `--jobs` applies; the
+/// profile is assembled in layer-index order and serializes to identical
+/// bytes regardless of worker count.
+///
+/// # Errors
+///
+/// Returns [`SimError::Unsupported`] if the architecture cannot run the
+/// workload.
+pub fn try_profile(
+    arch: &dyn Architecture,
+    workload: &Workload,
+    cfg: &SimConfig,
+    pcfg: &ProfileConfig,
+) -> Result<(SimReport, SimProfile), SimError> {
+    let _span = eureka_obs::span!(
+        "engine.profile",
+        "{} on {}",
+        arch.name(),
+        workload.benchmark().name()
+    );
+    Runner::default().run_profiled(&SimJob::new(arch, workload, *cfg), pcfg)
 }
 
 /// Like [`try_simulate`] but panics on unsupported combinations.

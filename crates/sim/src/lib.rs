@@ -47,6 +47,7 @@ pub mod engine;
 pub mod faults;
 pub mod memory;
 pub mod outcome;
+pub mod profile;
 pub mod report;
 pub mod runner;
 pub mod sweep;
@@ -54,6 +55,10 @@ pub mod sweep;
 pub use config::{MemoryConfig, SimConfig, TensorCoreConfig};
 pub use outcome::{
     render_failure_report, FailureKind, JobOutcome, RetryPolicy, TransientKinds, UnitFailure,
+};
+pub use profile::{
+    LayerProfile, MacBreakdown, ProfileConfig, RowOccupancy, SimProfile, StallBreakdown, SudsStats,
+    TileStat,
 };
 pub use report::{LayerReport, OpCounts, SimReport};
 pub use runner::{Runner, SimJob};

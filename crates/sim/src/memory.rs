@@ -57,6 +57,7 @@ mod tests {
             mem_cycles: 0,
             mac_ops: 0,
             idle_mac_cycles: 0,
+            bubble_cycles: 0,
             weight_bytes: weight,
             act_bytes: act,
             out_bytes: 0,

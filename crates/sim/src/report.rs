@@ -62,6 +62,10 @@ pub struct LayerReport {
     pub mac_ops: u64,
     /// MAC-cycles of idle capacity during the layer's compute time.
     pub idle_mac_cycles: u64,
+    /// Device cycles lost to systolic macro-step mismatch (Figure 10's
+    /// bubbles), scaled from the sampled pipeline's row-cycle accounting.
+    /// Zero for architectures whose tiles all take the same time.
+    pub bubble_cycles: u64,
     /// DRAM bytes: filter weights (including sparse-format payload).
     pub weight_bytes: u64,
     /// DRAM bytes: input activations.
@@ -85,6 +89,17 @@ impl LayerReport {
     #[must_use]
     pub fn total_bytes(&self) -> u64 {
         self.weight_bytes + self.act_bytes + self.out_bytes + self.metadata_bytes
+    }
+
+    /// This layer's MAC utilization: useful multiplies per MAC-cycle of
+    /// compute (0.0 for a layer that did nothing).
+    #[must_use]
+    pub fn mac_utilization(&self) -> f64 {
+        let denom = self.mac_ops + self.idle_mac_cycles;
+        if denom == 0 {
+            return 0.0;
+        }
+        self.mac_ops as f64 / denom as f64
     }
 }
 
@@ -138,6 +153,12 @@ impl SimReport {
     #[must_use]
     pub fn idle_mac_cycles(&self) -> u64 {
         self.layers.iter().map(|l| l.idle_mac_cycles).sum()
+    }
+
+    /// Total systolic-bubble cycles across layers.
+    #[must_use]
+    pub fn bubble_cycles(&self) -> u64 {
+        self.layers.iter().map(|l| l.bubble_cycles).sum()
     }
 
     /// Total DRAM traffic in bytes.
@@ -219,16 +240,19 @@ impl SimReport {
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "layer,compute_cycles,mem_cycles,mac_ops,idle_mac_cycles,\
+             bubble_cycles,mac_utilization,\
              weight_bytes,act_bytes,out_bytes,metadata_bytes\n",
         );
         for l in &self.layers {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{:.4},{},{},{},{}\n",
                 l.name,
                 l.compute_cycles,
                 l.mem_cycles,
                 l.mac_ops,
                 l.idle_mac_cycles,
+                l.bubble_cycles,
+                l.mac_utilization(),
                 l.weight_bytes,
                 l.act_bytes,
                 l.out_bytes,
@@ -272,6 +296,7 @@ mod tests {
             mem_cycles: mem,
             mac_ops: macs,
             idle_mac_cycles: 10,
+            bubble_cycles: 7,
             weight_bytes: 100,
             act_bytes: 200,
             out_bytes: 50,
@@ -295,6 +320,7 @@ mod tests {
         assert_eq!(r.mem_cycles(), 40);
         assert!((r.mem_share() - 40.0 / 340.0).abs() < 1e-12);
         assert_eq!(r.mac_ops(), 4000);
+        assert_eq!(r.bubble_cycles(), 14);
         assert_eq!(r.total_bytes(), 2 * 355);
         assert_eq!(r.ops().mux_total(), 4000);
         assert!((r.mac_utilization() - 4000.0 / 4020.0).abs() < 1e-12);
@@ -356,8 +382,14 @@ mod tests {
         };
         let csv = r.to_csv();
         let mut lines = csv.lines();
-        assert!(lines.next().unwrap().starts_with("layer,compute_cycles"));
-        assert_eq!(lines.next().unwrap(), "l,100,10,1000,10,100,200,50,5");
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("layer,compute_cycles"));
+        assert!(header.contains("bubble_cycles,mac_utilization"));
+        // 1000 / (1000 + 10) = 0.990099... -> 0.9901 at 4 places.
+        assert_eq!(
+            lines.next().unwrap(),
+            "l,100,10,1000,10,7,0.9901,100,200,50,5"
+        );
         assert_eq!(lines.next(), None);
     }
 

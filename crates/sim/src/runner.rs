@@ -71,6 +71,7 @@ use crate::arch::{Architecture, LayerCtx, SimError};
 use crate::checkpoint::CheckpointStore;
 use crate::config::SimConfig;
 use crate::outcome::{FailureKind, JobOutcome, RetryPolicy, UnitFailure};
+use crate::profile::{LayerProfile, ProfileConfig, SimProfile};
 use crate::report::{LayerReport, SimReport};
 use eureka_models::{activation, workload::LayerGemm, Workload};
 use eureka_obs::metrics::{self, Class, Counter, Gauge, Histogram};
@@ -610,24 +611,36 @@ impl Runner {
 
     /// Executes planned units, returning results in unit order.
     fn execute(&self, units: &[WorkUnit<'_>]) -> Vec<Result<LayerReport, UnitError>> {
+        self.execute_with(units, |unit| self.run_unit(unit))
+    }
+
+    /// The shared execute phase: runs `run` over every unit — serially or
+    /// via the index-claimed scoped pool — and returns results in unit
+    /// order. Generic over the result type so the plain and profiled
+    /// paths share one pool implementation (and one determinism story:
+    /// slot `i` always holds unit `i`'s result, whichever worker ran it).
+    fn execute_with<R: Send + Sync>(
+        &self,
+        units: &[WorkUnit<'_>],
+        run: impl Fn(&WorkUnit<'_>) -> R + Sync,
+    ) -> Vec<R> {
         let t = telemetry();
         let workers = self.effective_jobs().min(units.len());
         let wall = Instant::now();
         let busy_us = AtomicU64::new(0);
-        let results: Vec<Result<LayerReport, UnitError>> = if workers <= 1 {
+        let results: Vec<R> = if workers <= 1 {
             units
                 .iter()
                 .map(|unit| {
                     t.queue_wait_micros.record(micros(wall.elapsed()));
                     let started = Instant::now();
-                    let result = self.run_unit(unit);
+                    let result = run(unit);
                     busy_us.fetch_add(micros(started.elapsed()), Ordering::Relaxed);
                     result
                 })
                 .collect()
         } else {
-            let slots: Vec<OnceLock<Result<LayerReport, UnitError>>> =
-                (0..units.len()).map(|_| OnceLock::new()).collect();
+            let slots: Vec<OnceLock<R>> = (0..units.len()).map(|_| OnceLock::new()).collect();
             let next = AtomicUsize::new(0);
             std::thread::scope(|scope| {
                 for _ in 0..workers {
@@ -642,9 +655,9 @@ impl Runner {
                             let Some(unit) = units.get(i) else { break };
                             t.queue_wait_micros.record(micros(wall.elapsed()));
                             let started = Instant::now();
-                            slots[i]
-                                .set(self.run_unit(unit))
-                                .unwrap_or_else(|_| unreachable!("unit {i} claimed twice"));
+                            if slots[i].set(run(unit)).is_err() {
+                                unreachable!("unit {i} claimed twice");
+                            }
                             busy_us.fetch_add(micros(started.elapsed()), Ordering::Relaxed);
                         }
                     });
@@ -774,6 +787,74 @@ impl Runner {
             }
         }
     }
+
+    /// Runs one job with cycle-attribution profiling, returning the
+    /// report and its [`SimProfile`].
+    ///
+    /// The report is bit-identical to [`Runner::run`] on the same job
+    /// (the profiled architecture paths consume identical RNG streams —
+    /// asserted by the workspace test-suite for every registry
+    /// architecture), and the profile is assembled in layer-index order,
+    /// so its JSON export is byte-identical across serial and parallel
+    /// runners. Profiled units bypass the unit cache and the checkpoint
+    /// store: both hold bare [`LayerReport`]s, and replaying one could
+    /// not reconstruct its row-level attribution. The deterministic
+    /// `runner.*`/`cache.*` counters are therefore untouched, keeping the
+    /// plain drive path's reconciliation invariant intact.
+    ///
+    /// # Errors
+    ///
+    /// Returns the lowest-layer-index failure ([`SimError::Unsupported`]
+    /// from the architecture, [`SimError::UnitPanic`] for caught panics)
+    /// — profiling has no degraded mode.
+    pub fn run_profiled(
+        &self,
+        job: &SimJob<'_>,
+        pcfg: &ProfileConfig,
+    ) -> Result<(SimReport, SimProfile), SimError> {
+        let _span = eureka_obs::span!(
+            "runner.run_profiled",
+            "{} on {}",
+            job.arch.name(),
+            job.workload.benchmark().name()
+        );
+        let mut units = Vec::new();
+        plan(job, &mut units);
+        let results = self.execute_with(&units, |unit| {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                execute_unit_profiled(unit, pcfg)
+            }));
+            match outcome {
+                Ok(r) => r,
+                Err(panic) => Err(SimError::UnitPanic {
+                    layer: unit.gemm.name.clone(),
+                    payload: panic_message(panic.as_ref()),
+                }),
+            }
+        });
+        let mut layers = Vec::with_capacity(results.len() + 1);
+        let mut profiles = Vec::with_capacity(results.len() + 1);
+        for result in results {
+            let (report, profile) = result?;
+            layers.push(report);
+            profiles.push(profile);
+        }
+        if let Some(aux) = attention_aux_layer(job) {
+            profiles.push(LayerProfile::from_report(&aux));
+            layers.push(aux);
+        }
+        let report = SimReport {
+            arch: job.arch.name().to_string(),
+            workload: workload_label(job),
+            layers,
+        };
+        let profile = SimProfile {
+            arch: report.arch.clone(),
+            workload: report.workload.clone(),
+            layers: profiles,
+        };
+        Ok((report, profile))
+    }
 }
 
 /// Best-effort rendering of a caught panic payload. `&str` and `String`
@@ -838,23 +919,82 @@ fn plan<'a>(job: &SimJob<'a>, units: &mut Vec<WorkUnit<'a>>) {
 /// cache-replay residency when `detailed_memory` is on.
 fn execute_unit(unit: &WorkUnit<'_>) -> Result<LayerReport, SimError> {
     let mut report = unit.arch.simulate_layer(&unit.gemm, &unit.ctx, &unit.cfg)?;
-    if unit.cfg.detailed_memory {
-        // Replace the analytic residency constant with a measured one from
-        // the cache substrate, and re-derive the exposure.
-        let residency = crate::cachesim::replay_layer(
-            &unit.gemm,
-            &unit.cfg,
-            crate::cachesim::CacheConfig::ampere_l2(),
-            96,
-        )
-        .act_hit_rate;
-        let mem = crate::config::MemoryConfig {
-            l2_act_residency: residency,
-            ..unit.cfg.mem
-        };
-        report.mem_cycles = crate::memory::exposed_cycles(&report, &mem);
+    if let Some(mem_cycles) = detailed_mem_cycles(unit, &report) {
+        report.mem_cycles = mem_cycles;
     }
     Ok(report)
+}
+
+/// [`execute_unit`] with cycle attribution: same timing, same RNG
+/// consumption, plus the layer's [`LayerProfile`]. The detailed-memory
+/// adjustment is mirrored into the profile so its `memory` stall bucket
+/// keeps matching the report's `mem_cycles` exactly.
+fn execute_unit_profiled(
+    unit: &WorkUnit<'_>,
+    pcfg: &ProfileConfig,
+) -> Result<(LayerReport, LayerProfile), SimError> {
+    let (mut report, mut profile) = unit
+        .arch
+        .simulate_layer_profiled(&unit.gemm, &unit.ctx, &unit.cfg, pcfg)?;
+    if let Some(mem_cycles) = detailed_mem_cycles(unit, &report) {
+        report.mem_cycles = mem_cycles;
+        profile.mem_cycles = mem_cycles;
+        profile.stalls.memory = mem_cycles;
+    }
+    Ok((report, profile))
+}
+
+/// The measured-residency memory exposure for `unit`, when
+/// `detailed_memory` is on: replaces the analytic residency constant with
+/// one measured on the cache substrate and re-derives the exposed cycles.
+fn detailed_mem_cycles(unit: &WorkUnit<'_>, report: &LayerReport) -> Option<u64> {
+    if !unit.cfg.detailed_memory {
+        return None;
+    }
+    let residency = crate::cachesim::replay_layer(
+        &unit.gemm,
+        &unit.cfg,
+        crate::cachesim::CacheConfig::ampere_l2(),
+        96,
+    )
+    .act_hit_rate;
+    let mem = crate::config::MemoryConfig {
+        l2_act_residency: residency,
+        ..unit.cfg.mem
+    };
+    Some(crate::memory::exposed_cycles(report, &mem))
+}
+
+/// The human-readable workload label shared by every report assembled
+/// from `job`.
+fn workload_label(job: &SimJob<'_>) -> String {
+    format!(
+        "{} ({}, batch {})",
+        job.workload.benchmark().name(),
+        job.workload.pruning().label(),
+        job.workload.batch()
+    )
+}
+
+/// The synthetic dense layer for the weight-free attention matmuls, when
+/// `include_attention_aux` asks for it and the workload has any.
+fn attention_aux_layer(job: &SimJob<'_>) -> Option<LayerReport> {
+    if !job.cfg.include_attention_aux {
+        return None;
+    }
+    let aux = job.workload.attention_aux_macs();
+    if aux == 0 {
+        return None;
+    }
+    let compute = (aux as f64 / job.cfg.total_macs() as f64).ceil() as u64;
+    Some(LayerReport {
+        name: "attention-aux".into(),
+        compute_cycles: compute,
+        mem_cycles: (job.cfg.mem.ramp_fraction * compute as f64).ceil() as u64,
+        mac_ops: aux,
+        idle_mac_cycles: 0,
+        ..LayerReport::default()
+    })
 }
 
 /// Assembles one job's unit results (already in layer order) into a
@@ -889,28 +1029,12 @@ fn reduce(
         return JobOutcome::Failed { failures };
     }
     // Weight-free attention matmuls run dense on every architecture.
-    if job.cfg.include_attention_aux {
-        let aux = job.workload.attention_aux_macs();
-        if aux > 0 {
-            let compute = (aux as f64 / job.cfg.total_macs() as f64).ceil() as u64;
-            layers.push(LayerReport {
-                name: "attention-aux".into(),
-                compute_cycles: compute,
-                mem_cycles: (job.cfg.mem.ramp_fraction * compute as f64).ceil() as u64,
-                mac_ops: aux,
-                idle_mac_cycles: 0,
-                ..LayerReport::default()
-            });
-        }
+    if let Some(aux) = attention_aux_layer(job) {
+        layers.push(aux);
     }
     let report = SimReport {
         arch: job.arch.name().to_string(),
-        workload: format!(
-            "{} ({}, batch {})",
-            job.workload.benchmark().name(),
-            job.workload.pruning().label(),
-            job.workload.batch()
-        ),
+        workload: workload_label(job),
         layers,
     };
     if failures.is_empty() {
@@ -1100,6 +1224,82 @@ mod tests {
         assert_eq!(Runner::default().retry, RetryPolicy::NONE);
         assert!(Runner::default().checkpoint.is_none());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn profiled_run_does_not_perturb_the_report() {
+        let w = Workload::new(Benchmark::MobileNetV1, PruningLevel::Moderate, 32);
+        let cfg = tiny_cfg();
+        let a = arch::eureka_p4();
+        let job = SimJob::new(&a, &w, cfg);
+        let plain = Runner::serial().without_cache().run(&job).unwrap();
+        let (profiled, profile) = Runner::serial()
+            .without_cache()
+            .run_profiled(&job, &ProfileConfig::default())
+            .unwrap();
+        assert_eq!(plain, profiled, "profiling must not change the report");
+        assert_eq!(profile.total_attributed_cycles(), profiled.total_cycles());
+        assert_eq!(profile.idle_mac_cycles(), profiled.idle_mac_cycles());
+    }
+
+    #[test]
+    fn profiles_are_identical_across_worker_counts() {
+        let w = Workload::new(Benchmark::MobileNetV1, PruningLevel::Moderate, 32);
+        let cfg = tiny_cfg();
+        let a = arch::eureka_p2();
+        let job = SimJob::new(&a, &w, cfg);
+        let pcfg = ProfileConfig::default();
+        let (r1, p1) = Runner::serial()
+            .without_cache()
+            .run_profiled(&job, &pcfg)
+            .unwrap();
+        let (r4, p4) = Runner::with_jobs(4)
+            .without_cache()
+            .run_profiled(&job, &pcfg)
+            .unwrap();
+        assert_eq!(r1, r4);
+        assert_eq!(p1, p4);
+        assert_eq!(p1.to_json(), p4.to_json(), "JSON export is byte-stable");
+    }
+
+    #[test]
+    fn profiled_run_includes_attention_aux_layer() {
+        let w = Workload::new(Benchmark::BertSquad, PruningLevel::Moderate, 8);
+        let cfg = SimConfig {
+            include_attention_aux: true,
+            ..tiny_cfg()
+        };
+        let a = arch::dense();
+        let job = SimJob::new(&a, &w, cfg);
+        let (report, profile) = Runner::serial()
+            .without_cache()
+            .run_profiled(&job, &ProfileConfig::default())
+            .unwrap();
+        assert_eq!(report.layers.len(), profile.layers.len());
+        let aux = profile.layers.last().unwrap();
+        assert_eq!(aux.name, "attention-aux");
+        assert_eq!(profile.total_attributed_cycles(), report.total_cycles());
+    }
+
+    #[test]
+    fn profiled_run_mirrors_detailed_memory_adjustment() {
+        let w = Workload::new(Benchmark::MobileNetV1, PruningLevel::Moderate, 32);
+        let cfg = SimConfig {
+            detailed_memory: true,
+            ..tiny_cfg()
+        };
+        let a = arch::dense();
+        let job = SimJob::new(&a, &w, cfg);
+        let plain = Runner::serial().without_cache().run(&job).unwrap();
+        let (profiled, profile) = Runner::serial()
+            .without_cache()
+            .run_profiled(&job, &ProfileConfig::default())
+            .unwrap();
+        assert_eq!(plain, profiled);
+        for (l, p) in profiled.layers.iter().zip(&profile.layers) {
+            assert_eq!(l.mem_cycles, p.mem_cycles);
+            assert_eq!(l.mem_cycles, p.stalls.memory);
+        }
     }
 
     #[test]

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Emit a versioned benchmark snapshot: results/BENCH_<n>.json with the
+# next free <n>. The snapshot records cycles, MAC utilization and
+# speedup-vs-dense for the standard arch matrix on one benchmark, so
+# successive snapshots (committed over time) track simulator drift.
+#
+# Usage: scripts/bench_snapshot.sh [--benchmark B] [--arch A] [extra
+# `eureka profile` flags...]. Defaults: mobilenetv1 / eureka-p4 / fast
+# sampling.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHMARK=mobilenetv1
+ARCH=eureka-p4
+EXTRA=()
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --benchmark) BENCHMARK="$2"; shift 2 ;;
+        --arch)      ARCH="$2";      shift 2 ;;
+        *)           EXTRA+=("$1");  shift ;;
+    esac
+done
+
+cargo build --release -q -p eureka-cli
+
+mkdir -p results
+n=1
+while [[ -e "results/BENCH_${n}.json" ]]; do
+    n=$((n + 1))
+done
+out="results/BENCH_${n}.json"
+
+target/release/eureka profile --benchmark "$BENCHMARK" --arch "$ARCH" \
+    --fast --bench-json "$out" "${EXTRA[@]+"${EXTRA[@]}"}"
+echo "wrote $out"

@@ -12,4 +12,11 @@ cargo run --release -q -p eureka-cli -- verify --replay tests/corpus
 cargo run --release -q -p eureka-cli -- verify --cases 200 --seed 42 | tail -n 1
 cargo run --release -q -p eureka-cli -- verify --fault-matrix --seed 42 | tail -n 1
 scripts/resume_smoke.sh
+# Profile smoke: the cycle-attribution export must be byte-identical
+# across runs (determinism is part of the profiler's contract).
+cargo run --release -q -p eureka-cli -- profile --benchmark mobilenetv1 \
+    --arch eureka-p4 --fast --json - > /tmp/eureka-profile-a.json
+cargo run --release -q -p eureka-cli -- profile --benchmark mobilenetv1 \
+    --arch eureka-p4 --fast --json - > /tmp/eureka-profile-b.json
+cmp /tmp/eureka-profile-a.json /tmp/eureka-profile-b.json
 echo "CI OK"

@@ -5,7 +5,7 @@
 
 use eureka::obs;
 use eureka_models::{Benchmark, PruningLevel, Workload};
-use eureka_sim::{arch, runner, Runner, SimConfig, SimJob};
+use eureka_sim::{arch, runner, ProfileConfig, Runner, SimConfig, SimJob};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Spans, the metrics registry and the unit cache are process-global;
@@ -194,4 +194,46 @@ fn telemetry_does_not_change_simulation_output() {
     obs::span::clear();
 
     assert_eq!(plain, traced, "tracing must not perturb results");
+}
+
+#[test]
+fn telemetry_does_not_change_profiled_output() {
+    let _x = exclusive();
+    let w = Workload::new(Benchmark::MobileNetV1, PruningLevel::Moderate, 16);
+    let cfg = test_cfg();
+    let pcfg = ProfileConfig::default();
+    let a = arch::by_name("eureka-p4").expect("registered");
+    let job = SimJob::new(a.as_ref(), &w, cfg);
+
+    obs::span::set_enabled(false);
+    let (plain_report, plain_profile) = Runner::with_jobs(4)
+        .run_profiled(&job, &pcfg)
+        .expect("supported");
+
+    obs::span::clear();
+    obs::span::set_enabled(true);
+    let (traced_report, traced_profile) = Runner::with_jobs(4)
+        .run_profiled(&job, &pcfg)
+        .expect("supported");
+    obs::span::set_enabled(false);
+    obs::span::clear();
+
+    assert_eq!(
+        plain_report, traced_report,
+        "tracing must not perturb reports"
+    );
+    assert_eq!(
+        plain_profile, traced_profile,
+        "tracing must not perturb profiles"
+    );
+    assert_eq!(
+        plain_profile.to_json(),
+        traced_profile.to_json(),
+        "profile JSON is byte-identical with tracing on"
+    );
+    // Profiling reconciles even with the telemetry layer active.
+    assert_eq!(
+        traced_profile.total_attributed_cycles(),
+        traced_report.total_cycles()
+    );
 }
