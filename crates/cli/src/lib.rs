@@ -47,6 +47,10 @@ pub enum Command {
         checkpoint_dir: Option<String>,
         /// Replay completed units from `checkpoint_dir` before executing.
         resume: bool,
+        /// Persist canonical tile results under this directory.
+        store_dir: Option<String>,
+        /// Disable the tile-result store (even the in-process hot tier).
+        no_store: bool,
     },
     /// Compile one layer's (synthetic) pruned weights to the offline
     /// format and report compression/cycle statistics.
@@ -99,6 +103,10 @@ pub enum Command {
         checkpoint_dir: Option<String>,
         /// Replay completed units from `checkpoint_dir` before executing.
         resume: bool,
+        /// Persist canonical tile results under this directory.
+        store_dir: Option<String>,
+        /// Disable the tile-result store (even the in-process hot tier).
+        no_store: bool,
     },
     /// Profile one workload on one architecture: cycle attribution
     /// (stall taxonomy, per-row heatmap, worst tiles, SUDS displacement)
@@ -128,6 +136,10 @@ pub enum Command {
         top_tiles: usize,
         /// Diagnostic verbosity (0, 1 = `-v`, 2 = `-vv`).
         verbose: u8,
+        /// Persist canonical tile results under this directory.
+        store_dir: Option<String>,
+        /// Disable the tile-result store (even the in-process hot tier).
+        no_store: bool,
     },
     /// Run the differential verification suite (dense-GEMM oracle,
     /// brute-force SUDS checker, metamorphic invariants) over seeded
@@ -159,15 +171,18 @@ USAGE:
   eureka figure <table1|table2|fig09|fig11|fig12|fig13|fig14|ablations>
                   [--csv] [--fast] [--jobs <N>]
                   [--retries <N>] [--checkpoint-dir <dir>] [--resume]
+                  [--store-dir <dir>] [--no-store]
                   [--trace-out <file>] [--metrics-out <file>] [-v|-vv]
   eureka simulate --benchmark <mobilenetv1|inceptionv3|resnet50|bert>
                   [--pruning <dense|cons|mod>] [--arch <name>]
                   [--batch <N>] [--csv] [--fast] [--jobs <N>]
                   [--keep-going] [--max-failures <N>] [--retries <N>]
                   [--checkpoint-dir <dir>] [--resume]
+                  [--store-dir <dir>] [--no-store]
                   [--trace-out <file>] [--metrics-out <file>] [-v|-vv]
   eureka profile  --benchmark <name> [--pruning <level>] [--arch <name>]
                   [--batch <N>] [--fast] [--jobs <N>] [--top-tiles <N>]
+                  [--store-dir <dir>] [--no-store]
                   [--json <file|->] [--heatmap <file|->]
                   [--trace-out <file|->] [--bench-json <file|->] [-v|-vv]
   eureka compile  --benchmark <name> --layer <layer-name> [--factor <P>]
@@ -190,11 +205,21 @@ FAULT TOLERANCE:
   --resume              replay completed units from --checkpoint-dir
                         bit-identically instead of recomputing them
 
+RESULT STORE:
+  --store-dir <dir>     persist canonical tile results (content-addressed by
+                        row-length signature) across runs: a warmed store
+                        replays every tile of a repeated sweep with zero
+                        re-simulation and byte-identical reports
+  --no-store            disable the tile-result store entirely, including
+                        the in-process hot tier (output is identical either
+                        way; the store only removes redundant work)
+
 TELEMETRY:
   --trace-out <file>    Chrome Trace Event JSON of the run (one track per
                         worker thread; open in chrome://tracing or Perfetto)
   --metrics-out <file>  JSON snapshot of the metrics registry (unit/cache/
-                        failure/checkpoint counters, exec-time histograms)
+                        store/failure/checkpoint counters, exec-time
+                        histograms)
   -v / -vv              telemetry summary / per-layer breakdown on stderr
 
 PROFILING (`eureka profile`):
@@ -292,6 +317,8 @@ where
             let mut retries = 0u32;
             let mut checkpoint_dir = None;
             let mut resume = false;
+            let mut store_dir = None;
+            let mut no_store = false;
             let mut it = args[2..].iter();
             while let Some(a) = it.next() {
                 let mut value = |flag: &str| {
@@ -310,11 +337,16 @@ where
                     "--retries" => retries = parse_retries(&value("--retries")?)?,
                     "--checkpoint-dir" => checkpoint_dir = Some(value("--checkpoint-dir")?),
                     "--resume" => resume = true,
+                    "--store-dir" => store_dir = Some(value("--store-dir")?),
+                    "--no-store" => no_store = true,
                     other => return Err(format!("unknown flag '{other}' for figure")),
                 }
             }
             if resume && checkpoint_dir.is_none() {
                 return Err("--resume requires --checkpoint-dir".into());
+            }
+            if no_store && store_dir.is_some() {
+                return Err("--no-store conflicts with --store-dir".into());
             }
             Ok(Command::Figure {
                 name,
@@ -327,6 +359,8 @@ where
                 retries,
                 checkpoint_dir,
                 resume,
+                store_dir,
+                no_store,
             })
         }
         "compile" => {
@@ -397,6 +431,8 @@ where
             let mut retries = 0u32;
             let mut checkpoint_dir = None;
             let mut resume = false;
+            let mut store_dir = None;
+            let mut no_store = false;
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
                 let mut value = |flag: &str| {
@@ -431,6 +467,8 @@ where
                     "--retries" => retries = parse_retries(&value("--retries")?)?,
                     "--checkpoint-dir" => checkpoint_dir = Some(value("--checkpoint-dir")?),
                     "--resume" => resume = true,
+                    "--store-dir" => store_dir = Some(value("--store-dir")?),
+                    "--no-store" => no_store = true,
                     other => return Err(format!("unknown flag '{other}' for simulate")),
                 }
             }
@@ -449,6 +487,9 @@ where
             if resume && checkpoint_dir.is_none() {
                 return Err("--resume requires --checkpoint-dir".into());
             }
+            if no_store && store_dir.is_some() {
+                return Err("--no-store conflicts with --store-dir".into());
+            }
             Ok(Command::Simulate {
                 benchmark,
                 pruning,
@@ -465,6 +506,8 @@ where
                 retries,
                 checkpoint_dir,
                 resume,
+                store_dir,
+                no_store,
             })
         }
         "profile" => {
@@ -480,6 +523,8 @@ where
             let mut bench_json = None;
             let mut top_tiles = 5usize;
             let mut verbose = 0u8;
+            let mut store_dir = None;
+            let mut no_store = false;
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
                 let mut value = |flag: &str| {
@@ -509,6 +554,8 @@ where
                     }
                     "-v" | "--verbose" => verbose = verbose.saturating_add(1),
                     "-vv" => verbose = verbose.saturating_add(2),
+                    "--store-dir" => store_dir = Some(value("--store-dir")?),
+                    "--no-store" => no_store = true,
                     other => return Err(format!("unknown flag '{other}' for profile")),
                 }
             }
@@ -528,6 +575,9 @@ where
             if stdout_exports > 1 {
                 return Err("at most one profile export may write to stdout ('-')".into());
             }
+            if no_store && store_dir.is_some() {
+                return Err("--no-store conflicts with --store-dir".into());
+            }
             Ok(Command::Profile {
                 benchmark,
                 pruning,
@@ -541,6 +591,8 @@ where
                 bench_json,
                 top_tiles,
                 verbose,
+                store_dir,
+                no_store,
             })
         }
         "verify" => {
@@ -641,17 +693,24 @@ impl<'a> Telemetry<'a> {
     }
 }
 
-/// RAII guard for the process-wide retry/checkpoint settings consumed by
-/// `Runner::default()`. Armed only when the user asked for fault
-/// tolerance; resets both settings on drop so one command's flags never
-/// leak into library callers or tests running in the same process.
+/// RAII guard for the process-wide retry/checkpoint/store settings
+/// consumed by `Runner::default()`. Armed only when the user asked for
+/// fault tolerance or a non-default store configuration; resets every
+/// setting on drop so one command's flags never leak into library
+/// callers or tests running in the same process.
 struct RunnerGlobals {
     armed: bool,
 }
 
 impl RunnerGlobals {
-    fn apply(retries: u32, checkpoint_dir: Option<&str>, resume: bool) -> Self {
-        let armed = retries > 0 || checkpoint_dir.is_some();
+    fn apply(
+        retries: u32,
+        checkpoint_dir: Option<&str>,
+        resume: bool,
+        store_dir: Option<&str>,
+        no_store: bool,
+    ) -> Self {
+        let armed = retries > 0 || checkpoint_dir.is_some() || store_dir.is_some() || no_store;
         if retries > 0 {
             eureka_sim::runner::set_global_retry(eureka_sim::RetryPolicy::transient(retries + 1));
         }
@@ -660,6 +719,12 @@ impl RunnerGlobals {
                 std::path::PathBuf::from(dir),
                 resume,
             )));
+        }
+        if store_dir.is_some() || no_store {
+            eureka_sim::runner::set_global_store(
+                store_dir.map(std::path::PathBuf::from),
+                !no_store,
+            );
         }
         Self { armed }
     }
@@ -670,6 +735,7 @@ impl Drop for RunnerGlobals {
         if self.armed {
             eureka_sim::runner::set_global_retry(eureka_sim::RetryPolicy::NONE);
             eureka_sim::runner::set_global_checkpoint(None);
+            eureka_sim::runner::set_global_store(None, true);
         }
     }
 }
@@ -703,11 +769,19 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             retries,
             checkpoint_dir,
             resume,
+            store_dir,
+            no_store,
         } => {
             if let Some(n) = jobs {
                 eureka_sim::runner::set_global_jobs(*n);
             }
-            let _globals = RunnerGlobals::apply(*retries, checkpoint_dir.as_deref(), *resume);
+            let _globals = RunnerGlobals::apply(
+                *retries,
+                checkpoint_dir.as_deref(),
+                *resume,
+                store_dir.as_deref(),
+                *no_store,
+            );
             let tel = Telemetry::begin(trace_out.as_deref(), metrics_out.as_deref(), *verbose);
             let cfg = if *fast {
                 SimConfig::fast()
@@ -832,12 +906,20 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             retries,
             checkpoint_dir,
             resume,
+            store_dir,
+            no_store,
         } => {
             use eureka_sim::{render_failure_report, JobOutcome};
             if let Some(n) = jobs {
                 eureka_sim::runner::set_global_jobs(*n);
             }
-            let _globals = RunnerGlobals::apply(*retries, checkpoint_dir.as_deref(), *resume);
+            let _globals = RunnerGlobals::apply(
+                *retries,
+                checkpoint_dir.as_deref(),
+                *resume,
+                store_dir.as_deref(),
+                *no_store,
+            );
             let tel = Telemetry::begin(trace_out.as_deref(), metrics_out.as_deref(), *verbose);
             let cfg = if *fast {
                 SimConfig::fast()
@@ -939,10 +1021,13 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             bench_json,
             top_tiles,
             verbose,
+            store_dir,
+            no_store,
         } => {
             if let Some(n) = jobs {
                 eureka_sim::runner::set_global_jobs(*n);
             }
+            let _globals = RunnerGlobals::apply(0, None, false, store_dir.as_deref(), *no_store);
             eureka_obs::log::set_verbosity(*verbose);
             let cfg = if *fast {
                 SimConfig::fast()
@@ -1060,6 +1145,8 @@ mod tests {
                 retries: 0,
                 checkpoint_dir: None,
                 resume: false,
+                store_dir: None,
+                no_store: false,
             }
         );
         assert!(parse(["figure", "fig99"]).is_err());
@@ -1083,6 +1170,8 @@ mod tests {
                 retries: 0,
                 checkpoint_dir: None,
                 resume: false,
+                store_dir: None,
+                no_store: false,
             }
         );
         let cmd = parse(["simulate", "--benchmark", "bert", "--jobs", "2"]).unwrap();
@@ -1112,6 +1201,8 @@ mod tests {
                 retries,
                 checkpoint_dir,
                 resume,
+                store_dir,
+                no_store,
             } => {
                 assert_eq!(benchmark, Benchmark::BertSquad);
                 assert_eq!(pruning, PruningLevel::Moderate);
@@ -1126,6 +1217,8 @@ mod tests {
                 assert_eq!(max_failures, None);
                 assert_eq!(retries, 0);
                 assert_eq!(checkpoint_dir, None);
+                assert_eq!(store_dir, None);
+                assert!(!no_store);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -1321,6 +1414,8 @@ mod tests {
                 bench_json,
                 top_tiles,
                 verbose,
+                store_dir,
+                no_store,
             } => {
                 assert_eq!(benchmark, Benchmark::MobileNetV1);
                 assert_eq!(pruning, PruningLevel::Moderate);
@@ -1334,6 +1429,8 @@ mod tests {
                 assert_eq!(bench_json, None);
                 assert_eq!(top_tiles, 5);
                 assert_eq!(verbose, 0);
+                assert_eq!(store_dir, None);
+                assert!(!no_store);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -1612,6 +1709,75 @@ mod tests {
         assert!(units > 0, "checkpoint files written");
         let resumed = run(&parse(args(true)).unwrap()).unwrap();
         assert_eq!(first, resumed, "resume must be bit-identical");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_store_flags_and_conflicts() {
+        let cmd = parse(["simulate", "--benchmark", "bert", "--store-dir", "tiles"]).unwrap();
+        assert!(
+            matches!(cmd, Command::Simulate { ref store_dir, no_store: false, .. }
+                if store_dir.as_deref() == Some("tiles"))
+        );
+        let cmd = parse(["profile", "--benchmark", "bert", "--no-store"]).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Profile {
+                store_dir: None,
+                no_store: true,
+                ..
+            }
+        ));
+        let cmd = parse(["figure", "fig11", "--store-dir", "t"]).unwrap();
+        assert!(matches!(cmd, Command::Figure { ref store_dir, .. }
+                if store_dir.as_deref() == Some("t")));
+        for sub in [
+            &["simulate", "--benchmark", "bert"][..],
+            &["figure", "fig11"][..],
+        ] {
+            let mut v: Vec<String> = sub.iter().map(ToString::to_string).collect();
+            v.extend(["--store-dir", "t", "--no-store"].map(String::from));
+            assert!(parse(v).is_err(), "--no-store conflicts with --store-dir");
+        }
+    }
+
+    #[test]
+    fn run_simulate_store_dir_persists_tiles_and_warm_run_is_identical() {
+        let dir = std::env::temp_dir().join(format!("eureka-cli-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let args: Vec<String> = [
+            "simulate",
+            "--benchmark",
+            "inception",
+            "--arch",
+            "eureka-p2",
+            "--batch",
+            "7",
+            "--fast",
+            "--csv",
+            "--store-dir",
+            dir.to_str().unwrap(),
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+        let cold = run(&parse(args.clone()).unwrap()).unwrap();
+        // Drop every in-process tier (flushing dirty records to `dir`
+        // first), so the warm run below can only be served from disk.
+        eureka_sim::runner::cache_reset();
+        let shards = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .path()
+                    .extension()
+                    .is_some_and(|x| x == "tiles")
+            })
+            .count();
+        assert!(shards > 0, "tile shard files written under --store-dir");
+        let warm = run(&parse(args).unwrap()).unwrap();
+        assert_eq!(cold, warm, "a store-warmed run must be bit-identical");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -156,6 +156,7 @@ mod tests {
             s2ta_act_density: None,
             s2ta_fil_density: None,
             rng: DetRng::new(7),
+            tiles: Default::default(),
         }
     }
 

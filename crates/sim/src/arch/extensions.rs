@@ -112,6 +112,7 @@ mod tests {
             s2ta_act_density: None,
             s2ta_fil_density: None,
             rng: DetRng::new(5),
+            tiles: Default::default(),
         }
     }
 

@@ -85,6 +85,7 @@ mod tests {
             s2ta_act_density: None,
             s2ta_fil_density: None,
             rng: DetRng::new(1),
+            tiles: Default::default(),
         };
         let d = onesided::dense().simulate_layer(&g, &ctx, &cfg).unwrap();
         let i = ideal().simulate_layer(&g, &ctx, &cfg).unwrap();

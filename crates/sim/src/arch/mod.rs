@@ -16,6 +16,7 @@ pub mod sparten;
 use crate::config::SimConfig;
 use crate::profile::{LayerProfile, ProfileConfig};
 use crate::report::LayerReport;
+use crate::store::TileBroker;
 use core::fmt;
 use eureka_models::workload::LayerGemm;
 use eureka_sparse::rng::DetRng;
@@ -42,6 +43,13 @@ pub struct LayerCtx {
     pub s2ta_fil_density: Option<f64>,
     /// Deterministic RNG stream for this (workload, layer).
     pub rng: DetRng,
+    /// Tile-result resolution through the content-addressed store
+    /// ([`crate::store`]). [`TileBroker::disabled`] computes every tile
+    /// directly — the right default for ad-hoc simulation call sites;
+    /// the runner plants an enabled broker per work unit. Either way the
+    /// simulated results are bit-identical: the store only skips
+    /// recomputing outcomes it can prove equal by canonical key.
+    pub tiles: TileBroker,
 }
 
 /// Errors an architecture can report.

@@ -21,6 +21,7 @@ use crate::profile::{
     LayerProfile, MacBreakdown, ProfileConfig, RowOccupancy, StallBreakdown, SudsStats, TileStat,
 };
 use crate::report::{LayerReport, OpCounts};
+use crate::store::{TileKey, TileOutcome};
 use eureka_core::schedule::pipeline::{run_steps, run_steps_with_sink};
 use eureka_core::schedule::profile::StepProfile;
 use eureka_core::schedule::{
@@ -50,6 +51,94 @@ pub enum TileTimer {
     /// the design-space ablation behind the paper's "single-step" choice.
     /// Costs R return wires and an (R+2)-input adder per MAC.
     MultiStepSuds(usize),
+}
+
+impl TileTimer {
+    /// The content-addressed store key for timing `tile` under this
+    /// timer, or `None` for uniform-latency timers (dense, 2:4), whose
+    /// per-tile cost ignores the sparsity pattern and is never cached at
+    /// tile granularity.
+    ///
+    /// Every sampled timer is a pure function of the tile's row-length
+    /// signature, so the key is the timer's discipline tag plus the
+    /// canonical signature: sorted for the permutation-invariant max-row
+    /// timer, exact row order for the SUDS planners (whose displacement
+    /// walk and base-row choice are position-dependent). Equal keys
+    /// imply bit-identical [`TileTimer::outcome`]s — the congruence the
+    /// workspace property suite asserts for every registry architecture.
+    #[must_use]
+    pub fn key(self, tile: &TilePattern) -> Option<TileKey> {
+        use eureka_sparse::canon::{canonical_lens, lens_token, RowOrder};
+        let (tag, order) = match self {
+            TileTimer::Dense | TileTimer::TwoFour => return None,
+            TileTimer::MaxRow => ("maxrow".to_string(), RowOrder::Sorted),
+            TileTimer::GreedySuds => ("greedy".to_string(), RowOrder::Exact),
+            TileTimer::OptimalSuds => ("optimal".to_string(), RowOrder::Exact),
+            TileTimer::MultiStepSuds(reach) => (format!("ms{reach}"), RowOrder::Exact),
+        };
+        Some(TileKey::new(
+            &tag,
+            &lens_token(&canonical_lens(tile, order)),
+        ))
+    }
+
+    /// Times `tile` under this timer, packaged as the [`TileOutcome`]
+    /// record the store persists. Pure: no RNG, no shared state.
+    #[must_use]
+    pub fn outcome(self, tile: &TilePattern) -> TileOutcome {
+        let nnz = tile.nnz() as u64;
+        match self {
+            TileTimer::Dense => TileOutcome {
+                cycles: tile.q() as u64,
+                displaced: 0,
+                base_row: None,
+                nnz,
+            },
+            TileTimer::TwoFour => TileOutcome {
+                cycles: (tile.q() as u64) / 2,
+                displaced: 0,
+                base_row: None,
+                nnz,
+            },
+            TileTimer::MaxRow => TileOutcome {
+                cycles: tile.critical_path().max(1) as u64,
+                displaced: 0,
+                base_row: None,
+                nnz,
+            },
+            TileTimer::GreedySuds => {
+                let plan = suds::greedy(&tile.row_lens());
+                TileOutcome {
+                    cycles: plan.k.max(1) as u64,
+                    displaced: plan.displaced_count() as u64,
+                    base_row: Some(plan.base_row),
+                    nnz,
+                }
+            }
+            TileTimer::OptimalSuds => {
+                let plan = suds::optimize(&tile.row_lens());
+                TileOutcome {
+                    cycles: plan.k.max(1) as u64,
+                    displaced: plan.displaced_count() as u64,
+                    base_row: Some(plan.base_row),
+                    nnz,
+                }
+            }
+            TileTimer::MultiStepSuds(reach) => {
+                let lens = tile.row_lens();
+                let reach = reach.min(lens.len().saturating_sub(1));
+                let k = suds::multistep::optimal_k(&lens, reach);
+                // Displaced work: at least each row's overflow must move.
+                let moved: usize = lens.iter().map(|&l| l.saturating_sub(k)).sum();
+                TileOutcome {
+                    cycles: k.max(1) as u64,
+                    displaced: moved as u64,
+                    base_row: None,
+                    nnz,
+                }
+            }
+        }
+    }
 }
 
 /// Tile dispatch order on the systolic rows.
@@ -98,6 +187,14 @@ impl OneSided {
         self.factor
     }
 
+    /// The tile timer this configuration simulates with — exposed so
+    /// the congruence property suite can exercise every registry
+    /// architecture's timer against the canonical store keys.
+    #[must_use]
+    pub fn timer(&self) -> TileTimer {
+        self.timer
+    }
+
     /// Per-value metadata bits for this configuration at tile width `q`.
     fn meta_bits(&self, q: usize) -> u32 {
         let col_bits = usize::BITS - (q - 1).leading_zeros();
@@ -123,35 +220,8 @@ impl OneSided {
     /// plan the timer already builds, so reporting it draws no extra
     /// randomness and changes no timing.
     fn time_tile_full(&self, tile: &TilePattern) -> (u64, u64, Option<usize>) {
-        match self.timer {
-            TileTimer::Dense => (tile.q() as u64, 0, None),
-            TileTimer::TwoFour => ((tile.q() as u64) / 2, 0, None),
-            TileTimer::MaxRow => (tile.critical_path().max(1) as u64, 0, None),
-            TileTimer::GreedySuds => {
-                let plan = suds::greedy(&tile.row_lens());
-                (
-                    plan.k.max(1) as u64,
-                    plan.displaced_count() as u64,
-                    Some(plan.base_row),
-                )
-            }
-            TileTimer::OptimalSuds => {
-                let plan = suds::optimize(&tile.row_lens());
-                (
-                    plan.k.max(1) as u64,
-                    plan.displaced_count() as u64,
-                    Some(plan.base_row),
-                )
-            }
-            TileTimer::MultiStepSuds(reach) => {
-                let lens = tile.row_lens();
-                let reach = reach.min(lens.len().saturating_sub(1));
-                let k = suds::multistep::optimal_k(&lens, reach);
-                // Displaced work: at least each row's overflow must move.
-                let moved: usize = lens.iter().map(|&l| l.saturating_sub(k)).sum();
-                (k.max(1) as u64, moved as u64, None)
-            }
-        }
+        let o = self.timer.outcome(tile);
+        (o.cycles, o.displaced, o.base_row)
     }
 }
 
@@ -245,16 +315,24 @@ impl OneSided {
                         cfg.row_density_sigma,
                         &mut rng,
                     );
-                    let (t, disp, base_row) = self.time_tile_full(&tile);
+                    // Resolve through the content-addressed store: the
+                    // tile is always *sampled* (identical RNG draws hot
+                    // or cold), only its timing memoizes. `outcome` is a
+                    // pure function of the canonical key, so a store hit
+                    // is bit-identical to the skipped computation.
+                    let o = ctx
+                        .tiles
+                        .resolve(self.timer.key(&tile), || self.timer.outcome(&tile));
+                    let (t, disp, base_row) = (o.cycles, o.displaced, o.base_row);
                     times.push(t);
                     sum_t += t as f64;
-                    sum_nnz += tile.nnz() as f64;
+                    sum_nnz += o.nnz as f64;
                     sum_disp += disp as f64;
                     if profiling {
                         sampled.tiles.push(TileStat {
                             index: (times.len() - 1) as u64,
                             cycles: t,
-                            nnz: tile.nnz() as u64,
+                            nnz: o.nnz,
                             displaced: disp,
                         });
                         if let (Some(su), Some(base)) = (sampled.suds.as_mut(), base_row) {
@@ -662,6 +740,7 @@ mod tests {
             s2ta_act_density: Some(0.44),
             s2ta_fil_density: Some(0.38),
             rng: DetRng::new(42),
+            tiles: Default::default(),
         }
     }
 

@@ -117,6 +117,7 @@ mod tests {
             s2ta_act_density: Some(0.44),
             s2ta_fil_density: Some(0.38),
             rng: DetRng::new(1),
+            tiles: Default::default(),
         };
         let d = onesided::dense()
             .simulate_layer(&gemm(false), &ctx, &cfg)
@@ -134,6 +135,7 @@ mod tests {
             s2ta_act_density: Some(0.50),
             s2ta_fil_density: Some(0.50),
             rng: DetRng::new(1),
+            tiles: Default::default(),
         };
         let d = onesided::dense()
             .simulate_layer(&gemm(true), &ctx, &cfg)
@@ -153,6 +155,7 @@ mod tests {
             s2ta_act_density: None,
             s2ta_fil_density: None,
             rng: DetRng::new(1),
+            tiles: Default::default(),
         };
         assert!(matches!(
             s2ta().simulate_layer(&gemm(false), &ctx, &cfg),

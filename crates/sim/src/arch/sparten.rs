@@ -172,6 +172,7 @@ mod tests {
             s2ta_act_density: None,
             s2ta_fil_density: None,
             rng: DetRng::new(11),
+            tiles: Default::default(),
         }
     }
 

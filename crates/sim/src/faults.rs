@@ -252,6 +252,7 @@ mod tests {
             s2ta_act_density: None,
             s2ta_fil_density: None,
             rng: DetRng::new(w.seed()).fork(0),
+            tiles: Default::default(),
         };
         let clean = arch::dense()
             .simulate_layer(&gemm, &ctx, &cfg)
@@ -274,6 +275,7 @@ mod tests {
             s2ta_act_density: None,
             s2ta_fil_density: None,
             rng: DetRng::new(w.seed()).fork(0),
+            tiles: Default::default(),
         };
         let plan = FaultPlan::new(vec![FaultSpec {
             layer: gemm.name.clone(),

@@ -50,6 +50,7 @@ pub mod outcome;
 pub mod profile;
 pub mod report;
 pub mod runner;
+pub mod store;
 pub mod sweep;
 
 pub use config::{MemoryConfig, SimConfig, TensorCoreConfig};
@@ -62,3 +63,4 @@ pub use profile::{
 };
 pub use report::{LayerReport, OpCounts, SimReport};
 pub use runner::{Runner, SimJob};
+pub use store::{TileBroker, TileKey, TileOutcome};

@@ -52,16 +52,28 @@
 //! key, rendered canonically as text, names on-disk checkpoint entries
 //! ([`crate::checkpoint`]) so interrupted sweeps resume bit-identically.
 //!
+//! Below the unit cache sits a second, finer memoization layer: the
+//! content-addressed tile store ([`crate::store`]). Planning plants a
+//! [`TileBroker`] in every unit's [`LayerCtx`]; tile-timer architectures
+//! resolve each sampled tile through it, so tiles with equal canonical
+//! row-length signatures are simulated once per process (hot tier) — or
+//! once *ever*, when [`Runner::with_store_dir`] persists outcomes across
+//! runs. A unit whose tiles all came from the store still executes (its
+//! RNG streams advance identically, keeping reports bit-identical to a
+//! cold run) but performs zero tile simulations; such units count toward
+//! `runner.units_from_store` instead of `cache.misses`.
+//!
 //! # Telemetry
 //!
 //! The runner is fully instrumented through [`eureka_obs`]: every phase
 //! opens a span (`runner.run_all`, `runner.plan`, `unit.exec`,
 //! `runner.reduce`, plus zero-length `unit.retry` / `unit.failure`
 //! markers) and updates the process-wide metrics registry (`runner.*`,
-//! `cache.*`, `unit.*`, `checkpoint.*` — see the table in `DESIGN.md`).
-//! For a cache-enabled runner the deterministic counters reconcile as
-//! `runner.units_planned == cache.hits + checkpoint.hits + cache.misses +
-//! runner.failures.*` — every planned unit is accounted for exactly once,
+//! `cache.*`, `unit.*`, `checkpoint.*`, `store.*` — see the table in
+//! `DESIGN.md`). For a cache-enabled runner the deterministic counters
+//! reconcile as `runner.units_planned == cache.hits + checkpoint.hits +
+//! runner.units_from_store + cache.misses + runner.failures.*` — every
+//! planned unit is accounted for exactly once,
 //! even on degraded runs. Telemetry never feeds back into simulation:
 //! spans cost one relaxed atomic load while disabled, metric updates are
 //! plain atomics, and no measured time influences any unit's result, so
@@ -73,13 +85,14 @@ use crate::config::SimConfig;
 use crate::outcome::{FailureKind, JobOutcome, RetryPolicy, UnitFailure};
 use crate::profile::{LayerProfile, ProfileConfig, SimProfile};
 use crate::report::{LayerReport, SimReport};
+use crate::store::{self, TileBroker};
 use eureka_models::{activation, workload::LayerGemm, Workload};
 use eureka_obs::metrics::{self, Class, Counter, Gauge, Histogram};
 use eureka_sparse::rng::DetRng;
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Instant;
 
 /// One simulation request: an architecture applied to a workload under a
@@ -250,6 +263,12 @@ static GLOBAL_RETRY: Mutex<RetryPolicy> = Mutex::new(RetryPolicy::NONE);
 /// `--resume` flags land here.
 static GLOBAL_CHECKPOINT: Mutex<Option<(PathBuf, bool)>> = Mutex::new(None);
 
+/// Process-wide default tile-store configuration `(dir, enabled)`,
+/// consumed only by [`Runner::default`] — the CLI's `--store-dir` /
+/// `--no-store` flags land here. The in-memory hot tier defaults to
+/// enabled with no persistence directory.
+static GLOBAL_STORE: Mutex<(Option<PathBuf>, bool)> = Mutex::new((None, true));
+
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     // The runner must stay usable after a unit panic was caught while
     // some other thread held a shared lock: recover the data instead of
@@ -277,6 +296,15 @@ pub fn set_global_retry(policy: RetryPolicy) {
 /// files and whether to resume from entries already present.
 pub fn set_global_checkpoint(cfg: Option<(PathBuf, bool)>) {
     *lock(&GLOBAL_CHECKPOINT) = cfg;
+}
+
+/// Sets the process-wide default tile-store configuration, consumed only
+/// by [`Runner::default`]: an optional persistence directory for tile
+/// outcomes and whether the store participates at all (`enabled =
+/// false` disables even the in-memory hot tier). Explicitly constructed
+/// runners are unaffected.
+pub fn set_global_store(dir: Option<PathBuf>, enabled: bool) {
+    *lock(&GLOBAL_STORE) = (dir, enabled);
 }
 
 /// The process-wide unit cache. Hit/miss/insert counts live in the
@@ -308,6 +336,7 @@ struct Telemetry {
     cache_hits: &'static Counter,
     cache_misses: &'static Counter,
     cache_inserts: &'static Counter,
+    units_from_store: &'static Counter,
     failures_panic: &'static Counter,
     failures_sim: &'static Counter,
     retries_attempts: &'static Counter,
@@ -333,6 +362,7 @@ fn telemetry() -> &'static Telemetry {
         cache_hits: metrics::counter("cache.hits", Class::Deterministic),
         cache_misses: metrics::counter("cache.misses", Class::Deterministic),
         cache_inserts: metrics::counter("cache.inserts", Class::Deterministic),
+        units_from_store: metrics::counter("runner.units_from_store", Class::Deterministic),
         failures_panic: metrics::counter("runner.failures.panic", Class::Deterministic),
         failures_sim: metrics::counter("runner.failures.sim_error", Class::Deterministic),
         retries_attempts: metrics::counter("runner.retries.attempts", Class::Deterministic),
@@ -359,16 +389,21 @@ pub fn clear_cache() {
     lock(&cache().map).clear();
 }
 
-/// Empties the unit cache **and** zeroes the `cache.*`, `checkpoint.*`,
+/// Empties the unit cache **and** the tile store's hot tier, and zeroes
+/// the `cache.*`, `checkpoint.*`, `store.*`, `runner.units_from_store`,
 /// `runner.failures.*` and `runner.retries.*` counters, so callers can
 /// assert exact counts no matter what ran earlier in the process (test
-/// execution order, warm-up passes, ...).
+/// execution order, warm-up passes, ...). Dirty tile records are flushed
+/// to their store directories first — a cold-start measurement must not
+/// silently discard persistent state (see [`store::store_reset`]).
 pub fn cache_reset() {
     let t = telemetry();
     lock(&cache().map).clear();
+    store::store_reset();
     t.cache_hits.reset();
     t.cache_misses.reset();
     t.cache_inserts.reset();
+    t.units_from_store.reset();
     t.failures_panic.reset();
     t.failures_sim.reset();
     t.retries_attempts.reset();
@@ -411,6 +446,15 @@ pub fn checkpoint_stats() -> (u64, u64, u64) {
     (t.ckpt_hits.get(), t.ckpt_writes.get(), t.ckpt_errors.get())
 }
 
+/// Units that executed with every sampled tile served by the tile store
+/// (`runner.units_from_store`): the unit ran — its RNG streams advanced
+/// and its report is bit-identical to a cold compute — but zero tile
+/// simulations happened.
+#[must_use]
+pub fn units_from_store_stats() -> u64 {
+    telemetry().units_from_store.get()
+}
+
 /// Checkpoint configuration carried by a runner: where completed-unit
 /// files live, and whether to consult existing entries before executing.
 #[derive(Clone, Debug)]
@@ -440,14 +484,42 @@ pub struct Runner {
     cached: bool,
     retry: RetryPolicy,
     checkpoint: Option<CheckpointCfg>,
+    store_enabled: bool,
+    store_dir: Option<PathBuf>,
+}
+
+/// How the plan phase wires work units to the tile store, resolved once
+/// per run so every unit shares one disk-tier handle (and one shard
+/// cache) instead of re-opening the directory per layer.
+enum BrokerSource {
+    Disabled,
+    Enabled(Option<Arc<store::DiskTier>>),
+}
+
+impl BrokerSource {
+    /// A fresh per-unit broker (each unit tallies its own lookups).
+    fn broker(&self) -> TileBroker {
+        match self {
+            BrokerSource::Disabled => TileBroker::disabled(),
+            BrokerSource::Enabled(disk) => TileBroker::enabled(disk.clone()),
+        }
+    }
+
+    /// Persists tile outcomes computed during this run, if a store
+    /// directory is attached.
+    fn flush(&self) {
+        if let BrokerSource::Enabled(Some(disk)) = self {
+            disk.flush();
+        }
+    }
 }
 
 impl Default for Runner {
     /// The standard drive path: parallel across all cores (or the
     /// [`set_global_jobs`] override), with the unit cache enabled, and the
-    /// process-wide [`set_global_retry`] / [`set_global_checkpoint`]
-    /// settings applied (explicit constructors ignore those, so tests
-    /// composing their own runners stay isolated).
+    /// process-wide [`set_global_retry`] / [`set_global_checkpoint`] /
+    /// [`set_global_store`] settings applied (explicit constructors
+    /// ignore those, so tests composing their own runners stay isolated).
     fn default() -> Self {
         let mut runner = Runner::parallel();
         runner.retry = *lock(&GLOBAL_RETRY);
@@ -457,6 +529,9 @@ impl Default for Runner {
                 store: CheckpointStore::new(dir),
                 resume,
             });
+        let (store_dir, store_enabled) = lock(&GLOBAL_STORE).clone();
+        runner.store_dir = store_dir;
+        runner.store_enabled = store_enabled;
         runner
     }
 }
@@ -470,6 +545,8 @@ impl Runner {
             cached: true,
             retry: RetryPolicy::NONE,
             checkpoint: None,
+            store_enabled: true,
+            store_dir: None,
         }
     }
 
@@ -482,6 +559,8 @@ impl Runner {
             cached: true,
             retry: RetryPolicy::NONE,
             checkpoint: None,
+            store_enabled: true,
+            store_dir: None,
         }
     }
 
@@ -493,6 +572,8 @@ impl Runner {
             cached: true,
             retry: RetryPolicy::NONE,
             checkpoint: None,
+            store_enabled: true,
+            store_dir: None,
         }
     }
 
@@ -521,6 +602,37 @@ impl Runner {
             resume,
         });
         self
+    }
+
+    /// Disables the tile-result store for this runner: every sampled
+    /// tile is simulated directly, with no hot-tier sharing and no disk
+    /// I/O. Output is bit-identical either way — the store only removes
+    /// redundant work.
+    #[must_use]
+    pub fn without_store(mut self) -> Self {
+        self.store_enabled = false;
+        self.store_dir = None;
+        self
+    }
+
+    /// Persists tile outcomes under `dir` ([`crate::store`] shard
+    /// files): cold runs record every computed tile, and later runs —
+    /// including fresh processes — replay them instead of re-simulating.
+    #[must_use]
+    pub fn with_store_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.store_enabled = true;
+        self.store_dir = Some(dir.into());
+        self
+    }
+
+    /// Resolves this runner's store configuration into the broker source
+    /// the plan phase plants into each unit.
+    fn broker_source(&self) -> BrokerSource {
+        if self.store_enabled {
+            BrokerSource::Enabled(self.store_dir.as_deref().map(store::disk_tier_for))
+        } else {
+            BrokerSource::Disabled
+        }
     }
 
     /// The worker count this runner would use right now.
@@ -581,19 +693,23 @@ impl Runner {
         let _run_span = eureka_obs::span!("runner.run_all", "{} job(s)", jobs.len());
         t.jobs.add(jobs.len() as u64);
         // Plan: enumerate every job's per-layer units.
+        let tiles = self.broker_source();
         let mut units = Vec::new();
         let mut ranges = Vec::with_capacity(jobs.len());
         {
             let _plan_span = eureka_obs::span!("runner.plan");
             for job in jobs {
                 let start = units.len();
-                plan(job, &mut units);
+                plan(job, &mut units, &tiles);
                 ranges.push(start..units.len());
             }
         }
         t.units_planned.add(units.len() as u64);
         // Execute: serial order or index-claimed pool, cache-first.
         let results = self.execute(&units);
+        // Persist tile outcomes computed during this run before reducing,
+        // so a crash in reduce still leaves the store warm.
+        tiles.flush();
         // Reduce: reassemble per job, in layer-index order.
         let _reduce_span = eureka_obs::span!("runner.reduce");
         let reduce_started = Instant::now();
@@ -686,8 +802,11 @@ impl Runner {
     /// Executes one unit: in-memory cache first, then (when resuming) the
     /// on-disk checkpoint, then real execution under panic isolation and
     /// the retry policy. Exactly one of `cache.hits`, `checkpoint.hits`,
-    /// `cache.misses` (successful execution, cached runners) or
-    /// `runner.failures.*` (final failure) fires per call.
+    /// `runner.units_from_store` (successful execution with every tile
+    /// served by the store), `cache.misses` (successful execution that
+    /// simulated at least one tile, or looked none up) or
+    /// `runner.failures.*` (final failure) fires per call, for cached
+    /// runners.
     fn run_unit(&self, unit: &WorkUnit<'_>) -> Result<LayerReport, UnitError> {
         let t = telemetry();
         let _span = eureka_obs::span!("unit.exec", "{} {}", unit.key.arch, unit.gemm.name);
@@ -736,6 +855,9 @@ impl Runner {
                     attempt
                 );
             }
+            // A fresh tally per attempt: classification below must
+            // reflect the final (successful) attempt only.
+            unit.ctx.tiles.reset_tally();
             let started = Instant::now();
             let outcome =
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute_unit(unit)));
@@ -747,7 +869,12 @@ impl Runner {
                         t.retries_recovered.inc();
                     }
                     if self.cached {
-                        t.cache_misses.inc();
+                        let (tile_lookups, tile_computes) = unit.ctx.tiles.tally();
+                        if tile_lookups > 0 && tile_computes == 0 {
+                            t.units_from_store.inc();
+                        } else {
+                            t.cache_misses.inc();
+                        }
                         lock(&cache().map).insert(unit.key.clone(), report.clone());
                         t.cache_inserts.inc();
                     }
@@ -800,7 +927,10 @@ impl Runner {
     /// store: both hold bare [`LayerReport`]s, and replaying one could
     /// not reconstruct its row-level attribution. The deterministic
     /// `runner.*`/`cache.*` counters are therefore untouched, keeping the
-    /// plain drive path's reconciliation invariant intact.
+    /// plain drive path's reconciliation invariant intact. The tile
+    /// store, however, *does* serve profiled units — tile outcomes carry
+    /// everything the per-tile attribution needs — so the `store.*`
+    /// counters tick and a warmed store accelerates profiling too.
     ///
     /// # Errors
     ///
@@ -818,8 +948,9 @@ impl Runner {
             job.arch.name(),
             job.workload.benchmark().name()
         );
+        let tiles = self.broker_source();
         let mut units = Vec::new();
-        plan(job, &mut units);
+        plan(job, &mut units, &tiles);
         let results = self.execute_with(&units, |unit| {
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 execute_unit_profiled(unit, pcfg)
@@ -832,6 +963,7 @@ impl Runner {
                 }),
             }
         });
+        tiles.flush();
         let mut layers = Vec::with_capacity(results.len() + 1);
         let mut profiles = Vec::with_capacity(results.len() + 1);
         for result in results {
@@ -873,8 +1005,9 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Plans one job into per-layer units appended to `units`.
-fn plan<'a>(job: &SimJob<'a>, units: &mut Vec<WorkUnit<'a>>) {
+/// Plans one job into per-layer units appended to `units`, each wired to
+/// the tile store through its own broker from `tiles`.
+fn plan<'a>(job: &SimJob<'a>, units: &mut Vec<WorkUnit<'a>>, tiles: &BrokerSource) {
     let workload = job.workload;
     let bench = workload.benchmark();
     let base_rng = DetRng::new(workload.seed());
@@ -908,6 +1041,7 @@ fn plan<'a>(job: &SimJob<'a>, units: &mut Vec<WorkUnit<'a>>) {
                 s2ta_act_density,
                 s2ta_fil_density,
                 rng: base_rng.fork(stream),
+                tiles: tiles.broker(),
             },
             cfg: job.cfg,
             key,
@@ -1227,6 +1361,25 @@ mod tests {
     }
 
     #[test]
+    fn global_store_settings_only_affect_default_runners() {
+        let dir = std::env::temp_dir().join(format!("eureka-store-glob-{}", std::process::id()));
+        set_global_store(Some(dir.clone()), true);
+        let d = Runner::default();
+        assert!(d.store_enabled);
+        assert_eq!(d.store_dir.as_deref(), Some(dir.as_path()));
+        set_global_store(None, false);
+        let d = Runner::default();
+        assert!(!d.store_enabled);
+        assert!(d.store_dir.is_none());
+        // Explicit constructors keep the hot tier on, with no directory,
+        // regardless of the globals (test isolation).
+        assert!(Runner::serial().store_enabled);
+        assert!(Runner::serial().store_dir.is_none());
+        assert!(Runner::with_jobs(2).without_store().store_dir.is_none());
+        set_global_store(None, true);
+    }
+
+    #[test]
     fn profiled_run_does_not_perturb_the_report() {
         let w = Workload::new(Benchmark::MobileNetV1, PruningLevel::Moderate, 32);
         let cfg = tiny_cfg();
@@ -1308,7 +1461,7 @@ mod tests {
         let a = arch::dense();
         let job = SimJob::new(&a, &w, tiny_cfg());
         let mut units = Vec::new();
-        plan(&job, &mut units);
+        plan(&job, &mut units, &BrokerSource::Disabled);
         let keys: Vec<String> = units.iter().map(|u| u.key.canonical()).collect();
         let mut uniq = keys.clone();
         uniq.sort();
@@ -1316,7 +1469,7 @@ mod tests {
         assert_eq!(uniq.len(), keys.len(), "every unit key is distinct");
         // Same plan, same keys (the stability the checkpoint layer needs).
         let mut units2 = Vec::new();
-        plan(&job, &mut units2);
+        plan(&job, &mut units2, &BrokerSource::Disabled);
         let keys2: Vec<String> = units2.iter().map(|u| u.key.canonical()).collect();
         assert_eq!(keys, keys2);
         assert!(keys[0].starts_with("v1|arch=Dense|"));

@@ -1,0 +1,116 @@
+//! Canonical tile signatures for content-addressed result reuse.
+//!
+//! Every tile timer in the simulator (max-row compaction, greedy SUDS,
+//! optimal SUDS, reach-R SUDS) is a pure function of the tile's per-row
+//! non-zero counts: column *positions* never influence timing, only how
+//! many values each row holds. Two tiles whose row-length signatures
+//! agree are therefore indistinguishable to the timing model, and their
+//! results can share one cache entry.
+//!
+//! How much of the row order matters depends on the timer:
+//!
+//! * [`RowOrder::Sorted`] — the timer is invariant under *any* row
+//!   permutation (e.g. max-row compaction, which takes the maximum of
+//!   the multiset of lengths). Sorting descending collapses all `p!`
+//!   permutations onto one signature.
+//! * [`RowOrder::Exact`] — the timer consumes the row sequence in order
+//!   (the SUDS displacement planners walk adjacent rows, and the chosen
+//!   base row is position-dependent), so the signature preserves it.
+//!
+//! The signature deliberately excludes the tile width `q`: a timer that
+//! only reads row lengths produces the same result for a `4×16` and a
+//! `4×32` tile with equal row counts, and keys that ignore `q` let
+//! results flow between compaction factors. Timers whose cycle count
+//! *does* depend on `q` (dense, 2:4) are uniform per tile and are never
+//! keyed at tile granularity at all.
+//!
+//! The congruence — equal canonical signature implies equal simulated
+//! tile outcome — is asserted property-style by this crate's test-suite
+//! (signature level) and by the workspace suite against the real timers.
+
+use crate::tile::TilePattern;
+
+/// How much row-order information a canonical signature keeps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RowOrder {
+    /// Preserve the row sequence exactly (order-sensitive timers).
+    Exact,
+    /// Sort row lengths descending (permutation-invariant timers).
+    Sorted,
+}
+
+/// The canonical row-length signature of `tile` under `order`.
+///
+/// # Examples
+///
+/// ```
+/// use eureka_sparse::canon::{canonical_lens, RowOrder};
+/// use eureka_sparse::TilePattern;
+///
+/// let t = TilePattern::from_rows(&[0b0011, 0b1111, 0b0000, 0b1000], 4).unwrap();
+/// assert_eq!(canonical_lens(&t, RowOrder::Exact), vec![2, 4, 0, 1]);
+/// assert_eq!(canonical_lens(&t, RowOrder::Sorted), vec![4, 2, 1, 0]);
+/// ```
+#[must_use]
+pub fn canonical_lens(tile: &TilePattern, order: RowOrder) -> Vec<usize> {
+    let mut lens = tile.row_lens();
+    if order == RowOrder::Sorted {
+        lens.sort_unstable_by(|a, b| b.cmp(a));
+    }
+    lens
+}
+
+/// Renders a signature as a compact, stable, whitespace-free token
+/// (`"4,2,1,0"`) — the form embedded in on-disk store keys, so it must
+/// never change for a given signature.
+#[must_use]
+pub fn lens_token(lens: &[usize]) -> String {
+    lens.iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tile(rows: &[u64]) -> TilePattern {
+        TilePattern::from_rows(rows, 16).unwrap()
+    }
+
+    #[test]
+    fn exact_preserves_order_sorted_collapses_it() {
+        let a = tile(&[0b11, 0b1111, 0, 0b1]);
+        let b = tile(&[0b1111, 0b11, 0b1, 0]);
+        assert_ne!(
+            canonical_lens(&a, RowOrder::Exact),
+            canonical_lens(&b, RowOrder::Exact)
+        );
+        assert_eq!(
+            canonical_lens(&a, RowOrder::Sorted),
+            canonical_lens(&b, RowOrder::Sorted)
+        );
+        assert_eq!(canonical_lens(&a, RowOrder::Sorted), vec![4, 2, 1, 0]);
+    }
+
+    #[test]
+    fn signature_ignores_column_positions() {
+        // Same row lengths, different column placements: same signature.
+        let a = tile(&[0b0000_1111, 0b0011, 0, 0b1]);
+        let b = tile(&[0b1111_0000, 0b1100, 0, 0b1000]);
+        assert_eq!(
+            canonical_lens(&a, RowOrder::Exact),
+            canonical_lens(&b, RowOrder::Exact)
+        );
+    }
+
+    #[test]
+    fn token_is_stable_and_unambiguous() {
+        assert_eq!(lens_token(&[4, 2, 1, 0]), "4,2,1,0");
+        assert_eq!(lens_token(&[]), "");
+        assert_eq!(lens_token(&[12]), "12");
+        // "1,2" vs "12" must not collide.
+        assert_ne!(lens_token(&[1, 2]), lens_token(&[12]));
+    }
+}

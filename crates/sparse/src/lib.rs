@@ -12,6 +12,8 @@
 //!   sub-arrays operate on;
 //! * [`AlignedTile`] — a left-aligned tile with original-column metadata
 //!   (paper Figure 4);
+//! * [`canon`] — canonical tile signatures (row-length form) so
+//!   timing-equivalent tiles share one content-addressed cache key;
 //! * [`structured`] — 2:4 structured pruning and its 2-bit metadata format;
 //! * [`bitmask`] — SparTen-style chunked bitmask format;
 //! * [`gen`] — deterministic uniform and clustered sparsity generators;
@@ -34,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod bitmask;
+pub mod canon;
 pub mod error;
 pub mod gen;
 pub mod leftalign;

@@ -1,6 +1,7 @@
 //! Property tests for the left-alignment and tiling round trips: the
 //! transformations the execution pipeline rests on must lose no structure.
 
+use eureka_sparse::canon::{canonical_lens, lens_token, RowOrder};
 use eureka_sparse::rng::DetRng;
 use eureka_sparse::{gen, AlignedTile, SparsityPattern, TileGrid, TilePattern};
 use proptest::prelude::*;
@@ -9,6 +10,21 @@ use proptest::prelude::*;
 fn tile_masks(q: usize) -> impl Strategy<Value = Vec<u64>> {
     let max = if q == 64 { u64::MAX } else { (1u64 << q) - 1 };
     prop::collection::vec(0..=max, 4)
+}
+
+/// A mask of `len` contiguous bits shifted to `pos` inside width `q`.
+/// Varying `pos` moves the columns without changing the row length —
+/// the degree of freedom canonical signatures must be blind to.
+fn placed_row(len: usize, pos: usize, q: usize) -> u64 {
+    if len == 0 {
+        return 0;
+    }
+    let bits = if len == 64 {
+        u64::MAX
+    } else {
+        (1u64 << len) - 1
+    };
+    bits << pos.min(q - len)
 }
 
 proptest! {
@@ -90,5 +106,83 @@ proptest! {
         for tile in grid.iter() {
             prop_assert_eq!(&AlignedTile::from_tile(tile).to_tile(), tile);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Canonical signatures (the tile-store key substrate). The timers the
+    // store memoizes are pure functions of a tile's row-length signature,
+    // so these properties pin down exactly which tile mutations the
+    // signature must collapse (column positions always; row order for
+    // `Sorted`) and which it must preserve (the length multiset, `nnz`).
+    // The full congruence against the real timers lives in the workspace
+    // suite (`tests/store_congruence.rs`).
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn canonical_signature_ignores_column_positions(
+        lens in prop::collection::vec(0usize..=16, 4),
+        pos_a in prop::collection::vec(0usize..16, 4),
+        pos_b in prop::collection::vec(0usize..16, 4),
+    ) {
+        let place = |pos: &[usize]| {
+            let masks: Vec<u64> = lens
+                .iter()
+                .zip(pos)
+                .map(|(&l, &p)| placed_row(l, p, 16))
+                .collect();
+            TilePattern::from_rows(&masks, 16).unwrap()
+        };
+        let (a, b) = (place(&pos_a), place(&pos_b));
+        // Same row lengths, arbitrary placements: identical signatures
+        // under both orders, and the signature is the row-lens vector.
+        prop_assert_eq!(a.row_lens(), lens.clone());
+        prop_assert_eq!(
+            canonical_lens(&a, RowOrder::Exact),
+            canonical_lens(&b, RowOrder::Exact)
+        );
+        prop_assert_eq!(
+            canonical_lens(&a, RowOrder::Sorted),
+            canonical_lens(&b, RowOrder::Sorted)
+        );
+        prop_assert_eq!(canonical_lens(&a, RowOrder::Exact), a.row_lens());
+    }
+
+    #[test]
+    fn sorted_signature_collapses_row_permutations(
+        masks in tile_masks(16),
+        rot in 0usize..4,
+        swap in any::<bool>(),
+    ) {
+        // Build a permutation of the rows (rotation plus optional swap
+        // of the first pair reaches every coset we care about here).
+        let mut perm: Vec<u64> =
+            (0..4).map(|r| masks[(r + rot) % 4]).collect();
+        if swap {
+            perm.swap(0, 1);
+        }
+        let a = TilePattern::from_rows(&masks, 16).unwrap();
+        let b = TilePattern::from_rows(&perm, 16).unwrap();
+        prop_assert_eq!(
+            canonical_lens(&a, RowOrder::Sorted),
+            canonical_lens(&b, RowOrder::Sorted)
+        );
+        // The sorted signature is descending and preserves the nnz sum.
+        let sorted = canonical_lens(&a, RowOrder::Sorted);
+        prop_assert!(sorted.windows(2).all(|w| w[0] >= w[1]));
+        prop_assert_eq!(sorted.iter().sum::<usize>(), a.nnz());
+    }
+
+    #[test]
+    fn lens_token_equality_is_signature_equality(
+        lens_a in prop::collection::vec(0usize..=64, 0..6),
+        lens_b in prop::collection::vec(0usize..=64, 0..6),
+    ) {
+        // The on-disk token is injective: token equality exactly when the
+        // signatures are equal, so distinct signatures can never collide
+        // on one store record.
+        prop_assert_eq!(
+            lens_token(&lens_a) == lens_token(&lens_b),
+            lens_a == lens_b
+        );
     }
 }

@@ -38,6 +38,7 @@ fn main() {
             s2ta_act_density: None,
             s2ta_fil_density: None,
             rng: DetRng::new(pct as u64),
+            tiles: Default::default(),
         };
         let run = |a: &dyn Architecture| a.simulate_layer(&gemm, &ctx, &cfg).unwrap();
         let dense = run(&arch::dense());

@@ -4,6 +4,13 @@
 # speedup-vs-dense for the standard arch matrix on one benchmark, so
 # successive snapshots (committed over time) track simulator drift.
 #
+# The profile runs twice against one tile-store directory — cold, then
+# warm — and the snapshot gains three top-level wall-clock fields:
+# `cold_wall_ms`, `warm_wall_ms` and `warm_speedup` (cold/warm), so the
+# committed history also tracks what the persistent store buys. The two
+# runs' simulation results must be byte-identical; the script fails if
+# the warm snapshot drifts from the cold one.
+#
 # Usage: scripts/bench_snapshot.sh [--benchmark B] [--arch A] [extra
 # `eureka profile` flags...]. Defaults: mobilenetv1 / eureka-p4 / fast
 # sampling.
@@ -30,6 +37,35 @@ while [[ -e "results/BENCH_${n}.json" ]]; do
 done
 out="results/BENCH_${n}.json"
 
-target/release/eureka profile --benchmark "$BENCHMARK" --arch "$ARCH" \
-    --fast --bench-json "$out" "${EXTRA[@]+"${EXTRA[@]}"}"
-echo "wrote $out"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+run=(target/release/eureka profile --benchmark "$BENCHMARK" --arch "$ARCH"
+     --fast --store-dir "$tmp/store" "${EXTRA[@]+"${EXTRA[@]}"}")
+
+cold_start=$(date +%s%N)
+"${run[@]}" --bench-json "$out"
+cold_ns=$(($(date +%s%N) - cold_start))
+
+warm_start=$(date +%s%N)
+"${run[@]}" --bench-json "$tmp/warm.json"
+warm_ns=$(($(date +%s%N) - warm_start))
+
+# The store must never change results: cold and warm snapshots are
+# byte-identical or the snapshot is not trustworthy.
+cmp "$out" "$tmp/warm.json"
+
+python3 - "$out" "$cold_ns" "$warm_ns" <<'EOF'
+import json, sys
+path, cold_ns, warm_ns = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+with open(path) as f:
+    snap = json.load(f)
+snap["cold_wall_ms"] = round(cold_ns / 1e6, 3)
+snap["warm_wall_ms"] = round(warm_ns / 1e6, 3)
+snap["warm_speedup"] = round(cold_ns / warm_ns, 3) if warm_ns else None
+with open(path, "w") as f:
+    json.dump(snap, f, separators=(",", ":"))
+    f.write("\n")
+EOF
+echo "wrote $out (warm_speedup $(python3 -c "
+import json; print(json.load(open('$out'))['warm_speedup'])"))"

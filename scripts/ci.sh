@@ -12,6 +12,25 @@ cargo run --release -q -p eureka-cli -- verify --replay tests/corpus
 cargo run --release -q -p eureka-cli -- verify --cases 200 --seed 42 | tail -n 1
 cargo run --release -q -p eureka-cli -- verify --fault-matrix --seed 42 | tail -n 1
 scripts/resume_smoke.sh
+scripts/store_smoke.sh
+# Store persistence: a second run against a warmed --store-dir performs
+# zero tile simulations and emits byte-identical reports.
+store_dir=$(mktemp -d)
+trap 'rm -rf "$store_dir"' EXIT
+cargo run --release -q -p eureka-cli -- simulate --benchmark mobilenetv1 \
+    --arch eureka-p4 --csv --store-dir "$store_dir/tiles" \
+    > /tmp/eureka-store-cold.csv
+cargo run --release -q -p eureka-cli -- simulate --benchmark mobilenetv1 \
+    --arch eureka-p4 --csv --store-dir "$store_dir/tiles" \
+    --metrics-out /tmp/eureka-store-warm.json > /tmp/eureka-store-warm.csv
+cmp /tmp/eureka-store-cold.csv /tmp/eureka-store-warm.csv
+python3 - <<'EOF'
+import json
+c = json.load(open("/tmp/eureka-store-warm.json"))["counters"]
+assert c["store.misses"] == 0, f"warm run re-simulated tiles: {c}"
+assert c["store.hits"] == c["store.lookups"] > 0, c
+assert c["cache.misses"] == 0, f"units escaped the store: {c}"
+EOF
 # Profile smoke: the cycle-attribution export must be byte-identical
 # across runs (determinism is part of the profiler's contract).
 cargo run --release -q -p eureka-cli -- profile --benchmark mobilenetv1 \

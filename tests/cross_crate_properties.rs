@@ -35,6 +35,7 @@ fn ctx(seed: u64) -> LayerCtx {
         s2ta_act_density: Some(0.44),
         s2ta_fil_density: Some(0.38),
         rng: DetRng::new(seed),
+        tiles: Default::default(),
     }
 }
 

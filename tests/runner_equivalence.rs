@@ -1,10 +1,17 @@
 //! The runner's determinism contract, enforced end to end: parallel
 //! execution is bit-identical to serial execution for every architecture
 //! in the registry, and cache replays are bit-identical to cold misses.
+//!
+//! Counter-assertion convention: on a *cold* run the split between
+//! `cache.misses` and `runner.units_from_store` depends on which unit
+//! computes a shared tile key first (schedule-dependent under a parallel
+//! runner), so cold assertions check the sum. Against a *warm* tile
+//! store every re-executed unit is guaranteed `units_from_store` — zero
+//! tile computes can happen — so warm assertions are exact.
 
 use eureka_models::{Benchmark, PruningLevel, Workload};
 use eureka_sim::arch;
-use eureka_sim::{runner, Runner, SimConfig, SimJob};
+use eureka_sim::{runner, store, Runner, SimConfig, SimJob};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// The unit cache and its counters are process-global; serialize the
@@ -76,27 +83,85 @@ fn cache_hit_equals_cold_miss() {
     runner::cache_reset();
     let cold = Runner::parallel().run(&job).expect("supported");
     let (hits_after_cold, misses_after_cold, _) = runner::cache_stats();
+    let ufs_after_cold = runner::units_from_store_stats();
+    let (_, _, store_misses_cold, _) = store::store_stats();
     let warm = Runner::parallel().run(&job).expect("supported");
     let (hits_after_warm, misses_after_warm, _) = runner::cache_stats();
 
     assert_eq!(cold, warm, "cache replay must be bit-identical");
     assert_eq!(hits_after_cold, 0, "cold run hits nothing after a reset");
-    assert_eq!(misses_after_cold, layers, "cold run misses once per layer");
     assert_eq!(
-        misses_after_warm, layers,
-        "warm run must not recompute any unit"
+        misses_after_cold + ufs_after_cold,
+        layers,
+        "cold run executes once per layer"
+    );
+    assert_eq!(
+        misses_after_warm + runner::units_from_store_stats(),
+        layers,
+        "warm run must not re-execute any unit"
     );
     assert_eq!(hits_after_warm, layers, "warm run must hit on every layer");
 
-    // And a cleared cache recomputes to the same report.
+    // And a cleared cache recomputes to the same report — with every
+    // re-executed unit served entirely by the still-warm tile store:
+    // exact counts, because zero tile computes can happen.
     runner::clear_cache();
     let recomputed = Runner::parallel().run(&job).expect("supported");
     assert_eq!(cold, recomputed);
     let (_, misses_after_recompute, _) = runner::cache_stats();
+    let (_, _, store_misses_recompute, _) = store::store_stats();
     assert_eq!(
-        misses_after_recompute,
-        2 * layers,
-        "clear_cache leaves counters running"
+        misses_after_recompute, misses_after_cold,
+        "recompute against a warm tile store adds no cache.misses"
+    );
+    assert_eq!(
+        runner::units_from_store_stats(),
+        ufs_after_cold + layers,
+        "every recomputed unit is served from the tile store"
+    );
+    assert_eq!(
+        store_misses_recompute, store_misses_cold,
+        "zero tile simulations happen against a warm store"
+    );
+}
+
+#[test]
+fn cache_reset_clears_store_tiers_for_honest_cold_starts() {
+    let _x = exclusive();
+    let cfg = SimConfig {
+        // Distinctive sampling so this test owns its cache entries.
+        rowgroup_samples: 15,
+        ..test_cfg()
+    };
+    let w = Workload::new(Benchmark::MobileNetV1, PruningLevel::Conservative, 32);
+    let a = arch::by_name("eureka-p4").expect("registered");
+    let job = SimJob::new(a.as_ref(), &w, cfg);
+    let layers = w.layer_count() as u64;
+
+    runner::cache_reset();
+    let first = Runner::parallel().run(&job).expect("supported");
+    let (lookups, _, store_misses, _) = store::store_stats();
+    assert!(lookups > 0, "a tile-timer arch resolves through the store");
+    assert!(store_misses > 0, "a cold store computes tiles");
+    assert!(
+        !store::global().is_empty(),
+        "computed tiles populate the hot tier"
+    );
+
+    // After a reset the next run is a genuine cold start: same exact
+    // counter trajectory as the first run, nothing smuggled across.
+    runner::cache_reset();
+    assert_eq!(store::store_stats(), (0, 0, 0, 0), "store counters zeroed");
+    assert!(store::global().is_empty(), "hot tier emptied");
+    let second = Runner::parallel().run(&job).expect("supported");
+    assert_eq!(first, second, "cold starts are bit-identical");
+    let (hits, misses, _) = runner::cache_stats();
+    let (_, _, store_misses_2, _) = store::store_stats();
+    assert_eq!(hits, 0, "nothing survives a reset to hit on");
+    assert_eq!(misses + runner::units_from_store_stats(), layers);
+    assert_eq!(
+        store_misses_2, store_misses,
+        "an honest cold start recomputes exactly the same tiles"
     );
 }
 
@@ -131,7 +196,11 @@ fn jobs_differing_only_in_seed_do_not_share_cache_entries() {
         hits, 0,
         "a different seed must never hit the other's entries"
     );
-    assert_eq!(misses, 2 * layers, "both runs must fully recompute");
+    assert_eq!(
+        misses + runner::units_from_store_stats(),
+        2 * layers,
+        "both runs must fully re-execute"
+    );
     // Different RNG streams really do produce different sampled timings.
     assert_ne!(
         first.total_cycles(),
@@ -146,7 +215,11 @@ fn jobs_differing_only_in_seed_do_not_share_cache_entries() {
     assert_eq!(second, replay);
     let (hits_after_replay, misses_after_replay, _) = runner::cache_stats();
     assert_eq!(hits_after_replay, layers);
-    assert_eq!(misses_after_replay, 2 * layers);
+    assert_eq!(
+        misses_after_replay + runner::units_from_store_stats(),
+        2 * layers,
+        "the replay re-executes nothing"
+    );
 }
 
 #[test]
@@ -171,8 +244,13 @@ fn cache_hits_are_independent_of_arch_ordering() {
         .run(&SimJob::new(eureka.as_ref(), &w, cfg))
         .expect("supported");
     let (hits_cold, misses_cold, _) = runner::cache_stats();
+    let ufs_cold = runner::units_from_store_stats();
     assert_eq!(hits_cold, 0, "distinct archs must not alias each other");
-    assert_eq!(misses_cold, 2 * layers);
+    assert_eq!(misses_cold + ufs_cold, 2 * layers);
+    assert!(
+        misses_cold >= layers,
+        "dense never consults the tile store, so its units always miss"
+    );
 
     // ...then replay in the opposite order: every layer hits, and the
     // reports are bit-identical to the cold runs.
@@ -188,7 +266,11 @@ fn cache_hits_are_independent_of_arch_ordering() {
         2 * layers,
         "identical jobs hit regardless of order"
     );
-    assert_eq!(misses_warm, 2 * layers, "no recomputation on replay");
+    assert_eq!(
+        misses_warm + runner::units_from_store_stats(),
+        2 * layers,
+        "no recomputation on replay"
+    );
     assert_eq!(d1, d2);
     assert_eq!(e1, e2);
 }
@@ -222,7 +304,8 @@ fn retried_unit_writes_cache_exactly_once_and_replays() {
     let (attempts, recovered) = runner::retry_stats();
     assert_eq!(hits_cold, 0, "cold run hits nothing after a reset");
     assert_eq!(
-        misses_cold, layers,
+        misses_cold + runner::units_from_store_stats(),
+        layers,
         "the retried unit must be counted (and cached) exactly once"
     );
     assert_eq!(attempts, 1, "exactly one retry attempt");
@@ -238,7 +321,11 @@ fn retried_unit_writes_cache_exactly_once_and_replays() {
     assert_eq!(first, replay, "cached replay must be bit-identical");
     let (hits_warm, misses_warm, _) = runner::cache_stats();
     assert_eq!(hits_warm, layers, "warm run must hit on every layer");
-    assert_eq!(misses_warm, layers, "warm run must not recompute any unit");
+    assert_eq!(
+        misses_warm + runner::units_from_store_stats(),
+        layers,
+        "warm run must not re-execute any unit"
+    );
 }
 
 #[test]

@@ -1,0 +1,207 @@
+//! The tile-store congruence: equal canonical keys imply identical
+//! simulated tile outcomes, for the timer behind every registry
+//! architecture.
+//!
+//! The content-addressed store (`eureka_sim::store`) deduplicates tile
+//! timings across layers, runs and architectures on the strength of one
+//! claim: `TileTimer::key` is a *congruence* for `TileTimer::outcome` —
+//! any two tiles the canonicalization maps to the same key must receive
+//! bit-identical outcomes from the timer. If that ever breaks, the store
+//! silently serves wrong cycle counts. These properties attack the claim
+//! from the mutations canonicalization is supposed to collapse: column
+//! placement (all sampled timers), row permutation (the sorted max-row
+//! key), and tile width `q` (excluded from keys by design).
+//!
+//! The signature-level half of this argument (what `canonical_lens`
+//! collapses and preserves) lives in `crates/sparse/tests/properties.rs`.
+
+use eureka::sim::arch::{self, OneSided, TileTimer};
+use eureka::sparse::TilePattern;
+use proptest::prelude::*;
+
+/// The one-sided configurations the registry exposes, by constructor —
+/// mirrors `arch::REGISTRY` (the non-one-sided entries there do not
+/// time tiles through `TileTimer` and have no store keys to verify).
+fn registry_onesided() -> Vec<OneSided> {
+    vec![
+        arch::dense(),
+        arch::ampere(),
+        arch::cnvlutin_like(),
+        arch::eureka_p2(),
+        arch::eureka_p4(),
+        arch::eureka_unopt(),
+        arch::compaction_only(4),
+        arch::greedy_suds_p4(),
+        arch::optimal_suds_p4(),
+        arch::eureka_no_suds_p4(),
+        arch::eureka_multistep(2),
+    ]
+}
+
+/// Every distinct timer the registry simulates with.
+fn registry_timers() -> Vec<TileTimer> {
+    let mut timers: Vec<TileTimer> = registry_onesided().iter().map(OneSided::timer).collect();
+    timers.dedup();
+    timers
+}
+
+/// A mask of `len` contiguous bits shifted to `pos` inside width `q`.
+fn placed_row(len: usize, pos: usize, q: usize) -> u64 {
+    if len == 0 {
+        return 0;
+    }
+    let bits = if len == 64 {
+        u64::MAX
+    } else {
+        (1u64 << len) - 1
+    };
+    bits << pos.min(q - len)
+}
+
+/// A tile of width `q` whose rows have exactly the given lengths, with
+/// column placements chosen by `pos`.
+fn tile_with_lens(lens: &[usize], pos: &[usize], q: usize) -> TilePattern {
+    let masks: Vec<u64> = lens
+        .iter()
+        .zip(pos)
+        .map(|(&l, &p)| placed_row(l.min(q), p, q))
+        .collect();
+    TilePattern::from_rows(&masks, q).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Column placement — and even the tile width `q` — never reach a
+    /// sampled timer: tiles with equal row-length signatures share a key,
+    /// and tiles sharing a key receive bit-identical outcomes.
+    #[test]
+    fn equal_keys_imply_equal_outcomes(
+        lens in prop::collection::vec(0usize..=8, 4),
+        pos_a in prop::collection::vec(0usize..32, 4),
+        pos_b in prop::collection::vec(0usize..32, 4),
+        qa_exp in 3u32..=5,
+        qb_exp in 3u32..=5,
+    ) {
+        let a = tile_with_lens(&lens, &pos_a, 1 << qa_exp);
+        let b = tile_with_lens(&lens, &pos_b, 1 << qb_exp);
+        for timer in registry_timers() {
+            let (ka, kb) = (timer.key(&a), timer.key(&b));
+            prop_assert_eq!(&ka, &kb, "{:?}: equal signatures, equal keys", timer);
+            match ka {
+                // Uniform-latency timers are never keyed; their outcome
+                // legitimately depends on `q` and bypasses the store.
+                None => prop_assert!(
+                    matches!(timer, TileTimer::Dense | TileTimer::TwoFour)
+                ),
+                Some(_) => prop_assert_eq!(
+                    timer.outcome(&a),
+                    timer.outcome(&b),
+                    "{:?}: shared key must mean shared outcome",
+                    timer
+                ),
+            }
+        }
+    }
+
+    /// The max-row timer's key is sorted, so any row permutation lands on
+    /// the same store record — and the timer really is permutation
+    /// invariant, so that sharing is sound.
+    #[test]
+    fn maxrow_key_collapses_row_permutations_soundly(
+        lens in prop::collection::vec(0usize..=16, 4),
+        pos in prop::collection::vec(0usize..16, 4),
+        rot in 0usize..4,
+        swap in any::<bool>(),
+    ) {
+        let mut permuted: Vec<usize> =
+            (0..4).map(|r| lens[(r + rot) % 4]).collect();
+        if swap {
+            permuted.swap(0, 1);
+        }
+        let a = tile_with_lens(&lens, &pos, 16);
+        let b = tile_with_lens(&permuted, &pos, 16);
+        let timer = TileTimer::MaxRow;
+        prop_assert_eq!(timer.key(&a), timer.key(&b));
+        prop_assert_eq!(timer.outcome(&a), timer.outcome(&b));
+    }
+
+    /// The SUDS planners are order-sensitive, and their exact-order keys
+    /// are exactly as fine as the timing function: two row sequences get
+    /// one key precisely when they are the same sequence. (Coarser would
+    /// be unsound; finer would forfeit reuse.)
+    #[test]
+    fn suds_keys_are_exactly_order_sensitive(
+        lens_a in prop::collection::vec(0usize..=16, 4),
+        lens_b in prop::collection::vec(0usize..=16, 4),
+        pos in prop::collection::vec(0usize..16, 4),
+    ) {
+        let a = tile_with_lens(&lens_a, &pos, 16);
+        let b = tile_with_lens(&lens_b, &pos, 16);
+        for timer in [
+            TileTimer::GreedySuds,
+            TileTimer::OptimalSuds,
+            TileTimer::MultiStepSuds(2),
+        ] {
+            prop_assert_eq!(
+                timer.key(&a) == timer.key(&b),
+                lens_a == lens_b,
+                "{:?}: key equality must coincide with signature equality",
+                timer
+            );
+        }
+    }
+}
+
+/// Distinct timer disciplines never share a record even for identical
+/// tiles: the key's discipline tag keeps e.g. greedy and optimal SUDS
+/// results apart, and the reach parameter separates multi-step variants.
+#[test]
+fn keys_separate_timer_disciplines() {
+    let tile = tile_with_lens(&[4, 3, 1, 0], &[0, 2, 5, 0], 16);
+    let sampled = [
+        TileTimer::MaxRow,
+        TileTimer::GreedySuds,
+        TileTimer::OptimalSuds,
+        TileTimer::MultiStepSuds(1),
+        TileTimer::MultiStepSuds(2),
+        TileTimer::MultiStepSuds(3),
+    ];
+    let keys: Vec<_> = sampled
+        .iter()
+        .map(|t| t.key(&tile).expect("sampled timers are keyed"))
+        .collect();
+    for (i, ki) in keys.iter().enumerate() {
+        for (j, kj) in keys.iter().enumerate() {
+            assert_eq!(i == j, ki == kj, "{:?} vs {:?}", sampled[i], sampled[j]);
+        }
+    }
+}
+
+/// Every registry architecture's timer upholds the store contract on a
+/// directed set of edge tiles: empty, full, single-row and staircase
+/// patterns, compared against a column-shifted twin.
+#[test]
+fn registry_timers_uphold_the_congruence_on_edge_tiles() {
+    let cases: [&[usize]; 5] = [
+        &[0, 0, 0, 0],
+        &[16, 16, 16, 16],
+        &[16, 0, 0, 0],
+        &[4, 3, 2, 1],
+        &[1, 16, 1, 16],
+    ];
+    for lens in cases {
+        let a = tile_with_lens(lens, &[0, 0, 0, 0], 16);
+        let b = tile_with_lens(lens, &[7, 3, 11, 5], 16);
+        for timer in registry_timers() {
+            assert_eq!(timer.key(&a), timer.key(&b), "{timer:?} on {lens:?}");
+            if timer.key(&a).is_some() {
+                assert_eq!(
+                    timer.outcome(&a),
+                    timer.outcome(&b),
+                    "{timer:?} on {lens:?}"
+                );
+            }
+        }
+    }
+}

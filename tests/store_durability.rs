@@ -1,0 +1,215 @@
+//! Durability guarantees of the persistent tile store: a store directory
+//! is an optimization, never a source of truth. Whatever is on disk —
+//! misplaced records, foreign versions, truncated shards, binary garbage,
+//! files deleted out from under a warm run — the simulator must produce
+//! the same bytes it would have produced with no store at all, recovering
+//! by re-simulation and ticking `store.errors`, never by panicking and
+//! never by serving a damaged record.
+
+use eureka_models::{Benchmark, PruningLevel, Workload};
+use eureka_sim::store::{self, DiskTier, TileKey, TileOutcome};
+use eureka_sim::{arch, runner, Runner, SimConfig, SimJob};
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// The tile store, unit cache and metrics registry are process-global;
+/// serialize the tests that reset or inspect them.
+fn exclusive() -> MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn errors() -> u64 {
+    eureka_obs::metrics::counter("store.errors", eureka_obs::metrics::Class::Deterministic).get()
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("eureka-durability-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn shard_files(dir: &PathBuf) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|e| e == "tiles"))
+                .collect()
+        })
+        .unwrap_or_default();
+    files.sort();
+    files
+}
+
+/// Misplaced records (a key whose hash does not belong in the shard file
+/// it sits in — collision damage or manual tampering) and foreign-version
+/// keys are rejected on load with an `store.errors` tick; well-placed v1
+/// records in the same file still load.
+#[test]
+fn misplaced_and_foreign_version_records_are_rejected_on_load() {
+    let _x = exclusive();
+    let dir = fresh_dir("misplaced");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let good = TileKey::new("maxrow", "4,3,2,1");
+    // A key that provably hashes to a different shard than `good`.
+    let evicted = (0..)
+        .map(|i| TileKey::new("maxrow", &format!("9,9,9,{i}")))
+        .find(|k| k.shard() != good.shard())
+        .unwrap();
+
+    // Hand-write `good`'s shard: one valid record, one record smuggled
+    // in from another shard, one from a future format version.
+    let shard_file = dir.join(format!("{:02x}.tiles", good.shard()));
+    std::fs::write(
+        &shard_file,
+        format!(
+            "eureka-tilestore v1\n{} 4 1 2 10\n{} 9 0 - 36\nv2|maxrow|1,1,1,1 5 0 - 4\n",
+            good.as_str(),
+            evicted.as_str()
+        ),
+    )
+    .unwrap();
+
+    let tier = DiskTier::new(&dir);
+    let before = errors();
+    assert_eq!(
+        tier.lookup(&good),
+        Some(TileOutcome {
+            cycles: 4,
+            displaced: 1,
+            base_row: Some(2),
+            nnz: 10
+        }),
+        "the well-placed record still loads"
+    );
+    assert_eq!(
+        errors() - before,
+        2,
+        "one tick for the misplaced key, one for the v2 record"
+    );
+    // The misplaced record is invisible from its own shard too: that
+    // shard file does not exist, so the key is simply absent.
+    assert_eq!(
+        tier.lookup(&evicted),
+        None,
+        "misplaced records are never served"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A store directory mangled every way we can think of — binary garbage,
+/// a truncated record, junk appended past valid records, a stray temp
+/// file from a crashed flush — yields a warm run byte-identical to the
+/// cold one, recovered by re-simulation without a panic.
+#[test]
+fn corrupt_shards_recover_by_resimulation() {
+    let _x = exclusive();
+    let dir = fresh_dir("corrupt");
+    let w = Workload::new(Benchmark::MobileNetV1, PruningLevel::Moderate, 32);
+    let cfg = SimConfig {
+        rowgroup_samples: 18, // distinctive: this test owns its entries
+        ..SimConfig::paper_default()
+    };
+    let a = arch::by_name("eureka-p4").expect("registered");
+    let job = SimJob::new(a.as_ref(), &w, cfg);
+
+    runner::cache_reset();
+    let cold = Runner::serial()
+        .with_store_dir(&dir)
+        .run(&job)
+        .expect("supported");
+    let files = shard_files(&dir);
+    assert!(
+        files.len() >= 3,
+        "expected several shard files to tamper with, got {}",
+        files.len()
+    );
+
+    // Shard 1: replaced wholesale with binary garbage (no header).
+    std::fs::write(&files[0], [0u8, 159, 146, 150, b'\n', 7]).unwrap();
+    // Shard 2: valid header, then a record truncated mid-write.
+    std::fs::write(&files[1], "eureka-tilestore v1\nv1|maxrow|7,3").unwrap();
+    // Shard 3: valid content with junk appended past the last record.
+    let mut text = std::fs::read_to_string(&files[2]).unwrap();
+    text.push_str("not a record at all\n");
+    std::fs::write(&files[2], text).unwrap();
+    // And a stray temp file from a "crashed" flush, which loading must
+    // ignore (only `*.tiles` paths are ever read).
+    std::fs::write(dir.join("00.tmp-99999-0"), "partial write").unwrap();
+
+    // Cold-start the process state so the warm run can only see disk.
+    runner::cache_reset();
+    let before = errors();
+    let warm = Runner::serial()
+        .with_store_dir(&dir)
+        .run(&job)
+        .expect("supported");
+
+    assert_eq!(cold, warm, "corruption must cost time, never correctness");
+    assert!(
+        errors() > before,
+        "damaged records are counted, not silently dropped"
+    );
+    let (_, hits, misses, _) = store::store_stats();
+    assert!(misses > 0, "damaged shards force re-simulation");
+    assert!(hits > 0, "intact shards still serve their records");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A partially populated store — as left behind by a run killed before
+/// finishing — warm-resumes: surviving shards serve hits, missing ones
+/// re-simulate, the output is byte-identical, and the follow-up flush
+/// heals the store back to full coverage.
+#[test]
+fn killed_run_store_warm_resumes_and_heals() {
+    let _x = exclusive();
+    let dir = fresh_dir("killed");
+    let w = Workload::new(Benchmark::MobileNetV1, PruningLevel::Conservative, 32);
+    let cfg = SimConfig {
+        rowgroup_samples: 19, // distinctive: this test owns its entries
+        ..SimConfig::paper_default()
+    };
+    let a = arch::by_name("eureka-p2").expect("registered");
+    let job = SimJob::new(a.as_ref(), &w, cfg);
+
+    runner::cache_reset();
+    let cold = Runner::serial()
+        .with_store_dir(&dir)
+        .run(&job)
+        .expect("supported");
+    let files = shard_files(&dir);
+    assert!(files.len() >= 2, "need at least two shards for this test");
+    let full_count = files.len();
+
+    // Simulate the kill: one shard never made it to disk.
+    std::fs::remove_file(&files[0]).unwrap();
+
+    runner::cache_reset();
+    let warm = Runner::serial()
+        .with_store_dir(&dir)
+        .run(&job)
+        .expect("supported");
+    assert_eq!(cold, warm, "partial stores resume bit-identically");
+    let (_, hits, misses, _) = store::store_stats();
+    assert!(hits > 0, "surviving shards serve their records");
+    assert!(misses > 0, "the deleted shard's tiles re-simulate");
+    assert_eq!(
+        shard_files(&dir).len(),
+        full_count,
+        "the post-run flush rewrites the missing shard"
+    );
+
+    // Third run: the healed store now serves every tile.
+    runner::cache_reset();
+    let healed = Runner::serial()
+        .with_store_dir(&dir)
+        .run(&job)
+        .expect("supported");
+    assert_eq!(cold, healed);
+    let (lookups, hits, misses, _) = store::store_stats();
+    assert_eq!(misses, 0, "a healed store has no holes");
+    assert_eq!(hits, lookups, "every lookup is served from the store");
+    let _ = std::fs::remove_dir_all(&dir);
+}
