@@ -51,6 +51,14 @@ pub enum Command {
         store_dir: Option<String>,
         /// Disable the tile-result store (even the in-process hot tier).
         no_store: bool,
+        /// Stream the run-event JSONL here (`-` = stdout).
+        events_out: Option<String>,
+        /// Progress-line policy (`None` = auto: on iff stderr is a tty).
+        progress: Option<bool>,
+        /// Append the run-ledger record under this directory.
+        ledger_dir: Option<String>,
+        /// Skip the run-ledger append entirely.
+        no_ledger: bool,
     },
     /// Compile one layer's (synthetic) pruned weights to the offline
     /// format and report compression/cycle statistics.
@@ -107,6 +115,14 @@ pub enum Command {
         store_dir: Option<String>,
         /// Disable the tile-result store (even the in-process hot tier).
         no_store: bool,
+        /// Stream the run-event JSONL here (`-` = stdout).
+        events_out: Option<String>,
+        /// Progress-line policy (`None` = auto: on iff stderr is a tty).
+        progress: Option<bool>,
+        /// Append the run-ledger record under this directory.
+        ledger_dir: Option<String>,
+        /// Skip the run-ledger append entirely.
+        no_ledger: bool,
     },
     /// Profile one workload on one architecture: cycle attribution
     /// (stall taxonomy, per-row heatmap, worst tiles, SUDS displacement)
@@ -140,6 +156,30 @@ pub enum Command {
         store_dir: Option<String>,
         /// Disable the tile-result store (even the in-process hot tier).
         no_store: bool,
+        /// Stream the run-event JSONL here (`-` = stdout).
+        events_out: Option<String>,
+        /// Progress-line policy (`None` = auto: on iff stderr is a tty).
+        progress: Option<bool>,
+        /// Append the run-ledger record under this directory.
+        ledger_dir: Option<String>,
+        /// Skip the run-ledger append entirely.
+        no_ledger: bool,
+    },
+    /// List the recorded run-ledger trajectory.
+    BenchList {
+        /// Ledger directory (default `results/ledger`).
+        ledger_dir: Option<String>,
+    },
+    /// Compare two snapshots (`eureka-bench-v1` or `eureka-ledger-v1`)
+    /// field-by-field under a regression threshold; the run errors (exit
+    /// non-zero) when any gated field regressed — the CI perf gate.
+    BenchDiff {
+        /// Baseline snapshot path.
+        baseline: String,
+        /// Candidate snapshot path.
+        candidate: String,
+        /// Regression threshold in percent.
+        max_regress: f64,
     },
     /// Run the differential verification suite (dense-GEMM oracle,
     /// brute-force SUDS checker, metamorphic invariants) over seeded
@@ -172,6 +212,8 @@ USAGE:
                   [--csv] [--fast] [--jobs <N>]
                   [--retries <N>] [--checkpoint-dir <dir>] [--resume]
                   [--store-dir <dir>] [--no-store]
+                  [--events-out <file|->] [--progress|--no-progress]
+                  [--ledger-dir <dir>|--no-ledger]
                   [--trace-out <file>] [--metrics-out <file>] [-v|-vv]
   eureka simulate --benchmark <mobilenetv1|inceptionv3|resnet50|bert>
                   [--pruning <dense|cons|mod>] [--arch <name>]
@@ -179,12 +221,18 @@ USAGE:
                   [--keep-going] [--max-failures <N>] [--retries <N>]
                   [--checkpoint-dir <dir>] [--resume]
                   [--store-dir <dir>] [--no-store]
+                  [--events-out <file|->] [--progress|--no-progress]
+                  [--ledger-dir <dir>|--no-ledger]
                   [--trace-out <file>] [--metrics-out <file>] [-v|-vv]
   eureka profile  --benchmark <name> [--pruning <level>] [--arch <name>]
                   [--batch <N>] [--fast] [--jobs <N>] [--top-tiles <N>]
                   [--store-dir <dir>] [--no-store]
+                  [--events-out <file|->] [--progress|--no-progress]
+                  [--ledger-dir <dir>|--no-ledger]
                   [--json <file|->] [--heatmap <file|->]
                   [--trace-out <file|->] [--bench-json <file|->] [-v|-vv]
+  eureka bench    list [--ledger-dir <dir>]
+  eureka bench    diff <baseline.json> <candidate.json> [--max-regress <pct>]
   eureka compile  --benchmark <name> --layer <layer-name> [--factor <P>]
   eureka trace    --benchmark <name> --layer <layer-name>   (Chrome-trace JSON)
   eureka verify   [--cases <N>] [--seed <S>] [--arch <name>]
@@ -221,6 +269,31 @@ TELEMETRY:
                         store/failure/checkpoint counters, exec-time
                         histograms)
   -v / -vv              telemetry summary / per-layer breakdown on stderr
+
+OBSERVABILITY:
+  --events-out <file|-> stream the run-event JSONL (schema eureka-events-v1)
+                        to a file or stdout ('-' suppresses the human report
+                        to keep stdout machine-readable). Each line splits
+                        deterministic fields (`det`: byte-identical across
+                        reruns and --jobs settings) from wall-clock fields
+                        (`wall`: seq, t_us, jobs). Compare streams with the
+                        deterministic projection (scripts/check_events.py)
+  --progress            force the throttled stderr progress line on
+  --no-progress         force it off (default: on only when stderr is a
+                        terminal; the line never touches stdout, reports,
+                        or the metrics registry)
+  --ledger-dir <dir>    append a one-line run summary (schema
+                        eureka-ledger-v1: config key, git revision, metrics
+                        digest, cycles, wall time, event count) here; when
+                        omitted, defaults to results/ledger iff that
+                        directory exists
+  --no-ledger           skip the ledger append
+  bench list            print the recorded ledger trajectory
+  bench diff <a> <b>    field-by-field snapshot comparison (BENCH or ledger
+                        records): cycle counts gate lower-is-better,
+                        speedups higher-is-better, wall-clock fields are
+                        informational only; exits non-zero when any gated
+                        field moves beyond --max-regress percent (default 2)
 
 PROFILING (`eureka profile`):
   prints a ranked bottleneck report (stall taxonomy: compute / memory /
@@ -319,6 +392,10 @@ where
             let mut resume = false;
             let mut store_dir = None;
             let mut no_store = false;
+            let mut events_out = None;
+            let mut progress = None;
+            let mut ledger_dir = None;
+            let mut no_ledger = false;
             let mut it = args[2..].iter();
             while let Some(a) = it.next() {
                 let mut value = |flag: &str| {
@@ -339,6 +416,11 @@ where
                     "--resume" => resume = true,
                     "--store-dir" => store_dir = Some(value("--store-dir")?),
                     "--no-store" => no_store = true,
+                    "--events-out" => events_out = Some(value("--events-out")?),
+                    "--progress" => progress = Some(true),
+                    "--no-progress" => progress = Some(false),
+                    "--ledger-dir" => ledger_dir = Some(value("--ledger-dir")?),
+                    "--no-ledger" => no_ledger = true,
                     other => return Err(format!("unknown flag '{other}' for figure")),
                 }
             }
@@ -347,6 +429,12 @@ where
             }
             if no_store && store_dir.is_some() {
                 return Err("--no-store conflicts with --store-dir".into());
+            }
+            if no_ledger && ledger_dir.is_some() {
+                return Err("--no-ledger conflicts with --ledger-dir".into());
+            }
+            if csv && events_out.as_deref() == Some("-") {
+                return Err("--events-out - conflicts with --csv (both claim stdout)".into());
             }
             Ok(Command::Figure {
                 name,
@@ -361,6 +449,10 @@ where
                 resume,
                 store_dir,
                 no_store,
+                events_out,
+                progress,
+                ledger_dir,
+                no_ledger,
             })
         }
         "compile" => {
@@ -433,6 +525,10 @@ where
             let mut resume = false;
             let mut store_dir = None;
             let mut no_store = false;
+            let mut events_out = None;
+            let mut progress = None;
+            let mut ledger_dir = None;
+            let mut no_ledger = false;
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
                 let mut value = |flag: &str| {
@@ -469,6 +565,11 @@ where
                     "--resume" => resume = true,
                     "--store-dir" => store_dir = Some(value("--store-dir")?),
                     "--no-store" => no_store = true,
+                    "--events-out" => events_out = Some(value("--events-out")?),
+                    "--progress" => progress = Some(true),
+                    "--no-progress" => progress = Some(false),
+                    "--ledger-dir" => ledger_dir = Some(value("--ledger-dir")?),
+                    "--no-ledger" => no_ledger = true,
                     other => return Err(format!("unknown flag '{other}' for simulate")),
                 }
             }
@@ -490,6 +591,12 @@ where
             if no_store && store_dir.is_some() {
                 return Err("--no-store conflicts with --store-dir".into());
             }
+            if no_ledger && ledger_dir.is_some() {
+                return Err("--no-ledger conflicts with --ledger-dir".into());
+            }
+            if csv && events_out.as_deref() == Some("-") {
+                return Err("--events-out - conflicts with --csv (both claim stdout)".into());
+            }
             Ok(Command::Simulate {
                 benchmark,
                 pruning,
@@ -508,6 +615,10 @@ where
                 resume,
                 store_dir,
                 no_store,
+                events_out,
+                progress,
+                ledger_dir,
+                no_ledger,
             })
         }
         "profile" => {
@@ -525,6 +636,10 @@ where
             let mut verbose = 0u8;
             let mut store_dir = None;
             let mut no_store = false;
+            let mut events_out = None;
+            let mut progress = None;
+            let mut ledger_dir = None;
+            let mut no_ledger = false;
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
                 let mut value = |flag: &str| {
@@ -556,6 +671,11 @@ where
                     "-vv" => verbose = verbose.saturating_add(2),
                     "--store-dir" => store_dir = Some(value("--store-dir")?),
                     "--no-store" => no_store = true,
+                    "--events-out" => events_out = Some(value("--events-out")?),
+                    "--progress" => progress = Some(true),
+                    "--no-progress" => progress = Some(false),
+                    "--ledger-dir" => ledger_dir = Some(value("--ledger-dir")?),
+                    "--no-ledger" => no_ledger = true,
                     other => return Err(format!("unknown flag '{other}' for profile")),
                 }
             }
@@ -568,15 +688,24 @@ where
             if batch == 0 {
                 return Err("--batch must be positive".into());
             }
-            let stdout_exports = [&json_out, &heatmap_out, &trace_out, &bench_json]
-                .iter()
-                .filter(|o| o.as_deref() == Some("-"))
-                .count();
+            let stdout_exports = [
+                &json_out,
+                &heatmap_out,
+                &trace_out,
+                &bench_json,
+                &events_out,
+            ]
+            .iter()
+            .filter(|o| o.as_deref() == Some("-"))
+            .count();
             if stdout_exports > 1 {
                 return Err("at most one profile export may write to stdout ('-')".into());
             }
             if no_store && store_dir.is_some() {
                 return Err("--no-store conflicts with --store-dir".into());
+            }
+            if no_ledger && ledger_dir.is_some() {
+                return Err("--no-ledger conflicts with --ledger-dir".into());
             }
             Ok(Command::Profile {
                 benchmark,
@@ -593,8 +722,67 @@ where
                 verbose,
                 store_dir,
                 no_store,
+                events_out,
+                progress,
+                ledger_dir,
+                no_ledger,
             })
         }
+        "bench" => match args.get(1).map(String::as_str) {
+            Some("list") => {
+                let mut ledger_dir = None;
+                let mut it = args[2..].iter();
+                while let Some(a) = it.next() {
+                    let mut value = |flag: &str| {
+                        it.next()
+                            .cloned()
+                            .ok_or_else(|| format!("{flag} requires a value"))
+                    };
+                    match a.as_str() {
+                        "--ledger-dir" => ledger_dir = Some(value("--ledger-dir")?),
+                        other => return Err(format!("unknown flag '{other}' for bench list")),
+                    }
+                }
+                Ok(Command::BenchList { ledger_dir })
+            }
+            Some("diff") => {
+                let mut paths = Vec::new();
+                let mut max_regress = 2.0f64;
+                let mut it = args[2..].iter();
+                while let Some(a) = it.next() {
+                    let mut value = |flag: &str| {
+                        it.next()
+                            .cloned()
+                            .ok_or_else(|| format!("{flag} requires a value"))
+                    };
+                    match a.as_str() {
+                        "--max-regress" => {
+                            max_regress = value("--max-regress")?
+                                .parse()
+                                .map_err(|e| format!("bad --max-regress: {e}"))?;
+                            if !max_regress.is_finite() || max_regress < 0.0 {
+                                return Err("--max-regress must be a non-negative percent".into());
+                            }
+                        }
+                        flag if flag.starts_with("--") => {
+                            return Err(format!("unknown flag '{flag}' for bench diff"));
+                        }
+                        path => paths.push(path.to_string()),
+                    }
+                }
+                let [baseline, candidate] = <[String; 2]>::try_from(paths).map_err(|_| {
+                    "bench diff requires exactly two snapshot paths: \
+                     `eureka bench diff <baseline.json> <candidate.json>`"
+                        .to_string()
+                })?;
+                Ok(Command::BenchDiff {
+                    baseline,
+                    candidate,
+                    max_regress,
+                })
+            }
+            _ => Err("bench requires a subcommand: `list` or `diff <a> <b>`".into()),
+        },
         "verify" => {
             let mut cases = 200u32;
             let mut seed = 42u64;
@@ -740,6 +928,104 @@ impl Drop for RunnerGlobals {
     }
 }
 
+/// RAII guard for the run-event bus and the progress reporter: arms the
+/// JSONL writer (file or stdout for `-`) and applies the progress
+/// policy on construction, then finalizes the progress line and
+/// flushes/detaches the writer on drop — including every early-return
+/// error path. The emitted-event count survives the drop (until the
+/// next arm), so the ledger append can read it afterwards.
+struct EventsGuard;
+
+impl EventsGuard {
+    fn begin(events_out: Option<&str>, progress: Option<bool>) -> Result<Self, String> {
+        let writer: Option<Box<dyn std::io::Write + Send>> = match events_out {
+            None => None,
+            Some("-") => Some(Box::new(std::io::stdout())),
+            Some(path) => {
+                let file = std::fs::File::create(path)
+                    .map_err(|e| format!("cannot open events file {path}: {e}"))?;
+                Some(Box::new(std::io::BufWriter::new(file)))
+            }
+        };
+        eureka_obs::events::arm(writer);
+        eureka_obs::progress::set_mode(match progress {
+            None => eureka_obs::progress::Mode::Auto,
+            Some(true) => eureka_obs::progress::Mode::On,
+            Some(false) => eureka_obs::progress::Mode::Off,
+        });
+        Ok(EventsGuard)
+    }
+}
+
+impl Drop for EventsGuard {
+    fn drop(&mut self) {
+        eureka_obs::progress::set_mode(eureka_obs::progress::Mode::Off);
+        eureka_obs::events::disarm();
+    }
+}
+
+/// Where to append the run ledger: an explicit `--ledger-dir` always
+/// wins, `--no-ledger` always disables, and the `results/ledger`
+/// default applies only when that directory already exists — so library
+/// tests and checkouts without the results tree never grow one as a
+/// side effect.
+fn resolve_ledger_dir(ledger_dir: Option<&str>, no_ledger: bool) -> Option<std::path::PathBuf> {
+    if no_ledger {
+        return None;
+    }
+    match ledger_dir {
+        Some(dir) => Some(std::path::PathBuf::from(dir)),
+        None => {
+            let default = std::path::Path::new("results/ledger");
+            default.is_dir().then(|| default.to_path_buf())
+        }
+    }
+}
+
+/// Appends one run-ledger record (a no-op when [`resolve_ledger_dir`]
+/// yields nothing). Reads the event count off the bus, so call it after
+/// the run finished but within the same command.
+fn append_ledger(
+    ledger_dir: Option<&str>,
+    no_ledger: bool,
+    kind: &str,
+    label: String,
+    total_cycles: Option<u64>,
+    speedup_vs_dense: Option<f64>,
+    started: std::time::Instant,
+) -> Result<(), String> {
+    let Some(dir) = resolve_ledger_dir(ledger_dir, no_ledger) else {
+        return Ok(());
+    };
+    let record = eureka_sim::LedgerRecord {
+        kind: kind.to_string(),
+        label,
+        total_cycles,
+        speedup_vs_dense,
+        wall_ms: started.elapsed().as_secs_f64() * 1e3,
+        events: eureka_obs::events::emitted_count(),
+    };
+    let path = eureka_sim::ledger::append(&dir, &record)?;
+    eureka_obs::info!("ledger: appended {}", path.display());
+    Ok(())
+}
+
+/// Canonical ledger label for a simulate/profile-shaped run.
+fn run_label(
+    benchmark: Benchmark,
+    pruning: PruningLevel,
+    batch: usize,
+    fast: bool,
+    arch_name: &str,
+) -> String {
+    format!(
+        "{}|{}|batch{batch}|{}|arch={arch_name}",
+        benchmark.name(),
+        pruning.label(),
+        if fast { "fast" } else { "paper" },
+    )
+}
+
 /// Executes a parsed command, returning the text to print.
 ///
 /// # Errors
@@ -771,6 +1057,10 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             resume,
             store_dir,
             no_store,
+            events_out,
+            progress,
+            ledger_dir,
+            no_ledger,
         } => {
             if let Some(n) = jobs {
                 eureka_sim::runner::set_global_jobs(*n);
@@ -782,6 +1072,8 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 store_dir.as_deref(),
                 *no_store,
             );
+            let wall_start = std::time::Instant::now();
+            let _events = EventsGuard::begin(events_out.as_deref(), *progress)?;
             let tel = Telemetry::begin(trace_out.as_deref(), metrics_out.as_deref(), *verbose);
             let cfg = if *fast {
                 SimConfig::fast()
@@ -822,6 +1114,20 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 }
             };
             tel.finish()?;
+            append_ledger(
+                ledger_dir.as_deref(),
+                *no_ledger,
+                "figure",
+                format!("{name}|{}", if *fast { "fast" } else { "paper" }),
+                None,
+                None,
+                wall_start,
+            )?;
+            // With events streaming to stdout, the human output is
+            // suppressed to keep stdout machine-readable.
+            if events_out.as_deref() == Some("-") {
+                return Ok(String::new());
+            }
             Ok(out)
         }
         Command::Compile {
@@ -908,6 +1214,10 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             resume,
             store_dir,
             no_store,
+            events_out,
+            progress,
+            ledger_dir,
+            no_ledger,
         } => {
             use eureka_sim::{render_failure_report, JobOutcome};
             if let Some(n) = jobs {
@@ -920,6 +1230,8 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 store_dir.as_deref(),
                 *no_store,
             );
+            let wall_start = std::time::Instant::now();
+            let _events = EventsGuard::begin(events_out.as_deref(), *progress)?;
             let tel = Telemetry::begin(trace_out.as_deref(), metrics_out.as_deref(), *verbose);
             let cfg = if *fast {
                 SimConfig::fast()
@@ -963,6 +1275,7 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 }
             };
             report.log_layers();
+            let label = run_label(*benchmark, *pruning, *batch, *fast, arch_name);
             if *csv {
                 // Keep stdout machine-readable: survivors go to the CSV,
                 // the failure report goes to stderr.
@@ -970,6 +1283,15 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                     eureka_obs::error!("{}", render_failure_report(&failures));
                 }
                 tel.finish()?;
+                append_ledger(
+                    ledger_dir.as_deref(),
+                    *no_ledger,
+                    "simulate",
+                    label,
+                    Some(report.total_cycles()),
+                    None,
+                    wall_start,
+                )?;
                 return Ok(report.to_csv());
             }
             let mut out = format!("{} on {}\n", report.arch, report.workload);
@@ -978,12 +1300,12 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 report.total_cycles(),
                 report.runtime_ms(1.0)
             ));
+            let mut speedup_vs_dense = None;
             if failures.is_empty() {
                 let dense = engine::simulate(&arch::dense(), &workload, &cfg);
-                out.push_str(&format!(
-                    "  speedup vs Dense: {:.2}x\n",
-                    engine::speedup(&dense, &report)
-                ));
+                let speedup = engine::speedup(&dense, &report);
+                speedup_vs_dense = Some(speedup);
+                out.push_str(&format!("  speedup vs Dense: {speedup:.2}x\n"));
             }
             out.push_str(&format!(
                 "  throughput     : {:.0} inputs/s\n",
@@ -1006,6 +1328,18 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 ));
             }
             tel.finish()?;
+            append_ledger(
+                ledger_dir.as_deref(),
+                *no_ledger,
+                "simulate",
+                label,
+                Some(report.total_cycles()),
+                speedup_vs_dense,
+                wall_start,
+            )?;
+            if events_out.as_deref() == Some("-") {
+                return Ok(String::new());
+            }
             Ok(out)
         }
         Command::Profile {
@@ -1023,11 +1357,17 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             verbose,
             store_dir,
             no_store,
+            events_out,
+            progress,
+            ledger_dir,
+            no_ledger,
         } => {
             if let Some(n) = jobs {
                 eureka_sim::runner::set_global_jobs(*n);
             }
             let _globals = RunnerGlobals::apply(0, None, false, store_dir.as_deref(), *no_store);
+            let wall_start = std::time::Instant::now();
+            let _events = EventsGuard::begin(events_out.as_deref(), *progress)?;
             eureka_obs::log::set_verbosity(*verbose);
             let cfg = if *fast {
                 SimConfig::fast()
@@ -1089,10 +1429,74 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 );
                 emit(path, json, "BENCH snapshot")?;
             }
+            append_ledger(
+                ledger_dir.as_deref(),
+                *no_ledger,
+                "profile",
+                run_label(*benchmark, *pruning, *batch, *fast, arch_name),
+                Some(report.total_cycles()),
+                None,
+                wall_start,
+            )?;
             Ok(match stdout_payload {
                 Some(payload) => payload,
+                // Events streamed to stdout: the human report is
+                // suppressed, same as any other stdout export.
+                None if events_out.as_deref() == Some("-") => String::new(),
                 None => profile.bottleneck_report(5),
             })
+        }
+        Command::BenchList { ledger_dir } => {
+            use eureka_obs::json::Value;
+            let dir = std::path::PathBuf::from(ledger_dir.as_deref().unwrap_or("results/ledger"));
+            let records = eureka_sim::ledger::read_dir(&dir)?;
+            if records.is_empty() {
+                return Ok(format!("no ledger records under {}\n", dir.display()));
+            }
+            let mut out = format!(
+                "{:<17} {:<9} {:<44} {:<14} {:>12} {:>8} {:>10} {:>7}\n",
+                "key", "kind", "label", "git", "cycles", "speedup", "wall_ms", "events"
+            );
+            for (_, v) in &records {
+                let s = |k: &str| v.get(k).and_then(Value::as_str).unwrap_or("?").to_string();
+                let opt_num = |k: &str, fmt: fn(f64) -> String| {
+                    v.get(k)
+                        .and_then(Value::as_f64)
+                        .map_or_else(|| "-".to_string(), fmt)
+                };
+                out.push_str(&format!(
+                    "{:<17} {:<9} {:<44} {:<14} {:>12} {:>8} {:>10} {:>7}\n",
+                    s("key"),
+                    s("kind"),
+                    s("label"),
+                    s("git"),
+                    opt_num("total_cycles", |c| format!("{c:.0}")),
+                    opt_num("speedup_vs_dense", |sp| format!("{sp:.2}x")),
+                    opt_num("wall_ms", |w| format!("{w:.1}")),
+                    opt_num("events", |e| format!("{e:.0}")),
+                ));
+            }
+            out.push_str(&format!("{} record(s)\n", records.len()));
+            Ok(out)
+        }
+        Command::BenchDiff {
+            baseline,
+            candidate,
+            max_regress,
+        } => {
+            let a = eureka_sim::ledger::load_snapshot(std::path::Path::new(baseline))?;
+            let b = eureka_sim::ledger::load_snapshot(std::path::Path::new(candidate))?;
+            let report = eureka_sim::ledger::diff(&a, &b, *max_regress)?;
+            let rendered = format!(
+                "baseline : {baseline}\ncandidate: {candidate}\nthreshold: {max_regress}%\n{}",
+                report.render()
+            );
+            // The regression gate: a failing diff is a failing command.
+            if report.ok() {
+                Ok(rendered)
+            } else {
+                Err(rendered)
+            }
         }
         Command::Verify {
             cases,
@@ -1147,6 +1551,10 @@ mod tests {
                 resume: false,
                 store_dir: None,
                 no_store: false,
+                events_out: None,
+                progress: None,
+                ledger_dir: None,
+                no_ledger: false,
             }
         );
         assert!(parse(["figure", "fig99"]).is_err());
@@ -1172,6 +1580,10 @@ mod tests {
                 resume: false,
                 store_dir: None,
                 no_store: false,
+                events_out: None,
+                progress: None,
+                ledger_dir: None,
+                no_ledger: false,
             }
         );
         let cmd = parse(["simulate", "--benchmark", "bert", "--jobs", "2"]).unwrap();
@@ -1203,6 +1615,10 @@ mod tests {
                 resume,
                 store_dir,
                 no_store,
+                events_out,
+                progress,
+                ledger_dir,
+                no_ledger,
             } => {
                 assert_eq!(benchmark, Benchmark::BertSquad);
                 assert_eq!(pruning, PruningLevel::Moderate);
@@ -1219,6 +1635,10 @@ mod tests {
                 assert_eq!(checkpoint_dir, None);
                 assert_eq!(store_dir, None);
                 assert!(!no_store);
+                assert_eq!(events_out, None);
+                assert_eq!(progress, None);
+                assert_eq!(ledger_dir, None);
+                assert!(!no_ledger);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -1416,6 +1836,10 @@ mod tests {
                 verbose,
                 store_dir,
                 no_store,
+                events_out,
+                progress,
+                ledger_dir,
+                no_ledger,
             } => {
                 assert_eq!(benchmark, Benchmark::MobileNetV1);
                 assert_eq!(pruning, PruningLevel::Moderate);
@@ -1431,6 +1855,10 @@ mod tests {
                 assert_eq!(verbose, 0);
                 assert_eq!(store_dir, None);
                 assert!(!no_store);
+                assert_eq!(events_out, None);
+                assert_eq!(progress, None);
+                assert_eq!(ledger_dir, None);
+                assert!(!no_ledger);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -1778,6 +2206,189 @@ mod tests {
         assert!(shards > 0, "tile shard files written under --store-dir");
         let warm = run(&parse(args).unwrap()).unwrap();
         assert_eq!(cold, warm, "a store-warmed run must be bit-identical");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_observability_flags() {
+        let cmd = parse([
+            "simulate",
+            "--benchmark",
+            "bert",
+            "--events-out",
+            "ev.jsonl",
+            "--no-progress",
+            "--ledger-dir",
+            "ld",
+        ])
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Simulate {
+                ref events_out,
+                progress: Some(false),
+                ref ledger_dir,
+                no_ledger: false,
+                ..
+            } if events_out.as_deref() == Some("ev.jsonl") && ledger_dir.as_deref() == Some("ld")
+        ));
+        let cmd = parse(["figure", "fig11", "--progress", "--no-ledger"]).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Figure {
+                progress: Some(true),
+                no_ledger: true,
+                ..
+            }
+        ));
+        // Conflicts.
+        assert!(parse(["figure", "fig11", "--ledger-dir", "d", "--no-ledger"]).is_err());
+        assert!(parse([
+            "simulate",
+            "--benchmark",
+            "bert",
+            "--csv",
+            "--events-out",
+            "-"
+        ])
+        .is_err());
+        // Events to stdout count toward profile's one-stdout-export rule.
+        assert!(parse([
+            "profile",
+            "--benchmark",
+            "bert",
+            "--json",
+            "-",
+            "--events-out",
+            "-"
+        ])
+        .is_err());
+        assert!(parse(["profile", "--benchmark", "bert", "--events-out", "-"]).is_ok());
+    }
+
+    #[test]
+    fn parse_bench_subcommands() {
+        assert_eq!(
+            parse(["bench", "list"]).unwrap(),
+            Command::BenchList { ledger_dir: None }
+        );
+        assert_eq!(
+            parse(["bench", "list", "--ledger-dir", "d"]).unwrap(),
+            Command::BenchList {
+                ledger_dir: Some("d".into())
+            }
+        );
+        assert_eq!(
+            parse(["bench", "diff", "a.json", "b.json"]).unwrap(),
+            Command::BenchDiff {
+                baseline: "a.json".into(),
+                candidate: "b.json".into(),
+                max_regress: 2.0,
+            }
+        );
+        assert_eq!(
+            parse(["bench", "diff", "a.json", "b.json", "--max-regress", "5"]).unwrap(),
+            Command::BenchDiff {
+                baseline: "a.json".into(),
+                candidate: "b.json".into(),
+                max_regress: 5.0,
+            }
+        );
+        assert!(parse(["bench"]).is_err());
+        assert!(parse(["bench", "frobnicate"]).is_err());
+        assert!(parse(["bench", "diff", "a.json"]).is_err());
+        assert!(parse(["bench", "diff", "a", "b", "c"]).is_err());
+        assert!(parse(["bench", "diff", "a", "b", "--max-regress", "-1"]).is_err());
+        assert!(parse(["bench", "list", "--bogus"]).is_err());
+    }
+
+    #[test]
+    fn run_bench_list_empty_and_diff_gate() {
+        let dir = std::env::temp_dir().join(format!("eureka-cli-bench-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Empty ledger lists cleanly.
+        let out = run(&Command::BenchList {
+            ledger_dir: Some(dir.join("ledger").to_str().unwrap().into()),
+        })
+        .unwrap();
+        assert!(out.contains("no ledger records"), "{out}");
+        // Identical snapshots pass the gate; an injected regression fails
+        // it with a run error (non-zero exit), not a usage error.
+        let good = dir.join("good.json");
+        let bad = dir.join("bad.json");
+        std::fs::write(
+            &good,
+            r#"{"schema":"eureka-bench-v1","benchmark":"m","pruning":"mod","batch":32,"sampling":"fast","archs":[{"name":"eureka-p4","total_cycles":250000,"speedup_vs_dense":3.5}]}"#,
+        )
+        .unwrap();
+        std::fs::write(
+            &bad,
+            r#"{"schema":"eureka-bench-v1","benchmark":"m","pruning":"mod","batch":32,"sampling":"fast","archs":[{"name":"eureka-p4","total_cycles":300000,"speedup_vs_dense":3.5}]}"#,
+        )
+        .unwrap();
+        let ok = run(&Command::BenchDiff {
+            baseline: good.to_str().unwrap().into(),
+            candidate: good.to_str().unwrap().into(),
+            max_regress: 2.0,
+        })
+        .unwrap();
+        assert!(ok.contains("OK: no regressions"), "{ok}");
+        let err = run(&Command::BenchDiff {
+            baseline: good.to_str().unwrap().into(),
+            candidate: bad.to_str().unwrap().into(),
+            max_regress: 2.0,
+        })
+        .unwrap_err();
+        assert!(err.contains("REGRESSION"), "{err}");
+        assert!(err.contains("total_cycles"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_simulate_with_events_and_ledger() {
+        let dir = std::env::temp_dir().join(format!("eureka-cli-events-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let events_path = dir.join("run.jsonl");
+        let ledger_path = dir.join("ledger");
+        let cmd = parse([
+            "simulate",
+            "--benchmark",
+            "mobilenet",
+            "--arch",
+            "eureka-p4",
+            "--batch",
+            "4",
+            "--fast",
+            "--no-progress",
+            "--events-out",
+            events_path.to_str().unwrap(),
+            "--ledger-dir",
+            ledger_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = run(&cmd).unwrap();
+        assert!(out.contains("total cycles"), "{out}");
+        // Every emitted line is schema-valid, and the stream brackets the
+        // run with run-started/run-finished.
+        let stream = std::fs::read_to_string(&events_path).unwrap();
+        assert!(stream.lines().count() > 2, "events were streamed");
+        for line in stream.lines() {
+            eureka_obs::events::validate_line(line).unwrap_or_else(|e| panic!("{e}\n{line}"));
+        }
+        assert!(stream.contains("\"event\":\"run-started\""));
+        assert!(stream.contains("\"event\":\"run-finished\""));
+        // The ledger recorded the run with the emitted-event count.
+        let records = eureka_sim::ledger::read_dir(&ledger_path).unwrap();
+        assert_eq!(records.len(), 1);
+        let v = &records[0].1;
+        use eureka_obs::json::Value;
+        assert_eq!(v.get("kind").and_then(Value::as_str), Some("simulate"));
+        assert_eq!(
+            v.get("events").and_then(Value::as_f64),
+            Some(stream.lines().count() as f64)
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

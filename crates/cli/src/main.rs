@@ -4,13 +4,27 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match eureka_cli::parse(args).and_then(|cmd| eureka_cli::run(&cmd)) {
+    // Usage text accompanies parse errors only: a *run* failure (a
+    // refused arch/workload combination, a `bench diff` regression
+    // gate) is an outcome of a well-formed command, not a syntax slip.
+    let cmd = match eureka_cli::parse(args) {
+        Ok(cmd) => cmd,
+        Err(msg) => {
+            eureka_obs::error!("{msg}\n{}", eureka_cli::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    match eureka_cli::run(&cmd) {
         Ok(out) => {
-            println!("{out}");
+            // Empty output means the command already streamed its
+            // payload to stdout (e.g. `--events-out -`).
+            if !out.is_empty() {
+                println!("{out}");
+            }
             ExitCode::SUCCESS
         }
         Err(msg) => {
-            eureka_obs::error!("{msg}\n{}", eureka_cli::USAGE);
+            eureka_obs::error!("{msg}");
             ExitCode::FAILURE
         }
     }

@@ -21,6 +21,10 @@
 //!    writer (loadable in `chrome://tracing` or Perfetto) shared by the
 //!    span exporter and the systolic-schedule traces in
 //!    `eureka-core::schedule::trace`, plus the metrics snapshot.
+//! 4. **Events** ([`events`]) — a versioned JSONL run-event stream
+//!    (`eureka-events-v1`) with the same deterministic/wall-clock field
+//!    split as the metrics registry, feeding both `--events-out` files
+//!    and the throttled terminal [`progress`] reporter.
 //!
 //! A small verbosity-gated stderr logger ([`log`], [`error!`], [`info!`],
 //! [`debug!`]) rounds out the crate so CLI diagnostics flow through one
@@ -47,9 +51,11 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod events;
 pub mod json;
 pub mod log;
 pub mod metrics;
+pub mod progress;
 pub mod span;
 
 pub use span::Span;

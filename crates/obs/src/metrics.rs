@@ -231,11 +231,14 @@ impl Histogram {
             ));
         }
         format!(
-            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[{}]}}",
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[{}]}}",
             self.count(),
             self.sum(),
             self.min(),
             self.max(),
+            self.p50(),
+            self.p90(),
+            self.p99(),
             buckets.join(",")
         )
     }
@@ -311,6 +314,19 @@ pub fn histogram(name: &'static str, class: Class, bounds: &'static [u64]) -> &'
     match entry.metric {
         Metric::Histogram(h) => h,
         _ => panic!("metric '{name}' is not a histogram"),
+    }
+}
+
+/// Reads the current value of a counter *without registering it*:
+/// `None` if `name` has never been registered (or is not a counter).
+/// Passive consumers like the progress reporter use this so that
+/// observing a metric can never change the set of registered names —
+/// and therefore can never change a metrics snapshot.
+#[must_use]
+pub fn counter_value(name: &str) -> Option<u64> {
+    match registry().get(name)?.metric {
+        Metric::Counter(c) => Some(c.get()),
+        _ => None,
     }
 }
 
@@ -420,6 +436,15 @@ mod tests {
         assert_eq!(h.max(), 500);
         let json = h.to_json();
         assert!(json.contains("\"buckets\":[{\"le\":10,\"count\":1},{\"le\":100,\"count\":1},{\"le\":\"+inf\",\"count\":1}]"), "{json}");
+        assert!(
+            json.contains(&format!(
+                "\"p50\":{},\"p90\":{},\"p99\":{}",
+                h.p50(),
+                h.p90(),
+                h.p99()
+            )),
+            "snapshot exports quantiles: {json}"
+        );
         h.reset();
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 0);
@@ -483,6 +508,18 @@ mod tests {
         let z = det.find("test.z_det").expect("z present");
         assert!(a < z, "names sorted");
         assert!(det.starts_with('{') && det.ends_with('}'));
+    }
+
+    #[test]
+    fn counter_value_reads_without_registering() {
+        assert_eq!(counter_value("test.never_registered"), None);
+        counter("test.cv", Class::Deterministic).reset();
+        counter("test.cv", Class::Deterministic).add(3);
+        assert_eq!(counter_value("test.cv"), Some(3));
+        gauge("test.cv_gauge", Class::Timing).set(1.0);
+        assert_eq!(counter_value("test.cv_gauge"), None);
+        // The failed lookup above must not have registered the name.
+        assert!(!snapshot_json(true).contains("test.never_registered"));
     }
 
     #[test]

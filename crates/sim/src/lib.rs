@@ -45,6 +45,7 @@ pub mod checkpoint;
 pub mod config;
 pub mod engine;
 pub mod faults;
+pub mod ledger;
 pub mod memory;
 pub mod outcome;
 pub mod profile;
@@ -54,6 +55,7 @@ pub mod store;
 pub mod sweep;
 
 pub use config::{MemoryConfig, SimConfig, TensorCoreConfig};
+pub use ledger::{DiffReport, LedgerRecord};
 pub use outcome::{
     render_failure_report, FailureKind, JobOutcome, RetryPolicy, TransientKinds, UnitFailure,
 };

@@ -78,15 +78,25 @@
 //! spans cost one relaxed atomic load while disabled, metric updates are
 //! plain atomics, and no measured time influences any unit's result, so
 //! instrumented output stays bit-identical to uninstrumented output.
+//!
+//! When the [`eureka_obs::events`] bus is armed (`--events-out` /
+//! `--progress`), the drive path additionally emits the
+//! `eureka-events-v1` stream — `run-started`, `unit-planned` per unit,
+//! `unit-started` / `unit-finished` (with its `cache` / `checkpoint` /
+//! `store` / `computed` source classification), `retry` / `failure`,
+//! `checkpoint-written`, `store-flush`, `run-finished`. Every emit site
+//! is guarded by one relaxed atomic load and feeds nothing back into
+//! simulation, so event-instrumented runs stay bit-identical too.
 
 use crate::arch::{Architecture, LayerCtx, SimError};
-use crate::checkpoint::CheckpointStore;
+use crate::checkpoint::{fnv1a64, CheckpointStore};
 use crate::config::SimConfig;
 use crate::outcome::{FailureKind, JobOutcome, RetryPolicy, UnitFailure};
 use crate::profile::{LayerProfile, ProfileConfig, SimProfile};
 use crate::report::{LayerReport, SimReport};
 use crate::store::{self, TileBroker};
 use eureka_models::{activation, workload::LayerGemm, Workload};
+use eureka_obs::events::{self, Event};
 use eureka_obs::metrics::{self, Class, Counter, Gauge, Histogram};
 use eureka_sparse::rng::DetRng;
 use std::collections::HashMap;
@@ -127,6 +137,9 @@ struct WorkUnit<'a> {
     ctx: LayerCtx,
     cfg: SimConfig,
     key: UnitKey,
+    /// Position in the batch's plan order — the stable `unit` coordinate
+    /// every run event carries (deterministic: planning is serial).
+    index: usize,
 }
 
 /// Bit-exact content key of a work unit. Two units with equal keys are
@@ -382,6 +395,54 @@ fn micros(d: std::time::Duration) -> u64 {
     u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
 }
 
+/// The per-architecture unit execution-time histogram
+/// (`unit.exec_micros.<slug>`, [`Class::Timing`]), interned on first
+/// use. Slugs are the lowercased arch display name with every
+/// non-alphanumeric character mapped to `_` (e.g. `Eureka P=4` →
+/// `eureka_p_4`). Timing-class, so which architectures happened to run
+/// never changes a deterministic snapshot.
+fn arch_exec_histogram(arch: &str) -> &'static Histogram {
+    static BY_ARCH: OnceLock<Mutex<HashMap<String, &'static Histogram>>> = OnceLock::new();
+    let map = BY_ARCH.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = lock(map);
+    if let Some(h) = map.get(arch) {
+        return h;
+    }
+    let slug: String = arch
+        .to_lowercase()
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    let name: &'static str = Box::leak(format!("unit.exec_micros.{slug}").into_boxed_str());
+    let h = metrics::histogram(name, Class::Timing, metrics::TIME_BUCKETS_US);
+    map.insert(arch.to_string(), h);
+    h
+}
+
+/// The `key` event field: the fnv1a64 digest of the unit's canonical
+/// content key, rendered as 16 hex digits (the same digest that names
+/// checkpoint files).
+fn unit_key_digest(key: &UnitKey) -> String {
+    format!("{:016x}", fnv1a64(key.canonical().as_bytes()))
+}
+
+/// Emits the `unit-finished` event for a successful unit. `exec_us` is
+/// `0` for cache/checkpoint replays (nothing executed). The `source`
+/// classification (`cache` / `checkpoint` / `store` / `computed`) is a
+/// deterministic field: unit keys within a shipped plan are distinct,
+/// so which memoization layer serves a unit never depends on worker
+/// scheduling.
+fn emit_unit_finished(unit: &WorkUnit<'_>, source: &str, report: &LayerReport, exec_us: u64) {
+    events::emit(
+        Event::new("unit-finished")
+            .det_u64("unit", unit.index as u64)
+            .det_str("source", source)
+            .det_bool("ok", true)
+            .det_u64("cycles", report.total_cycles())
+            .wall_u64("exec_us", exec_us),
+    );
+}
+
 /// Empties the process-wide unit cache (for cold-start measurements).
 /// Leaves the `cache.*` counters running; see [`cache_reset`] to zero
 /// them too.
@@ -511,6 +572,12 @@ impl BrokerSource {
         if let BrokerSource::Enabled(Some(disk)) = self {
             disk.flush();
         }
+    }
+
+    /// Whether a persistent disk tier is attached (and [`Self::flush`]
+    /// therefore actually writes).
+    fn has_disk(&self) -> bool {
+        matches!(self, BrokerSource::Enabled(Some(_)))
     }
 }
 
@@ -692,6 +759,10 @@ impl Runner {
         let t = telemetry();
         let _run_span = eureka_obs::span!("runner.run_all", "{} job(s)", jobs.len());
         t.jobs.add(jobs.len() as u64);
+        let run_started = Instant::now();
+        if events::enabled() {
+            events::emit(Event::new("run-started").wall_u64("jobs", jobs.len() as u64));
+        }
         // Plan: enumerate every job's per-layer units.
         let tiles = self.broker_source();
         let mut units = Vec::new();
@@ -705,15 +776,32 @@ impl Runner {
             }
         }
         t.units_planned.add(units.len() as u64);
+        if events::enabled() {
+            for (job_idx, range) in ranges.iter().enumerate() {
+                for unit in &units[range.clone()] {
+                    events::emit(
+                        Event::new("unit-planned")
+                            .det_u64("unit", unit.index as u64)
+                            .det_u64("job", job_idx as u64)
+                            .det_str("arch", unit.key.arch.clone())
+                            .det_str("gemm", unit.gemm.name.clone())
+                            .det_str("key", unit_key_digest(&unit.key)),
+                    );
+                }
+            }
+        }
         // Execute: serial order or index-claimed pool, cache-first.
         let results = self.execute(&units);
         // Persist tile outcomes computed during this run before reducing,
         // so a crash in reduce still leaves the store warm.
         tiles.flush();
+        if events::enabled() && tiles.has_disk() {
+            events::emit(Event::new("store-flush"));
+        }
         // Reduce: reassemble per job, in layer-index order.
         let _reduce_span = eureka_obs::span!("runner.reduce");
         let reduce_started = Instant::now();
-        let out = jobs
+        let out: Vec<JobOutcome> = jobs
             .iter()
             .enumerate()
             .zip(ranges)
@@ -722,6 +810,23 @@ impl Runner {
             })
             .collect();
         t.reduce_micros.record(micros(reduce_started.elapsed()));
+        if events::enabled() {
+            let failures: u64 = out
+                .iter()
+                .map(|o| match o {
+                    JobOutcome::Complete(_) => 0,
+                    JobOutcome::Degraded { failed_layers, .. } => failed_layers.len() as u64,
+                    JobOutcome::Failed { failures } => failures.len() as u64,
+                })
+                .sum();
+            events::emit(
+                Event::new("run-finished")
+                    .det_u64("units", units.len() as u64)
+                    .det_u64("failures", failures)
+                    .wall_u64("jobs", jobs.len() as u64)
+                    .wall_u64("wall_us", micros(run_started.elapsed())),
+            );
+        }
         out
     }
 
@@ -810,6 +915,10 @@ impl Runner {
     fn run_unit(&self, unit: &WorkUnit<'_>) -> Result<LayerReport, UnitError> {
         let t = telemetry();
         let _span = eureka_obs::span!("unit.exec", "{} {}", unit.key.arch, unit.gemm.name);
+        let events_on = events::enabled();
+        if events_on {
+            events::emit(Event::new("unit-started").det_u64("unit", unit.index as u64));
+        }
         if self.cached {
             if let Some(hit) = lock(&cache().map).get(&unit.key).cloned() {
                 t.cache_hits.inc();
@@ -820,10 +929,21 @@ impl Runner {
                     let key = unit.key.canonical();
                     if ck.store.load(&key).is_none() {
                         match ck.store.store(&key, &hit) {
-                            Ok(()) => t.ckpt_writes.inc(),
+                            Ok(()) => {
+                                t.ckpt_writes.inc();
+                                if events_on {
+                                    events::emit(
+                                        Event::new("checkpoint-written")
+                                            .det_u64("unit", unit.index as u64),
+                                    );
+                                }
+                            }
                             Err(_) => t.ckpt_errors.inc(),
                         }
                     }
+                }
+                if events_on {
+                    emit_unit_finished(unit, "cache", &hit, 0);
                 }
                 return Ok(hit);
             }
@@ -837,6 +957,9 @@ impl Runner {
                     if self.cached {
                         lock(&cache().map).insert(unit.key.clone(), report.clone());
                         t.cache_inserts.inc();
+                    }
+                    if events_on {
+                        emit_unit_finished(unit, "checkpoint", &report, 0);
                     }
                     return Ok(report);
                 }
@@ -861,16 +984,25 @@ impl Runner {
             let started = Instant::now();
             let outcome =
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute_unit(unit)));
-            t.exec_micros.record(micros(started.elapsed()));
+            let exec_us = micros(started.elapsed());
+            t.exec_micros.record(exec_us);
+            arch_exec_histogram(&unit.key.arch).record(exec_us);
             t.units_executed.inc();
             let failure = match outcome {
                 Ok(Ok(report)) => {
                     if attempt > 1 {
                         t.retries_recovered.inc();
                     }
-                    if self.cached {
+                    let source = {
                         let (tile_lookups, tile_computes) = unit.ctx.tiles.tally();
                         if tile_lookups > 0 && tile_computes == 0 {
+                            "store"
+                        } else {
+                            "computed"
+                        }
+                    };
+                    if self.cached {
+                        if source == "store" {
                             t.units_from_store.inc();
                         } else {
                             t.cache_misses.inc();
@@ -880,9 +1012,20 @@ impl Runner {
                     }
                     if let Some(ck) = &self.checkpoint {
                         match ck.store.store(&unit.key.canonical(), &report) {
-                            Ok(()) => t.ckpt_writes.inc(),
+                            Ok(()) => {
+                                t.ckpt_writes.inc();
+                                if events_on {
+                                    events::emit(
+                                        Event::new("checkpoint-written")
+                                            .det_u64("unit", unit.index as u64),
+                                    );
+                                }
+                            }
                             Err(_) => t.ckpt_errors.inc(),
                         }
+                    }
+                    if events_on {
+                        emit_unit_finished(unit, source, &report, exec_us);
                     }
                     return Ok(report);
                 }
@@ -910,7 +1053,24 @@ impl Runner {
                     failure.kind.label(),
                     failure.attempts
                 );
+                if events_on {
+                    events::emit(
+                        Event::new("failure")
+                            .det_u64("unit", unit.index as u64)
+                            .det_str("kind", failure.kind.label())
+                            .det_u64("attempts", u64::from(failure.attempts))
+                            .det_str("payload", failure.payload.clone()),
+                    );
+                }
                 return Err(failure);
+            }
+            if events_on {
+                events::emit(
+                    Event::new("retry")
+                        .det_u64("unit", unit.index as u64)
+                        .det_u64("attempt", u64::from(attempt))
+                        .det_str("kind", failure.kind.label()),
+                );
             }
         }
     }
@@ -951,19 +1111,81 @@ impl Runner {
         let tiles = self.broker_source();
         let mut units = Vec::new();
         plan(job, &mut units, &tiles);
+        let run_started = Instant::now();
+        let events_on = events::enabled();
+        if events_on {
+            events::emit(Event::new("run-started").wall_u64("jobs", 1));
+            for unit in &units {
+                events::emit(
+                    Event::new("unit-planned")
+                        .det_u64("unit", unit.index as u64)
+                        .det_u64("job", 0)
+                        .det_str("arch", unit.key.arch.clone())
+                        .det_str("gemm", unit.gemm.name.clone())
+                        .det_str("key", unit_key_digest(&unit.key)),
+                );
+            }
+        }
         let results = self.execute_with(&units, |unit| {
+            if events::enabled() {
+                events::emit(Event::new("unit-started").det_u64("unit", unit.index as u64));
+            }
+            let started = Instant::now();
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 execute_unit_profiled(unit, pcfg)
             }));
-            match outcome {
+            let exec_us = micros(started.elapsed());
+            arch_exec_histogram(&unit.key.arch).record(exec_us);
+            let result = match outcome {
                 Ok(r) => r,
                 Err(panic) => Err(SimError::UnitPanic {
                     layer: unit.gemm.name.clone(),
                     payload: panic_message(panic.as_ref()),
                 }),
+            };
+            if events::enabled() {
+                match &result {
+                    Ok((report, _)) => {
+                        let (tile_lookups, tile_computes) = unit.ctx.tiles.tally();
+                        let source = if tile_lookups > 0 && tile_computes == 0 {
+                            "store"
+                        } else {
+                            "computed"
+                        };
+                        emit_unit_finished(unit, source, report, exec_us);
+                    }
+                    Err(e) => {
+                        let kind = if matches!(e, SimError::UnitPanic { .. }) {
+                            "panic"
+                        } else {
+                            "sim-error"
+                        };
+                        events::emit(
+                            Event::new("failure")
+                                .det_u64("unit", unit.index as u64)
+                                .det_str("kind", kind)
+                                .det_u64("attempts", 1)
+                                .det_str("payload", e.to_string()),
+                        );
+                    }
+                }
             }
+            result
         });
         tiles.flush();
+        if events_on && tiles.has_disk() {
+            events::emit(Event::new("store-flush"));
+        }
+        if events_on {
+            let failures = results.iter().filter(|r| r.is_err()).count() as u64;
+            events::emit(
+                Event::new("run-finished")
+                    .det_u64("units", units.len() as u64)
+                    .det_u64("failures", failures)
+                    .wall_u64("jobs", 1)
+                    .wall_u64("wall_us", micros(run_started.elapsed())),
+            );
+        }
         let mut layers = Vec::with_capacity(results.len() + 1);
         let mut profiles = Vec::with_capacity(results.len() + 1);
         for result in results {
@@ -1045,6 +1267,7 @@ fn plan<'a>(job: &SimJob<'a>, units: &mut Vec<WorkUnit<'a>>, tiles: &BrokerSourc
             },
             cfg: job.cfg,
             key,
+            index: units.len(),
         });
     }
 }

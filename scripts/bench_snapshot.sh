@@ -11,6 +11,14 @@
 # runs' simulation results must be byte-identical; the script fails if
 # the warm snapshot drifts from the cold one.
 #
+# Each snapshot is also stamped with its provenance: `git` (the commit
+# the snapshot was taken at), `config_digest` (FNV-1a 64 over the
+# benchmark/arch/sampling configuration — two snapshots are comparable
+# iff their digests match), and `events` (the number of run-events the
+# cold profile emitted, a structural fingerprint of the run shape). The
+# cold run's event stream is schema-validated before the snapshot is
+# accepted.
+#
 # Usage: scripts/bench_snapshot.sh [--benchmark B] [--arch A] [extra
 # `eureka profile` flags...]. Defaults: mobilenetv1 / eureka-p4 / fast
 # sampling.
@@ -44,7 +52,7 @@ run=(target/release/eureka profile --benchmark "$BENCHMARK" --arch "$ARCH"
      --fast --store-dir "$tmp/store" "${EXTRA[@]+"${EXTRA[@]}"}")
 
 cold_start=$(date +%s%N)
-"${run[@]}" --bench-json "$out"
+"${run[@]}" --bench-json "$out" --events-out "$tmp/events.jsonl" --no-progress
 cold_ns=$(($(date +%s%N) - cold_start))
 
 warm_start=$(date +%s%N)
@@ -55,14 +63,32 @@ warm_ns=$(($(date +%s%N) - warm_start))
 # byte-identical or the snapshot is not trustworthy.
 cmp "$out" "$tmp/warm.json"
 
-python3 - "$out" "$cold_ns" "$warm_ns" <<'EOF'
+# A malformed event stream means the run itself is suspect.
+python3 scripts/check_events.py "$tmp/events.jsonl"
+
+git_rev=$(git describe --always --dirty 2>/dev/null || echo unknown)
+event_count=$(wc -l < "$tmp/events.jsonl")
+
+python3 - "$out" "$cold_ns" "$warm_ns" "$git_rev" "$event_count" \
+    "$BENCHMARK" "$ARCH" <<'EOF'
 import json, sys
 path, cold_ns, warm_ns = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+git_rev, event_count = sys.argv[4], int(sys.argv[5])
+benchmark, arch = sys.argv[6], sys.argv[7]
 with open(path) as f:
     snap = json.load(f)
 snap["cold_wall_ms"] = round(cold_ns / 1e6, 3)
 snap["warm_wall_ms"] = round(warm_ns / 1e6, 3)
 snap["warm_speedup"] = round(cold_ns / warm_ns, 3) if warm_ns else None
+snap["git"] = git_rev
+snap["events"] = event_count
+# FNV-1a 64 over the run configuration, mirroring the ledger's key
+# scheme: snapshots are comparable iff their config digests match.
+config = f"{benchmark}|{arch}|fast"
+h = 0xcbf29ce484222325
+for b in config.encode():
+    h = ((h ^ b) * 0x100000001b3) & 0xFFFFFFFFFFFFFFFF
+snap["config_digest"] = f"{h:016x}"
 with open(path, "w") as f:
     json.dump(snap, f, separators=(",", ":"))
     f.write("\n")

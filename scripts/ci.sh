@@ -16,7 +16,8 @@ scripts/store_smoke.sh
 # Store persistence: a second run against a warmed --store-dir performs
 # zero tile simulations and emits byte-identical reports.
 store_dir=$(mktemp -d)
-trap 'rm -rf "$store_dir"' EXIT
+obs_dir=$(mktemp -d)
+trap 'rm -rf "$store_dir" "$obs_dir"' EXIT
 cargo run --release -q -p eureka-cli -- simulate --benchmark mobilenetv1 \
     --arch eureka-p4 --csv --store-dir "$store_dir/tiles" \
     > /tmp/eureka-store-cold.csv
@@ -38,4 +39,45 @@ cargo run --release -q -p eureka-cli -- profile --benchmark mobilenetv1 \
 cargo run --release -q -p eureka-cli -- profile --benchmark mobilenetv1 \
     --arch eureka-p4 --fast --json - > /tmp/eureka-profile-b.json
 cmp /tmp/eureka-profile-a.json /tmp/eureka-profile-b.json
+# Run-event stream: every line is schema-valid and the deterministic
+# projection is byte-identical across --jobs 1 and --jobs 4. Reports
+# must be unaffected by arming the bus and forcing the reporter on.
+cargo run --release -q -p eureka-cli -- simulate --benchmark mobilenetv1 \
+    --arch eureka-p4 --fast --csv --jobs 1 --no-ledger \
+    --events-out "$obs_dir/ev-j1.jsonl" > "$obs_dir/report-j1.csv"
+cargo run --release -q -p eureka-cli -- simulate --benchmark mobilenetv1 \
+    --arch eureka-p4 --fast --csv --jobs 4 --no-ledger --progress \
+    --events-out "$obs_dir/ev-j4.jsonl" > "$obs_dir/report-j4.csv" 2>/dev/null
+cargo run --release -q -p eureka-cli -- simulate --benchmark mobilenetv1 \
+    --arch eureka-p4 --fast --csv --jobs 4 --no-ledger \
+    > "$obs_dir/report-plain.csv"
+python3 scripts/check_events.py "$obs_dir/ev-j1.jsonl" "$obs_dir/ev-j4.jsonl"
+cmp "$obs_dir/report-j1.csv" "$obs_dir/report-j4.csv"
+cmp "$obs_dir/report-j1.csv" "$obs_dir/report-plain.csv"
+# Run ledger + regression gate: identical runs diff clean, the fresh
+# BENCH snapshot stays within threshold of the committed trajectory,
+# and an injected regression fails with a non-zero exit.
+cargo run --release -q -p eureka-cli -- simulate --benchmark mobilenetv1 \
+    --arch eureka-p4 --fast --ledger-dir "$obs_dir/ledger" > /dev/null
+cargo run --release -q -p eureka-cli -- simulate --benchmark mobilenetv1 \
+    --arch eureka-p4 --fast --ledger-dir "$obs_dir/ledger" > /dev/null
+cargo run --release -q -p eureka-cli -- bench list --ledger-dir "$obs_dir/ledger"
+recs=("$obs_dir"/ledger/*.json)
+cargo run --release -q -p eureka-cli -- bench diff "${recs[0]}" "${recs[1]}"
+cargo run --release -q -p eureka-cli -- profile --benchmark mobilenetv1 \
+    --arch eureka-p4 --fast --no-ledger --bench-json "$obs_dir/bench-fresh.json"
+cargo run --release -q -p eureka-cli -- bench diff \
+    results/BENCH_1.json "$obs_dir/bench-fresh.json"
+python3 - "$obs_dir/bench-fresh.json" "$obs_dir/bench-bad.json" <<'EOF'
+import json, sys
+snap = json.load(open(sys.argv[1]))
+for arch in snap["archs"]:
+    arch["total_cycles"] = int(arch["total_cycles"] * 1.10)
+json.dump(snap, open(sys.argv[2], "w"), separators=(",", ":"))
+EOF
+if cargo run --release -q -p eureka-cli -- bench diff \
+    results/BENCH_1.json "$obs_dir/bench-bad.json" 2>/dev/null; then
+    echo "bench diff failed to reject a 10% cycle regression" >&2
+    exit 1
+fi
 echo "CI OK"

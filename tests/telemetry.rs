@@ -242,3 +242,33 @@ fn telemetry_does_not_change_profiled_output() {
         traced_report.total_cycles()
     );
 }
+
+#[test]
+fn per_arch_exec_histograms_carry_quantiles_in_the_full_snapshot() {
+    let _x = exclusive();
+    let w = Workload::new(Benchmark::MobileNetV1, PruningLevel::Moderate, 32);
+    let cfg = SimConfig {
+        rowgroup_samples: 15, // distinctive: this test owns its entries
+        ..test_cfg()
+    };
+    let a = arch::by_name("eureka-p4").expect("registered");
+    let job = SimJob::new(a.as_ref(), &w, cfg);
+
+    runner::cache_reset();
+    obs::metrics::reset();
+    Runner::serial().run(&job).expect("supported");
+
+    // The aggregate histogram and the per-arch breakdown ("Eureka P=4"
+    // slugs to eureka_p_4) both appear in the full snapshot, each with
+    // the p50/p90/p99 summary fields.
+    let full = obs::metrics::snapshot_json(true);
+    assert!(full.contains("\"unit.exec_micros\""), "{full}");
+    assert!(full.contains("\"unit.exec_micros.eureka_p_4\""), "{full}");
+    for q in ["\"p50\":", "\"p90\":", "\"p99\":"] {
+        assert!(full.contains(q), "missing {q} in {full}");
+    }
+    // Execution wall time is Class::Timing: the deterministic snapshot
+    // stays free of it, so rerun byte-identity is preserved.
+    let det = obs::metrics::snapshot_json(false);
+    assert!(!det.contains("unit.exec_micros"), "{det}");
+}
