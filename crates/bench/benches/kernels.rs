@@ -5,7 +5,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use eureka_core::schedule::{schedule_grouped, schedule_natural, SystolicConfig};
 use eureka_core::suds::{self, DisplacedTile};
 use eureka_core::{exec, CompactedTile};
-use eureka_fp16::{csa, F16};
+use eureka_fp16::mac::{self, MacUnit};
+use eureka_fp16::{csa, Prepared, F16};
+use eureka_sparse::bitmask::MaskedRow;
 use eureka_sparse::{gen, rng::DetRng, AlignedTile, SparsityPattern, TilePattern};
 use std::hint::black_box;
 
@@ -114,6 +116,76 @@ fn bench_fp16(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_mask_intersection(c: &mut Criterion) {
+    // Word-parallel popcount intersection (the DSTC chunk-match hot
+    // path) against the per-position scalar walk it replaced.
+    let mut rng = DetRng::new(17);
+    let rows: Vec<(MaskedRow, MaskedRow, SparsityPattern, SparsityPattern)> = (0..256)
+        .map(|_| {
+            let a = SparsityPattern::from_fn(1, 128, |_, _| rng.bernoulli(0.13));
+            let b = SparsityPattern::from_fn(1, 128, |_, _| rng.bernoulli(0.25));
+            (
+                MaskedRow::from_pattern(&a, 0),
+                MaskedRow::from_pattern(&b, 0),
+                a,
+                b,
+            )
+        })
+        .collect();
+    let mut group = c.benchmark_group("mask_intersection");
+    group.bench_function("scalar_256_rows", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for (_, _, a, b) in &rows {
+                for col in 0..128 {
+                    if a.get(0, col) && b.get(0, col) {
+                        total += 1;
+                    }
+                }
+            }
+            black_box(total)
+        });
+    });
+    group.bench_function("word_parallel_256_rows", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for (a, b, _, _) in &rows {
+                total += a.total_matches(b);
+            }
+            black_box(total)
+        });
+    });
+    group.finish();
+}
+
+fn bench_mac_batched(c: &mut Criterion) {
+    // The batched dot product (operands classified once, up front)
+    // against the element-wise MAC chain that re-classifies each term.
+    let mut rng = DetRng::new(19);
+    let a: Vec<F16> = (0..256)
+        .map(|_| F16::from_f64(rng.next_gaussian()))
+        .collect();
+    let b: Vec<F16> = (0..256)
+        .map(|_| F16::from_f64(rng.next_gaussian()))
+        .collect();
+    let ap: Vec<Prepared> = a.iter().map(|&x| Prepared::new(x)).collect();
+    let bp: Vec<Prepared> = b.iter().map(|&x| Prepared::new(x)).collect();
+    let mut group = c.benchmark_group("mac_dot256");
+    group.bench_function("elementwise", |bch| {
+        bch.iter(|| {
+            let mut unit = MacUnit::new();
+            for (&x, &y) in a.iter().zip(&b) {
+                unit.fma(x, y);
+            }
+            black_box(unit.value())
+        });
+    });
+    group.bench_function("batched", |bch| {
+        bch.iter(|| black_box(mac::dot_hw(&ap, &bp)));
+    });
+    group.finish();
+}
+
 fn bench_executor(c: &mut Criterion) {
     let mut rng = DetRng::new(23);
     let pattern = SparsityPattern::from_fn(4, 16, |_, _| rng.bernoulli(0.2));
@@ -151,6 +223,8 @@ criterion_group!(
     bench_suds_lut,
     bench_scheduling,
     bench_fp16,
+    bench_mask_intersection,
+    bench_mac_batched,
     bench_executor,
     bench_compaction
 );

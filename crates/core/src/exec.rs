@@ -12,7 +12,8 @@
 
 use crate::error::CoreError;
 use crate::suds::DisplacedTile;
-use eureka_fp16::{csa, F16};
+use eureka_fp16::arith::{mul_prepared, Prepared};
+use eureka_fp16::{csa, mac, F16};
 use eureka_sparse::Matrix;
 
 /// Executes a scheduled tile against an activation block.
@@ -50,44 +51,61 @@ pub fn execute(
         });
     }
     let m = activations.cols();
+    // Bit-decompose every operand exactly once: an activation is reused by
+    // every cycle and weight slot that reads its column, a weight by every
+    // output column, so hoisting `classify` out of the cycle × p × m loop
+    // removes the dominant redundant work while keeping each product the
+    // same `mul_hw` rounding.
+    let mut act_prep = Vec::with_capacity(q * m);
+    for col in 0..q {
+        for j in 0..m {
+            act_prep.push(Prepared::new(activations.get(col, j)));
+        }
+    }
+    let mut w_prep = Vec::with_capacity(p * q);
+    for row in 0..p {
+        for col in 0..q {
+            w_prep.push(Prepared::new(weights.get(row, col)));
+        }
+    }
+
     // acc[physical_row][output_col]
     let mut acc = vec![vec![F16::ZERO; m]; p];
+    // Per-cycle product rows, stored flat and reused across cycles:
+    // physical MAC row r's products live at prod[r*m..(r+1)*m] when
+    // prod_dst[r] is Some(accumulator row).
+    let mut prod = vec![F16::ZERO; p * m];
+    let mut prod_dst: Vec<Option<usize>> = vec![None; p];
+    let zeros = vec![F16::ZERO; m];
 
     for cycle in 0..schedule.cycles() {
-        // Products computed this cycle, per physical MAC row and output col.
-        let mut products: Vec<Option<(usize, Vec<F16>)>> = vec![None; p];
+        prod_dst.iter_mut().for_each(|d| *d = None);
         for mac_row in 0..p {
             if let Some(slot) = schedule.slot(mac_row, cycle) {
-                let w = weights.get(schedule.logical_row(slot.acc_row), usize::from(slot.col));
-                let row_products: Vec<F16> = (0..m)
-                    .map(|j| w.mul_hw(activations.get(usize::from(slot.col), j)))
-                    .collect();
-                products[mac_row] = Some((slot.acc_row, row_products));
+                let col = usize::from(slot.col);
+                let wp = w_prep[schedule.logical_row(slot.acc_row) * q + col];
+                let arow = &act_prep[col * m..(col + 1) * m];
+                for (o, &ap) in prod[mac_row * m..(mac_row + 1) * m].iter_mut().zip(arow) {
+                    *o = mul_prepared(wp, ap);
+                }
+                prod_dst[mac_row] = Some(slot.acc_row);
             }
         }
         // Accumulate: each physical row's adder takes (acc, local product,
-        // product routed up from the row below) in a single 3-input add.
+        // product routed up from the row below) in a single 3-input add
+        // across all m lanes at once.
         for row in 0..p {
-            let local: Option<&Vec<F16>> = match &products[row] {
-                Some((acc_row, prods)) if *acc_row == row => Some(prods),
-                _ => None,
-            };
-            let from_below: Option<&Vec<F16>> = if row + 1 < p {
-                match &products[row + 1] {
-                    Some((acc_row, prods)) if *acc_row == row => Some(prods),
-                    _ => None,
-                }
-            } else {
-                None
-            };
+            let local = (prod_dst[row] == Some(row)).then(|| &prod[row * m..(row + 1) * m]);
+            let from_below = (row + 1 < p && prod_dst[row + 1] == Some(row))
+                .then(|| &prod[(row + 1) * m..(row + 2) * m]);
             if local.is_none() && from_below.is_none() {
                 continue;
             }
-            for j in 0..m {
-                let a = local.map_or(F16::ZERO, |v| v[j]);
-                let b = from_below.map_or(F16::ZERO, |v| v[j]);
-                acc[row][j] = csa::add3(acc[row][j], a, b);
-            }
+            mac::fma_slice(
+                &mut acc[row],
+                local.unwrap_or(&zeros),
+                from_below.unwrap_or(&zeros),
+            );
         }
     }
 

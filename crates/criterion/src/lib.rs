@@ -57,7 +57,25 @@ impl Bencher<'_> {
     }
 }
 
+/// Substring filters from the command line (`cargo bench -- <filter>...`),
+/// mirroring real criterion: a benchmark runs iff its label contains at
+/// least one filter (or no filters were given). Flag-like arguments such
+/// as the `--bench` cargo always appends are ignored.
+fn filters() -> &'static [String] {
+    static FILTERS: std::sync::OnceLock<Vec<String>> = std::sync::OnceLock::new();
+    FILTERS.get_or_init(|| {
+        std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect()
+    })
+}
+
 fn run_one(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let filters = filters();
+    if !filters.is_empty() && !filters.iter().any(|needle| label.contains(needle.as_str())) {
+        return;
+    }
     let mut samples = Vec::with_capacity(sample_size);
     f(&mut Bencher {
         samples: &mut samples,

@@ -7,6 +7,67 @@
 use crate::bits::{classify, round_pack, zero, Class};
 use crate::F16;
 
+/// A binary16 operand with its bit-field decomposition precomputed.
+///
+/// [`classify`] (sign/exponent/significand unpacking with subnormal
+/// normalization) is the per-operand front-end of every multiply. In the
+/// executor's `cycle × p × m` loop the same activations and weights are
+/// multiplied against many partners, so decomposing each operand once and
+/// reusing it via [`mul_prepared`] removes the redundant unpacking while
+/// keeping results bit-identical to [`mul`].
+///
+/// # Examples
+///
+/// ```
+/// use eureka_fp16::{arith, F16};
+/// let a = arith::Prepared::new(F16::from_f32(-3.0));
+/// let b = arith::Prepared::new(F16::from_f32(0.5));
+/// assert_eq!(arith::mul_prepared(a, b), arith::mul(a.value(), b.value()));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Prepared {
+    raw: F16,
+    class: Class,
+}
+
+impl Prepared {
+    /// Decomposes `x` once for repeated multiplication.
+    #[must_use]
+    pub fn new(x: F16) -> Self {
+        Prepared {
+            raw: x,
+            class: classify(x),
+        }
+    }
+
+    /// The original binary16 value.
+    #[must_use]
+    pub fn value(self) -> F16 {
+        self.raw
+    }
+}
+
+impl From<F16> for Prepared {
+    fn from(x: F16) -> Self {
+        Prepared::new(x)
+    }
+}
+
+impl Default for Prepared {
+    fn default() -> Self {
+        Prepared::new(F16::ZERO)
+    }
+}
+
+/// Multiplies two pre-decomposed operands — bit-identical to
+/// [`mul`]`(a.value(), b.value())` (the differential suite in
+/// `tests/kernel_equivalence.rs` proves this exhaustively over the
+/// special-value grid), with the per-operand [`classify`] hoisted out.
+#[must_use]
+pub fn mul_prepared(a: Prepared, b: Prepared) -> F16 {
+    mul_classified(a.class, b.class)
+}
+
 /// Multiplies two binary16 values with round-to-nearest-even.
 ///
 /// Special cases follow IEEE 754: `NaN * x = NaN`, `inf * 0 = NaN`,
@@ -22,7 +83,11 @@ use crate::F16;
 /// ```
 #[must_use]
 pub fn mul(a: F16, b: F16) -> F16 {
-    let (ca, cb) = (classify(a), classify(b));
+    mul_classified(classify(a), classify(b))
+}
+
+/// The shared multiply datapath over pre-classified operands.
+fn mul_classified(ca: Class, cb: Class) -> F16 {
     match (ca, cb) {
         (Class::Nan, _) | (_, Class::Nan) => F16::NAN,
         (Class::Inf { .. }, Class::Zero { .. }) | (Class::Zero { .. }, Class::Inf { .. }) => {

@@ -82,13 +82,21 @@ pub fn add3_windowed(a: F16, b: F16, c: F16, window: u32) -> F16 {
         };
     }
 
-    let finites: Vec<Unpacked> = classes
-        .iter()
-        .filter_map(|c| match c {
-            Class::Finite(u) => Some(*u),
-            _ => None,
-        })
-        .collect();
+    // Collect finite operands into a fixed array — this runs once per MAC
+    // per cycle, so it must not allocate.
+    let mut buf = [Unpacked {
+        sign: false,
+        exp: 0,
+        sig: 0,
+    }; 3];
+    let mut n = 0;
+    for c in &classes {
+        if let Class::Finite(u) = c {
+            buf[n] = *u;
+            n += 1;
+        }
+    }
+    let finites = &buf[..n];
     if finites.is_empty() {
         // All zeros: -0 only if every operand is -0 (IEEE sum of zeros).
         let all_neg = classes
@@ -103,7 +111,7 @@ pub fn add3_windowed(a: F16, b: F16, c: F16, window: u32) -> F16 {
     // sticky jamming at bit 0.
     let emax = finites.iter().map(|u| u.exp).max().expect("nonempty");
     let mut sum: i64 = 0;
-    for u in &finites {
+    for u in finites {
         let d = (emax - u.exp) as u32;
         let aligned = if d > window {
             // Entirely below the window: pure sticky.

@@ -41,6 +41,7 @@ mod convert;
 pub mod csa;
 pub mod mac;
 
+pub use arith::Prepared;
 pub use mac::MacUnit;
 
 use core::cmp::Ordering;

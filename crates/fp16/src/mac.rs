@@ -9,8 +9,56 @@
 //! * or forward its own product *up* instead of accumulating locally (when
 //!   the value it multiplied was displaced from the row above).
 
+use crate::arith::{mul_prepared, Prepared};
 use crate::bits::{classify, round_pack, zero, Class};
 use crate::{csa, F16};
+
+/// Batched tensor-core dot product over pre-decomposed operands.
+///
+/// Processes one tile row's products in a single pass: each pair is
+/// multiplied by the hardware multiply (one rounding, via
+/// [`mul_prepared`]) and folded into the accumulator through the
+/// three-input adder with the third port gated — bit-identical to the
+/// element-wise reference
+///
+/// ```text
+/// let mut mac = MacUnit::new();
+/// for (x, y) in a.iter().zip(b) { mac.fma(x.value(), y.value()); }
+/// mac.value()
+/// ```
+///
+/// but without re-classifying operands that the caller already prepared.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn dot_hw(a: &[Prepared], b: &[Prepared]) -> F16 {
+    assert_eq!(a.len(), b.len(), "operand slices differ in length");
+    let mut acc = F16::ZERO;
+    for (&x, &y) in a.iter().zip(b) {
+        acc = csa::add3(acc, mul_prepared(x, y), F16::ZERO);
+    }
+    acc
+}
+
+/// Batched three-input accumulate: `acc[i] <- acc[i] + local[i] + below[i]`
+/// for every lane, through the SUDS carry-save adder ([`csa::add3`]).
+///
+/// One call models one adder cycle across a sub-array column of MACs —
+/// the batched form of [`MacUnit::accumulate`], bit-identical lane by
+/// lane.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn fma_slice(acc: &mut [F16], local: &[F16], below: &[F16]) {
+    assert_eq!(acc.len(), local.len(), "lane counts differ");
+    assert_eq!(acc.len(), below.len(), "lane counts differ");
+    for ((a, &l), &b) in acc.iter_mut().zip(local).zip(below) {
+        *a = csa::add3(*a, l, b);
+    }
+}
 
 /// Fused multiply-add with a *single* rounding: `round(a·b + c)` computed
 /// exactly before the one conversion to binary16.

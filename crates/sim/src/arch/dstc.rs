@@ -157,6 +157,7 @@ mod tests {
             s2ta_fil_density: None,
             rng: DetRng::new(7),
             tiles: Default::default(),
+            scratch: Default::default(),
         }
     }
 

@@ -113,6 +113,7 @@ mod tests {
             s2ta_fil_density: None,
             rng: DetRng::new(5),
             tiles: Default::default(),
+            scratch: Default::default(),
         }
     }
 

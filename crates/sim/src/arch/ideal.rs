@@ -86,6 +86,7 @@ mod tests {
             s2ta_fil_density: None,
             rng: DetRng::new(1),
             tiles: Default::default(),
+            scratch: Default::default(),
         };
         let d = onesided::dense().simulate_layer(&g, &ctx, &cfg).unwrap();
         let i = ideal().simulate_layer(&g, &ctx, &cfg).unwrap();

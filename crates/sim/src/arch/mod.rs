@@ -16,6 +16,7 @@ pub mod sparten;
 use crate::config::SimConfig;
 use crate::profile::{LayerProfile, ProfileConfig};
 use crate::report::LayerReport;
+use crate::scratch::ScratchPool;
 use crate::store::TileBroker;
 use core::fmt;
 use eureka_models::workload::LayerGemm;
@@ -50,6 +51,12 @@ pub struct LayerCtx {
     /// simulated results are bit-identical: the store only skips
     /// recomputing outcomes it can prove equal by canonical key.
     pub tiles: TileBroker,
+    /// Reusable per-worker scratch buffers ([`crate::scratch`]): tiles,
+    /// key strings, signature and schedule buffers recycle across units
+    /// instead of re-allocating per sample. `Default` works standalone,
+    /// so ad-hoc `LayerCtx` construction needs no setup; buffers never
+    /// influence results (every user overwrites before reading).
+    pub scratch: ScratchPool,
 }
 
 /// Errors an architecture can report.
@@ -220,15 +227,70 @@ pub(crate) fn sample_tile(
     rng: &mut DetRng,
 ) -> TilePattern {
     let mut masks = vec![0u64; p];
+    sample_masks(
+        &mut masks,
+        rows_live,
+        cols_live,
+        q,
+        base_density,
+        sigma,
+        rng,
+    );
+    TilePattern::from_rows(&masks, q).expect("q validated by caller")
+}
+
+/// [`sample_tile`] into caller-owned buffers: `masks` is resized to `p`
+/// and refilled, `tile` rebuilt in place — the zero-allocation sampling
+/// path. The RNG draw sequence is identical to [`sample_tile`]'s (reports
+/// are byte-identical either way).
+#[allow(clippy::too_many_arguments)] // mirrors sample_tile plus the two buffers
+pub(crate) fn sample_tile_into(
+    masks: &mut Vec<u64>,
+    tile: &mut TilePattern,
+    p: usize,
+    q: usize,
+    rows_live: usize,
+    cols_live: usize,
+    base_density: f64,
+    sigma: f64,
+    rng: &mut DetRng,
+) {
+    masks.clear();
+    masks.resize(p, 0);
+    sample_masks(masks, rows_live, cols_live, q, base_density, sigma, rng);
+    tile.reset_from_rows(masks, q)
+        .expect("q validated by caller");
+}
+
+/// The shared sampling loop: one [`row_density`] draw per live row, one
+/// Bernoulli draw per live cell, in row-major order. The draw order is
+/// load-bearing — it defines the deterministic RNG stream every committed
+/// report was produced with.
+fn sample_masks(
+    masks: &mut [u64],
+    rows_live: usize,
+    cols_live: usize,
+    q: usize,
+    base_density: f64,
+    sigma: f64,
+    rng: &mut DetRng,
+) {
+    let p = masks.len();
     for mask in masks.iter_mut().take(rows_live.min(p)) {
         let d = row_density(base_density, sigma, rng);
+        // One Bernoulli draw per live cell, branchless. The integer
+        // compare is exactly `rng.bernoulli(d)`: `next_f64()` is
+        // `(next_u64() >> 11) · 2⁻⁵³` (lossless — 53 bits scaled by a
+        // power of two), so `next_f64() < d  ⟺  (next_u64() >> 11) <
+        // ⌈d·2⁵³⌉`, where `d·2⁵³` is itself exact for clamped `d`.
+        // `tests/kernel_equivalence.rs` pins the equivalence.
+        let thr = (d.clamp(0.0, 1.0) * (1u64 << 53) as f64).ceil() as u64;
+        let mut m = 0u64;
         for c in 0..cols_live.min(q) {
-            if rng.bernoulli(d) {
-                *mask |= 1 << c;
-            }
+            m |= u64::from(rng.next_u64() >> 11 < thr) << c;
         }
+        *mask |= m;
     }
-    TilePattern::from_rows(&masks, q).expect("q validated by caller")
 }
 
 /// Binomial sample: number of successes in `n` Bernoulli(p) trials.

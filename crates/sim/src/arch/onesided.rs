@@ -68,18 +68,53 @@ impl TileTimer {
     /// workspace property suite asserts for every registry architecture.
     #[must_use]
     pub fn key(self, tile: &TilePattern) -> Option<TileKey> {
-        use eureka_sparse::canon::{canonical_lens, lens_token, RowOrder};
-        let (tag, order) = match self {
-            TileTimer::Dense | TileTimer::TwoFour => return None,
-            TileTimer::MaxRow => ("maxrow".to_string(), RowOrder::Sorted),
-            TileTimer::GreedySuds => ("greedy".to_string(), RowOrder::Exact),
-            TileTimer::OptimalSuds => ("optimal".to_string(), RowOrder::Exact),
-            TileTimer::MultiStepSuds(reach) => (format!("ms{reach}"), RowOrder::Exact),
+        let (mut lens, mut token) = (Vec::new(), String::new());
+        let (mut tag, mut key) = (String::new(), String::new());
+        self.key_into(tile, &mut lens, &mut token, &mut tag, &mut key)
+            .then(|| TileKey::new(&tag, &token))
+    }
+
+    /// [`key`](Self::key) into caller-owned buffers: fills `key` with the
+    /// store key's text form (byte-identical to what [`key`](Self::key)
+    /// produces) and returns `true`, or returns `false` for uniform
+    /// timers without touching `key`. The intermediate buffers (`lens`,
+    /// `token`, `tag`) are cleared and refilled; hot loops recycle all
+    /// four from a [`crate::scratch::Scratch`] so keying a tile performs
+    /// no allocation in steady state.
+    pub(crate) fn key_into(
+        self,
+        tile: &TilePattern,
+        lens: &mut Vec<usize>,
+        token: &mut String,
+        tag: &mut String,
+        key: &mut String,
+    ) -> bool {
+        use eureka_sparse::canon::{canonical_lens_into, lens_token_into, RowOrder};
+        use std::fmt::Write as _;
+        tag.clear();
+        let order = match self {
+            TileTimer::Dense | TileTimer::TwoFour => return false,
+            TileTimer::MaxRow => {
+                tag.push_str("maxrow");
+                RowOrder::Sorted
+            }
+            TileTimer::GreedySuds => {
+                tag.push_str("greedy");
+                RowOrder::Exact
+            }
+            TileTimer::OptimalSuds => {
+                tag.push_str("optimal");
+                RowOrder::Exact
+            }
+            TileTimer::MultiStepSuds(reach) => {
+                let _ = write!(tag, "ms{reach}");
+                RowOrder::Exact
+            }
         };
-        Some(TileKey::new(
-            &tag,
-            &lens_token(&canonical_lens(tile, order)),
-        ))
+        canonical_lens_into(tile, order, lens);
+        lens_token_into(lens, token);
+        TileKey::encode_into(tag, token, key);
+        true
     }
 
     /// Times `tile` under this timer, packaged as the [`TileOutcome`]
@@ -297,7 +332,21 @@ impl OneSided {
             let mut rng = ctx.rng.fork(0x0001_51DE);
             let n_rg = (cfg.rowgroup_samples as u64).min(rowgroups).max(1);
             let n_sl = (cfg.slice_samples as u64).min(slices).max(1);
-            let mut times = Vec::with_capacity((n_rg * n_sl) as usize);
+            // Check one scratch set out for the whole layer: the tile,
+            // its key strings and the time stream all recycle buffers
+            // across samples (and across layers, via the pool).
+            let mut scratch = ctx.scratch.acquire();
+            let crate::scratch::Scratch {
+                masks,
+                tile,
+                lens,
+                token,
+                key,
+                tag,
+                times,
+            } = &mut *scratch;
+            times.clear();
+            times.reserve((n_rg * n_sl) as usize);
             let (mut sum_t, mut sum_nnz, mut sum_disp) = (0f64, 0f64, 0f64);
             for i in 0..n_rg {
                 let rg = i * rowgroups / n_rg;
@@ -306,7 +355,9 @@ impl OneSided {
                     let si = j * slices / n_sl;
                     let cols_live = q.min(k - (si as usize) * q);
                     let d = tile_density(gemm, &mut rng);
-                    let tile = sample_tile(
+                    super::sample_tile_into(
+                        masks,
+                        tile,
                         p,
                         q,
                         rows_live,
@@ -320,9 +371,10 @@ impl OneSided {
                     // or cold), only its timing memoizes. `outcome` is a
                     // pure function of the canonical key, so a store hit
                     // is bit-identical to the skipped computation.
+                    let keyed = self.timer.key_into(tile, lens, token, tag, key);
                     let o = ctx
                         .tiles
-                        .resolve(self.timer.key(&tile), || self.timer.outcome(&tile));
+                        .resolve_str(keyed.then_some(key.as_str()), || self.timer.outcome(tile));
                     let (t, disp, base_row) = (o.cycles, o.displaced, o.base_row);
                     times.push(t);
                     sum_t += t as f64;
@@ -352,8 +404,8 @@ impl OneSided {
                 window: cfg.core.window,
             };
             let steps = match self.schedule {
-                ScheduleMode::Natural => schedule_natural_steps(&times, &sys),
-                ScheduleMode::Grouped => schedule_grouped_steps(&times, &sys),
+                ScheduleMode::Natural => schedule_natural_steps(times, &sys),
+                ScheduleMode::Grouped => schedule_grouped_steps(times, &sys),
             };
             let pipe = if profiling {
                 let mut sink = StepProfile::new(sys.rows);
@@ -741,6 +793,7 @@ mod tests {
             s2ta_fil_density: Some(0.38),
             rng: DetRng::new(42),
             tiles: Default::default(),
+            scratch: Default::default(),
         }
     }
 

@@ -118,6 +118,7 @@ mod tests {
             s2ta_fil_density: Some(0.38),
             rng: DetRng::new(1),
             tiles: Default::default(),
+            scratch: Default::default(),
         };
         let d = onesided::dense()
             .simulate_layer(&gemm(false), &ctx, &cfg)
@@ -136,6 +137,7 @@ mod tests {
             s2ta_fil_density: Some(0.50),
             rng: DetRng::new(1),
             tiles: Default::default(),
+            scratch: Default::default(),
         };
         let d = onesided::dense()
             .simulate_layer(&gemm(true), &ctx, &cfg)
@@ -156,6 +158,7 @@ mod tests {
             s2ta_fil_density: None,
             rng: DetRng::new(1),
             tiles: Default::default(),
+            scratch: Default::default(),
         };
         assert!(matches!(
             s2ta().simulate_layer(&gemm(false), &ctx, &cfg),

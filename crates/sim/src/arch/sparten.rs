@@ -173,6 +173,7 @@ mod tests {
             s2ta_fil_density: None,
             rng: DetRng::new(11),
             tiles: Default::default(),
+            scratch: Default::default(),
         }
     }
 

@@ -253,6 +253,7 @@ mod tests {
             s2ta_fil_density: None,
             rng: DetRng::new(w.seed()).fork(0),
             tiles: Default::default(),
+            scratch: Default::default(),
         };
         let clean = arch::dense()
             .simulate_layer(&gemm, &ctx, &cfg)
@@ -276,6 +277,7 @@ mod tests {
             s2ta_fil_density: None,
             rng: DetRng::new(w.seed()).fork(0),
             tiles: Default::default(),
+            scratch: Default::default(),
         };
         let plan = FaultPlan::new(vec![FaultSpec {
             layer: gemm.name.clone(),

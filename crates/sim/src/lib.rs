@@ -51,6 +51,7 @@ pub mod outcome;
 pub mod profile;
 pub mod report;
 pub mod runner;
+pub mod scratch;
 pub mod store;
 pub mod sweep;
 

@@ -1233,6 +1233,9 @@ fn plan<'a>(job: &SimJob<'a>, units: &mut Vec<WorkUnit<'a>>, tiles: &BrokerSourc
     let workload = job.workload;
     let bench = workload.benchmark();
     let base_rng = DetRng::new(workload.seed());
+    // One pool per job: all its units share recycled scratch buffers, so
+    // the steady-state allocation count is bounded by worker concurrency.
+    let scratch = crate::scratch::ScratchPool::default();
     let act_density = workload.activation_density();
     let s2ta_act_density = activation::s2ta_activation_density(bench);
     let s2ta_fil_density = activation::s2ta_filter_density(bench);
@@ -1264,6 +1267,7 @@ fn plan<'a>(job: &SimJob<'a>, units: &mut Vec<WorkUnit<'a>>, tiles: &BrokerSourc
                 s2ta_fil_density,
                 rng: base_rng.fork(stream),
                 tiles: tiles.broker(),
+                scratch: scratch.clone(),
             },
             cfg: job.cfg,
             key,

@@ -11,11 +11,12 @@
 //!   first. Concurrent requests for the same missing key deduplicate —
 //!   exactly one computes, the rest block on the entry — so hit/miss
 //!   counts depend only on the multiset of keys, not on scheduling;
-//! * a **disk tier** ([`DiskTier`]): 256 shard files under a store
-//!   directory, keyed by the low byte of the key's FNV-1a hash,
+//! * a **disk tier** ([`DiskTier`]): 16 shard files under a store
+//!   directory, keyed by the low nibble of the key's FNV-1a hash,
 //!   following the checkpoint layer's durability discipline — versioned
-//!   `eureka-tilestore v1` header, atomic tmp+rename writes, strict
-//!   record verification on load (a malformed or misplaced record is a
+//!   `eureka-tilestore v1` header, atomic tmp+rename creation with
+//!   append-only growth (see [`DiskTier::flush`]), strict record
+//!   verification on load (a malformed or misplaced record is a
 //!   miss and a `store.errors` tick, never data and never a panic).
 //!
 //! Keys canonicalize via [`eureka_sparse::canon`]: permutation-invariant
@@ -46,7 +47,17 @@ use crate::checkpoint::fnv1a64;
 const HEADER: &str = "eureka-tilestore v1";
 
 /// Number of shard files a disk tier spreads records across.
-const SHARDS: usize = 256;
+///
+/// Was 256 (low byte of the key hash); 16 keeps flush and load I/O
+/// proportional to the data instead of the shard count — on the
+/// benchmark workloads a few thousand records were spread
+/// one-or-two-per-file across 256 files, making every flush and cold
+/// load syscall-bound. The low *nibble* of the same FNV-1a hash picks
+/// the shard, so files `00.tiles`..`0f.tiles` written by the 256-shard
+/// scheme still hold only keys whose low nibble matches and remain
+/// readable; files `10.tiles`..`ff.tiles` are simply never consulted
+/// (their records recompute — degraded, never wrong).
+const SHARDS: usize = 16;
 
 /// Stripe count of the hot tier's hash map.
 const STRIPES: usize = 16;
@@ -68,11 +79,31 @@ impl TileKey {
     /// a space-separated on-disk format.
     #[must_use]
     pub fn new(discipline: &str, lens_token: &str) -> Self {
+        let mut text = String::with_capacity(4 + discipline.len() + lens_token.len());
+        TileKey::encode_into(discipline, lens_token, &mut text);
+        TileKey(text)
+    }
+
+    /// Writes the key text (`v1|discipline|lens_token`) into a reusable
+    /// buffer — the zero-allocation form of [`TileKey::new`] for hot
+    /// loops that resolve through [`TileBroker::resolve_str`]. The buffer
+    /// is cleared first; the rendered text is byte-identical to
+    /// `TileKey::new(discipline, lens_token).as_str()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either part contains whitespace — keys name records in
+    /// a space-separated on-disk format.
+    pub fn encode_into(discipline: &str, lens_token: &str, out: &mut String) {
         assert!(
             !discipline.contains(char::is_whitespace) && !lens_token.contains(char::is_whitespace),
             "tile keys must be whitespace-free"
         );
-        TileKey(format!("v1|{discipline}|{lens_token}"))
+        out.clear();
+        out.push_str("v1|");
+        out.push_str(discipline);
+        out.push('|');
+        out.push_str(lens_token);
     }
 
     /// The key's stable text form.
@@ -84,14 +115,27 @@ impl TileKey {
     /// Which of the [`SHARDS`] shard files holds this key.
     #[must_use]
     pub fn shard(&self) -> usize {
-        (fnv1a64(self.0.as_bytes()) & 0xff) as usize
+        shard_of(&self.0)
     }
+}
 
-    fn stripe(&self) -> usize {
-        // Use a different byte than `shard()` so one shard's keys still
-        // spread across hot-tier stripes.
-        ((fnv1a64(self.0.as_bytes()) >> 8) as usize) % STRIPES
+/// `TileKey` hashes, compares and orders exactly like its text form, so
+/// map lookups can run on a borrowed `&str` without materializing a key.
+impl std::borrow::Borrow<str> for TileKey {
+    fn borrow(&self) -> &str {
+        &self.0
     }
+}
+
+/// Which of the [`SHARDS`] shard files holds the key with text `key`.
+fn shard_of(key: &str) -> usize {
+    (fnv1a64(key.as_bytes()) & (SHARDS as u64 - 1)) as usize
+}
+
+fn stripe_of(key: &str) -> usize {
+    // Use different bits than `shard_of` so one shard's keys still
+    // spread across hot-tier stripes.
+    ((fnv1a64(key.as_bytes()) >> 8) as usize) % STRIPES
 }
 
 /// The result of timing one canonical tile: everything both the plain
@@ -183,15 +227,29 @@ impl TileStore {
         disk: Option<&DiskTier>,
         compute: impl FnOnce() -> TileOutcome,
     ) -> (TileOutcome, Served) {
+        self.lookup_or_compute_str(key.as_str(), disk, compute)
+    }
+
+    /// [`lookup_or_compute`](Self::lookup_or_compute) over the key's text
+    /// form. The hot path: an owned [`TileKey`] is only materialized when
+    /// the key is genuinely new to the hot tier (first sight of a
+    /// canonical tile), so steady-state resolution performs no
+    /// allocation.
+    pub fn lookup_or_compute_str(
+        &self,
+        key: &str,
+        disk: Option<&DiskTier>,
+        compute: impl FnOnce() -> TileOutcome,
+    ) -> (TileOutcome, Served) {
         let t = stel();
         t.lookups.inc();
         let cell = {
-            let mut map = lock(&self.stripes[key.stripe()]);
+            let mut map = lock(&self.stripes[stripe_of(key)]);
             match map.get(key) {
                 Some(cell) => Arc::clone(cell),
                 None => {
                     let cell = Cell::default();
-                    map.insert(key.clone(), Arc::clone(&cell));
+                    map.insert(TileKey(key.to_string()), Arc::clone(&cell));
                     self.entries.fetch_add(1, Ordering::Relaxed);
                     cell
                 }
@@ -200,7 +258,7 @@ impl TileStore {
         let mut served = Served::Hot;
         let out = *cell.get_or_init(|| {
             if let Some(d) = disk {
-                if let Some(hit) = d.lookup(key) {
+                if let Some(hit) = d.lookup_str(key) {
                     served = Served::Disk;
                     return hit;
                 }
@@ -208,7 +266,7 @@ impl TileStore {
             served = Served::Computed;
             let out = compute();
             if let Some(d) = disk {
-                d.record(key, out);
+                d.record_str(key, out);
             }
             out
         });
@@ -231,7 +289,7 @@ impl TileStore {
     }
 
     /// Evicts settled entries (never `keep`) while over capacity.
-    fn maybe_evict(&self, keep: &TileKey) {
+    fn maybe_evict(&self, keep: &str) {
         let cap = self.capacity.load(Ordering::Relaxed);
         if cap == 0 || self.entries.load(Ordering::Relaxed) <= cap {
             return;
@@ -244,7 +302,7 @@ impl TileStore {
             let mut map = lock(stripe);
             let victims: Vec<TileKey> = map
                 .iter()
-                .filter(|(k, cell)| *k != keep && cell.get().is_some())
+                .filter(|(k, cell)| k.as_str() != keep && cell.get().is_some())
                 .map(|(k, _)| k.clone())
                 .collect();
             for victim in victims {
@@ -364,7 +422,14 @@ impl DiskTier {
     /// access. Dirty (not yet flushed) records are visible too.
     #[must_use]
     pub fn lookup(&self, key: &TileKey) -> Option<TileOutcome> {
-        let idx = key.shard();
+        self.lookup_str(key.as_str())
+    }
+
+    /// [`lookup`](Self::lookup) over the key's text form (no owned key
+    /// needed).
+    #[must_use]
+    pub fn lookup_str(&self, key: &str) -> Option<TileOutcome> {
+        let idx = shard_of(key);
         let mut shard = lock(&self.shards[idx]);
         if let Some(out) = shard.dirty.get(key) {
             return Some(*out);
@@ -377,15 +442,28 @@ impl DiskTier {
 
     /// Stages a freshly computed record for the next [`DiskTier::flush`].
     pub fn record(&self, key: &TileKey, out: TileOutcome) {
-        lock(&self.shards[key.shard()])
-            .dirty
-            .insert(key.clone(), out);
+        self.record_str(key.as_str(), out);
     }
 
-    /// Writes every shard with dirty records back to disk atomically
-    /// (merge with the on-disk records, write to a temp name, rename).
-    /// IO failures count as `store.errors` and leave the old shard file
-    /// intact — the records stay dirty for a later flush.
+    /// [`record`](Self::record) over the key's text form; the owned key
+    /// is materialized here, once, on the cold path.
+    pub fn record_str(&self, key: &str, out: TileOutcome) {
+        lock(&self.shards[shard_of(key)])
+            .dirty
+            .insert(TileKey(key.to_string()), out);
+    }
+
+    /// Persists dirty records. A shard whose file is already readable
+    /// (valid header on load) gets the new records *appended*, so flush
+    /// cost is proportional to what this run computed, not to the store
+    /// size — the profiler traced most of a cold benchmark run's wall
+    /// clock to whole-shard rewrites here. A shard with no readable file
+    /// yet (missing, empty, or a failed header check) is written whole
+    /// via the atomic tmp+rename path, which also repairs a corrupt file
+    /// on the next flush. Records already on disk are never rewritten —
+    /// outcomes are pure functions of the key, so re-recording equal
+    /// content leaves the shard bytes untouched. IO failures count as
+    /// `store.errors` and leave the records dirty for a later flush.
     pub fn flush(&self) {
         static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
         for idx in 0..SHARDS {
@@ -396,35 +474,53 @@ impl DiskTier {
             if shard.loaded.is_none() {
                 shard.loaded = Some(self.read_shard(idx));
             }
-            // Merge (dirty wins) into a sorted map so shard bytes are
-            // deterministic for identical content.
-            let mut merged: BTreeMap<TileKey, TileOutcome> = BTreeMap::new();
-            if let Some(loaded) = &shard.loaded {
-                for (k, v) in loaded {
-                    merged.insert(k.clone(), *v);
-                }
-            }
-            for (k, v) in &shard.dirty {
-                merged.insert(k.clone(), *v);
-            }
-            let mut text = String::from(HEADER);
-            text.push('\n');
-            for (k, v) in &merged {
+            let loaded = shard.loaded.as_ref().expect("loaded above");
+            // Sorted (BTreeMap order), deduplicated against disk: the
+            // appended bytes are deterministic per flush batch.
+            let mut text = String::new();
+            let mut fresh = 0usize;
+            for (k, v) in shard
+                .dirty
+                .iter()
+                .filter(|(k, v)| loaded.get(*k) != Some(*v))
+            {
                 text.push_str(&encode_record(k, *v));
                 text.push('\n');
+                fresh += 1;
             }
-            let written = std::fs::create_dir_all(&self.dir).is_ok() && {
-                let tmp = self.dir.join(format!(
-                    "{idx:02x}.tmp-{}-{}",
-                    std::process::id(),
-                    TMP_SEQ.fetch_add(1, Ordering::Relaxed)
-                ));
-                std::fs::write(&tmp, &text).is_ok()
-                    && std::fs::rename(&tmp, self.shard_path(idx)).is_ok()
+            let written = if fresh == 0 {
+                true
+            } else if loaded.is_empty() {
+                // Nothing readable on disk: write the shard whole,
+                // atomically (header first, then the records).
+                let mut whole = String::from(HEADER);
+                whole.push('\n');
+                whole.push_str(&text);
+                std::fs::create_dir_all(&self.dir).is_ok() && {
+                    let tmp = self.dir.join(format!(
+                        "{idx:02x}.tmp-{}-{}",
+                        std::process::id(),
+                        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+                    ));
+                    std::fs::write(&tmp, &whole).is_ok()
+                        && std::fs::rename(&tmp, self.shard_path(idx)).is_ok()
+                }
+            } else {
+                // Readable shard on disk: append only the new records.
+                // A crash mid-append at worst truncates the final line,
+                // which the strict record check skips on the next load.
+                std::fs::OpenOptions::new()
+                    .append(true)
+                    .open(self.shard_path(idx))
+                    .and_then(|mut f| std::io::Write::write_all(&mut f, text.as_bytes()))
+                    .is_ok()
             };
             if written {
-                shard.loaded = Some(merged.into_iter().collect());
-                shard.dirty.clear();
+                let dirty = std::mem::take(&mut shard.dirty);
+                let loaded = shard.loaded.as_mut().expect("loaded above");
+                for (k, v) in dirty {
+                    loaded.insert(k, v);
+                }
             } else {
                 stel().errors.inc();
             }
@@ -588,11 +684,23 @@ impl TileBroker {
         key: Option<TileKey>,
         compute: impl FnOnce() -> TileOutcome,
     ) -> TileOutcome {
+        self.resolve_str(key.as_ref().map(TileKey::as_str), compute)
+    }
+
+    /// [`resolve`](Self::resolve) over a borrowed key text (e.g. a
+    /// scratch buffer filled by [`TileKey::encode_into`]) — the
+    /// zero-allocation hot path: an owned key is only built when the
+    /// store has never seen this canonical tile.
+    pub fn resolve_str(
+        &self,
+        key: Option<&str>,
+        compute: impl FnOnce() -> TileOutcome,
+    ) -> TileOutcome {
         let (Some(inner), Some(key)) = (&self.inner, key) else {
             return compute();
         };
         inner.lookups.fetch_add(1, Ordering::Relaxed);
-        let (out, served) = global().lookup_or_compute(&key, inner.disk.as_deref(), compute);
+        let (out, served) = global().lookup_or_compute_str(key, inner.disk.as_deref(), compute);
         if served == Served::Computed {
             inner.computes.fetch_add(1, Ordering::Relaxed);
         }

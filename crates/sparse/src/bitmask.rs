@@ -32,8 +32,16 @@ impl MaskedRow {
         let cols = pattern.cols();
         let n_chunks = cols.div_ceil(CHUNK_WIDTH);
         let mut chunks = vec![0u32; n_chunks];
-        for c in pattern.row_indices(row) {
-            chunks[c / CHUNK_WIDTH] |= 1 << (c % CHUNK_WIDTH);
+        // Each packed 64-bit pattern word is exactly two 32-bit chunks;
+        // split words instead of probing bits. Pattern word tails past
+        // `cols` are zero, so a partial final chunk needs no masking.
+        for (wi, &w) in pattern.row_words(row).iter().enumerate() {
+            if let Some(lo) = chunks.get_mut(2 * wi) {
+                *lo = w as u32;
+            }
+            if let Some(hi) = chunks.get_mut(2 * wi + 1) {
+                *hi = (w >> 32) as u32;
+            }
         }
         MaskedRow { chunks, cols }
     }
@@ -77,14 +85,21 @@ impl MaskedRow {
             .collect()
     }
 
-    /// Total matched pairs against another row.
+    /// Total matched pairs against another row. Word-parallel: one
+    /// AND+popcount per chunk pair, no intermediate allocation (the
+    /// alloc-free counterpart of [`matches_per_chunk`](Self::matches_per_chunk)).
     ///
     /// # Panics
     ///
     /// Panics if the rows have different widths.
     #[must_use]
     pub fn total_matches(&self, other: &MaskedRow) -> usize {
-        self.matches_per_chunk(other).iter().sum()
+        assert_eq!(self.cols, other.cols, "row widths differ");
+        self.chunks
+            .iter()
+            .zip(&other.chunks)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
     }
 
     /// Storage cost in bits: one mask bit per column plus 16 bits per

@@ -53,11 +53,20 @@ pub enum RowOrder {
 /// ```
 #[must_use]
 pub fn canonical_lens(tile: &TilePattern, order: RowOrder) -> Vec<usize> {
-    let mut lens = tile.row_lens();
-    if order == RowOrder::Sorted {
-        lens.sort_unstable_by(|a, b| b.cmp(a));
-    }
+    let mut lens = Vec::new();
+    canonical_lens_into(tile, order, &mut lens);
     lens
+}
+
+/// In-place variant of [`canonical_lens`]: clears `out` and fills it with
+/// the signature, reusing the buffer's capacity across calls (the
+/// zero-allocation path for the simulator's per-tile key construction).
+pub fn canonical_lens_into(tile: &TilePattern, order: RowOrder, out: &mut Vec<usize>) {
+    out.clear();
+    out.extend((0..tile.p()).map(|r| tile.row_len(r)));
+    if order == RowOrder::Sorted {
+        out.sort_unstable_by(|a, b| b.cmp(a));
+    }
 }
 
 /// Renders a signature as a compact, stable, whitespace-free token
@@ -65,10 +74,23 @@ pub fn canonical_lens(tile: &TilePattern, order: RowOrder) -> Vec<usize> {
 /// never change for a given signature.
 #[must_use]
 pub fn lens_token(lens: &[usize]) -> String {
-    lens.iter()
-        .map(ToString::to_string)
-        .collect::<Vec<_>>()
-        .join(",")
+    let mut out = String::new();
+    lens_token_into(lens, &mut out);
+    out
+}
+
+/// In-place variant of [`lens_token`]: clears `out` and writes the token
+/// into it, reusing the buffer's capacity across calls. The rendered text
+/// is byte-identical to [`lens_token`] (on-disk keys depend on it).
+pub fn lens_token_into(lens: &[usize], out: &mut String) {
+    use std::fmt::Write as _;
+    out.clear();
+    for (i, n) in lens.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{n}");
+    }
 }
 
 #[cfg(test)]

@@ -32,7 +32,7 @@ impl AlignedTile {
     #[must_use]
     pub fn from_tile(tile: &TilePattern) -> Self {
         let rows = (0..tile.p())
-            .map(|r| tile.row_indices(r).iter().map(|&c| c as u16).collect())
+            .map(|r| tile.row_iter(r).map(|c| c as u16).collect())
             .collect();
         AlignedTile { q: tile.q(), rows }
     }

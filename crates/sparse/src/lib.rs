@@ -52,6 +52,6 @@ pub mod tiling;
 pub use error::SparseError;
 pub use leftalign::AlignedTile;
 pub use matrix::Matrix;
-pub use pattern::SparsityPattern;
+pub use pattern::{SetBits, SparsityPattern};
 pub use tile::TilePattern;
 pub use tiling::TileGrid;

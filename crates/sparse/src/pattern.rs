@@ -6,6 +6,66 @@
 
 use crate::error::SparseError;
 
+/// Zero-allocation iterator over the set-bit positions of a packed word
+/// slice, ascending. Yielded values are absolute bit indices into the
+/// slice (`word_index * 64 + bit`).
+///
+/// Produced by [`SparsityPattern::row_iter`] and
+/// [`crate::TilePattern::row_iter`]; the canonical replacement for the
+/// allocating `row_indices` methods in hot loops.
+#[derive(Clone, Debug)]
+pub struct SetBits<'a> {
+    words: &'a [u64],
+    /// Current word being drained (bits already consumed are cleared).
+    current: u64,
+    /// Bit offset of `current`'s bit 0.
+    base: usize,
+    /// Index of the next word to load into `current`.
+    next_word: usize,
+}
+
+impl<'a> SetBits<'a> {
+    /// Iterates the set bits of `words`, ascending.
+    #[must_use]
+    pub fn new(words: &'a [u64]) -> Self {
+        SetBits {
+            words,
+            current: words.first().copied().unwrap_or(0),
+            base: 0,
+            next_word: 1,
+        }
+    }
+}
+
+impl Iterator for SetBits<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            let &w = self.words.get(self.next_word)?;
+            self.current = w;
+            self.base = self.next_word * 64;
+            self.next_word += 1;
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.base + bit)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rest: usize = self.current.count_ones() as usize
+            + self.words[self.next_word.min(self.words.len())..]
+                .iter()
+                .map(|w| w.count_ones() as usize)
+                .sum::<usize>();
+        (rest, Some(rest))
+    }
+}
+
+impl ExactSizeIterator for SetBits<'_> {}
+
+impl std::iter::FusedIterator for SetBits<'_> {}
+
 /// A rows×cols bit matrix; bit set ⇒ non-zero at that position.
 ///
 /// Rows are stored as packed 64-bit words.
@@ -130,24 +190,58 @@ impl SparsityPattern {
         self.nnz() as f64 / (self.rows * self.cols) as f64
     }
 
+    /// The packed 64-bit words of `row` (bit `c % 64` of word `c / 64` ⇒
+    /// column `c` is non-zero). Bits at positions `>= cols` in the final
+    /// word are always zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    #[must_use]
+    pub fn row_words(&self, row: usize) -> &[u64] {
+        assert!(row < self.rows, "row out of bounds");
+        &self.words[row * self.words_per_row..(row + 1) * self.words_per_row]
+    }
+
+    /// Zero-allocation iterator over the column indices of the non-zeros
+    /// in `row`, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    #[must_use]
+    pub fn row_iter(&self, row: usize) -> SetBits<'_> {
+        SetBits::new(self.row_words(row))
+    }
+
+    /// Calls `f` with each non-zero column of `row`, ascending, without
+    /// allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    pub fn for_each_set(&self, row: usize, mut f: impl FnMut(usize)) {
+        for (wi, &word) in self.row_words(row).iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                f(wi * 64 + w.trailing_zeros() as usize);
+                w &= w - 1;
+            }
+        }
+    }
+
     /// Column indices of the non-zeros in `row`, ascending.
+    ///
+    /// Note: allocates a fresh `Vec` per call; prefer the zero-allocation
+    /// [`row_iter`](Self::row_iter) / [`for_each_set`](Self::for_each_set)
+    /// in hot loops. Retained as a convenience `collect` wrapper.
     ///
     /// # Panics
     ///
     /// Panics if `row` is out of bounds.
     #[must_use]
     pub fn row_indices(&self, row: usize) -> Vec<usize> {
-        assert!(row < self.rows, "row out of bounds");
-        let mut out = Vec::with_capacity(self.row_nnz(row));
-        for wi in 0..self.words_per_row {
-            let mut w = self.words[row * self.words_per_row + wi];
-            while w != 0 {
-                let bit = w.trailing_zeros() as usize;
-                out.push(wi * 64 + bit);
-                w &= w - 1;
-            }
-        }
-        out
+        self.row_iter(row).collect()
     }
 
     /// A `row_count × col_count` window starting at `(row0, col0)`,
@@ -177,16 +271,48 @@ impl SparsityPattern {
                 bound: self.cols,
             });
         }
-        Ok(SparsityPattern::from_fn(row_count, col_count, |r, c| {
-            let (rr, cc) = (row0 + r, col0 + c);
-            rr < self.rows && cc < self.cols && self.get(rr, cc)
-        }))
+        let mut out = SparsityPattern::empty(row_count, col_count);
+        let out_wpr = out.words_per_row;
+        // Tail mask for the window's final word: bits past `col_count`
+        // must stay zero (the word-tail masking invariant — see
+        // DESIGN.md "Hot paths").
+        let tail = col_count % 64;
+        let tail_mask = if tail == 0 {
+            u64::MAX
+        } else {
+            (1u64 << tail) - 1
+        };
+        for r in 0..row_count.min(self.rows - row0) {
+            let src = self.row_words(row0 + r);
+            let dst = &mut out.words[r * out_wpr..(r + 1) * out_wpr];
+            let (skip, sh) = (col0 / 64, col0 % 64);
+            for (wo, d) in dst.iter_mut().enumerate() {
+                let wi = skip + wo;
+                let lo = src.get(wi).copied().unwrap_or(0);
+                // Funnel shift: bits [col0 + wo*64, col0 + wo*64 + 64) of
+                // the source row. Source words past `cols` are zero, so
+                // the window zero-pads past the matrix edge for free.
+                *d = if sh == 0 {
+                    lo
+                } else {
+                    (lo >> sh) | (src.get(wi + 1).copied().unwrap_or(0) << (64 - sh))
+                };
+            }
+            if let Some(last) = dst.last_mut() {
+                *last &= tail_mask;
+            }
+        }
+        Ok(out)
     }
 
     /// Transposed copy.
     #[must_use]
     pub fn transpose(&self) -> SparsityPattern {
-        SparsityPattern::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+        let mut out = SparsityPattern::empty(self.cols, self.rows);
+        for r in 0..self.rows {
+            self.for_each_set(r, |c| out.insert(c, r));
+        }
+        out
     }
 
     /// Element-wise AND (the SparTen inner-product match set).

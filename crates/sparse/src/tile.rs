@@ -7,7 +7,7 @@
 //! so [`TilePattern`] stores each row as one 64-bit mask.
 
 use crate::error::SparseError;
-use crate::pattern::SparsityPattern;
+use crate::pattern::{SetBits, SparsityPattern};
 
 /// The non-zero structure of one `p × q` tile (`q <= 64`).
 ///
@@ -74,14 +74,84 @@ impl TilePattern {
         if p == 0 || q == 0 || q > 64 {
             return Err(SparseError::InvalidTileShape { rows: p, cols: q });
         }
-        let w = pattern.window(row0, col0, p, q)?;
-        let mut rows = vec![0u64; p];
-        for (r, mask) in rows.iter_mut().enumerate() {
-            for c in w.row_indices(r) {
-                *mask |= 1 << c;
-            }
+        if row0 >= pattern.rows() {
+            return Err(SparseError::IndexOutOfBounds {
+                index: row0,
+                bound: pattern.rows(),
+            });
         }
+        if col0 >= pattern.cols() {
+            return Err(SparseError::IndexOutOfBounds {
+                index: col0,
+                bound: pattern.cols(),
+            });
+        }
+        let mut rows = vec![0u64; p];
+        Self::extract_masks(pattern, row0, col0, q, &mut rows);
         Ok(TilePattern { cols: q, rows })
+    }
+
+    /// Reinitializes this tile in place from per-row bitmasks, reusing the
+    /// existing row storage (no allocation once capacity suffices) — the
+    /// scratch-arena counterpart of [`from_rows`](Self::from_rows).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::InvalidTileShape`] under the same conditions
+    /// as [`from_rows`](Self::from_rows); the tile is left unchanged on
+    /// error.
+    pub fn reset_from_rows(&mut self, rows: &[u64], cols: usize) -> Result<(), SparseError> {
+        if rows.is_empty() || cols == 0 || cols > 64 {
+            return Err(SparseError::InvalidTileShape {
+                rows: rows.len(),
+                cols,
+            });
+        }
+        let valid = if cols == 64 {
+            u64::MAX
+        } else {
+            (1u64 << cols) - 1
+        };
+        if rows.iter().any(|&m| m & !valid != 0) {
+            return Err(SparseError::InvalidTileShape {
+                rows: rows.len(),
+                cols,
+            });
+        }
+        self.cols = cols;
+        self.rows.clear();
+        self.rows.extend_from_slice(rows);
+        Ok(())
+    }
+
+    /// Extracts `q` bits starting at `col0` from each of `p` pattern rows
+    /// starting at `row0` into `masks` (one funnel shift per row — no
+    /// per-bit probes). Rows/columns past the pattern edge zero-pad: the
+    /// pattern's own word tails are zero past `cols`, so the shift reads
+    /// zeros for free.
+    fn extract_masks(
+        pattern: &SparsityPattern,
+        row0: usize,
+        col0: usize,
+        q: usize,
+        masks: &mut [u64],
+    ) {
+        let valid = if q == 64 { u64::MAX } else { (1u64 << q) - 1 };
+        let (skip, sh) = (col0 / 64, col0 % 64);
+        let live = masks.len().min(pattern.rows() - row0);
+        for (r, mask) in masks.iter_mut().enumerate().take(live) {
+            let src = pattern.row_words(row0 + r);
+            let lo = src.get(skip).copied().unwrap_or(0);
+            let w = if sh == 0 {
+                lo
+            } else {
+                (lo >> sh) | (src.get(skip + 1).copied().unwrap_or(0) << (64 - sh))
+            };
+            *mask = w & valid;
+        }
+        for mask in masks.iter_mut().skip(live) {
+            *mask = 0;
+        }
     }
 
     /// Number of rows `p`.
@@ -159,20 +229,29 @@ impl TilePattern {
         self.nnz() as f64 / (self.p() * self.q()) as f64
     }
 
+    /// Zero-allocation iterator over the column indices of non-zeros in
+    /// row `r`, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    #[must_use]
+    pub fn row_iter(&self, r: usize) -> SetBits<'_> {
+        SetBits::new(std::slice::from_ref(&self.rows[r]))
+    }
+
     /// Column indices of non-zeros in row `r`, ascending.
+    ///
+    /// Note: allocates a fresh `Vec` per call; prefer the zero-allocation
+    /// [`row_iter`](Self::row_iter) in hot loops. Retained as a
+    /// convenience `collect` wrapper.
     ///
     /// # Panics
     ///
     /// Panics if `r` is out of bounds.
     #[must_use]
     pub fn row_indices(&self, r: usize) -> Vec<usize> {
-        let mut m = self.rows[r];
-        let mut out = Vec::with_capacity(m.count_ones() as usize);
-        while m != 0 {
-            out.push(m.trailing_zeros() as usize);
-            m &= m - 1;
-        }
-        out
+        self.row_iter(r).collect()
     }
 }
 

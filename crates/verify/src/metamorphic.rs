@@ -175,6 +175,7 @@ fn layer_ctx(seed: u64) -> LayerCtx {
         s2ta_fil_density: Some(0.5),
         rng: DetRng::new(seed),
         tiles: Default::default(),
+        scratch: Default::default(),
     }
 }
 

@@ -39,6 +39,7 @@ fn main() {
             s2ta_fil_density: None,
             rng: DetRng::new(pct as u64),
             tiles: Default::default(),
+            scratch: Default::default(),
         };
         let run = |a: &dyn Architecture| a.simulate_layer(&gemm, &ctx, &cfg).unwrap();
         let dense = run(&arch::dense());

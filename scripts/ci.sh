@@ -68,6 +68,11 @@ cargo run --release -q -p eureka-cli -- profile --benchmark mobilenetv1 \
     --arch eureka-p4 --fast --no-ledger --bench-json "$obs_dir/bench-fresh.json"
 cargo run --release -q -p eureka-cli -- bench diff \
     results/BENCH_1.json "$obs_dir/bench-fresh.json"
+# The BENCH_2 → BENCH_3 step of the committed trajectory (the hot-path
+# overhaul) must stay cycle-clean: modeled results were required to be
+# byte-identical, so even a 2% drift between the snapshots is a bug.
+cargo run --release -q -p eureka-cli -- bench diff \
+    results/BENCH_2.json results/BENCH_3.json --max-regress 2
 python3 - "$obs_dir/bench-fresh.json" "$obs_dir/bench-bad.json" <<'EOF'
 import json, sys
 snap = json.load(open(sys.argv[1]))

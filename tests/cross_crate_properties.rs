@@ -36,6 +36,7 @@ fn ctx(seed: u64) -> LayerCtx {
         s2ta_fil_density: Some(0.38),
         rng: DetRng::new(seed),
         tiles: Default::default(),
+        scratch: Default::default(),
     }
 }
 
