@@ -17,6 +17,8 @@
 use eureka_models::{Benchmark, PruningLevel, Workload};
 use eureka_sim::{arch, engine, SimConfig};
 
+pub mod serve;
+
 /// A parsed CLI invocation.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Command {
@@ -198,6 +200,57 @@ pub enum Command {
         /// Run the seeded fault-injection matrix (panic, error, stall ×
         /// serial, parallel) instead of fuzzing.
         fault_matrix: bool,
+        /// Run the service chaos harness (panics, stalls crossing
+        /// deadlines, mid-job crash + journal replay, shard corruption,
+        /// overload shedding) instead of fuzzing.
+        chaos: bool,
+    },
+    /// Run the resident job service on a Unix socket (JSON-lines
+    /// protocol: submit/status/cancel/drain/health/shutdown).
+    Serve {
+        /// Unix socket path to listen on.
+        socket: String,
+        /// Write-ahead job journal directory (crash recovery).
+        journal_dir: String,
+        /// Persist completed unit results here (resume across restarts).
+        checkpoint_dir: Option<String>,
+        /// Persist canonical tile results here.
+        store_dir: Option<String>,
+        /// Admission queue bound; beyond it submissions shed.
+        capacity: usize,
+        /// Default per-job deadline in ms (0 = none).
+        deadline_ms: u64,
+        /// Simulation worker threads per job (`None` = 1).
+        jobs: Option<usize>,
+        /// Use reduced sampling for served jobs.
+        fast: bool,
+    },
+    /// Submit one job to a running service and print the response.
+    Submit {
+        /// Unix socket path of the service.
+        socket: String,
+        /// Benchmark name.
+        benchmark: Benchmark,
+        /// Pruning level.
+        pruning: PruningLevel,
+        /// Architecture registry name.
+        arch: String,
+        /// Batch size.
+        batch: usize,
+        /// Per-job deadline in ms (0 = the service default).
+        deadline_ms: u64,
+        /// Extra attempts per failed work unit.
+        retries: u32,
+        /// Poll until the job reaches a terminal state.
+        wait: bool,
+    },
+    /// Ask a running service to drain: finish in-flight work, admit
+    /// nothing new.
+    Drain {
+        /// Unix socket path of the service.
+        socket: String,
+        /// Also shut the service down after the drain.
+        shutdown: bool,
     },
 }
 
@@ -237,6 +290,14 @@ USAGE:
   eureka trace    --benchmark <name> --layer <layer-name>   (Chrome-trace JSON)
   eureka verify   [--cases <N>] [--seed <S>] [--arch <name>]
                   [--corpus-dir <dir>] [--replay <dir>] [--fault-matrix]
+                  [--chaos]
+  eureka serve    [--socket <path>] [--journal-dir <dir>]
+                  [--checkpoint-dir <dir>] [--store-dir <dir>]
+                  [--capacity <N>] [--deadline-ms <N>] [--jobs <N>] [--fast]
+  eureka submit   --benchmark <name> [--pruning <level>] [--arch <name>]
+                  [--batch <N>] [--deadline-ms <N>] [--retries <N>]
+                  [--socket <path>] [--wait]
+  eureka drain    [--socket <path>] [--shutdown]
 
 FAULT TOLERANCE:
   --keep-going          don't abort on a failed layer: print the surviving
@@ -308,6 +369,30 @@ PROFILING (`eureka profile`):
   --top-tiles <N>       worst tiles kept per layer (default 5)
   at most one export may write to stdout ('-'); with a stdout export the
   human report is suppressed to keep stdout machine-readable
+
+JOB SERVICE (`eureka serve`):
+  a resident service on a Unix socket speaking a JSON-lines protocol
+  (submit/status/cancel/drain/health/shutdown). Admission is bounded:
+  beyond --capacity queued jobs, submissions shed with a typed
+  'overloaded' rejection. Every accepted job is journaled write-ahead
+  (schema eureka-journal v1) before it can run, so a SIGKILL'd server
+  replays accepted-but-unfinished jobs on restart — with
+  --checkpoint-dir, without recomputing units the previous life
+  completed. SIGTERM/SIGINT drain gracefully: in-flight work finishes,
+  new work sheds, then the process exits. Failed units retry under
+  seeded exponential backoff with jitter (deterministic per unit).
+  --deadline-ms sets the default per-job deadline, enforced by
+  cooperative cancellation at unit boundaries.
+  submit --wait        poll until the job is terminal; exits non-zero
+                       unless the job completed
+  drain [--shutdown]   finish in-flight work and stop admitting; with
+                       --shutdown the server process exits afterwards
+  verify --chaos       seeded service-layer fault schedules (worker
+                       panics, stalls crossing deadlines, mid-job crash
+                       + journal replay, journal/checkpoint corruption,
+                       overload): the service must recover to a
+                       consistent ledger with surviving results
+                       bit-identical to a fault-free run
 
 Run `eureka archs` for the architecture registry.";
 
@@ -790,6 +875,7 @@ where
             let mut corpus_dir = None;
             let mut replay = None;
             let mut fault_matrix = false;
+            let mut chaos = false;
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
                 let mut value = |flag: &str| {
@@ -812,6 +898,7 @@ where
                     "--corpus-dir" => corpus_dir = Some(value("--corpus-dir")?),
                     "--replay" => replay = Some(value("--replay")?),
                     "--fault-matrix" => fault_matrix = true,
+                    "--chaos" => chaos = true,
                     other => return Err(format!("unknown flag '{other}' for verify")),
                 }
             }
@@ -830,7 +917,124 @@ where
                 corpus_dir,
                 replay,
                 fault_matrix,
+                chaos,
             })
+        }
+        "serve" => {
+            let mut socket = "eureka.sock".to_string();
+            let mut journal_dir = "eureka-journal".to_string();
+            let mut checkpoint_dir = None;
+            let mut store_dir = None;
+            let mut capacity = 8usize;
+            let mut deadline_ms = 0u64;
+            let mut jobs = None;
+            let mut fast = false;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                let mut value = |flag: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{flag} requires a value"))
+                };
+                match a.as_str() {
+                    "--socket" => socket = value("--socket")?,
+                    "--journal-dir" => journal_dir = value("--journal-dir")?,
+                    "--checkpoint-dir" => checkpoint_dir = Some(value("--checkpoint-dir")?),
+                    "--store-dir" => store_dir = Some(value("--store-dir")?),
+                    "--capacity" => {
+                        capacity = value("--capacity")?
+                            .parse()
+                            .map_err(|e| format!("bad --capacity: {e}"))?;
+                        if capacity == 0 {
+                            return Err("--capacity must be positive".into());
+                        }
+                    }
+                    "--deadline-ms" => {
+                        deadline_ms = value("--deadline-ms")?
+                            .parse()
+                            .map_err(|e| format!("bad --deadline-ms: {e}"))?;
+                    }
+                    "--jobs" => jobs = Some(parse_jobs(&value("--jobs")?)?),
+                    "--fast" => fast = true,
+                    other => return Err(format!("unknown flag '{other}' for serve")),
+                }
+            }
+            Ok(Command::Serve {
+                socket,
+                journal_dir,
+                checkpoint_dir,
+                store_dir,
+                capacity,
+                deadline_ms,
+                jobs,
+                fast,
+            })
+        }
+        "submit" => {
+            let mut socket = "eureka.sock".to_string();
+            let mut benchmark = None;
+            let mut pruning = PruningLevel::Moderate;
+            let mut arch_name = "eureka-p4".to_string();
+            let mut batch = 32usize;
+            let mut deadline_ms = 0u64;
+            let mut retries = 0u32;
+            let mut wait = false;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                let mut value = |flag: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{flag} requires a value"))
+                };
+                match a.as_str() {
+                    "--socket" => socket = value("--socket")?,
+                    "--benchmark" => benchmark = Some(parse_benchmark(&value("--benchmark")?)?),
+                    "--pruning" => pruning = parse_pruning(&value("--pruning")?)?,
+                    "--arch" => arch_name = value("--arch")?,
+                    "--batch" => {
+                        batch = value("--batch")?
+                            .parse()
+                            .map_err(|e| format!("bad --batch: {e}"))?;
+                    }
+                    "--deadline-ms" => {
+                        deadline_ms = value("--deadline-ms")?
+                            .parse()
+                            .map_err(|e| format!("bad --deadline-ms: {e}"))?;
+                    }
+                    "--retries" => retries = parse_retries(&value("--retries")?)?,
+                    "--wait" => wait = true,
+                    other => return Err(format!("unknown flag '{other}' for submit")),
+                }
+            }
+            let benchmark = benchmark.ok_or("submit requires --benchmark")?;
+            Ok(Command::Submit {
+                socket,
+                benchmark,
+                pruning,
+                arch: arch_name,
+                batch,
+                deadline_ms,
+                retries,
+                wait,
+            })
+        }
+        "drain" => {
+            let mut socket = "eureka.sock".to_string();
+            let mut shutdown = false;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                let mut value = |flag: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{flag} requires a value"))
+                };
+                match a.as_str() {
+                    "--socket" => socket = value("--socket")?,
+                    "--shutdown" => shutdown = true,
+                    other => return Err(format!("unknown flag '{other}' for drain")),
+                }
+            }
+            Ok(Command::Drain { socket, shutdown })
         }
         other => Err(format!("unknown command '{other}'; try `eureka help`")),
     }
@@ -1024,6 +1228,101 @@ fn run_label(
         pruning.label(),
         if fast { "fast" } else { "paper" },
     )
+}
+
+/// A failed run: the message plus the process exit code. `bench diff`
+/// distinguishes a missing/unreadable snapshot (code 2: an environment
+/// or usage problem CI should treat as broken wiring) from a genuine
+/// perf regression (code 1: the gate fired); everything else exits 1.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunError {
+    /// Human-readable description, printed to stderr.
+    pub message: String,
+    /// Process exit code (1 = failure/regression, 2 = unusable input).
+    pub code: u8,
+}
+
+impl RunError {
+    fn failure(message: String) -> Self {
+        RunError { message, code: 1 }
+    }
+}
+
+/// Executes a parsed command, returning the text to print; errors carry
+/// the exit code the process should use.
+///
+/// # Errors
+///
+/// See [`RunError`].
+pub fn run_with_code(cmd: &Command) -> Result<String, RunError> {
+    if let Command::BenchDiff {
+        baseline,
+        candidate,
+        max_regress,
+    } = cmd
+    {
+        return run_bench_diff(baseline, candidate, *max_regress);
+    }
+    run(cmd).map_err(RunError::failure)
+}
+
+/// Compares two snapshots under the regression gate. Load/parse
+/// problems (missing file, malformed JSON, unknown schema, incomparable
+/// snapshots) exit 2; a regression past the threshold exits 1.
+fn run_bench_diff(baseline: &str, candidate: &str, max_regress: f64) -> Result<String, RunError> {
+    let load = |path: &str| {
+        eureka_sim::ledger::load_snapshot(std::path::Path::new(path)).map_err(|e| RunError {
+            message: format!("bench diff: unusable snapshot: {e}"),
+            code: 2,
+        })
+    };
+    let a = load(baseline)?;
+    let b = load(candidate)?;
+    let report = eureka_sim::ledger::diff(&a, &b, max_regress).map_err(|e| RunError {
+        message: format!("bench diff: {e}"),
+        code: 2,
+    })?;
+    let rendered = format!(
+        "baseline : {baseline}\ncandidate: {candidate}\nthreshold: {max_regress}%\n{}",
+        report.render()
+    );
+    // The regression gate: a failing diff is a failing command.
+    if report.ok() {
+        Ok(rendered)
+    } else {
+        Err(RunError::failure(rendered))
+    }
+}
+
+/// Surfaces degradation counters in the human-readable end-of-run
+/// report: unit failures by kind, store shard errors, checkpoint
+/// decode errors. Healthy runs (all zero) add nothing.
+fn health_warning_lines() -> String {
+    let c = |name: &str| eureka_obs::metrics::counter_value(name).unwrap_or(0);
+    let mut out = String::new();
+    let (panics, sims, cancelled) = (
+        c("runner.failures.panic"),
+        c("runner.failures.sim_error"),
+        c("runner.failures.cancelled"),
+    );
+    if panics + sims + cancelled > 0 {
+        out.push_str(&format!(
+            "  unit failures  : {panics} panic, {sims} sim-error, {cancelled} cancelled\n"
+        ));
+    }
+    let store_errors = c("store.errors");
+    if store_errors > 0 {
+        out.push_str(&format!(
+            "  store errors   : {store_errors} (unreadable/unwritable shards; tiles recomputed)\n"
+        ));
+    }
+    let ckpt_errors = c("checkpoint.errors");
+    if ckpt_errors > 0 {
+        out.push_str(&format!(
+            "  ckpt errors    : {ckpt_errors} (corrupt entries skipped; units recomputed)\n"
+        ));
+    }
+    out
 }
 
 /// Executes a parsed command, returning the text to print.
@@ -1319,6 +1618,7 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 "  MAC utilization: {:.1}%\n",
                 100.0 * report.mac_utilization()
             ));
+            out.push_str(&health_warning_lines());
             if !failures.is_empty() {
                 out.push_str(&format!(
                     "degraded run: {} of {} layer(s) missing\n{}",
@@ -1483,21 +1783,7 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             baseline,
             candidate,
             max_regress,
-        } => {
-            let a = eureka_sim::ledger::load_snapshot(std::path::Path::new(baseline))?;
-            let b = eureka_sim::ledger::load_snapshot(std::path::Path::new(candidate))?;
-            let report = eureka_sim::ledger::diff(&a, &b, *max_regress)?;
-            let rendered = format!(
-                "baseline : {baseline}\ncandidate: {candidate}\nthreshold: {max_regress}%\n{}",
-                report.render()
-            );
-            // The regression gate: a failing diff is a failing command.
-            if report.ok() {
-                Ok(rendered)
-            } else {
-                Err(rendered)
-            }
-        }
+        } => run_bench_diff(baseline, candidate, *max_regress).map_err(|e| e.message),
         Command::Verify {
             cases,
             seed,
@@ -1505,7 +1791,11 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             corpus_dir,
             replay,
             fault_matrix,
+            chaos,
         } => {
+            if *chaos {
+                return eureka_verify::run_chaos(*cases, *seed);
+            }
             if *fault_matrix {
                 return eureka_verify::run_fault_matrix(*seed);
             }
@@ -1519,6 +1809,46 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 corpus_dir: corpus_dir.as_ref().map(std::path::PathBuf::from),
             })
         }
+        Command::Serve {
+            socket,
+            journal_dir,
+            checkpoint_dir,
+            store_dir,
+            capacity,
+            deadline_ms,
+            jobs,
+            fast,
+        } => serve::run_serve(&serve::ServeOpts {
+            socket: socket.clone(),
+            journal_dir: journal_dir.clone(),
+            checkpoint_dir: checkpoint_dir.clone(),
+            store_dir: store_dir.clone(),
+            capacity: *capacity,
+            deadline_ms: *deadline_ms,
+            jobs: jobs.unwrap_or(1),
+            fast: *fast,
+        }),
+        Command::Submit {
+            socket,
+            benchmark,
+            pruning,
+            arch,
+            batch,
+            deadline_ms,
+            retries,
+            wait,
+        } => {
+            let spec = eureka_sim::JobSpec {
+                benchmark: *benchmark,
+                pruning: *pruning,
+                batch: *batch,
+                arch: arch.clone(),
+                deadline_ms: *deadline_ms,
+                retries: *retries,
+            };
+            serve::run_submit(socket, &spec, *wait)
+        }
+        Command::Drain { socket, shutdown } => serve::run_drain(socket, *shutdown),
     }
 }
 
@@ -2002,6 +2332,7 @@ mod tests {
                 corpus_dir: None,
                 replay: None,
                 fault_matrix: false,
+                chaos: false,
             }
         );
         assert_eq!(
@@ -2024,6 +2355,7 @@ mod tests {
                 corpus_dir: Some("corpus".into()),
                 replay: None,
                 fault_matrix: false,
+                chaos: false,
             }
         );
         assert!(parse(["verify", "--cases", "0"]).is_err());
@@ -2414,5 +2746,170 @@ mod tests {
         let cmd = parse(["verify", "--replay", "../../tests/corpus"]).unwrap();
         let out = run(&cmd).unwrap();
         assert!(out.contains("all pass"), "{out}");
+    }
+
+    #[test]
+    fn parse_service_commands() {
+        assert_eq!(
+            parse(["serve"]).unwrap(),
+            Command::Serve {
+                socket: "eureka.sock".into(),
+                journal_dir: "eureka-journal".into(),
+                checkpoint_dir: None,
+                store_dir: None,
+                capacity: 8,
+                deadline_ms: 0,
+                jobs: None,
+                fast: false,
+            }
+        );
+        assert_eq!(
+            parse([
+                "serve",
+                "--socket",
+                "/tmp/e.sock",
+                "--journal-dir",
+                "j",
+                "--checkpoint-dir",
+                "c",
+                "--store-dir",
+                "s",
+                "--capacity",
+                "3",
+                "--deadline-ms",
+                "500",
+                "--jobs",
+                "2",
+                "--fast",
+            ])
+            .unwrap(),
+            Command::Serve {
+                socket: "/tmp/e.sock".into(),
+                journal_dir: "j".into(),
+                checkpoint_dir: Some("c".into()),
+                store_dir: Some("s".into()),
+                capacity: 3,
+                deadline_ms: 500,
+                jobs: Some(2),
+                fast: true,
+            }
+        );
+        assert!(parse(["serve", "--capacity", "0"]).is_err());
+        assert!(parse(["serve", "--bogus"]).is_err());
+
+        assert_eq!(
+            parse([
+                "submit",
+                "--benchmark",
+                "mobilenetv1",
+                "--deadline-ms",
+                "250",
+                "--retries",
+                "2",
+                "--wait",
+            ])
+            .unwrap(),
+            Command::Submit {
+                socket: "eureka.sock".into(),
+                benchmark: Benchmark::MobileNetV1,
+                pruning: PruningLevel::Moderate,
+                arch: "eureka-p4".into(),
+                batch: 32,
+                deadline_ms: 250,
+                retries: 2,
+                wait: true,
+            }
+        );
+        assert!(parse(["submit"]).is_err(), "submit requires --benchmark");
+
+        assert_eq!(
+            parse(["drain", "--socket", "/tmp/e.sock", "--shutdown"]).unwrap(),
+            Command::Drain {
+                socket: "/tmp/e.sock".into(),
+                shutdown: true,
+            }
+        );
+        // Chaos rides the verify umbrella.
+        assert!(matches!(
+            parse(["verify", "--chaos", "--cases", "7"]).unwrap(),
+            Command::Verify {
+                chaos: true,
+                cases: 7,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn bench_diff_exit_codes_distinguish_bad_input_from_regression() {
+        let dir = std::env::temp_dir().join(format!("eureka-cli-diff-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let snapshot = |cycles: u64| {
+            format!(
+                "{{\"schema\":\"eureka-bench-v1\",\"benchmark\":\"mobilenet_v1\",\
+                 \"pruning\":\"mod\",\"sampling\":\"fast\",\"archs\":[{{\"name\":\"a\",\
+                 \"total_cycles\":{cycles}}}]}}"
+            )
+        };
+        let base = dir.join("base.json");
+        let worse = dir.join("worse.json");
+        std::fs::write(&base, snapshot(100)).unwrap();
+        std::fs::write(&worse, snapshot(200)).unwrap();
+
+        let diff = |a: &std::path::Path, b: &std::path::Path| {
+            run_with_code(&Command::BenchDiff {
+                baseline: a.display().to_string(),
+                candidate: b.display().to_string(),
+                max_regress: 2.0,
+            })
+        };
+
+        // A missing snapshot is broken wiring, not a regression: exit 2.
+        let err = diff(&dir.join("nope.json"), &base).unwrap_err();
+        assert_eq!(err.code, 2, "{}", err.message);
+        assert!(err.message.contains("unusable snapshot"), "{}", err.message);
+        // Malformed JSON too.
+        let garbage = dir.join("garbage.json");
+        std::fs::write(&garbage, "not json").unwrap();
+        let err = diff(&garbage, &base).unwrap_err();
+        assert_eq!(err.code, 2, "{}", err.message);
+
+        // A genuine regression fires the gate: exit 1.
+        let err = diff(&base, &worse).unwrap_err();
+        assert_eq!(err.code, 1, "{}", err.message);
+        assert!(err.message.contains("total_cycles"), "{}", err.message);
+
+        // The unregressed direction passes.
+        assert!(diff(&base, &base).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_surfaces_failure_and_store_counters_only_when_nonzero() {
+        use eureka_obs::metrics::{counter, Class};
+        // No cli test drives a failing or store-degraded run, so these
+        // counters are ours alone to set here.
+        let names = [
+            "runner.failures.panic",
+            "runner.failures.sim_error",
+            "runner.failures.cancelled",
+            "store.errors",
+            "checkpoint.errors",
+        ];
+        for name in names {
+            counter(name, Class::Deterministic).reset();
+        }
+        assert_eq!(health_warning_lines(), "", "healthy runs stay silent");
+
+        counter("runner.failures.panic", Class::Deterministic).add(2);
+        counter("store.errors", Class::Deterministic).add(3);
+        counter("checkpoint.errors", Class::Deterministic).inc();
+        let warnings = health_warning_lines();
+        for name in names {
+            counter(name, Class::Deterministic).reset();
+        }
+        assert!(warnings.contains("unit failures  : 2 panic"), "{warnings}");
+        assert!(warnings.contains("store errors   : 3"), "{warnings}");
+        assert!(warnings.contains("ckpt errors    : 1"), "{warnings}");
     }
 }

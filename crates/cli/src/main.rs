@@ -14,7 +14,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match eureka_cli::run(&cmd) {
+    match eureka_cli::run_with_code(&cmd) {
         Ok(out) => {
             // Empty output means the command already streamed its
             // payload to stdout (e.g. `--events-out -`).
@@ -23,9 +23,12 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        Err(msg) => {
-            eureka_obs::error!("{msg}");
-            ExitCode::FAILURE
+        // Exit 1 for failures and regressions; exit 2 when the command
+        // could not do its job at all (e.g. `bench diff` on a missing
+        // snapshot) so CI can tell broken wiring from a fired gate.
+        Err(e) => {
+            eureka_obs::error!("{}", e.message);
+            ExitCode::from(e.code)
         }
     }
 }

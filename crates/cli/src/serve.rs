@@ -1,0 +1,265 @@
+//! The `eureka serve` / `submit` / `drain` front ends: a Unix-socket
+//! transport around [`eureka_sim::service`].
+//!
+//! The service itself is transport-free (`handle_request` maps one
+//! JSON request line to one response line); this module owns the
+//! socket listener, the SIGTERM/SIGINT drain loop, and the client
+//! side. Everything socket-shaped is Unix-only; on other targets the
+//! commands fail with a clear message instead of failing to compile.
+
+use eureka_sim::JobSpec;
+
+/// Parsed `eureka serve` configuration.
+#[derive(Clone, Debug)]
+pub struct ServeOpts {
+    /// Unix socket path to listen on.
+    pub socket: String,
+    /// Write-ahead job journal directory.
+    pub journal_dir: String,
+    /// Unit checkpoint directory (resume across restarts).
+    pub checkpoint_dir: Option<String>,
+    /// Tile result store directory.
+    pub store_dir: Option<String>,
+    /// Admission queue bound.
+    pub capacity: usize,
+    /// Default per-job deadline in ms (0 = none).
+    pub deadline_ms: u64,
+    /// Simulation worker threads per job.
+    pub jobs: usize,
+    /// Reduced sampling for served jobs.
+    pub fast: bool,
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::ServeOpts;
+    use eureka_sim::service::{handle_request, service_stats, ServiceConfig};
+    use eureka_sim::{JobService, JobSpec, SimConfig};
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::{UnixListener, UnixStream};
+    use std::path::{Path, PathBuf};
+    use std::time::Duration;
+
+    pub fn run_serve(opts: &ServeOpts) -> Result<String, String> {
+        let cfg = service_config(opts);
+        let service = JobService::start(cfg);
+        eureka_signal::install_termination_latch();
+
+        // A stale socket from a SIGKILL'd predecessor would refuse the
+        // bind; the journal (not the socket) is the durable state.
+        let socket = Path::new(&opts.socket);
+        if socket.exists() {
+            std::fs::remove_file(socket)
+                .map_err(|e| format!("cannot remove stale socket {}: {e}", socket.display()))?;
+        }
+        let listener = UnixListener::bind(socket)
+            .map_err(|e| format!("cannot bind {}: {e}", socket.display()))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("cannot set the listener non-blocking: {e}"))?;
+        eureka_obs::info!("serve: listening on {}", socket.display());
+
+        let mut shutdown_requested = false;
+        while !shutdown_requested && !eureka_signal::termination_requested() {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    shutdown_requested = serve_connection(&service, stream);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    // Idle: poll the termination latch at a human-scale
+                    // cadence without burning a core.
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Err(e) => return Err(format!("accept failed: {e}")),
+            }
+        }
+
+        // SIGTERM/SIGINT or a `shutdown` request: finish in-flight
+        // work, shed everything new, then leave. Journal records and
+        // store tiles are already durable (written in-line), so the
+        // drain needs no extra flush.
+        let drained = service.drain();
+        service.shutdown();
+        std::fs::remove_file(socket).ok();
+        let stats = service_stats();
+        Ok(format!(
+            "serve: {}; served={} completed={} shed={} cancelled={} \
+             deadline_exceeded={} failed={} recovered={}\n",
+            if drained {
+                "drained"
+            } else {
+                "drain timed out"
+            },
+            stats.served,
+            stats.completed,
+            stats.shed,
+            stats.cancelled,
+            stats.deadline_exceeded,
+            stats.failed,
+            stats.recovered,
+        ))
+    }
+
+    /// One client connection: JSON lines in, JSON lines out. Returns
+    /// `true` when the client asked the whole service to shut down.
+    fn serve_connection(service: &JobService, stream: UnixStream) -> bool {
+        // Blocking I/O per connection; the accept loop's non-blocking
+        // mode is inherited and must be undone.
+        if stream.set_nonblocking(false).is_err() {
+            return false;
+        }
+        stream.set_read_timeout(Some(Duration::from_secs(30))).ok();
+        let mut writer = match stream.try_clone() {
+            Ok(w) => w,
+            Err(_) => return false,
+        };
+        let reader = BufReader::new(stream);
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (response, shutdown) = handle_request(service, &line);
+            if writer.write_all(response.as_bytes()).is_err()
+                || writer.write_all(b"\n").is_err()
+                || writer.flush().is_err()
+            {
+                break;
+            }
+            if shutdown {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn service_config(opts: &ServeOpts) -> ServiceConfig {
+        let mut cfg = ServiceConfig::new(PathBuf::from(&opts.journal_dir));
+        cfg.queue_capacity = opts.capacity;
+        cfg.default_deadline_ms = opts.deadline_ms;
+        cfg.jobs = opts.jobs;
+        cfg.sim = if opts.fast {
+            SimConfig::fast()
+        } else {
+            SimConfig::paper_default()
+        };
+        cfg.checkpoint_dir = opts.checkpoint_dir.as_ref().map(PathBuf::from);
+        cfg.store_dir = opts.store_dir.as_ref().map(PathBuf::from);
+        cfg
+    }
+
+    /// Sends one request line and reads one response line.
+    pub fn request(socket: &str, line: &str) -> Result<String, String> {
+        let stream = UnixStream::connect(socket)
+            .map_err(|e| format!("cannot connect to {socket}: {e} (is the service running?)"))?;
+        stream.set_read_timeout(Some(Duration::from_secs(300))).ok();
+        let mut writer = stream
+            .try_clone()
+            .map_err(|e| format!("socket error: {e}"))?;
+        writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .map_err(|e| format!("cannot send request: {e}"))?;
+        let mut response = String::new();
+        BufReader::new(stream)
+            .read_line(&mut response)
+            .map_err(|e| format!("cannot read response: {e}"))?;
+        if response.is_empty() {
+            return Err("the service closed the connection without responding".into());
+        }
+        Ok(response.trim_end().to_string())
+    }
+
+    pub fn run_submit(socket: &str, spec: &JobSpec, wait: bool) -> Result<String, String> {
+        use eureka_obs::json::{self, Value};
+        let request_line = format!(
+            "{{\"cmd\":\"submit\",\"spec\":\"{}\"}}",
+            json::escape(&spec.canonical())
+        );
+        let response = request(socket, &request_line)?;
+        let v = json::parse(&response).map_err(|e| format!("malformed response: {e}"))?;
+        if v.get("ok").and_then(Value::as_bool) != Some(true) {
+            return Err(format!("submit rejected: {response}"));
+        }
+        if !wait {
+            return Ok(response);
+        }
+        let id = v
+            .get("job")
+            .and_then(Value::as_f64)
+            .ok_or("malformed response: missing job id")? as u64;
+        loop {
+            std::thread::sleep(Duration::from_millis(50));
+            let status_line = request(socket, &format!("{{\"cmd\":\"status\",\"job\":{id}}}"))?;
+            let sv = json::parse(&status_line).map_err(|e| format!("malformed response: {e}"))?;
+            match sv.get("status").and_then(Value::as_str) {
+                Some("queued" | "running") => {}
+                Some("completed") => return Ok(status_line),
+                Some(_) => return Err(format!("job did not complete: {status_line}")),
+                None => return Err(format!("malformed status response: {status_line}")),
+            }
+        }
+    }
+
+    pub fn run_drain(socket: &str, shutdown: bool) -> Result<String, String> {
+        let response = request(socket, "{\"cmd\":\"drain\"}")?;
+        if shutdown {
+            // The shutdown response may not arrive if the server exits
+            // promptly after draining; the drain response above is the
+            // acknowledgement that matters.
+            let _ = request(socket, "{\"cmd\":\"shutdown\"}");
+        }
+        Ok(response)
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    use super::ServeOpts;
+    use eureka_sim::JobSpec;
+
+    const UNSUPPORTED: &str = "the job service requires Unix domain sockets";
+
+    pub fn run_serve(_opts: &ServeOpts) -> Result<String, String> {
+        Err(UNSUPPORTED.into())
+    }
+
+    pub fn run_submit(_socket: &str, _spec: &JobSpec, _wait: bool) -> Result<String, String> {
+        Err(UNSUPPORTED.into())
+    }
+
+    pub fn run_drain(_socket: &str, _shutdown: bool) -> Result<String, String> {
+        Err(UNSUPPORTED.into())
+    }
+}
+
+/// Runs the resident service until SIGTERM/SIGINT or a client
+/// `shutdown`, then drains and reports the final ledger counts.
+///
+/// # Errors
+///
+/// Socket bind/IO failures, or any platform without Unix sockets.
+pub fn run_serve(opts: &ServeOpts) -> Result<String, String> {
+    imp::run_serve(opts)
+}
+
+/// Submits one job to a running service; with `wait`, polls until the
+/// job is terminal and fails unless it completed.
+///
+/// # Errors
+///
+/// Connection failures, rejections (overloaded/draining/invalid), or a
+/// waited-on job that ended cancelled, deadline-exceeded, or failed.
+pub fn run_submit(socket: &str, spec: &JobSpec, wait: bool) -> Result<String, String> {
+    imp::run_submit(socket, spec, wait)
+}
+
+/// Asks a running service to drain (and optionally shut down).
+///
+/// # Errors
+///
+/// Connection failures.
+pub fn run_drain(socket: &str, shutdown: bool) -> Result<String, String> {
+    imp::run_drain(socket, shutdown)
+}

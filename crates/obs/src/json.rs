@@ -77,6 +77,15 @@ impl Value {
         }
     }
 
+    /// The value as a bool, if it is one.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value as a string slice, if it is one.
     #[must_use]
     pub fn as_str(&self) -> Option<&str> {

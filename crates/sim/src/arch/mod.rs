@@ -88,6 +88,13 @@ pub enum SimError {
         /// The faulted layer name.
         site: String,
     },
+    /// The unit was cooperatively stopped at a unit boundary — its
+    /// cancel token fired (operator cancel or deadline) before the unit
+    /// started. Never retried: the token stays fired.
+    Cancelled {
+        /// The layer that was about to run when the token was observed.
+        layer: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -101,6 +108,9 @@ impl fmt::Display for SimError {
             }
             SimError::Injected { site } => {
                 write!(f, "injected test fault at {site}")
+            }
+            SimError::Cancelled { layer } => {
+                write!(f, "layer {layer} cancelled at unit boundary")
             }
         }
     }

@@ -19,8 +19,15 @@
 //! incompatible run) is treated as a miss, never as data.
 
 use crate::report::{LayerReport, OpCounts};
+use eureka_obs::metrics::{self, Class};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Largest checkpoint entry `load` will even read. Real entries are a
+/// few hundred bytes; anything bigger is filesystem corruption or a
+/// foreign file that collided with our name, and slurping it would
+/// trade a bounded recompute for an unbounded allocation.
+const MAX_ENTRY_BYTES: u64 = 1 << 20;
 
 /// Format marker; bump when the serialization changes incompatibly.
 /// Readers ignore entries with any other header, so mixing versions in
@@ -43,12 +50,13 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
 }
 
 /// Escapes newlines and backslashes so arbitrary layer names fit the
-/// line-oriented format.
-fn escape(s: &str) -> String {
+/// line-oriented format. Shared with the job journal, which uses the
+/// same line-oriented envelope.
+pub(crate) fn escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('\n', "\\n")
 }
 
-fn unescape(s: &str) -> String {
+pub(crate) fn unescape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     let mut chars = s.chars();
     while let Some(c) = chars.next() {
@@ -175,10 +183,32 @@ impl CheckpointStore {
     }
 
     /// Loads the completed result for `key`, if a valid entry exists.
+    ///
+    /// Fail-soft, mirroring the tile store's policy: a missing file is a
+    /// plain miss, but a file that exists and is unusable — oversized,
+    /// NUL-bearing, non-UTF-8, truncated, or otherwise undecodable —
+    /// ticks `checkpoint.errors` and is *also* a miss. Resume never
+    /// aborts on a corrupt directory; it recomputes the damaged units.
     #[must_use]
     pub fn load(&self, key: &str) -> Option<LayerReport> {
-        let text = std::fs::read_to_string(self.path_for(key)).ok()?;
-        decode(&text, key)
+        let path = self.path_for(key);
+        let oversized = std::fs::metadata(&path)
+            .map(|m| m.len() > MAX_ENTRY_BYTES)
+            .unwrap_or(false);
+        if oversized {
+            metrics::counter("checkpoint.errors", Class::Deterministic).inc();
+            return None;
+        }
+        // Absent (or racily deleted) file: a plain miss, not an error.
+        let bytes = std::fs::read(&path).ok()?;
+        let report = std::str::from_utf8(&bytes)
+            .ok()
+            .filter(|text| !text.contains('\0'))
+            .and_then(|text| decode(text, key));
+        if report.is_none() {
+            metrics::counter("checkpoint.errors", Class::Deterministic).inc();
+        }
+        report
     }
 
     /// Persists a completed unit result atomically (temp file + rename):
@@ -285,6 +315,50 @@ mod tests {
         assert_eq!(store.load("k"), Some(r));
         assert_eq!(store.entry_count(), 1);
         assert_eq!(store.load("other"), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_entries_are_skipped_with_an_error_tick_not_an_abort() {
+        let dir = std::env::temp_dir().join(format!("eureka-ckpt-corrupt-{}", std::process::id()));
+        let store = CheckpointStore::new(&dir);
+        let r = sample();
+        store.store("good", &r).expect("store writes");
+        let errors = || metrics::counter("checkpoint.errors", Class::Deterministic).get();
+
+        // Truncated entry: load misses and ticks the error counter.
+        let before = errors();
+        let text = encode("trunc", &r);
+        std::fs::write(store.path_for("trunc"), &text[..text.len() / 2]).unwrap();
+        assert_eq!(store.load("trunc"), None, "truncated entry is a miss");
+        assert!(errors() > before, "truncation ticks checkpoint.errors");
+
+        // NUL bytes (torn write on some filesystems): skipped.
+        let before = errors();
+        std::fs::write(store.path_for("nul"), b"eureka\0checkpoint").unwrap();
+        assert_eq!(store.load("nul"), None, "NUL-bearing entry is a miss");
+        assert!(errors() > before);
+
+        // Non-UTF-8 garbage: skipped.
+        let before = errors();
+        std::fs::write(store.path_for("bin"), [0xff, 0xfe, 0x80, 0x80]).unwrap();
+        assert_eq!(store.load("bin"), None, "non-UTF-8 entry is a miss");
+        assert!(errors() > before);
+
+        // Oversized file: never even read into memory.
+        let before = errors();
+        let big = vec![b'x'; (MAX_ENTRY_BYTES + 1) as usize];
+        std::fs::write(store.path_for("big"), big).unwrap();
+        assert_eq!(store.load("big"), None, "oversized entry is a miss");
+        assert!(errors() > before);
+
+        // The valid neighbour is untouched by the carnage.
+        assert_eq!(store.load("good"), Some(r), "healthy entries still load");
+        // And a plain absence stays a silent miss.
+        let before = errors();
+        assert_eq!(store.load("absent"), None);
+        assert_eq!(errors(), before, "a missing file is not an error");
+
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -40,11 +40,13 @@
 #![warn(missing_docs)]
 
 pub mod arch;
+pub mod backoff;
 pub mod cachesim;
 pub mod checkpoint;
 pub mod config;
 pub mod engine;
 pub mod faults;
+pub mod journal;
 pub mod ledger;
 pub mod memory;
 pub mod outcome;
@@ -52,10 +54,13 @@ pub mod profile;
 pub mod report;
 pub mod runner;
 pub mod scratch;
+pub mod service;
 pub mod store;
 pub mod sweep;
 
+pub use backoff::BackoffPolicy;
 pub use config::{MemoryConfig, SimConfig, TensorCoreConfig};
+pub use journal::{Journal, JournalState};
 pub use ledger::{DiffReport, LedgerRecord};
 pub use outcome::{
     render_failure_report, FailureKind, JobOutcome, RetryPolicy, TransientKinds, UnitFailure,
@@ -65,5 +70,6 @@ pub use profile::{
     TileStat,
 };
 pub use report::{LayerReport, OpCounts, SimReport};
-pub use runner::{Runner, SimJob};
+pub use runner::{CancelToken, Runner, SimJob};
+pub use service::{JobService, JobSpec, JobStatus, ServiceConfig, SubmitError};
 pub use store::{TileBroker, TileKey, TileOutcome};

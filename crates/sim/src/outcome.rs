@@ -20,15 +20,22 @@ pub enum FailureKind {
     Panic,
     /// The architecture returned a [`SimError`].
     Sim(SimError),
+    /// The unit was cooperatively stopped at a unit boundary: its
+    /// [`crate::runner::CancelToken`] fired (operator cancel or
+    /// deadline) before the unit began executing. Never retried — the
+    /// token stays fired, so a retry would observe it again.
+    Cancelled,
 }
 
 impl FailureKind {
-    /// Short label for reports and metrics (`panic` / `sim-error`).
+    /// Short label for reports and metrics
+    /// (`panic` / `sim-error` / `cancelled`).
     #[must_use]
     pub fn label(&self) -> &'static str {
         match self {
             FailureKind::Panic => "panic",
             FailureKind::Sim(_) => "sim-error",
+            FailureKind::Cancelled => "cancelled",
         }
     }
 }
@@ -52,7 +59,8 @@ pub struct UnitFailure {
     /// The workload RNG seed — together with the layer index (the RNG
     /// stream) this pins the unit's exact random state.
     pub rng_seed: u64,
-    /// How many attempts were made before giving up (≥ 1).
+    /// How many attempts were made before giving up (≥ 1, except
+    /// [`FailureKind::Cancelled`], which reports 0: the unit never ran).
     pub attempts: u32,
 }
 
@@ -67,6 +75,9 @@ impl UnitFailure {
             FailureKind::Panic => SimError::UnitPanic {
                 layer: self.layer_name.clone(),
                 payload: self.payload.clone(),
+            },
+            FailureKind::Cancelled => SimError::Cancelled {
+                layer: self.layer_name.clone(),
             },
         }
     }
@@ -230,6 +241,8 @@ impl RetryPolicy {
             // Permanent by definition: see `TransientKinds`.
             FailureKind::Sim(SimError::Unsupported { .. }) => false,
             FailureKind::Sim(_) => self.only.sim_error,
+            // The token stays fired; retrying would observe it again.
+            FailureKind::Cancelled => false,
         }
     }
 }
@@ -326,6 +339,10 @@ mod tests {
             reason: "no data".into(),
         });
         assert!(!p.should_retry(&unsupported, 1));
+        assert!(
+            !p.should_retry(&FailureKind::Cancelled, 1),
+            "a fired cancel token never un-fires"
+        );
         assert!(p.should_retry(&FailureKind::Panic, 1));
         assert!(p.should_retry(&FailureKind::Panic, 4));
         assert!(!p.should_retry(&FailureKind::Panic, 5), "budget exhausted");

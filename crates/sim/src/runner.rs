@@ -89,6 +89,7 @@
 //! simulation, so event-instrumented runs stay bit-identical too.
 
 use crate::arch::{Architecture, LayerCtx, SimError};
+use crate::backoff::BackoffPolicy;
 use crate::checkpoint::{fnv1a64, CheckpointStore};
 use crate::config::SimConfig;
 use crate::outcome::{FailureKind, JobOutcome, RetryPolicy, UnitFailure};
@@ -101,7 +102,7 @@ use eureka_obs::metrics::{self, Class, Counter, Gauge, Histogram};
 use eureka_sparse::rng::DetRng;
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Instant;
 
@@ -352,8 +353,10 @@ struct Telemetry {
     units_from_store: &'static Counter,
     failures_panic: &'static Counter,
     failures_sim: &'static Counter,
+    failures_cancelled: &'static Counter,
     retries_attempts: &'static Counter,
     retries_recovered: &'static Counter,
+    backoff_slept_us: &'static Counter,
     ckpt_hits: &'static Counter,
     ckpt_writes: &'static Counter,
     ckpt_errors: &'static Counter,
@@ -378,8 +381,12 @@ fn telemetry() -> &'static Telemetry {
         units_from_store: metrics::counter("runner.units_from_store", Class::Deterministic),
         failures_panic: metrics::counter("runner.failures.panic", Class::Deterministic),
         failures_sim: metrics::counter("runner.failures.sim_error", Class::Deterministic),
+        failures_cancelled: metrics::counter("runner.failures.cancelled", Class::Deterministic),
         retries_attempts: metrics::counter("runner.retries.attempts", Class::Deterministic),
         retries_recovered: metrics::counter("runner.retries.recovered", Class::Deterministic),
+        // Deterministic: the slept total is a pure function of the
+        // (deterministic) retry schedule and the backoff policy.
+        backoff_slept_us: metrics::counter("runner.backoff.slept_us", Class::Deterministic),
         ckpt_hits: metrics::counter("checkpoint.hits", Class::Deterministic),
         ckpt_writes: metrics::counter("checkpoint.writes", Class::Deterministic),
         ckpt_errors: metrics::counter("checkpoint.errors", Class::Deterministic),
@@ -467,8 +474,10 @@ pub fn cache_reset() {
     t.units_from_store.reset();
     t.failures_panic.reset();
     t.failures_sim.reset();
+    t.failures_cancelled.reset();
     t.retries_attempts.reset();
     t.retries_recovered.reset();
+    t.backoff_slept_us.reset();
     t.ckpt_hits.reset();
     t.ckpt_writes.reset();
     t.ckpt_errors.reset();
@@ -488,6 +497,21 @@ pub fn cache_stats() -> (u64, u64, usize) {
 pub fn failure_stats() -> (u64, u64) {
     let t = telemetry();
     (t.failures_panic.get(), t.failures_sim.get())
+}
+
+/// Units refused at a unit boundary because their [`CancelToken`] had
+/// fired (`runner.failures.cancelled`).
+#[must_use]
+pub fn cancelled_stats() -> u64 {
+    telemetry().failures_cancelled.get()
+}
+
+/// Total microseconds of backoff delay slept before retries
+/// (`runner.backoff.slept_us`; deterministic — the schedule is a pure
+/// function of unit keys and the policy).
+#[must_use]
+pub fn backoff_stats() -> u64 {
+    telemetry().backoff_slept_us.get()
 }
 
 /// `(extra_attempts, recovered)` — retry attempts beyond the first, and
@@ -533,6 +557,64 @@ struct UnitError {
     attempts: u32,
 }
 
+/// Cooperative cancellation handle, checked by the runner at unit
+/// boundaries (never mid-unit: a unit that has started always runs to
+/// its own completion or failure, keeping unit results pure).
+///
+/// A token fires either *explicitly* — [`CancelToken::cancel`], from an
+/// operator or a service drain — or *implicitly*, when its optional
+/// deadline passes. Clones share the explicit flag (and carry the same
+/// deadline), so the service can hold one end while the runner polls
+/// the other. Once fired, a token never un-fires; units observed after
+/// that fail with [`FailureKind::Cancelled`] and are never retried.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that only fires when [`CancelToken::cancel`] is called.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that additionally fires once `deadline` has elapsed from
+    /// now (the job's admission into execution).
+    #[must_use]
+    pub fn with_deadline(deadline: std::time::Duration) -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Some(Instant::now() + deadline),
+        }
+    }
+
+    /// Fires the token explicitly. Idempotent; shared by all clones.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`CancelToken::cancel`] was called (deadline excluded).
+    #[must_use]
+    pub fn cancelled_explicitly(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    /// Whether the deadline (if any) has passed.
+    #[must_use]
+    pub fn deadline_exceeded(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Whether the token has fired, for either reason. Cheap enough to
+    /// poll at every unit boundary.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled_explicitly() || self.deadline_exceeded()
+    }
+}
+
 /// Executes [`SimJob`]s: plans per-layer units, runs them (optionally in
 /// parallel, optionally memoized, optionally checkpointed) under panic
 /// isolation and a bounded retry policy, and reduces deterministically.
@@ -544,6 +626,8 @@ pub struct Runner {
     jobs: usize,
     cached: bool,
     retry: RetryPolicy,
+    backoff: BackoffPolicy,
+    cancel: Option<CancelToken>,
     checkpoint: Option<CheckpointCfg>,
     store_enabled: bool,
     store_dir: Option<PathBuf>,
@@ -611,6 +695,8 @@ impl Runner {
             jobs: 1,
             cached: true,
             retry: RetryPolicy::NONE,
+            backoff: BackoffPolicy::NONE,
+            cancel: None,
             checkpoint: None,
             store_enabled: true,
             store_dir: None,
@@ -625,6 +711,8 @@ impl Runner {
             jobs: AUTO,
             cached: true,
             retry: RetryPolicy::NONE,
+            backoff: BackoffPolicy::NONE,
+            cancel: None,
             checkpoint: None,
             store_enabled: true,
             store_dir: None,
@@ -638,6 +726,8 @@ impl Runner {
             jobs,
             cached: true,
             retry: RetryPolicy::NONE,
+            backoff: BackoffPolicy::NONE,
+            cancel: None,
             checkpoint: None,
             store_enabled: true,
             store_dir: None,
@@ -655,6 +745,29 @@ impl Runner {
     #[must_use]
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Sets this runner's backoff schedule for retries: before attempt
+    /// `n+1` of a unit, the worker sleeps
+    /// [`BackoffPolicy::delay_us`]`(seed, n)` microseconds, where `seed`
+    /// is derived from the unit's content key — deterministic across
+    /// reruns, decorrelated across units. Backoff reshapes wall-clock
+    /// time only; results stay bit-identical.
+    #[must_use]
+    pub fn with_backoff(mut self, backoff: BackoffPolicy) -> Self {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Attaches a cooperative cancellation token, checked at every unit
+    /// boundary: units observed after the token fires (explicit cancel
+    /// or deadline) fail with [`FailureKind::Cancelled`] instead of
+    /// executing, and are never retried. Units already executing always
+    /// finish their attempt.
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 
@@ -919,6 +1032,34 @@ impl Runner {
         if events_on {
             events::emit(Event::new("unit-started").det_u64("unit", unit.index as u64));
         }
+        // Cooperative cancellation: the unit boundary is the only place
+        // the runner looks at the token, so a unit either never starts
+        // or runs to its own conclusion. Checked before the cache so a
+        // cancelled job does zero work, not merely zero compute.
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                t.failures_cancelled.inc();
+                let payload = if token.cancelled_explicitly() {
+                    "cancelled before execution"
+                } else {
+                    "deadline exceeded before execution"
+                };
+                if events_on {
+                    events::emit(
+                        Event::new("failure")
+                            .det_u64("unit", unit.index as u64)
+                            .det_str("kind", FailureKind::Cancelled.label())
+                            .det_u64("attempts", 0)
+                            .det_str("payload", payload),
+                    );
+                }
+                return Err(UnitError {
+                    kind: FailureKind::Cancelled,
+                    payload: payload.to_string(),
+                    attempts: 0,
+                });
+            }
+        }
         if self.cached {
             if let Some(hit) = lock(&cache().map).get(&unit.key).cloned() {
                 t.cache_hits.inc();
@@ -1044,6 +1185,10 @@ impl Runner {
                 match failure.kind {
                     FailureKind::Panic => t.failures_panic.inc(),
                     FailureKind::Sim(_) => t.failures_sim.inc(),
+                    // Unreachable today (the boundary check above is the
+                    // only source of Cancelled), but the accounting is
+                    // correct if an architecture ever surfaces it.
+                    FailureKind::Cancelled => t.failures_cancelled.inc(),
                 }
                 let _failure = eureka_obs::span!(
                     "unit.failure",
@@ -1064,13 +1209,24 @@ impl Runner {
                 }
                 return Err(failure);
             }
+            // Space the next attempt out: deterministic exponential
+            // backoff seeded by the unit's content key, so the schedule
+            // replays exactly and different units decorrelate.
+            let delay_us = self
+                .backoff
+                .delay_us(unit.key.rng_seed ^ unit.key.rng_stream, attempt);
             if events_on {
                 events::emit(
                     Event::new("retry")
                         .det_u64("unit", unit.index as u64)
                         .det_u64("attempt", u64::from(attempt))
-                        .det_str("kind", failure.kind.label()),
+                        .det_str("kind", failure.kind.label())
+                        .wall_u64("backoff_us", delay_us),
                 );
+            }
+            if delay_us > 0 {
+                t.backoff_slept_us.add(delay_us);
+                std::thread::sleep(std::time::Duration::from_micros(delay_us));
             }
         }
     }

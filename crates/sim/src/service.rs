@@ -1,0 +1,1248 @@
+//! Resident job service: admission control, deadlines, cancellation,
+//! and crash recovery over the runner.
+//!
+//! A [`JobService`] owns a single worker thread and a bounded admission
+//! queue. Submitting a [`JobSpec`] either admits it — journaled as
+//! *accepted* ([`crate::journal`]) before anything else happens, so a
+//! SIGKILL'd process replays it on restart — or rejects it with a typed
+//! [`SubmitError`]: [`SubmitError::Overloaded`] when the queue is full
+//! (load shedding, backpressure to the caller) or
+//! [`SubmitError::Draining`] once a graceful drain has begun.
+//!
+//! Jobs execute one at a time under the full resilience stack: bounded
+//! retries with seeded exponential backoff ([`crate::backoff`]),
+//! cooperative cancellation and deadlines checked at unit boundaries
+//! ([`crate::runner::CancelToken`]), checkpoint-store dedup so a
+//! replayed job never recomputes units it completed in a previous life,
+//! and a terminal journal record when the job leaves the system.
+//!
+//! Every lifecycle transition is emitted on the event bus
+//! (`job-accepted`, `job-queued`, `job-started`, `job-retried`,
+//! `job-completed`, `job-cancelled`, `job-deadline-exceeded`,
+//! `job-shed`, `job-recovered`, `service-drained`) and counted in the
+//! `service.*` metrics, which reconcile at quiescence:
+//!
+//! ```text
+//! service.served == service.completed + service.shed
+//!                 + service.cancelled + service.deadline_exceeded
+//!                 + service.failed
+//! ```
+//!
+//! (`service.served` counts every admission — fresh, recovered, or
+//! shed — *in this process lifetime*; a crashed generation leaves a gap
+//! that the next generation's recovery re-admissions close. Tests that
+//! emulate crashes in-process reset the metrics per generation.)
+//!
+//! The wire protocol (JSON-lines over a Unix socket) lives in
+//! [`handle_request`]; the socket accept loop itself is in the CLI,
+//! which also owns the SIGTERM latch that triggers [`JobService::drain`].
+
+use crate::arch;
+use crate::backoff::BackoffPolicy;
+use crate::checkpoint::fnv1a64;
+use crate::config::SimConfig;
+use crate::journal::{Journal, JournalState};
+use crate::outcome::{JobOutcome, RetryPolicy};
+use crate::runner::{self, CancelToken, Runner, SimJob};
+use eureka_models::{Benchmark, PruningLevel, Workload};
+use eureka_obs::events::{self, Event};
+use eureka_obs::json::Value;
+use eureka_obs::metrics::{self, Class, Counter};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Spec format marker, the first `|`-field of [`JobSpec::canonical`].
+const SPEC_HEADER: &str = "eureka-job v1";
+
+/// One unit of admitted work: a benchmark × pruning × batch × arch
+/// simulation request, plus its resilience envelope (deadline, retry
+/// budget). The canonical rendering is the job's durable identity: it
+/// names the journal entry, so resubmitting an identical spec after a
+/// crash dedups onto the same record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobSpec {
+    /// The network to simulate.
+    pub benchmark: Benchmark,
+    /// The pruning level.
+    pub pruning: PruningLevel,
+    /// Batch size (≥ 1).
+    pub batch: usize,
+    /// Architecture registry name ([`crate::arch::by_name`]).
+    pub arch: String,
+    /// Per-job deadline in milliseconds, measured from execution start;
+    /// `0` defers to [`ServiceConfig::default_deadline_ms`].
+    pub deadline_ms: u64,
+    /// Per-job retry budget: how many *re*-attempts each failed unit
+    /// gets beyond its first try.
+    pub retries: u32,
+}
+
+/// Stable kebab token for a benchmark (the CLI's primary alias).
+fn benchmark_token(b: Benchmark) -> &'static str {
+    match b {
+        Benchmark::MobileNetV1 => "mobilenetv1",
+        Benchmark::InceptionV3 => "inceptionv3",
+        Benchmark::ResNet50 => "resnet50",
+        Benchmark::BertSquad => "bert",
+    }
+}
+
+fn benchmark_from_token(s: &str) -> Option<Benchmark> {
+    Some(match s {
+        "mobilenetv1" => Benchmark::MobileNetV1,
+        "inceptionv3" => Benchmark::InceptionV3,
+        "resnet50" => Benchmark::ResNet50,
+        "bert" => Benchmark::BertSquad,
+        _ => return None,
+    })
+}
+
+fn pruning_from_token(s: &str) -> Option<PruningLevel> {
+    Some(match s {
+        "dense" => PruningLevel::Dense,
+        "cons" => PruningLevel::Conservative,
+        "mod" => PruningLevel::Moderate,
+        _ => return None,
+    })
+}
+
+impl JobSpec {
+    /// A spec with the service-default deadline and retry budget.
+    #[must_use]
+    pub fn new(
+        benchmark: Benchmark,
+        pruning: PruningLevel,
+        batch: usize,
+        arch: impl Into<String>,
+    ) -> Self {
+        JobSpec {
+            benchmark,
+            pruning,
+            batch,
+            arch: arch.into(),
+            deadline_ms: 0,
+            retries: 0,
+        }
+    }
+
+    /// Stable single-line rendering: the journal spec and the content
+    /// key. Identical specs — across processes, across restarts —
+    /// render identically.
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        format!(
+            "{SPEC_HEADER}|bench={}|pruning={}|batch={}|arch={}|deadline_ms={}|retries={}",
+            benchmark_token(self.benchmark),
+            self.pruning.label(),
+            self.batch,
+            self.arch,
+            self.deadline_ms,
+            self.retries,
+        )
+    }
+
+    /// Inverse of [`JobSpec::canonical`]; `None` for anything
+    /// malformed (unknown header, missing field, bad number). Does not
+    /// check the architecture against the registry — that happens at
+    /// submission, so a journal written by a newer binary still parses.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<JobSpec> {
+        let mut fields = s.split('|');
+        if fields.next()? != SPEC_HEADER {
+            return None;
+        }
+        let mut benchmark = None;
+        let mut pruning = None;
+        let mut batch = None;
+        let mut arch = None;
+        let mut deadline_ms = None;
+        let mut retries = None;
+        for field in fields {
+            let (k, v) = field.split_once('=')?;
+            match k {
+                "bench" => benchmark = Some(benchmark_from_token(v)?),
+                "pruning" => pruning = Some(pruning_from_token(v)?),
+                "batch" => batch = Some(v.parse().ok()?),
+                "arch" => arch = Some(v.to_string()),
+                "deadline_ms" => deadline_ms = Some(v.parse().ok()?),
+                "retries" => retries = Some(v.parse().ok()?),
+                _ => return None,
+            }
+        }
+        Some(JobSpec {
+            benchmark: benchmark?,
+            pruning: pruning?,
+            batch: batch?,
+            arch: arch?,
+            deadline_ms: deadline_ms?,
+            retries: retries?,
+        })
+    }
+
+    /// 16-hex-digit content digest of the canonical spec (the journal
+    /// file stem; also the `key` field of job events).
+    #[must_use]
+    pub fn digest(&self) -> String {
+        format!("{:016x}", fnv1a64(self.canonical().as_bytes()))
+    }
+}
+
+/// Why a submission was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The admission queue is full; the caller should back off and
+    /// retry. Counted as shed load (`service.shed`).
+    Overloaded {
+        /// The configured queue capacity that was exceeded.
+        capacity: usize,
+    },
+    /// The service is draining (SIGTERM or an operator drain) and
+    /// admits nothing new. Counted as shed load.
+    Draining,
+    /// The spec itself is unusable (unknown architecture, zero batch).
+    /// Not counted as served: nothing was admitted or shed.
+    Invalid(String),
+    /// The write-ahead *accepted* record could not be written, so the
+    /// durability promise cannot be made. Not counted as served.
+    Journal(String),
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Overloaded { capacity } => {
+                write!(f, "overloaded: admission queue at capacity {capacity}")
+            }
+            SubmitError::Draining => write!(f, "draining: service admits no new jobs"),
+            SubmitError::Invalid(why) => write!(f, "invalid job spec: {why}"),
+            SubmitError::Journal(why) => write!(f, "journal write failed: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Where a job is in its lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Admitted, waiting for the worker.
+    Queued,
+    /// Executing right now.
+    Running,
+    /// Every layer simulated successfully; the report is available.
+    Completed,
+    /// At least one layer failed permanently (retry budget exhausted).
+    Failed,
+    /// Cancelled by an operator before completing.
+    Cancelled,
+    /// Cooperatively stopped when its deadline passed.
+    DeadlineExceeded,
+}
+
+impl JobStatus {
+    /// Stable label (wire protocol, event fields, reports).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Completed => "completed",
+            JobStatus::Failed => "failed",
+            JobStatus::Cancelled => "cancelled",
+            JobStatus::DeadlineExceeded => "deadline-exceeded",
+        }
+    }
+
+    /// Whether the job has left the system.
+    #[must_use]
+    pub fn is_terminal(self) -> bool {
+        !matches!(self, JobStatus::Queued | JobStatus::Running)
+    }
+}
+
+/// Service tuning: queue bound, resilience defaults, storage roots.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Admission queue bound; submissions beyond it are shed with
+    /// [`SubmitError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Deadline applied to jobs whose spec says `0` (`0` = none).
+    pub default_deadline_ms: u64,
+    /// Backoff schedule between unit retry attempts.
+    pub backoff: BackoffPolicy,
+    /// Write-ahead journal directory (required: it is the crash story).
+    pub journal_dir: PathBuf,
+    /// Checkpoint directory; when set, completed units persist and a
+    /// replayed job resumes instead of recomputing them.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Tile-store directory (passed through to the runner).
+    pub store_dir: Option<PathBuf>,
+    /// Runner worker threads per job (`0` = auto).
+    pub jobs: usize,
+    /// Simulator configuration applied to every job.
+    pub sim: SimConfig,
+    /// Start paused (test hook): queued jobs wait until
+    /// [`JobService::release`], making overload and crash windows
+    /// deterministic.
+    pub hold: bool,
+    /// Chaos hook: wrap every resolved architecture in a
+    /// [`crate::faults::FaultyArch`] carrying this plan, under the
+    /// given display tag (tags namespace the unit cache, so injected
+    /// runs never alias clean ones — and two generations sharing a tag
+    /// *do* share checkpoints, which the crash-recovery chaos scenarios
+    /// rely on).
+    pub fault: Option<(crate::faults::FaultPlan, String)>,
+}
+
+impl ServiceConfig {
+    /// Defaults: queue of 8, no default deadline, jittered exponential
+    /// backoff (500 µs base, 50 ms cap), single-threaded runner, fast
+    /// simulator profile.
+    #[must_use]
+    pub fn new(journal_dir: impl Into<PathBuf>) -> Self {
+        ServiceConfig {
+            queue_capacity: 8,
+            default_deadline_ms: 0,
+            backoff: BackoffPolicy::exponential(500, 50_000),
+            journal_dir: journal_dir.into(),
+            checkpoint_dir: None,
+            store_dir: None,
+            jobs: 1,
+            sim: SimConfig::fast(),
+            hold: false,
+            fault: None,
+        }
+    }
+}
+
+/// `&'static` handles to the `service.*` counters.
+struct ServiceMetrics {
+    served: &'static Counter,
+    completed: &'static Counter,
+    shed: &'static Counter,
+    cancelled: &'static Counter,
+    deadline_exceeded: &'static Counter,
+    failed: &'static Counter,
+    recovered: &'static Counter,
+    retried: &'static Counter,
+}
+
+fn service_metrics() -> &'static ServiceMetrics {
+    static M: OnceLock<ServiceMetrics> = OnceLock::new();
+    M.get_or_init(|| ServiceMetrics {
+        served: metrics::counter("service.served", Class::Deterministic),
+        completed: metrics::counter("service.completed", Class::Deterministic),
+        shed: metrics::counter("service.shed", Class::Deterministic),
+        cancelled: metrics::counter("service.cancelled", Class::Deterministic),
+        deadline_exceeded: metrics::counter("service.deadline_exceeded", Class::Deterministic),
+        failed: metrics::counter("service.failed", Class::Deterministic),
+        recovered: metrics::counter("service.recovered", Class::Deterministic),
+        retried: metrics::counter("service.retried", Class::Deterministic),
+    })
+}
+
+/// Snapshot of the `service.*` counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Admissions this process lifetime: fresh accepts + recovery
+    /// re-admissions + shed submissions.
+    pub served: u64,
+    /// Jobs that ran to completion.
+    pub completed: u64,
+    /// Submissions rejected for overload or drain.
+    pub shed: u64,
+    /// Jobs cancelled by an operator.
+    pub cancelled: u64,
+    /// Jobs stopped at their deadline.
+    pub deadline_exceeded: u64,
+    /// Jobs that failed permanently.
+    pub failed: u64,
+    /// Jobs replayed from the journal at startup.
+    pub recovered: u64,
+    /// Jobs that needed at least one unit retry.
+    pub retried: u64,
+}
+
+impl ServiceStats {
+    /// The ledger reconciliation invariant, valid at quiescence (no
+    /// queued or running jobs, no crashed generation since the last
+    /// metric reset).
+    #[must_use]
+    pub fn reconciled(&self) -> bool {
+        self.served
+            == self.completed + self.shed + self.cancelled + self.deadline_exceeded + self.failed
+    }
+}
+
+/// Reads the `service.*` counters.
+#[must_use]
+pub fn service_stats() -> ServiceStats {
+    let m = service_metrics();
+    ServiceStats {
+        served: m.served.get(),
+        completed: m.completed.get(),
+        shed: m.shed.get(),
+        cancelled: m.cancelled.get(),
+        deadline_exceeded: m.deadline_exceeded.get(),
+        failed: m.failed.get(),
+        recovered: m.recovered.get(),
+        retried: m.retried.get(),
+    }
+}
+
+/// Zeroes the `service.*` counters (tests; per-generation accounting).
+pub fn service_reset() {
+    let m = service_metrics();
+    m.served.reset();
+    m.completed.reset();
+    m.shed.reset();
+    m.cancelled.reset();
+    m.deadline_exceeded.reset();
+    m.failed.reset();
+    m.recovered.reset();
+    m.retried.reset();
+}
+
+struct JobRecord {
+    spec: JobSpec,
+    status: JobStatus,
+    outcome: Option<JobOutcome>,
+}
+
+struct ServiceState {
+    queue: VecDeque<u64>,
+    jobs: HashMap<u64, JobRecord>,
+    next_id: u64,
+    draining: bool,
+    stopping: bool,
+    paused: bool,
+    crashed: bool,
+    running: Option<(u64, CancelToken)>,
+}
+
+struct ServiceInner {
+    cfg: ServiceConfig,
+    journal: Journal,
+    state: Mutex<ServiceState>,
+    work: Condvar,
+    idle: Condvar,
+}
+
+/// The resident job service: one worker thread, a bounded queue, a
+/// write-ahead journal. See the [module docs](self) for the lifecycle.
+pub struct JobService {
+    inner: Arc<ServiceInner>,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl JobService {
+    /// Starts the service: replays accepted-but-unfinished jobs from
+    /// the journal (emitting `job-recovered` and ticking
+    /// `service.recovered` + `service.served` per replayed job), then
+    /// spawns the worker thread.
+    #[must_use]
+    pub fn start(cfg: ServiceConfig) -> Self {
+        let journal = Journal::new(cfg.journal_dir.clone());
+        let paused = cfg.hold;
+        let inner = Arc::new(ServiceInner {
+            cfg,
+            journal,
+            state: Mutex::new(ServiceState {
+                queue: VecDeque::new(),
+                jobs: HashMap::new(),
+                next_id: 1,
+                draining: false,
+                stopping: false,
+                paused,
+                crashed: false,
+                running: None,
+            }),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+        });
+
+        // Crash recovery: re-admit every journaled job that never
+        // reached a terminal state. Unfinished units recompute; units
+        // the previous life completed replay from the checkpoint store.
+        let recovered_specs = inner.journal.recover();
+        if !recovered_specs.is_empty() {
+            let m = service_metrics();
+            let events_on = events::enabled();
+            let mut st = lock(&inner.state);
+            for spec_text in recovered_specs {
+                let Some(spec) = JobSpec::parse(&spec_text) else {
+                    // Journaled by an incompatible version: count it as
+                    // a journal error and move on, never abort startup.
+                    metrics::counter("journal.errors", Class::Deterministic).inc();
+                    continue;
+                };
+                let id = st.next_id;
+                st.next_id += 1;
+                if events_on {
+                    events::emit(
+                        Event::new("job-recovered")
+                            .det_u64("job", id)
+                            .det_str("key", spec.digest()),
+                    );
+                    events::emit(Event::new("job-queued").det_u64("job", id));
+                }
+                st.jobs.insert(
+                    id,
+                    JobRecord {
+                        spec,
+                        status: JobStatus::Queued,
+                        outcome: None,
+                    },
+                );
+                st.queue.push_back(id);
+                m.served.inc();
+                m.recovered.inc();
+            }
+        }
+
+        let worker_inner = Arc::clone(&inner);
+        let worker = std::thread::Builder::new()
+            .name("eureka-serve-worker".into())
+            .spawn(move || worker_loop(&worker_inner))
+            .expect("spawning the service worker thread");
+        JobService {
+            inner,
+            worker: Some(worker),
+        }
+    }
+
+    /// Submits a job. On admission the spec is journaled as *accepted*
+    /// (write-ahead: the durable record exists before the job can run),
+    /// queued, and its id returned.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Overloaded`] when the queue is at capacity,
+    /// [`SubmitError::Draining`] during a drain (both shed and counted),
+    /// [`SubmitError::Invalid`] for unusable specs,
+    /// [`SubmitError::Journal`] when the accepted record cannot be
+    /// written.
+    pub fn submit(&self, spec: JobSpec) -> Result<u64, SubmitError> {
+        let m = service_metrics();
+        let events_on = events::enabled();
+        if spec.batch == 0 {
+            return Err(SubmitError::Invalid("batch must be >= 1".into()));
+        }
+        if arch::by_name(&spec.arch).is_none() {
+            return Err(SubmitError::Invalid(format!(
+                "unknown architecture '{}'",
+                spec.arch
+            )));
+        }
+        let mut st = lock(&self.inner.state);
+        if st.draining || st.stopping {
+            m.served.inc();
+            m.shed.inc();
+            if events_on {
+                events::emit(
+                    Event::new("job-shed")
+                        .det_u64("capacity", self.inner.cfg.queue_capacity as u64),
+                );
+            }
+            return Err(SubmitError::Draining);
+        }
+        if st.queue.len() >= self.inner.cfg.queue_capacity {
+            m.served.inc();
+            m.shed.inc();
+            if events_on {
+                events::emit(
+                    Event::new("job-shed")
+                        .det_u64("capacity", self.inner.cfg.queue_capacity as u64),
+                );
+            }
+            return Err(SubmitError::Overloaded {
+                capacity: self.inner.cfg.queue_capacity,
+            });
+        }
+        // Write-ahead: the accepted record must be durable before the
+        // job exists anywhere else.
+        if let Err(e) = self
+            .inner
+            .journal
+            .record(&spec.canonical(), JournalState::Accepted)
+        {
+            return Err(SubmitError::Journal(e.to_string()));
+        }
+        let id = st.next_id;
+        st.next_id += 1;
+        if events_on {
+            events::emit(
+                Event::new("job-accepted")
+                    .det_u64("job", id)
+                    .det_str("key", spec.digest()),
+            );
+            events::emit(Event::new("job-queued").det_u64("job", id));
+        }
+        st.jobs.insert(
+            id,
+            JobRecord {
+                spec,
+                status: JobStatus::Queued,
+                outcome: None,
+            },
+        );
+        st.queue.push_back(id);
+        m.served.inc();
+        drop(st);
+        self.inner.work.notify_all();
+        Ok(id)
+    }
+
+    /// The job's current status; `None` for unknown ids.
+    #[must_use]
+    pub fn status(&self, id: u64) -> Option<JobStatus> {
+        lock(&self.inner.state).jobs.get(&id).map(|r| r.status)
+    }
+
+    /// The job's outcome, once terminal (`None` before that, and for
+    /// cancelled/deadline jobs whose run produced nothing).
+    #[must_use]
+    pub fn outcome(&self, id: u64) -> Option<JobOutcome> {
+        lock(&self.inner.state)
+            .jobs
+            .get(&id)
+            .and_then(|r| r.outcome.clone())
+    }
+
+    /// Cancels a job: a queued job is removed and recorded terminal
+    /// immediately; a running job's token fires and the runner stops at
+    /// the next unit boundary. Returns `false` for unknown or
+    /// already-terminal jobs.
+    pub fn cancel(&self, id: u64) -> bool {
+        let m = service_metrics();
+        let events_on = events::enabled();
+        let mut st = lock(&self.inner.state);
+        if let Some((running_id, token)) = &st.running {
+            if *running_id == id {
+                token.cancel();
+                return true; // classified (and journaled) at run end
+            }
+        }
+        let Some(record) = st.jobs.get_mut(&id) else {
+            return false;
+        };
+        if record.status != JobStatus::Queued {
+            return false;
+        }
+        record.status = JobStatus::Cancelled;
+        let spec = record.spec.canonical();
+        st.queue.retain(|q| *q != id);
+        drop(st);
+        if self
+            .inner
+            .journal
+            .record(&spec, JournalState::Cancelled)
+            .is_err()
+        {
+            metrics::counter("journal.errors", Class::Deterministic).inc();
+        }
+        m.cancelled.inc();
+        if events_on {
+            events::emit(Event::new("job-cancelled").det_u64("job", id));
+        }
+        true
+    }
+
+    /// Releases a held service ([`ServiceConfig::hold`]): the worker
+    /// starts draining the queue.
+    pub fn release(&self) {
+        lock(&self.inner.state).paused = false;
+        self.inner.work.notify_all();
+    }
+
+    /// Blocks until no job is queued or running (bounded wait; `false`
+    /// on timeout). A held service is *not* released — callers that
+    /// held it release it first.
+    pub fn wait_idle(&self) -> bool {
+        let deadline = Instant::now() + Duration::from_secs(120);
+        let mut st = lock(&self.inner.state);
+        while !(st.queue.is_empty() && st.running.is_none()) {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .inner
+                .idle
+                .wait_timeout(st, Duration::from_millis(25))
+                .unwrap_or_else(PoisonError::into_inner);
+            st = guard;
+        }
+        true
+    }
+
+    /// Graceful drain: stop admitting (subsequent submissions shed with
+    /// [`SubmitError::Draining`]), finish everything in flight, then
+    /// emit `service-drained`. The store and journal need no extra
+    /// flush — the runner flushes tiles after every job and journal
+    /// records are individually atomic. Returns `false` if the drain
+    /// timed out.
+    pub fn drain(&self) -> bool {
+        {
+            let mut st = lock(&self.inner.state);
+            st.draining = true;
+            st.paused = false; // a held service still finishes its work
+        }
+        self.inner.work.notify_all();
+        let ok = self.wait_idle();
+        if events::enabled() {
+            events::emit(Event::new("service-drained"));
+        }
+        ok
+    }
+
+    /// `(queued, running, draining)` — the health-endpoint snapshot.
+    #[must_use]
+    pub fn health(&self) -> (usize, bool, bool) {
+        let st = lock(&self.inner.state);
+        (st.queue.len(), st.running.is_some(), st.draining)
+    }
+
+    /// Graceful shutdown: drain, then stop and join the worker.
+    pub fn shutdown(mut self) {
+        let _ = self.drain();
+        self.stop_worker();
+    }
+
+    /// Crash emulation (test hook): abandon everything *without*
+    /// journaling terminal states — the in-process equivalent of
+    /// SIGKILL. Queued and running jobs keep their *accepted* journal
+    /// records, so a service restarted on the same journal directory
+    /// replays them.
+    pub fn crash(mut self) {
+        {
+            let mut st = lock(&self.inner.state);
+            st.crashed = true;
+            st.stopping = true;
+            if let Some((_, token)) = &st.running {
+                token.cancel();
+            }
+        }
+        self.inner.work.notify_all();
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+    }
+
+    fn stop_worker(&mut self) {
+        {
+            let mut st = lock(&self.inner.state);
+            st.stopping = true;
+            if let Some((_, token)) = &st.running {
+                token.cancel();
+            }
+        }
+        self.inner.work.notify_all();
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for JobService {
+    /// Stops the worker without draining. Queued jobs keep their
+    /// accepted journal records and replay on the next start; the
+    /// running job (if any) is cancelled and journaled as such.
+    fn drop(&mut self) {
+        self.stop_worker();
+    }
+}
+
+/// The worker: pops jobs one at a time, runs each under the full
+/// resilience stack, records the terminal state.
+fn worker_loop(inner: &ServiceInner) {
+    let m = service_metrics();
+    loop {
+        // Claim the next job (or exit / go idle).
+        let (id, spec, token) = {
+            let mut st = lock(&inner.state);
+            loop {
+                if st.stopping {
+                    return;
+                }
+                if !st.paused {
+                    if let Some(id) = st.queue.pop_front() {
+                        let record = st
+                            .jobs
+                            .get_mut(&id)
+                            .expect("invariant: every queued id has a record");
+                        record.status = JobStatus::Running;
+                        let spec = record.spec.clone();
+                        let deadline_ms = if spec.deadline_ms > 0 {
+                            spec.deadline_ms
+                        } else {
+                            inner.cfg.default_deadline_ms
+                        };
+                        let token = if deadline_ms > 0 {
+                            CancelToken::with_deadline(Duration::from_millis(deadline_ms))
+                        } else {
+                            CancelToken::new()
+                        };
+                        st.running = Some((id, token.clone()));
+                        break (id, spec, token);
+                    }
+                    inner.idle.notify_all();
+                }
+                st = inner.work.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+
+        let events_on = events::enabled();
+        if events_on {
+            events::emit(Event::new("job-started").det_u64("job", id));
+        }
+
+        // Run under retries + backoff + cancellation + checkpoint dedup.
+        // The worker is the only thread driving runners in this
+        // service, so the retry-counter delta below is this job's.
+        let retries_before = runner::retry_stats().0;
+        let outcome = run_job(inner, &spec, &token);
+        let retried = runner::retry_stats().0.saturating_sub(retries_before);
+
+        // Record the terminal state — unless we are emulating SIGKILL,
+        // in which case the job is abandoned exactly as a dead process
+        // would leave it: accepted in the journal, nothing else.
+        let mut st = lock(&inner.state);
+        if st.crashed {
+            st.running = None;
+            return;
+        }
+        let status = match &outcome {
+            Some(o) if o.is_complete() => JobStatus::Completed,
+            _ if token.cancelled_explicitly() => JobStatus::Cancelled,
+            _ if token.deadline_exceeded() => JobStatus::DeadlineExceeded,
+            _ => JobStatus::Failed,
+        };
+        if let Some(record) = st.jobs.get_mut(&id) {
+            record.status = status;
+            record.outcome = outcome;
+        }
+        st.running = None;
+        drop(st);
+
+        let journal_state = match status {
+            JobStatus::Completed => JournalState::Completed,
+            JobStatus::Cancelled => JournalState::Cancelled,
+            JobStatus::DeadlineExceeded => JournalState::DeadlineExceeded,
+            _ => JournalState::Failed,
+        };
+        if inner
+            .journal
+            .record(&spec.canonical(), journal_state)
+            .is_err()
+        {
+            metrics::counter("journal.errors", Class::Deterministic).inc();
+        }
+        if retried > 0 {
+            m.retried.inc();
+            if events_on {
+                events::emit(
+                    Event::new("job-retried")
+                        .det_u64("job", id)
+                        .det_u64("attempts", retried),
+                );
+            }
+        }
+        match status {
+            JobStatus::Completed => {
+                m.completed.inc();
+                if events_on {
+                    events::emit(
+                        Event::new("job-completed")
+                            .det_u64("job", id)
+                            .det_bool("ok", true),
+                    );
+                }
+            }
+            JobStatus::Cancelled => {
+                m.cancelled.inc();
+                if events_on {
+                    events::emit(Event::new("job-cancelled").det_u64("job", id));
+                }
+            }
+            JobStatus::DeadlineExceeded => {
+                m.deadline_exceeded.inc();
+                if events_on {
+                    events::emit(Event::new("job-deadline-exceeded").det_u64("job", id));
+                }
+            }
+            _ => {
+                m.failed.inc();
+                if events_on {
+                    events::emit(
+                        Event::new("job-completed")
+                            .det_u64("job", id)
+                            .det_bool("ok", false),
+                    );
+                }
+            }
+        }
+        inner.idle.notify_all();
+    }
+}
+
+/// Executes one job's simulation. `None` when the architecture no
+/// longer resolves (a journal replayed onto a binary without it).
+fn run_job(inner: &ServiceInner, spec: &JobSpec, token: &CancelToken) -> Option<JobOutcome> {
+    let arch = arch::by_name(&spec.arch)?;
+    let arch: Box<dyn crate::arch::Architecture> = match &inner.cfg.fault {
+        Some((plan, tag)) => Box::new(crate::faults::FaultyArch::new(arch, plan.clone(), tag)),
+        None => arch,
+    };
+    let workload = Workload::new(spec.benchmark, spec.pruning, spec.batch);
+    let mut runner = Runner::with_jobs(inner.cfg.jobs)
+        .with_retry(RetryPolicy::transient(spec.retries + 1))
+        .with_backoff(inner.cfg.backoff)
+        .with_cancel(token.clone());
+    if let Some(dir) = &inner.cfg.checkpoint_dir {
+        runner = runner.with_checkpoint(dir.clone(), true);
+    }
+    if let Some(dir) = &inner.cfg.store_dir {
+        runner = runner.with_store_dir(dir.clone());
+    } else {
+        runner = runner.without_store();
+    }
+    let job = SimJob::new(arch.as_ref(), &workload, inner.cfg.sim);
+    Some(runner.run_outcome(&job))
+}
+
+/// Handles one JSON-lines protocol request and renders the response
+/// line. The second return is `true` when the connection loop should
+/// shut the whole service down (`shutdown` command).
+///
+/// Commands: `submit` (inline fields or a canonical `spec` string),
+/// `status`, `cancel`, `drain`, `health`, `shutdown`. Every response
+/// carries `"ok"`; failures add `"error"`.
+#[must_use]
+pub fn handle_request(service: &JobService, line: &str) -> (String, bool) {
+    let obj = |pairs: Vec<(&str, Value)>| {
+        Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect()).to_json()
+    };
+    let err = |msg: &str| {
+        (
+            obj(vec![
+                ("ok", Value::Bool(false)),
+                ("error", Value::Str(msg.to_string())),
+            ]),
+            false,
+        )
+    };
+    let Ok(req) = eureka_obs::json::parse(line) else {
+        return err("malformed request: not JSON");
+    };
+    let Some(cmd) = req.get("cmd").and_then(Value::as_str) else {
+        return err("malformed request: missing 'cmd'");
+    };
+    let job_id = |req: &Value| req.get("job").and_then(Value::as_f64).map(|n| n as u64);
+    match cmd {
+        "submit" => {
+            let spec = if let Some(text) = req.get("spec").and_then(Value::as_str) {
+                JobSpec::parse(text)
+            } else {
+                let field = |k: &str| req.get(k).and_then(Value::as_str);
+                let num = |k: &str, default: u64| {
+                    req.get(k)
+                        .and_then(Value::as_f64)
+                        .map_or(default, |n| n as u64)
+                };
+                match (
+                    field("bench").and_then(benchmark_from_token),
+                    field("pruning").and_then(pruning_from_token),
+                    field("arch"),
+                ) {
+                    (Some(benchmark), Some(pruning), Some(arch)) => Some(JobSpec {
+                        benchmark,
+                        pruning,
+                        batch: num("batch", 32) as usize,
+                        arch: arch.to_string(),
+                        deadline_ms: num("deadline_ms", 0),
+                        retries: num("retries", 0) as u32,
+                    }),
+                    _ => None,
+                }
+            };
+            let Some(spec) = spec else {
+                return err("malformed submit: need 'spec' or bench/pruning/arch");
+            };
+            match service.submit(spec.clone()) {
+                Ok(id) => (
+                    obj(vec![
+                        ("ok", Value::Bool(true)),
+                        ("job", Value::Num(id as f64)),
+                        ("key", Value::Str(spec.digest())),
+                    ]),
+                    false,
+                ),
+                Err(SubmitError::Overloaded { capacity }) => (
+                    obj(vec![
+                        ("ok", Value::Bool(false)),
+                        ("error", Value::Str("overloaded".into())),
+                        ("capacity", Value::Num(capacity as f64)),
+                    ]),
+                    false,
+                ),
+                Err(e) => err(&e.to_string()),
+            }
+        }
+        "status" => {
+            let Some(id) = job_id(&req) else {
+                return err("malformed status: missing 'job'");
+            };
+            let Some(status) = service.status(id) else {
+                return err("unknown job");
+            };
+            let mut pairs = vec![
+                ("ok", Value::Bool(true)),
+                ("job", Value::Num(id as f64)),
+                ("status", Value::Str(status.label().to_string())),
+            ];
+            if let Some(report) = service.outcome(id).as_ref().and_then(JobOutcome::report) {
+                pairs.push(("cycles", Value::Num(report.total_cycles() as f64)));
+            }
+            (obj(pairs), false)
+        }
+        "cancel" => {
+            let Some(id) = job_id(&req) else {
+                return err("malformed cancel: missing 'job'");
+            };
+            (
+                obj(vec![
+                    ("ok", Value::Bool(true)),
+                    ("cancelled", Value::Bool(service.cancel(id))),
+                ]),
+                false,
+            )
+        }
+        "drain" => {
+            let ok = service.drain();
+            (
+                obj(vec![("ok", Value::Bool(ok)), ("drained", Value::Bool(ok))]),
+                false,
+            )
+        }
+        "health" => {
+            let (queued, running, draining) = service.health();
+            let stats = service_stats();
+            (
+                obj(vec![
+                    ("ok", Value::Bool(true)),
+                    ("queued", Value::Num(queued as f64)),
+                    ("running", Value::Bool(running)),
+                    ("draining", Value::Bool(draining)),
+                    ("served", Value::Num(stats.served as f64)),
+                ]),
+                false,
+            )
+        }
+        "shutdown" => (obj(vec![("ok", Value::Bool(true))]), true),
+        other => err(&format!("unknown command '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_sim() -> SimConfig {
+        SimConfig {
+            rowgroup_samples: 4,
+            slice_samples: 4,
+            act_samples: 4,
+            ..SimConfig::fast()
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("eureka-service-test-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn spec() -> JobSpec {
+        JobSpec::new(
+            Benchmark::MobileNetV1,
+            PruningLevel::Moderate,
+            32,
+            "eureka-p4",
+        )
+    }
+
+    #[test]
+    fn spec_canonical_round_trips() {
+        let mut s = spec();
+        s.deadline_ms = 250;
+        s.retries = 3;
+        assert_eq!(JobSpec::parse(&s.canonical()), Some(s.clone()));
+        assert_eq!(s.digest().len(), 16);
+        assert_eq!(JobSpec::parse("eureka-job v9|bench=bert"), None);
+        assert_eq!(JobSpec::parse("not a spec"), None);
+        assert_eq!(
+            JobSpec::parse(
+                "eureka-job v1|bench=nope|pruning=mod|batch=1|arch=a|deadline_ms=0|retries=0"
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn submit_validates_before_admitting() {
+        let dir = tmp_dir("validate");
+        let mut cfg = ServiceConfig::new(dir.join("journal"));
+        cfg.sim = tiny_sim();
+        let svc = JobService::start(cfg);
+        let mut bad_arch = spec();
+        bad_arch.arch = "warp-drive".into();
+        assert!(matches!(svc.submit(bad_arch), Err(SubmitError::Invalid(_))));
+        let mut bad_batch = spec();
+        bad_batch.batch = 0;
+        assert!(matches!(
+            svc.submit(bad_batch),
+            Err(SubmitError::Invalid(_))
+        ));
+        svc.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn held_service_sheds_load_beyond_capacity_with_a_typed_error() {
+        let dir = tmp_dir("overload");
+        let mut cfg = ServiceConfig::new(dir.join("journal"));
+        cfg.sim = tiny_sim();
+        cfg.queue_capacity = 2;
+        cfg.hold = true;
+        let svc = JobService::start(cfg);
+        assert!(svc.submit(spec()).is_ok());
+        let mut second = spec();
+        second.retries = 1; // distinct spec, distinct journal entry
+        assert!(svc.submit(second).is_ok());
+        let mut third = spec();
+        third.retries = 2;
+        assert_eq!(
+            svc.submit(third),
+            Err(SubmitError::Overloaded { capacity: 2 }),
+            "the queue bound is enforced with backpressure, not buffering"
+        );
+        svc.release();
+        assert!(svc.wait_idle(), "released service drains its queue");
+        svc.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cancelling_a_queued_job_is_immediate_and_journaled() {
+        let dir = tmp_dir("cancel");
+        let mut cfg = ServiceConfig::new(dir.join("journal"));
+        cfg.sim = tiny_sim();
+        cfg.hold = true;
+        let svc = JobService::start(cfg);
+        let id = svc.submit(spec()).expect("admitted");
+        assert_eq!(svc.status(id), Some(JobStatus::Queued));
+        assert!(svc.cancel(id));
+        assert_eq!(svc.status(id), Some(JobStatus::Cancelled));
+        assert!(!svc.cancel(id), "terminal jobs cannot be re-cancelled");
+        assert!(!svc.cancel(999), "unknown ids are refused");
+        // The terminal record exists: a restart replays nothing.
+        let journal = Journal::new(dir.join("journal"));
+        assert!(journal.recover().is_empty());
+        svc.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn drain_rejects_new_work_and_finishes_in_flight() {
+        let dir = tmp_dir("drain");
+        let mut cfg = ServiceConfig::new(dir.join("journal"));
+        cfg.sim = tiny_sim();
+        let svc = JobService::start(cfg);
+        let id = svc.submit(spec()).expect("admitted");
+        assert!(svc.drain(), "drain completes");
+        assert_eq!(
+            svc.submit(spec()),
+            Err(SubmitError::Draining),
+            "a draining service admits nothing"
+        );
+        assert_eq!(
+            svc.status(id),
+            Some(JobStatus::Completed),
+            "in-flight work finishes during drain"
+        );
+        svc.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_and_restart_replays_exactly_the_unfinished_jobs() {
+        let dir = tmp_dir("recover");
+        let journal_dir = dir.join("journal");
+        let mut cfg = ServiceConfig::new(&journal_dir);
+        cfg.sim = tiny_sim();
+        cfg.hold = true;
+        let svc = JobService::start(cfg.clone());
+        let mut b = spec();
+        b.retries = 1;
+        svc.submit(spec()).expect("admitted");
+        svc.submit(b).expect("admitted");
+        svc.crash(); // SIGKILL emulation: no terminal records
+
+        let journal = Journal::new(&journal_dir);
+        assert_eq!(journal.recover().len(), 2, "both jobs await replay");
+
+        cfg.hold = false;
+        let svc2 = JobService::start(cfg.clone());
+        assert!(svc2.wait_idle(), "recovered jobs run to completion");
+        let (queued, running, _) = svc2.health();
+        assert_eq!((queued, running), (0, false));
+        svc2.shutdown();
+        assert!(
+            journal.recover().is_empty(),
+            "replayed jobs reached terminal states; a third start recovers nothing"
+        );
+        let svc3 = JobService::start(cfg);
+        assert!(svc3.wait_idle());
+        svc3.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn protocol_round_trips_submit_status_health_and_shutdown() {
+        let dir = tmp_dir("protocol");
+        let mut cfg = ServiceConfig::new(dir.join("journal"));
+        cfg.sim = tiny_sim();
+        let svc = JobService::start(cfg);
+        let (resp, stop) = handle_request(
+            &svc,
+            r#"{"cmd":"submit","bench":"mobilenetv1","pruning":"mod","batch":32,"arch":"eureka-p4"}"#,
+        );
+        assert!(!stop);
+        assert!(resp.contains("\"ok\":true"), "submit accepted: {resp}");
+        assert!(resp.contains("\"job\":1"));
+        assert!(svc.wait_idle());
+        let (resp, _) = handle_request(&svc, r#"{"cmd":"status","job":1}"#);
+        assert!(
+            resp.contains("\"status\":\"completed\"") && resp.contains("\"cycles\":"),
+            "terminal status carries cycles: {resp}"
+        );
+        let (resp, _) = handle_request(&svc, r#"{"cmd":"health"}"#);
+        assert!(resp.contains("\"queued\":0"));
+        let (resp, _) = handle_request(&svc, "not json at all");
+        assert!(resp.contains("\"ok\":false"));
+        let (resp, _) = handle_request(&svc, r#"{"cmd":"warp"}"#);
+        assert!(resp.contains("unknown command"));
+        let (_, stop) = handle_request(&svc, r#"{"cmd":"shutdown"}"#);
+        assert!(stop);
+        svc.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -22,6 +22,7 @@
 //! `eureka verify --cases N --seed S [--arch A]`.
 
 pub mod case;
+pub mod chaos;
 pub mod corpus;
 pub mod faultcheck;
 pub mod fuzz;
@@ -30,6 +31,7 @@ pub mod oracle;
 pub mod suds_oracle;
 
 pub use case::CaseParams;
+pub use chaos::run_chaos;
 pub use corpus::CorpusEntry;
 pub use faultcheck::run_fault_matrix;
 pub use fuzz::{Failure, FuzzReport};

@@ -36,6 +36,17 @@ KINDS = {
     "checkpoint-written": ["unit"],
     "store-flush": [],
     "run-finished": ["units", "failures"],
+    # Job-service lifecycle (eureka serve).
+    "job-accepted": ["job", "key"],
+    "job-queued": ["job"],
+    "job-started": ["job"],
+    "job-retried": ["job", "attempts"],
+    "job-completed": ["job", "ok"],
+    "job-cancelled": ["job"],
+    "job-deadline-exceeded": ["job"],
+    "job-shed": ["capacity"],
+    "job-recovered": ["job", "key"],
+    "service-drained": [],
 }
 
 

@@ -11,8 +11,16 @@ cargo bench --workspace -- --test   # criterion harness smoke (no timing)
 cargo run --release -q -p eureka-cli -- verify --replay tests/corpus
 cargo run --release -q -p eureka-cli -- verify --cases 200 --seed 42 | tail -n 1
 cargo run --release -q -p eureka-cli -- verify --fault-matrix --seed 42 | tail -n 1
+cargo run --release -q -p eureka-cli -- verify --chaos --cases 50 --seed 42 | tail -n 1
 scripts/resume_smoke.sh
 scripts/store_smoke.sh
+scripts/serve_smoke.sh
+# bench diff exit-code contract: missing snapshot = 2 (broken wiring),
+# regression = 1 (the gate fired) — CI must be able to tell them apart.
+set +e
+cargo run --release -q -p eureka-cli -- bench diff /nonexistent.json /nonexistent.json 2>/dev/null
+[ $? -eq 2 ] || { echo "bench diff on a missing snapshot must exit 2" >&2; exit 1; }
+set -e
 # Store persistence: a second run against a warmed --store-dir performs
 # zero tile simulations and emits byte-identical reports.
 store_dir=$(mktemp -d)

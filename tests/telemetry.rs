@@ -272,3 +272,62 @@ fn per_arch_exec_histograms_carry_quantiles_in_the_full_snapshot() {
     let det = obs::metrics::snapshot_json(false);
     assert!(!det.contains("unit.exec_micros"), "{det}");
 }
+
+/// The service ledger reconciles at quiescence: `service.served ==
+/// completed + shed + cancelled + deadline_exceeded + failed`, with
+/// every lifecycle path (accept, shed, cancel) counted exactly once.
+#[test]
+fn service_counters_reconcile_at_quiescence() {
+    use eureka_sim::service::{self, JobService, JobSpec, ServiceConfig, SubmitError};
+
+    let _x = exclusive();
+    let dir = std::env::temp_dir().join(format!("eureka-tel-svc-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("sandbox dir");
+
+    let mut cfg = ServiceConfig::new(dir.join("journal"));
+    cfg.sim = SimConfig {
+        rowgroup_samples: 20, // distinctive: this test owns its entries
+        slice_samples: 5,
+        act_samples: 5,
+        ..SimConfig::fast()
+    };
+    cfg.queue_capacity = 1;
+    cfg.hold = true;
+    service::service_reset();
+    let svc = JobService::start(cfg);
+
+    let spec = |retries: u32| {
+        let mut s = JobSpec::new(
+            Benchmark::MobileNetV1,
+            PruningLevel::Moderate,
+            32,
+            "eureka-p4",
+        );
+        s.retries = retries;
+        s
+    };
+    // One of each fate: `a` is cancelled while queued, `b` sheds on the
+    // full queue, `c` completes.
+    let a = svc.submit(spec(0)).expect("admitted");
+    assert!(matches!(
+        svc.submit(spec(1)),
+        Err(SubmitError::Overloaded { capacity: 1 })
+    ));
+    assert!(svc.cancel(a), "queued jobs cancel immediately");
+    let c = svc.submit(spec(2)).expect("slot freed by the cancel");
+    svc.release();
+    assert!(svc.wait_idle());
+
+    let stats = service::service_stats();
+    assert_eq!(stats.served, 3, "{stats:?}");
+    assert_eq!(stats.completed, 1, "{stats:?}");
+    assert_eq!(stats.shed, 1, "{stats:?}");
+    assert_eq!(stats.cancelled, 1, "{stats:?}");
+    assert_eq!(stats.deadline_exceeded, 0, "{stats:?}");
+    assert_eq!(stats.failed, 0, "{stats:?}");
+    assert!(stats.reconciled(), "{stats:?}");
+    assert!(svc.outcome(c).is_some_and(|o| o.is_complete()));
+    svc.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
