@@ -224,6 +224,18 @@ pub enum Command {
         jobs: Option<usize>,
         /// Use reduced sampling for served jobs.
         fast: bool,
+        /// Rewrite a Prometheus text exposition here after every
+        /// connection and on exit.
+        metrics_out: Option<String>,
+        /// End-to-end latency budget in µs; arms the exit SLA summary
+        /// and its run-ledger record.
+        sla_budget_us: Option<u64>,
+        /// Flight-recorder dump directory (`None` = `results`).
+        flightrec_dir: Option<String>,
+        /// Run-ledger directory for the SLA record.
+        ledger_dir: Option<String>,
+        /// Skip the SLA ledger append.
+        no_ledger: bool,
     },
     /// Submit one job to a running service and print the response.
     Submit {
@@ -251,6 +263,14 @@ pub enum Command {
         socket: String,
         /// Also shut the service down after the drain.
         shutdown: bool,
+    },
+    /// Print a running service's live counters and per-outcome-class
+    /// latency quantiles (p50/p90/p99).
+    Stats {
+        /// Unix socket path of the service.
+        socket: String,
+        /// Print the raw JSON response line instead of the table.
+        json: bool,
     },
 }
 
@@ -294,10 +314,13 @@ USAGE:
   eureka serve    [--socket <path>] [--journal-dir <dir>]
                   [--checkpoint-dir <dir>] [--store-dir <dir>]
                   [--capacity <N>] [--deadline-ms <N>] [--jobs <N>] [--fast]
+                  [--metrics-out <file>] [--flightrec-dir <dir>]
+                  [--sla-budget-us <N>] [--ledger-dir <dir>|--no-ledger]
   eureka submit   --benchmark <name> [--pruning <level>] [--arch <name>]
                   [--batch <N>] [--deadline-ms <N>] [--retries <N>]
                   [--socket <path>] [--wait]
   eureka drain    [--socket <path>] [--shutdown]
+  eureka stats    [--socket <path>] [--json]
 
 FAULT TOLERANCE:
   --keep-going          don't abort on a failed layer: print the surviving
@@ -387,6 +410,25 @@ JOB SERVICE (`eureka serve`):
                        unless the job completed
   drain [--shutdown]   finish in-flight work and stop admitting; with
                        --shutdown the server process exits afterwards
+  stats [--json]       live counters plus per-outcome-class latency
+                       quantiles (queue-wait / exec / end-to-end p50,
+                       p90, p99) over the `stats` wire verb
+  --metrics-out <file> rewrite a Prometheus text exposition after every
+                       connection and on exit (tmp + rename, so
+                       scrapers never read a torn file); the `metrics`
+                       wire verb returns the same text over the socket
+  --flightrec-dir <dir> where the always-armed flight recorder (a
+                       fixed-capacity in-memory ring of job lifecycle
+                       records, schema eureka-flightrec-v1) dumps its
+                       contents: after every connection, on SIGTERM
+                       drain, on panic, and on the `dump` wire verb —
+                       a SIGKILL'd daemon leaves a replayable
+                       flightrec-<pid>.jsonl behind (default: results)
+  --sla-budget-us <N>  print an exit SLA summary (completed-job p99
+                       end-to-end latency vs the budget, jobs/sec,
+                       shed rate, saturation flag) and append it to
+                       the run ledger so `bench diff` gates
+                       service-latency regressions
   verify --chaos       seeded service-layer fault schedules (worker
                        panics, stalls crossing deadlines, mid-job crash
                        + journal replay, journal/checkpoint corruption,
@@ -929,6 +971,11 @@ where
             let mut deadline_ms = 0u64;
             let mut jobs = None;
             let mut fast = false;
+            let mut metrics_out = None;
+            let mut sla_budget_us = None;
+            let mut flightrec_dir = None;
+            let mut ledger_dir = None;
+            let mut no_ledger = false;
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
                 let mut value = |flag: &str| {
@@ -956,6 +1003,19 @@ where
                     }
                     "--jobs" => jobs = Some(parse_jobs(&value("--jobs")?)?),
                     "--fast" => fast = true,
+                    "--metrics-out" => metrics_out = Some(value("--metrics-out")?),
+                    "--sla-budget-us" => {
+                        let budget: u64 = value("--sla-budget-us")?
+                            .parse()
+                            .map_err(|e| format!("bad --sla-budget-us: {e}"))?;
+                        if budget == 0 {
+                            return Err("--sla-budget-us must be positive".into());
+                        }
+                        sla_budget_us = Some(budget);
+                    }
+                    "--flightrec-dir" => flightrec_dir = Some(value("--flightrec-dir")?),
+                    "--ledger-dir" => ledger_dir = Some(value("--ledger-dir")?),
+                    "--no-ledger" => no_ledger = true,
                     other => return Err(format!("unknown flag '{other}' for serve")),
                 }
             }
@@ -968,6 +1028,11 @@ where
                 deadline_ms,
                 jobs,
                 fast,
+                metrics_out,
+                sla_budget_us,
+                flightrec_dir,
+                ledger_dir,
+                no_ledger,
             })
         }
         "submit" => {
@@ -1035,6 +1100,24 @@ where
                 }
             }
             Ok(Command::Drain { socket, shutdown })
+        }
+        "stats" => {
+            let mut socket = "eureka.sock".to_string();
+            let mut json = false;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                let mut value = |flag: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{flag} requires a value"))
+                };
+                match a.as_str() {
+                    "--socket" => socket = value("--socket")?,
+                    "--json" => json = true,
+                    other => return Err(format!("unknown flag '{other}' for stats")),
+                }
+            }
+            Ok(Command::Stats { socket, json })
         }
         other => Err(format!("unknown command '{other}'; try `eureka help`")),
     }
@@ -1208,6 +1291,7 @@ fn append_ledger(
         speedup_vs_dense,
         wall_ms: started.elapsed().as_secs_f64() * 1e3,
         events: eureka_obs::events::emitted_count(),
+        sla: None,
     };
     let path = eureka_sim::ledger::append(&dir, &record)?;
     eureka_obs::info!("ledger: appended {}", path.display());
@@ -1296,7 +1380,8 @@ fn run_bench_diff(baseline: &str, candidate: &str, max_regress: f64) -> Result<S
 
 /// Surfaces degradation counters in the human-readable end-of-run
 /// report: unit failures by kind, store shard errors, checkpoint
-/// decode errors. Healthy runs (all zero) add nothing.
+/// decode errors, retry-backoff sleep time, journal decode errors.
+/// Healthy runs (all zero) add nothing.
 fn health_warning_lines() -> String {
     let c = |name: &str| eureka_obs::metrics::counter_value(name).unwrap_or(0);
     let mut out = String::new();
@@ -1320,6 +1405,18 @@ fn health_warning_lines() -> String {
     if ckpt_errors > 0 {
         out.push_str(&format!(
             "  ckpt errors    : {ckpt_errors} (corrupt entries skipped; units recomputed)\n"
+        ));
+    }
+    let backoff_slept = c("runner.backoff.slept_us");
+    if backoff_slept > 0 {
+        out.push_str(&format!(
+            "  backoff        : {backoff_slept} us slept across unit retries\n"
+        ));
+    }
+    let journal_errors = c("journal.errors");
+    if journal_errors > 0 {
+        out.push_str(&format!(
+            "  journal errors : {journal_errors} (corrupt entries skipped; jobs replayed or resubmitted)\n"
         ));
     }
     out
@@ -1818,6 +1915,11 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             deadline_ms,
             jobs,
             fast,
+            metrics_out,
+            sla_budget_us,
+            flightrec_dir,
+            ledger_dir,
+            no_ledger,
         } => serve::run_serve(&serve::ServeOpts {
             socket: socket.clone(),
             journal_dir: journal_dir.clone(),
@@ -1827,6 +1929,11 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             deadline_ms: *deadline_ms,
             jobs: jobs.unwrap_or(1),
             fast: *fast,
+            metrics_out: metrics_out.clone(),
+            sla_budget_us: *sla_budget_us,
+            flightrec_dir: flightrec_dir.clone().unwrap_or_else(|| "results".into()),
+            ledger_dir: ledger_dir.clone(),
+            no_ledger: *no_ledger,
         }),
         Command::Submit {
             socket,
@@ -1849,6 +1956,7 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             serve::run_submit(socket, &spec, *wait)
         }
         Command::Drain { socket, shutdown } => serve::run_drain(socket, *shutdown),
+        Command::Stats { socket, json } => serve::run_stats(socket, *json),
     }
 }
 
@@ -2761,6 +2869,11 @@ mod tests {
                 deadline_ms: 0,
                 jobs: None,
                 fast: false,
+                metrics_out: None,
+                sla_budget_us: None,
+                flightrec_dir: None,
+                ledger_dir: None,
+                no_ledger: false,
             }
         );
         assert_eq!(
@@ -2781,6 +2894,15 @@ mod tests {
                 "--jobs",
                 "2",
                 "--fast",
+                "--metrics-out",
+                "m.prom",
+                "--sla-budget-us",
+                "250000",
+                "--flightrec-dir",
+                "fr",
+                "--ledger-dir",
+                "l",
+                "--no-ledger",
             ])
             .unwrap(),
             Command::Serve {
@@ -2792,9 +2914,15 @@ mod tests {
                 deadline_ms: 500,
                 jobs: Some(2),
                 fast: true,
+                metrics_out: Some("m.prom".into()),
+                sla_budget_us: Some(250_000),
+                flightrec_dir: Some("fr".into()),
+                ledger_dir: Some("l".into()),
+                no_ledger: true,
             }
         );
         assert!(parse(["serve", "--capacity", "0"]).is_err());
+        assert!(parse(["serve", "--sla-budget-us", "0"]).is_err());
         assert!(parse(["serve", "--bogus"]).is_err());
 
         assert_eq!(
@@ -2829,6 +2957,21 @@ mod tests {
                 shutdown: true,
             }
         );
+        assert_eq!(
+            parse(["stats", "--socket", "/tmp/e.sock", "--json"]).unwrap(),
+            Command::Stats {
+                socket: "/tmp/e.sock".into(),
+                json: true,
+            }
+        );
+        assert_eq!(
+            parse(["stats"]).unwrap(),
+            Command::Stats {
+                socket: "eureka.sock".into(),
+                json: false,
+            }
+        );
+        assert!(parse(["stats", "--bogus"]).is_err());
         // Chaos rides the verify umbrella.
         assert!(matches!(
             parse(["verify", "--chaos", "--cases", "7"]).unwrap(),
@@ -2895,6 +3038,8 @@ mod tests {
             "runner.failures.cancelled",
             "store.errors",
             "checkpoint.errors",
+            "runner.backoff.slept_us",
+            "journal.errors",
         ];
         for name in names {
             counter(name, Class::Deterministic).reset();
@@ -2904,6 +3049,8 @@ mod tests {
         counter("runner.failures.panic", Class::Deterministic).add(2);
         counter("store.errors", Class::Deterministic).add(3);
         counter("checkpoint.errors", Class::Deterministic).inc();
+        counter("runner.backoff.slept_us", Class::Deterministic).add(1_500);
+        counter("journal.errors", Class::Deterministic).add(4);
         let warnings = health_warning_lines();
         for name in names {
             counter(name, Class::Deterministic).reset();
@@ -2911,5 +3058,10 @@ mod tests {
         assert!(warnings.contains("unit failures  : 2 panic"), "{warnings}");
         assert!(warnings.contains("store errors   : 3"), "{warnings}");
         assert!(warnings.contains("ckpt errors    : 1"), "{warnings}");
+        assert!(
+            warnings.contains("backoff        : 1500 us slept"),
+            "{warnings}"
+        );
+        assert!(warnings.contains("journal errors : 4"), "{warnings}");
     }
 }

@@ -1,11 +1,17 @@
-//! The `eureka serve` / `submit` / `drain` front ends: a Unix-socket
-//! transport around [`eureka_sim::service`].
+//! The `eureka serve` / `submit` / `drain` / `stats` front ends: a
+//! Unix-socket transport around [`eureka_sim::service`].
 //!
 //! The service itself is transport-free (`handle_request` maps one
 //! JSON request line to one response line); this module owns the
 //! socket listener, the SIGTERM/SIGINT drain loop, and the client
-//! side. Everything socket-shaped is Unix-only; on other targets the
-//! commands fail with a clear message instead of failing to compile.
+//! side. The server additionally owns the observability exhaust: a
+//! Prometheus text exposition rewritten after every connection
+//! (`--metrics-out`), the always-armed flight recorder dumped on
+//! drain, panic, and after every connection, and the exit-time SLA
+//! summary appended to the run ledger (`--sla-budget-us`) so `bench
+//! diff` gates service-latency regressions. Everything socket-shaped
+//! is Unix-only; on other targets the commands fail with a clear
+//! message instead of failing to compile.
 
 use eureka_sim::JobSpec;
 
@@ -28,20 +34,35 @@ pub struct ServeOpts {
     pub jobs: usize,
     /// Reduced sampling for served jobs.
     pub fast: bool,
+    /// Rewrite a Prometheus text exposition here after every
+    /// connection and on exit.
+    pub metrics_out: Option<String>,
+    /// End-to-end latency budget in µs; arms the exit SLA summary and
+    /// its run-ledger record.
+    pub sla_budget_us: Option<u64>,
+    /// Flight-recorder dump directory.
+    pub flightrec_dir: String,
+    /// Run-ledger directory for the SLA record.
+    pub ledger_dir: Option<String>,
+    /// Skip the SLA ledger append.
+    pub no_ledger: bool,
 }
 
 #[cfg(unix)]
 mod imp {
     use super::ServeOpts;
-    use eureka_sim::service::{handle_request, service_stats, ServiceConfig};
+    use eureka_sim::service::{self, handle_request, service_stats, ServiceConfig};
     use eureka_sim::{JobService, JobSpec, SimConfig};
     use std::io::{BufRead, BufReader, Write};
     use std::os::unix::net::{UnixListener, UnixStream};
     use std::path::{Path, PathBuf};
-    use std::time::Duration;
+    use std::time::{Duration, Instant};
 
     pub fn run_serve(opts: &ServeOpts) -> Result<String, String> {
+        let started = Instant::now();
         let cfg = service_config(opts);
+        eureka_obs::flightrec::reset();
+        install_panic_dump(PathBuf::from(&opts.flightrec_dir));
         let service = JobService::start(cfg);
         eureka_signal::install_termination_latch();
 
@@ -64,6 +85,10 @@ mod imp {
             match listener.accept() {
                 Ok((stream, _)) => {
                     shutdown_requested = serve_connection(&service, stream);
+                    // Refresh the on-disk exhaust while the daemon is
+                    // alive, so a later SIGKILL still leaves a recent
+                    // scrape and a replayable recorder dump behind.
+                    export_observability(opts, &service);
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     // Idle: poll the termination latch at a human-scale
@@ -79,10 +104,11 @@ mod imp {
         // store tiles are already durable (written in-line), so the
         // drain needs no extra flush.
         let drained = service.drain();
+        export_observability(opts, &service);
         service.shutdown();
         std::fs::remove_file(socket).ok();
         let stats = service_stats();
-        Ok(format!(
+        let mut out = format!(
             "serve: {}; served={} completed={} shed={} cancelled={} \
              deadline_exceeded={} failed={} recovered={}\n",
             if drained {
@@ -97,7 +123,80 @@ mod imp {
             stats.deadline_exceeded,
             stats.failed,
             stats.recovered,
-        ))
+        );
+        if let Some(budget) = opts.sla_budget_us {
+            let sla = service::sla_report(budget, started.elapsed());
+            out.push_str(&format!(
+                "sla: budget={}us p99_e2e={}us jobs_per_sec={:.2} shed_rate={:.3} saturated={}\n",
+                sla.budget_us, sla.p99_e2e_us, sla.jobs_per_sec, sla.shed_rate, sla.saturated
+            ));
+            append_sla_ledger(opts, sla, started)?;
+        }
+        Ok(out)
+    }
+
+    /// Chains a flight-recorder dump in front of the default panic
+    /// hook, so even an aborting daemon leaves its last-moments record
+    /// on disk before the backtrace prints.
+    fn install_panic_dump(dir: PathBuf) {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let _ = eureka_obs::flightrec::dump_to(&dir);
+            previous(info);
+        }));
+    }
+
+    /// Best-effort refresh of the observability exhaust: the
+    /// Prometheus exposition (tmp + rename, so scrapers never read a
+    /// torn file) and the flight-recorder dump. Failures degrade to a
+    /// log line — the daemon's job is serving, not exporting.
+    fn export_observability(opts: &ServeOpts, service: &JobService) {
+        if let Some(path) = &opts.metrics_out {
+            let text = eureka_obs::metrics::prometheus_text();
+            let tmp = format!("{path}.tmp");
+            let failed = std::fs::write(&tmp, &text)
+                .and_then(|()| std::fs::rename(&tmp, path))
+                .is_err();
+            if failed {
+                eureka_obs::info!("serve: cannot write metrics to {path}");
+            }
+        }
+        if eureka_obs::flightrec::recorded_count() > 0 {
+            if let Err(e) = service.dump_flightrec() {
+                eureka_obs::info!("serve: flight recorder dump failed: {e}");
+            }
+        }
+    }
+
+    /// Appends the exit-time SLA record (kind `serve`) to the run
+    /// ledger, so `bench diff` can gate p99/throughput/shed-rate
+    /// regressions between service runs.
+    fn append_sla_ledger(
+        opts: &ServeOpts,
+        sla: eureka_sim::SlaReport,
+        started: Instant,
+    ) -> Result<(), String> {
+        let Some(dir) = crate::resolve_ledger_dir(opts.ledger_dir.as_deref(), opts.no_ledger)
+        else {
+            return Ok(());
+        };
+        let record = eureka_sim::LedgerRecord {
+            kind: "serve".to_string(),
+            label: format!(
+                "serve|capacity{}|deadline{}ms|{}",
+                opts.capacity,
+                opts.deadline_ms,
+                if opts.fast { "fast" } else { "paper" },
+            ),
+            total_cycles: None,
+            speedup_vs_dense: None,
+            wall_ms: started.elapsed().as_secs_f64() * 1e3,
+            events: eureka_obs::events::emitted_count(),
+            sla: Some(sla),
+        };
+        let path = eureka_sim::ledger::append(&dir, &record)?;
+        eureka_obs::info!("ledger: appended {}", path.display());
+        Ok(())
     }
 
     /// One client connection: JSON lines in, JSON lines out. Returns
@@ -145,6 +244,7 @@ mod imp {
         };
         cfg.checkpoint_dir = opts.checkpoint_dir.as_ref().map(PathBuf::from);
         cfg.store_dir = opts.store_dir.as_ref().map(PathBuf::from);
+        cfg.flightrec_dir = PathBuf::from(&opts.flightrec_dir);
         cfg
     }
 
@@ -212,6 +312,105 @@ mod imp {
         }
         Ok(response)
     }
+
+    pub fn run_stats(socket: &str, json: bool) -> Result<String, String> {
+        let response = request(socket, "{\"cmd\":\"stats\"}")?;
+        if json {
+            return Ok(response);
+        }
+        render_stats(&response)
+    }
+
+    /// Renders the `stats` response for humans: the ledger counters,
+    /// then per-outcome-class latency quantiles. Histograms that never
+    /// fired are omitted — a healthy quiet service prints a short
+    /// report, not a wall of zeros.
+    fn render_stats(response: &str) -> Result<String, String> {
+        use eureka_obs::json::{self, Value};
+        let v = json::parse(response).map_err(|e| format!("malformed response: {e}"))?;
+        if v.get("ok").and_then(Value::as_bool) != Some(true) {
+            return Err(format!("stats rejected: {response}"));
+        }
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let num = |key: &str| v.get(key).and_then(Value::as_f64).unwrap_or(0.0) as u64;
+        let flag = |key: &str| v.get(key).and_then(Value::as_bool).unwrap_or(false);
+        let mut out = format!(
+            "service  : queued={} running={} draining={}\n\
+             outcomes : served={} completed={} shed={} cancelled={} \
+             deadline_exceeded={} failed={}\n\
+             recovery : recovered={} retried={}\n",
+            num("queued"),
+            flag("running"),
+            flag("draining"),
+            num("served"),
+            num("completed"),
+            num("shed"),
+            num("cancelled"),
+            num("deadline_exceeded"),
+            num("failed"),
+            num("recovered"),
+            num("retried"),
+        );
+        out.push_str(
+            "latency (us):      class phase             count      p50      p90      p99\n",
+        );
+        let Some(latency) = v.get("latency") else {
+            return Ok(out);
+        };
+        for class in service::OUTCOME_CLASSES {
+            let Some(phases) = latency.get(class) else {
+                continue;
+            };
+            for phase in ["queue_wait_us", "exec_us", "e2e_us"] {
+                let Some(h) = phases.get(phase) else { continue };
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                let field = |key: &str| h.get(key).and_then(Value::as_f64).unwrap_or(0.0) as u64;
+                if field("count") == 0 {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "  {class:<18} {phase:<14} {:>8} {:>8} {:>8} {:>8}\n",
+                    field("count"),
+                    field("p50"),
+                    field("p90"),
+                    field("p99"),
+                ));
+            }
+        }
+        Ok(out)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn render_stats_skips_silent_histograms_and_rejects_errors() {
+            let response = concat!(
+                "{\"ok\":true,\"queued\":1,\"running\":true,\"draining\":false,",
+                "\"served\":3,\"completed\":2,\"shed\":1,\"cancelled\":0,",
+                "\"deadline_exceeded\":0,\"failed\":0,\"recovered\":0,\"retried\":0,",
+                "\"latency\":{",
+                "\"completed\":{\"queue_wait_us\":{\"count\":2,\"p50\":10,\"p90\":50,\"p99\":50},",
+                "\"exec_us\":{\"count\":2,\"p50\":100,\"p90\":500,\"p99\":500},",
+                "\"e2e_us\":{\"count\":2,\"p50\":100,\"p90\":500,\"p99\":500}},",
+                "\"failed\":{\"e2e_us\":{\"count\":0,\"p50\":0,\"p90\":0,\"p99\":0}}}}"
+            );
+            let out = super::render_stats(response).expect("well-formed stats render");
+            assert!(out.contains("served=3 completed=2 shed=1"), "{out}");
+            assert!(
+                out.lines()
+                    .any(|l| l.trim_start().starts_with("completed") && l.contains("e2e_us")),
+                "{out}"
+            );
+            assert!(
+                !out.lines().any(|l| l.trim_start().starts_with("failed")),
+                "zero-count histograms are omitted: {out}"
+            );
+
+            let err = super::render_stats("{\"ok\":false,\"error\":\"nope\"}").unwrap_err();
+            assert!(err.contains("stats rejected"), "{err}");
+            assert!(super::render_stats("not json").is_err());
+        }
+    }
 }
 
 #[cfg(not(unix))]
@@ -232,10 +431,15 @@ mod imp {
     pub fn run_drain(_socket: &str, _shutdown: bool) -> Result<String, String> {
         Err(UNSUPPORTED.into())
     }
+
+    pub fn run_stats(_socket: &str, _json: bool) -> Result<String, String> {
+        Err(UNSUPPORTED.into())
+    }
 }
 
 /// Runs the resident service until SIGTERM/SIGINT or a client
-/// `shutdown`, then drains and reports the final ledger counts.
+/// `shutdown`, then drains and reports the final ledger counts (plus
+/// the SLA summary when `--sla-budget-us` is set).
 ///
 /// # Errors
 ///
@@ -262,4 +466,15 @@ pub fn run_submit(socket: &str, spec: &JobSpec, wait: bool) -> Result<String, St
 /// Connection failures.
 pub fn run_drain(socket: &str, shutdown: bool) -> Result<String, String> {
     imp::run_drain(socket, shutdown)
+}
+
+/// Fetches a running service's live counters and per-outcome-class
+/// latency quantiles; `json` returns the raw response line, otherwise
+/// a human-readable table.
+///
+/// # Errors
+///
+/// Connection failures or a malformed/rejected response.
+pub fn run_stats(socket: &str, json: bool) -> Result<String, String> {
+    imp::run_stats(socket, json)
 }

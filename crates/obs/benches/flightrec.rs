@@ -1,0 +1,101 @@
+//! Flight-recorder cost: raw `record()` latency, dump rendering, and —
+//! the acceptance bound — the overhead the always-armed recorder adds
+//! to a simulated job-accounting loop, asserted `< 5%` on
+//! min-of-samples times (min is robust to scheduler noise; any single
+//! clean sample bounds the true cost from above).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use eureka_obs::flightrec;
+use std::time::{Duration, Instant};
+
+/// Iterations of the per-job accounting kernel. Sized so one job takes
+/// on the order of 100µs — three `record()` calls (admit, dequeue,
+/// finish) cost well under 1µs combined, so the 5% bound has an order
+/// of magnitude of headroom over measurement noise.
+const JOB_ITERS: u64 = 100_000;
+
+/// A stand-in for the service's per-job bookkeeping between lifecycle
+/// transitions: an FNV-style fold the optimizer cannot discard.
+fn simulated_job(seed: u64) -> u64 {
+    let mut acc = seed | 1;
+    for i in 0..JOB_ITERS {
+        acc = acc.wrapping_mul(0x0000_0100_0000_01b3).wrapping_add(i);
+    }
+    acc
+}
+
+/// Minimum wall time of `samples` runs of `f` (after one warm-up).
+fn min_time<F: FnMut()>(samples: usize, mut f: F) -> Duration {
+    f();
+    let mut best = Duration::MAX;
+    for _ in 0..samples {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+fn bench_record(c: &mut Criterion) {
+    flightrec::reset();
+    let mut g = c.benchmark_group("flightrec");
+    g.sample_size(20);
+    g.bench_function("record", |b| {
+        b.iter(|| {
+            for job in 0..100u64 {
+                flightrec::record("job-admitted", black_box(job), job);
+            }
+        });
+    });
+    g.bench_function("dump_jsonl_full_ring", |b| {
+        for i in 0..flightrec::CAPACITY as u64 {
+            flightrec::record("job-finished", i, 0);
+        }
+        b.iter(|| black_box(flightrec::dump_jsonl().len()));
+    });
+    g.finish();
+    flightrec::reset();
+}
+
+/// The acceptance bound: a job loop with the recorder armed (it always
+/// is) versus the identical loop without any recording must stay within
+/// 5% on min-of-samples time.
+fn bench_overhead_bound(c: &mut Criterion) {
+    flightrec::reset();
+    let mut sink = 0u64;
+    let bare = min_time(30, || {
+        sink = sink.wrapping_add(black_box(simulated_job(sink)));
+    });
+    let recorded = min_time(30, || {
+        let job = sink;
+        flightrec::record("job-admitted", job, job);
+        flightrec::record("job-dequeued", job, 0);
+        sink = sink.wrapping_add(black_box(simulated_job(sink)));
+        flightrec::record("job-finished", job, 0);
+    });
+    black_box(sink);
+    let ratio = recorded.as_secs_f64() / bare.as_secs_f64().max(f64::MIN_POSITIVE);
+    println!(
+        "flightrec/overhead_bound                           bare: {bare:?}  recorded: {recorded:?}  ratio: {ratio:.4}"
+    );
+    assert!(
+        ratio < 1.05,
+        "always-armed flight recorder overhead must stay under 5% \
+         (bare {bare:?}, recorded {recorded:?}, ratio {ratio:.4})"
+    );
+    // Keep a criterion sample of the same loop for the report.
+    c.bench_function("flightrec/job_with_lifecycle_records", |b| {
+        b.iter(|| {
+            let job = sink;
+            flightrec::record("job-admitted", job, job);
+            flightrec::record("job-dequeued", job, 0);
+            sink = sink.wrapping_add(simulated_job(sink));
+            flightrec::record("job-finished", job, 0);
+        });
+    });
+    black_box(sink);
+    flightrec::reset();
+}
+
+criterion_group!(benches, bench_record, bench_overhead_bound);
+criterion_main!(benches);

@@ -58,6 +58,10 @@ pub const KINDS: &[(&str, &[&str])] = &[
     ("job-deadline-exceeded", &["job"]),
     ("job-shed", &["capacity"]),
     ("job-recovered", &["job", "key"]),
+    // SLA lifecycle tracing (admission → dequeue → terminal outcome).
+    ("job-admitted", &["job", "key"]),
+    ("job-dequeued", &["job"]),
+    ("job-finished", &["job", "outcome"]),
     ("service-drained", &[]),
 ];
 

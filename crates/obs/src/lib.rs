@@ -2,7 +2,7 @@
 //!
 //! Everything the workspace needs to see *where time goes* — without any
 //! third-party dependency (the build environment is offline, like the
-//! vendored `proptest`/`criterion` shims). Three pillars:
+//! vendored `proptest`/`criterion` shims). The pillars:
 //!
 //! 1. **Spans** ([`span`], [`span!`]) — lightweight start/stop guards
 //!    recorded into thread-local buffers (no lock on the hot path) and
@@ -25,6 +25,10 @@
 //!    (`eureka-events-v1`) with the same deterministic/wall-clock field
 //!    split as the metrics registry, feeding both `--events-out` files
 //!    and the throttled terminal [`progress`] reporter.
+//! 5. **Flight recorder** ([`flightrec`]) — an always-armed,
+//!    fixed-capacity ring of recent job-lifecycle records
+//!    (`eureka-flightrec-v1`), dumped atomically as JSONL so a crashed
+//!    or SIGKILLed service leaves a post-mortem trail.
 //!
 //! A small verbosity-gated stderr logger ([`log`], [`error!`], [`info!`],
 //! [`debug!`]) rounds out the crate so CLI diagnostics flow through one
@@ -52,6 +56,7 @@
 
 pub mod chrome;
 pub mod events;
+pub mod flightrec;
 pub mod json;
 pub mod log;
 pub mod metrics;

@@ -218,6 +218,36 @@ impl Histogram {
         self.max.store(0, Ordering::Relaxed);
     }
 
+    /// Folds `other`'s samples into `self`: bucket counts, count and sum
+    /// add; min/max take the extremes. Because bucketing loses nothing a
+    /// merge can recover, the result is indistinguishable from having
+    /// recorded both sample streams into one histogram — quantiles of
+    /// the merge equal quantiles of the concatenation exactly. Merging
+    /// an empty histogram is a no-op (its min is the `u64::MAX` sentinel,
+    /// so `fetch_min` leaves `self` untouched).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms have different bucket bounds —
+    /// bucket-wise addition would silently misbin otherwise.
+    pub fn merge(&self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different bucket bounds"
+        );
+        for (dst, src) in self.buckets.iter().zip(other.buckets.iter()) {
+            dst.fetch_add(src.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
     fn to_json(&self) -> String {
         let mut buckets = Vec::with_capacity(self.buckets.len());
         for (i, b) in self.buckets.iter().enumerate() {
@@ -397,6 +427,76 @@ pub fn human_summary() -> String {
     out
 }
 
+/// A metric name as a Prometheus metric family name: every character
+/// outside `[a-zA-Z0-9_]` becomes `_`, with an `eureka_` namespace
+/// prefix (`service.queue_wait_us.completed` →
+/// `eureka_service_queue_wait_us_completed`).
+fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 7);
+    out.push_str("eureka_");
+    for ch in name.chars() {
+        out.push(if ch.is_ascii_alphanumeric() || ch == '_' {
+            ch
+        } else {
+            '_'
+        });
+    }
+    out
+}
+
+/// An `f64` in Prometheus sample syntax (`NaN` / `+Inf` / `-Inf` spelled
+/// out, unlike JSON).
+fn prometheus_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        (if v > 0.0 { "+Inf" } else { "-Inf" }).to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders the whole registry (both classes) in the Prometheus text
+/// exposition format, version 0.0.4: one `# TYPE` line per family, then
+/// its samples. Counters and gauges are one sample each; histograms
+/// expose cumulative `_bucket{le="..."}` samples (ending at `le="+Inf"`),
+/// `_sum`, and `_count`. Families appear in sorted name order, so the
+/// output is stable given stable metric values.
+#[must_use]
+pub fn prometheus_text() -> String {
+    let reg = registry();
+    let mut out = String::new();
+    for (name, entry) in reg.iter() {
+        let fam = prometheus_name(name);
+        match entry.metric {
+            Metric::Counter(c) => {
+                out.push_str(&format!("# TYPE {fam} counter\n{fam} {}\n", c.get()));
+            }
+            Metric::Gauge(g) => {
+                out.push_str(&format!(
+                    "# TYPE {fam} gauge\n{fam} {}\n",
+                    prometheus_f64(g.get())
+                ));
+            }
+            Metric::Histogram(h) => {
+                out.push_str(&format!("# TYPE {fam} histogram\n"));
+                let mut cumulative = 0u64;
+                for (i, b) in h.buckets.iter().enumerate() {
+                    cumulative += b.load(Ordering::Relaxed);
+                    let le = h
+                        .bounds
+                        .get(i)
+                        .map_or_else(|| "+Inf".to_string(), u64::to_string);
+                    out.push_str(&format!("{fam}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+                }
+                out.push_str(&format!("{fam}_sum {}\n", h.sum()));
+                out.push_str(&format!("{fam}_count {}\n", h.count()));
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -535,5 +635,161 @@ mod tests {
     fn type_mismatch_panics() {
         counter("test.mismatch", Class::Deterministic);
         gauge("test.mismatch", Class::Deterministic);
+    }
+
+    #[test]
+    fn merge_folds_buckets_and_extremes() {
+        let a = Histogram::new(&[10, 100]);
+        let b = Histogram::new(&[10, 100]);
+        a.record(5);
+        a.record(50);
+        b.record(7);
+        b.record(5_000); // overflow bucket
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.sum(), 5_062);
+        assert_eq!(a.min(), 5);
+        assert_eq!(a.max(), 5_000);
+        assert_eq!(a.buckets[0].load(Ordering::Relaxed), 2, "le=10");
+        assert_eq!(a.buckets[1].load(Ordering::Relaxed), 1, "le=100");
+        assert_eq!(a.buckets[2].load(Ordering::Relaxed), 1, "+inf overflow");
+        // `b` is untouched by the merge.
+        assert_eq!(b.count(), 2);
+    }
+
+    #[test]
+    fn merge_with_empty_is_a_no_op_in_both_directions() {
+        let full = Histogram::new(&[10, 100]);
+        full.record(42);
+        let empty = Histogram::new(&[10, 100]);
+        full.merge(&empty);
+        assert_eq!(full.count(), 1);
+        assert_eq!(full.min(), 42, "empty min sentinel must not clobber");
+        assert_eq!(full.max(), 42);
+        empty.merge(&full);
+        assert_eq!(empty.count(), 1);
+        assert_eq!(empty.min(), 42);
+        assert_eq!(empty.p50(), full.p50());
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket bounds")]
+    fn merge_rejects_mismatched_bounds() {
+        let a = Histogram::new(&[10, 100]);
+        let b = Histogram::new(&[10, 1000]);
+        a.merge(&b);
+    }
+
+    mod merge_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Sample values spanning every bucket of [`TIME_BUCKETS_US`],
+        /// including the overflow region past the last bound.
+        fn sample() -> impl Strategy<Value = u64> {
+            0u64..2_000_000
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Quantiles of `merge(a, b)` equal quantiles of one
+            /// histogram fed the concatenated samples — exactly, since
+            /// bucketing discards nothing a merge could recover.
+            #[test]
+            fn merged_quantiles_equal_concatenated_quantiles(
+                xs in prop::collection::vec(sample(), 0..40),
+                ys in prop::collection::vec(sample(), 0..40),
+                q_millis in 0u64..=1000,
+            ) {
+                #[allow(clippy::cast_precision_loss)]
+                let q = q_millis as f64 / 1000.0;
+                let a = Histogram::new(TIME_BUCKETS_US);
+                let b = Histogram::new(TIME_BUCKETS_US);
+                let concat = Histogram::new(TIME_BUCKETS_US);
+                for &x in &xs {
+                    a.record(x);
+                    concat.record(x);
+                }
+                for &y in &ys {
+                    b.record(y);
+                    concat.record(y);
+                }
+                a.merge(&b);
+                prop_assert_eq!(a.count(), concat.count());
+                prop_assert_eq!(a.sum(), concat.sum());
+                prop_assert_eq!(a.min(), concat.min());
+                prop_assert_eq!(a.max(), concat.max());
+                prop_assert_eq!(a.quantile(q), concat.quantile(q));
+                prop_assert_eq!(a.p50(), concat.p50());
+                prop_assert_eq!(a.p90(), concat.p90());
+                prop_assert_eq!(a.p99(), concat.p99());
+            }
+
+            /// Merging any histogram with an empty one changes nothing,
+            /// even when every sample sits in the overflow bucket.
+            #[test]
+            fn merge_with_empty_preserves_everything(
+                xs in prop::collection::vec(1_000_001u64..10_000_000, 1..20),
+            ) {
+                let h = Histogram::new(TIME_BUCKETS_US);
+                for &x in &xs {
+                    h.record(x); // all overflow: past the last bound
+                }
+                let (p50, p99, min, max) = (h.p50(), h.p99(), h.min(), h.max());
+                h.merge(&Histogram::new(TIME_BUCKETS_US));
+                prop_assert_eq!(h.count(), xs.len() as u64);
+                prop_assert_eq!(h.p50(), p50);
+                prop_assert_eq!(h.p99(), p99);
+                prop_assert_eq!(h.min(), min);
+                prop_assert_eq!(h.max(), max);
+                prop_assert_eq!(h.p99(), max, "overflow quantiles report the max");
+            }
+        }
+    }
+
+    #[test]
+    fn prometheus_names_are_sanitized_and_namespaced() {
+        assert_eq!(
+            prometheus_name("service.queue_wait_us.completed"),
+            "eureka_service_queue_wait_us_completed"
+        );
+        assert_eq!(prometheus_name("store.hits"), "eureka_store_hits");
+    }
+
+    #[test]
+    fn prometheus_text_exposes_counters_gauges_and_histograms() {
+        counter("test.prom_counter", Class::Deterministic).reset();
+        counter("test.prom_counter", Class::Deterministic).add(7);
+        gauge("test.prom_gauge", Class::Timing).set(0.5);
+        let h = histogram("test.prom_hist", Class::Timing, &[10, 100]);
+        h.reset();
+        h.record(5);
+        h.record(50);
+        h.record(5_000);
+        let text = prometheus_text();
+        assert!(
+            text.contains("# TYPE eureka_test_prom_counter counter\neureka_test_prom_counter 7\n")
+        );
+        assert!(text.contains("# TYPE eureka_test_prom_gauge gauge\neureka_test_prom_gauge 0.5\n"));
+        assert!(text.contains("# TYPE eureka_test_prom_hist histogram\n"));
+        assert!(text.contains("eureka_test_prom_hist_bucket{le=\"10\"} 1\n"));
+        assert!(
+            text.contains("eureka_test_prom_hist_bucket{le=\"100\"} 2\n"),
+            "bucket samples are cumulative: {text}"
+        );
+        assert!(text.contains("eureka_test_prom_hist_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("eureka_test_prom_hist_sum 5055\n"));
+        assert!(text.contains("eureka_test_prom_hist_count 3\n"));
+        assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn prometheus_f64_spells_out_non_finite_values() {
+        assert_eq!(prometheus_f64(1.5), "1.5");
+        assert_eq!(prometheus_f64(3.0), "3");
+        assert_eq!(prometheus_f64(f64::NAN), "NaN");
+        assert_eq!(prometheus_f64(f64::INFINITY), "+Inf");
+        assert_eq!(prometheus_f64(f64::NEG_INFINITY), "-Inf");
     }
 }

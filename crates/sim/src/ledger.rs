@@ -55,6 +55,10 @@ pub struct LedgerRecord {
     pub wall_ms: f64,
     /// Events emitted on the run-event bus (0 when the bus was off).
     pub events: u64,
+    /// Service SLA summary (`eureka serve --sla-budget-us`); `None` for
+    /// batch runs. Serialized as flat `sla_*` fields so `bench diff`
+    /// gates p99 / throughput / shed-rate like any other metric.
+    pub sla: Option<crate::service::SlaReport>,
 }
 
 /// The content key of a record: FNV-1a over `kind|label`, rendered as
@@ -100,8 +104,18 @@ pub fn append(dir: &Path, record: &LedgerRecord) -> Result<PathBuf, String> {
     let created_ms = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| u128::min(d.as_millis(), u128::from(u64::MAX)) as u64);
+    let sla_fields = record.sla.map_or_else(String::new, |s| {
+        format!(
+            ",\"sla_budget_us\":{},\"sla_p99_e2e_us\":{},\"sla_jobs_per_sec\":{},\"sla_shed_rate\":{},\"sla_saturated\":{}",
+            s.budget_us,
+            s.p99_e2e_us,
+            json::fmt_f64(s.jobs_per_sec),
+            json::fmt_f64(s.shed_rate),
+            s.saturated,
+        )
+    });
     let body = format!(
-        "{{\"schema\":\"{SCHEMA}\",\"key\":\"{key}\",\"kind\":\"{}\",\"label\":\"{}\",\"git\":\"{}\",\"metrics_digest\":\"{metrics_digest}\",\"total_cycles\":{},\"speedup_vs_dense\":{},\"wall_ms\":{},\"events\":{},\"created_ms\":{created_ms}}}\n",
+        "{{\"schema\":\"{SCHEMA}\",\"key\":\"{key}\",\"kind\":\"{}\",\"label\":\"{}\",\"git\":\"{}\",\"metrics_digest\":\"{metrics_digest}\",\"total_cycles\":{},\"speedup_vs_dense\":{},\"wall_ms\":{},\"events\":{}{sla_fields},\"created_ms\":{created_ms}}}\n",
         json::escape(&record.kind),
         json::escape(&record.label),
         json::escape(&git_describe()),
@@ -390,6 +404,23 @@ fn diff_ledger(a: &Value, b: &Value, max_regress: f64) -> DiffReport {
     if let (Some(ua), Some(ub)) = (num(a, "speedup_vs_dense"), num(b, "speedup_vs_dense")) {
         gate_higher_is_better(&mut report, "speedup_vs_dense", ua, ub, max_regress);
     }
+    // Service SLA fields (serve records): latency and shed-rate gate
+    // like cycles, throughput like speedup, the budget is context.
+    if let (Some(pa), Some(pb)) = (num(a, "sla_p99_e2e_us"), num(b, "sla_p99_e2e_us")) {
+        gate_lower_is_better(&mut report, "sla_p99_e2e_us", pa, pb, max_regress);
+    }
+    if let (Some(ja), Some(jb)) = (num(a, "sla_jobs_per_sec"), num(b, "sla_jobs_per_sec")) {
+        gate_higher_is_better(&mut report, "sla_jobs_per_sec", ja, jb, max_regress);
+    }
+    if let (Some(sa), Some(sb)) = (num(a, "sla_shed_rate"), num(b, "sla_shed_rate")) {
+        gate_lower_is_better(&mut report, "sla_shed_rate", sa, sb, max_regress);
+    }
+    info_field(
+        &mut report,
+        "sla_budget_us",
+        num(a, "sla_budget_us"),
+        num(b, "sla_budget_us"),
+    );
     if key_a == key_b {
         let da = a.get("metrics_digest").and_then(Value::as_str);
         let db = b.get("metrics_digest").and_then(Value::as_str);
@@ -504,6 +535,7 @@ mod tests {
             speedup_vs_dense: Some(3.07),
             wall_ms: 12.5,
             events: 42,
+            sla: None,
         };
         let p1 = append(&dir, &record).unwrap();
         let p2 = append(&dir, &record).unwrap();
@@ -537,6 +569,66 @@ mod tests {
     }
 
     #[test]
+    fn sla_fields_roundtrip_and_gate_latency_regressions() {
+        let dir = std::env::temp_dir().join(format!("eureka-ledger-sla-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let record = LedgerRecord {
+            kind: "serve".to_string(),
+            label: "serve|capacity=8|fast|sla_budget_us=1000000".to_string(),
+            total_cycles: None,
+            speedup_vs_dense: None,
+            wall_ms: 500.0,
+            events: 0,
+            sla: Some(crate::service::SlaReport {
+                budget_us: 1_000_000,
+                p99_e2e_us: 45_000,
+                jobs_per_sec: 4.0,
+                shed_rate: 0.0,
+                saturated: false,
+            }),
+        };
+        append(&dir, &record).unwrap();
+        append(&dir, &record).unwrap();
+        let records = read_dir(&dir).unwrap();
+        assert_eq!(records.len(), 2);
+        let v = &records[0].1;
+        assert_eq!(num(v, "sla_budget_us"), Some(1_000_000.0));
+        assert_eq!(num(v, "sla_p99_e2e_us"), Some(45_000.0));
+        assert_eq!(num(v, "sla_jobs_per_sec"), Some(4.0));
+        assert_eq!(num(v, "sla_shed_rate"), Some(0.0));
+        assert_eq!(v.get("sla_saturated"), Some(&Value::Bool(false)));
+        let report = diff(&records[0].1, &records[1].1, 2.0).unwrap();
+        assert!(report.ok(), "{}", report.render());
+        // p99 blowing past the threshold is a regression; so is new shed.
+        let bump = |v: &Value, key: &str, to: f64| {
+            let mut out = v.clone();
+            if let Value::Obj(pairs) = &mut out {
+                for (k, val) in pairs.iter_mut() {
+                    if k == key {
+                        *val = Value::Num(to);
+                    }
+                }
+            }
+            out
+        };
+        let slow = bump(&records[1].1, "sla_p99_e2e_us", 90_000.0);
+        let slow_report = diff(&records[0].1, &slow, 2.0).unwrap();
+        assert!(!slow_report.ok(), "{}", slow_report.render());
+        assert!(slow_report.render().contains("sla_p99_e2e_us"));
+        let shedding = bump(&records[1].1, "sla_shed_rate", 0.25);
+        assert!(
+            !diff(&records[0].1, &shedding, 2.0).unwrap().ok(),
+            "shed rate appearing from zero must gate as a regression"
+        );
+        let slower = bump(&records[1].1, "sla_jobs_per_sec", 2.0);
+        assert!(
+            !diff(&records[0].1, &slower, 2.0).unwrap().ok(),
+            "halved throughput must gate as a regression"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn read_dir_skips_foreign_files_and_missing_dir() {
         let dir = std::env::temp_dir().join(format!("eureka-ledger-skip-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
@@ -553,6 +645,7 @@ mod tests {
             speedup_vs_dense: None,
             wall_ms: 1.0,
             events: 0,
+            sla: None,
         };
         append(&dir, &record).unwrap();
         let records = read_dir(&dir).unwrap();

@@ -71,5 +71,5 @@ pub use profile::{
 };
 pub use report::{LayerReport, OpCounts, SimReport};
 pub use runner::{CancelToken, Runner, SimJob};
-pub use service::{JobService, JobSpec, JobStatus, ServiceConfig, SubmitError};
+pub use service::{JobService, JobSpec, JobStatus, ServiceConfig, SlaReport, SubmitError};
 pub use store::{TileBroker, TileKey, TileOutcome};

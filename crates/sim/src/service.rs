@@ -17,10 +17,18 @@
 //! and a terminal journal record when the job leaves the system.
 //!
 //! Every lifecycle transition is emitted on the event bus
-//! (`job-accepted`, `job-queued`, `job-started`, `job-retried`,
-//! `job-completed`, `job-cancelled`, `job-deadline-exceeded`,
-//! `job-shed`, `job-recovered`, `service-drained`) and counted in the
-//! `service.*` metrics, which reconcile at quiescence:
+//! (`job-accepted`, `job-admitted`, `job-queued`, `job-dequeued`,
+//! `job-started`, `job-retried`, `job-completed`, `job-finished`,
+//! `job-cancelled`, `job-deadline-exceeded`, `job-shed`,
+//! `job-recovered`, `service-drained`), counted in the `service.*`
+//! metrics, and stamped with monotonic admission / dequeue / start /
+//! finish timestamps that feed the timing-class latency histograms
+//! `service.{queue_wait_us,exec_us,e2e_us}.<outcome>` (one per
+//! [`OUTCOME_CLASSES`] entry) plus the always-armed flight recorder
+//! ([`eureka_obs::flightrec`]). Latencies are recorded only at terminal
+//! transitions — when the outcome class is finally known — so at
+//! quiescence each class's histogram `count` equals its counter
+//! exactly ([`latency_counts`]), and the counters reconcile:
 //!
 //! ```text
 //! service.served == service.completed + service.shed
@@ -46,8 +54,9 @@ use crate::outcome::{JobOutcome, RetryPolicy};
 use crate::runner::{self, CancelToken, Runner, SimJob};
 use eureka_models::{Benchmark, PruningLevel, Workload};
 use eureka_obs::events::{self, Event};
+use eureka_obs::flightrec;
 use eureka_obs::json::Value;
-use eureka_obs::metrics::{self, Class, Counter};
+use eureka_obs::metrics::{self, Class, Counter, Histogram};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::path::PathBuf;
@@ -299,6 +308,10 @@ pub struct ServiceConfig {
     /// *do* share checkpoints, which the crash-recovery chaos scenarios
     /// rely on).
     pub fault: Option<(crate::faults::FaultPlan, String)>,
+    /// Directory for flight-recorder dumps
+    /// (`flightrec-<pid>.jsonl`, written by the `dump` protocol verb
+    /// and the serve loop's crash/signal hooks).
+    pub flightrec_dir: PathBuf,
 }
 
 impl ServiceConfig {
@@ -318,6 +331,7 @@ impl ServiceConfig {
             sim: SimConfig::fast(),
             hold: false,
             fault: None,
+            flightrec_dir: PathBuf::from("results"),
         }
     }
 }
@@ -346,6 +360,105 @@ fn service_metrics() -> &'static ServiceMetrics {
         recovered: metrics::counter("service.recovered", Class::Deterministic),
         retried: metrics::counter("service.retried", Class::Deterministic),
     })
+}
+
+/// Outcome classes, in the order [`latency_counts`] reports them and
+/// [`ServiceStats::reconciled`] sums them. Every terminal latency
+/// sample lands in exactly one class, so at quiescence each class's
+/// histogram count equals its `service.*` counter.
+pub const OUTCOME_CLASSES: &[&str] = &[
+    "completed",
+    "shed",
+    "cancelled",
+    "deadline_exceeded",
+    "failed",
+];
+
+/// The three latency histograms of one outcome class.
+struct ClassHists {
+    /// `service.queue_wait_us.<class>`: admission → dequeue.
+    queue_wait: &'static Histogram,
+    /// `service.exec_us.<class>`: execution start → finish.
+    exec: &'static Histogram,
+    /// `service.e2e_us.<class>`: admission → terminal. Recorded for
+    /// *every* terminal transition (shed requests record `0`: they
+    /// leave at admission), so its count is the class's job count.
+    e2e: &'static Histogram,
+}
+
+/// `&'static` handles to the per-outcome-class latency histograms, all
+/// [`Class::Timing`] (wall-clock derived: excluded from the
+/// deterministic snapshot / `metrics_digest` by design), indexed like
+/// [`OUTCOME_CLASSES`].
+struct LatencyMetrics {
+    classes: [ClassHists; 5],
+}
+
+fn latency_metrics() -> &'static LatencyMetrics {
+    static L: OnceLock<LatencyMetrics> = OnceLock::new();
+    let h = |name| metrics::histogram(name, Class::Timing, metrics::TIME_BUCKETS_US);
+    L.get_or_init(|| LatencyMetrics {
+        classes: [
+            ClassHists {
+                queue_wait: h("service.queue_wait_us.completed"),
+                exec: h("service.exec_us.completed"),
+                e2e: h("service.e2e_us.completed"),
+            },
+            ClassHists {
+                queue_wait: h("service.queue_wait_us.shed"),
+                exec: h("service.exec_us.shed"),
+                e2e: h("service.e2e_us.shed"),
+            },
+            ClassHists {
+                queue_wait: h("service.queue_wait_us.cancelled"),
+                exec: h("service.exec_us.cancelled"),
+                e2e: h("service.e2e_us.cancelled"),
+            },
+            ClassHists {
+                queue_wait: h("service.queue_wait_us.deadline_exceeded"),
+                exec: h("service.exec_us.deadline_exceeded"),
+                e2e: h("service.e2e_us.deadline_exceeded"),
+            },
+            ClassHists {
+                queue_wait: h("service.queue_wait_us.failed"),
+                exec: h("service.exec_us.failed"),
+                e2e: h("service.e2e_us.failed"),
+            },
+        ],
+    })
+}
+
+/// [`OUTCOME_CLASSES`] index of a *terminal* status (shed is not a
+/// [`JobStatus`]; its index is 1 at the shed sites directly).
+fn class_index(status: JobStatus) -> usize {
+    match status {
+        JobStatus::Completed => 0,
+        JobStatus::Cancelled => 2,
+        JobStatus::DeadlineExceeded => 3,
+        _ => 4,
+    }
+}
+
+/// A [`Duration`] in whole microseconds (saturating).
+fn us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// End-to-end latency sample counts per outcome class, in
+/// [`OUTCOME_CLASSES`] order. At quiescence these equal
+/// `[completed, shed, cancelled, deadline_exceeded, failed]` of
+/// [`service_stats`] exactly — the lifecycle reconciliation invariant
+/// the chaos harness asserts per scenario.
+#[must_use]
+pub fn latency_counts() -> [u64; 5] {
+    let lat = latency_metrics();
+    [
+        lat.classes[0].e2e.count(),
+        lat.classes[1].e2e.count(),
+        lat.classes[2].e2e.count(),
+        lat.classes[3].e2e.count(),
+        lat.classes[4].e2e.count(),
+    ]
 }
 
 /// Snapshot of the `service.*` counters.
@@ -397,7 +510,8 @@ pub fn service_stats() -> ServiceStats {
     }
 }
 
-/// Zeroes the `service.*` counters (tests; per-generation accounting).
+/// Zeroes the `service.*` counters and latency histograms (tests;
+/// per-generation accounting).
 pub fn service_reset() {
     let m = service_metrics();
     m.served.reset();
@@ -408,12 +522,80 @@ pub fn service_reset() {
     m.failed.reset();
     m.recovered.reset();
     m.retried.reset();
+    for class in &latency_metrics().classes {
+        class.queue_wait.reset();
+        class.exec.reset();
+        class.e2e.reset();
+    }
+}
+
+/// SLA summary of one service lifetime against a latency budget:
+/// sustained completed-jobs/sec, shed rate, and whether the service
+/// saturated (p99 end-to-end latency over budget, or any load shed).
+/// Written into the run ledger by `eureka serve --sla-budget-us` so
+/// `bench diff` gates service-latency regressions like cycle
+/// regressions.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SlaReport {
+    /// The configured end-to-end latency budget (µs).
+    pub budget_us: u64,
+    /// Observed p99 end-to-end latency of *completed* jobs (µs).
+    pub p99_e2e_us: u64,
+    /// Completed jobs per wall-clock second over the service lifetime.
+    pub jobs_per_sec: f64,
+    /// Shed submissions / total served (0 when nothing was served).
+    pub shed_rate: f64,
+    /// `p99_e2e_us > budget_us || shed_rate > 0`: the service could not
+    /// absorb its offered load within budget.
+    pub saturated: bool,
+}
+
+/// The SLA summary for the current `service.*` state over `elapsed` of
+/// service lifetime. Uses the completed class's e2e histogram for p99,
+/// so call at quiescence (after drain) for exact accounting.
+#[must_use]
+pub fn sla_report(budget_us: u64, elapsed: Duration) -> SlaReport {
+    let stats = service_stats();
+    let p99_e2e_us = latency_metrics().classes[0].e2e.p99();
+    #[allow(clippy::cast_precision_loss)]
+    let jobs_per_sec = stats.completed as f64 / elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
+    #[allow(clippy::cast_precision_loss)]
+    let shed_rate = if stats.served == 0 {
+        0.0
+    } else {
+        stats.shed as f64 / stats.served as f64
+    };
+    SlaReport {
+        budget_us,
+        p99_e2e_us,
+        jobs_per_sec,
+        shed_rate,
+        saturated: p99_e2e_us > budget_us || shed_rate > 0.0,
+    }
+}
+
+/// A finished job's latency breakdown, from its monotonic lifecycle
+/// stamps (`None` for phases the job never reached — a queued job has
+/// no exec time yet; a job cancelled in the queue never gets one).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JobTimeline {
+    /// Admission → dequeue (for jobs cancelled while still queued:
+    /// admission → cancellation).
+    pub queue_wait_us: Option<u64>,
+    /// Execution start → finish.
+    pub exec_us: Option<u64>,
+    /// Admission → terminal.
+    pub e2e_us: Option<u64>,
 }
 
 struct JobRecord {
     spec: JobSpec,
     status: JobStatus,
     outcome: Option<JobOutcome>,
+    admitted_at: Instant,
+    dequeued_at: Option<Instant>,
+    started_at: Option<Instant>,
+    finished_at: Option<Instant>,
 }
 
 struct ServiceState {
@@ -491,14 +673,24 @@ impl JobService {
                             .det_u64("job", id)
                             .det_str("key", spec.digest()),
                     );
+                    events::emit(
+                        Event::new("job-admitted")
+                            .det_u64("job", id)
+                            .det_str("key", spec.digest()),
+                    );
                     events::emit(Event::new("job-queued").det_u64("job", id));
                 }
+                flightrec::record("job-admitted", id, fnv1a64(spec.canonical().as_bytes()));
                 st.jobs.insert(
                     id,
                     JobRecord {
                         spec,
                         status: JobStatus::Queued,
                         outcome: None,
+                        admitted_at: Instant::now(),
+                        dequeued_at: None,
+                        started_at: None,
+                        finished_at: None,
                     },
                 );
                 st.queue.push_back(id);
@@ -541,30 +733,27 @@ impl JobService {
                 spec.arch
             )));
         }
+        let capacity = self.inner.cfg.queue_capacity;
+        // A shed request leaves at admission: its end-to-end latency
+        // sample is 0, recorded here so the shed class's histogram
+        // count tracks `service.shed` exactly.
+        let shed = || {
+            m.served.inc();
+            m.shed.inc();
+            latency_metrics().classes[1].e2e.record(0);
+            flightrec::record("job-shed", 0, capacity as u64);
+            if events_on {
+                events::emit(Event::new("job-shed").det_u64("capacity", capacity as u64));
+            }
+        };
         let mut st = lock(&self.inner.state);
         if st.draining || st.stopping {
-            m.served.inc();
-            m.shed.inc();
-            if events_on {
-                events::emit(
-                    Event::new("job-shed")
-                        .det_u64("capacity", self.inner.cfg.queue_capacity as u64),
-                );
-            }
+            shed();
             return Err(SubmitError::Draining);
         }
-        if st.queue.len() >= self.inner.cfg.queue_capacity {
-            m.served.inc();
-            m.shed.inc();
-            if events_on {
-                events::emit(
-                    Event::new("job-shed")
-                        .det_u64("capacity", self.inner.cfg.queue_capacity as u64),
-                );
-            }
-            return Err(SubmitError::Overloaded {
-                capacity: self.inner.cfg.queue_capacity,
-            });
+        if st.queue.len() >= capacity {
+            shed();
+            return Err(SubmitError::Overloaded { capacity });
         }
         // Write-ahead: the accepted record must be durable before the
         // job exists anywhere else.
@@ -583,14 +772,24 @@ impl JobService {
                     .det_u64("job", id)
                     .det_str("key", spec.digest()),
             );
+            events::emit(
+                Event::new("job-admitted")
+                    .det_u64("job", id)
+                    .det_str("key", spec.digest()),
+            );
             events::emit(Event::new("job-queued").det_u64("job", id));
         }
+        flightrec::record("job-admitted", id, fnv1a64(spec.canonical().as_bytes()));
         st.jobs.insert(
             id,
             JobRecord {
                 spec,
                 status: JobStatus::Queued,
                 outcome: None,
+                admitted_at: Instant::now(),
+                dequeued_at: None,
+                started_at: None,
+                finished_at: None,
             },
         );
         st.queue.push_back(id);
@@ -616,6 +815,38 @@ impl JobService {
             .and_then(|r| r.outcome.clone())
     }
 
+    /// The job's latency breakdown from its lifecycle stamps; `None`
+    /// for unknown ids. Phases the job has not reached are `None`
+    /// inside the timeline.
+    #[must_use]
+    pub fn timeline(&self, id: u64) -> Option<JobTimeline> {
+        let st = lock(&self.inner.state);
+        let r = st.jobs.get(&id)?;
+        let since = |later: Instant, earlier: Instant| us(later.saturating_duration_since(earlier));
+        Some(JobTimeline {
+            queue_wait_us: r
+                .dequeued_at
+                .or(r.finished_at) // cancelled in the queue: wait ended at the terminal
+                .map(|t| since(t, r.admitted_at)),
+            exec_us: match (r.started_at, r.finished_at) {
+                (Some(s), Some(f)) => Some(since(f, s)),
+                _ => None,
+            },
+            e2e_us: r.finished_at.map(|f| since(f, r.admitted_at)),
+        })
+    }
+
+    /// Dumps the flight recorder to this service's configured dump
+    /// directory ([`ServiceConfig::flightrec_dir`]), returning the path
+    /// written.
+    ///
+    /// # Errors
+    ///
+    /// Stringified I/O failure from [`flightrec::dump_to`].
+    pub fn dump_flightrec(&self) -> Result<PathBuf, String> {
+        flightrec::dump_to(&self.inner.cfg.flightrec_dir).map_err(|e| e.to_string())
+    }
+
     /// Cancels a job: a queued job is removed and recorded terminal
     /// immediately; a running job's token fires and the runner stops at
     /// the next unit boundary. Returns `false` for unknown or
@@ -637,9 +868,18 @@ impl JobService {
             return false;
         }
         record.status = JobStatus::Cancelled;
+        // Terminal transition: the job left the system from the queue,
+        // so its whole life was queue wait (no exec sample).
+        let finished = Instant::now();
+        record.finished_at = Some(finished);
+        let waited = us(finished.saturating_duration_since(record.admitted_at));
         let spec = record.spec.canonical();
         st.queue.retain(|q| *q != id);
         drop(st);
+        let class = latency_metrics();
+        class.classes[2].queue_wait.record(waited);
+        class.classes[2].e2e.record(waited);
+        flightrec::record("job-finished", id, class_index(JobStatus::Cancelled) as u64);
         if self
             .inner
             .journal
@@ -651,6 +891,12 @@ impl JobService {
         m.cancelled.inc();
         if events_on {
             events::emit(Event::new("job-cancelled").det_u64("job", id));
+            events::emit(
+                Event::new("job-finished")
+                    .det_u64("job", id)
+                    .det_str("outcome", JobStatus::Cancelled.label())
+                    .wall_u64("e2e_us", waited),
+            );
         }
         true
     }
@@ -765,7 +1011,7 @@ fn worker_loop(inner: &ServiceInner) {
     let m = service_metrics();
     loop {
         // Claim the next job (or exit / go idle).
-        let (id, spec, token) = {
+        let (id, spec, token, wait_us) = {
             let mut st = lock(&inner.state);
             loop {
                 if st.stopping {
@@ -778,6 +1024,9 @@ fn worker_loop(inner: &ServiceInner) {
                             .get_mut(&id)
                             .expect("invariant: every queued id has a record");
                         record.status = JobStatus::Running;
+                        let dequeued = Instant::now();
+                        record.dequeued_at = Some(dequeued);
+                        let wait_us = us(dequeued.saturating_duration_since(record.admitted_at));
                         let spec = record.spec.clone();
                         let deadline_ms = if spec.deadline_ms > 0 {
                             spec.deadline_ms
@@ -790,7 +1039,7 @@ fn worker_loop(inner: &ServiceInner) {
                             CancelToken::new()
                         };
                         st.running = Some((id, token.clone()));
-                        break (id, spec, token);
+                        break (id, spec, token, wait_us);
                     }
                     inner.idle.notify_all();
                 }
@@ -798,10 +1047,17 @@ fn worker_loop(inner: &ServiceInner) {
             }
         };
 
+        flightrec::record("job-dequeued", id, wait_us);
         let events_on = events::enabled();
         if events_on {
+            events::emit(
+                Event::new("job-dequeued")
+                    .det_u64("job", id)
+                    .wall_u64("wait_us", wait_us),
+            );
             events::emit(Event::new("job-started").det_u64("job", id));
         }
+        let started = Instant::now();
 
         // Run under retries + backoff + cancellation + checkpoint dedup.
         // The worker is the only thread driving runners in this
@@ -812,7 +1068,9 @@ fn worker_loop(inner: &ServiceInner) {
 
         // Record the terminal state — unless we are emulating SIGKILL,
         // in which case the job is abandoned exactly as a dead process
-        // would leave it: accepted in the journal, nothing else.
+        // would leave it: accepted in the journal, nothing else (no
+        // terminal latency sample either: the class is never known).
+        let finished = Instant::now();
         let mut st = lock(&inner.state);
         if st.crashed {
             st.running = None;
@@ -824,12 +1082,35 @@ fn worker_loop(inner: &ServiceInner) {
             _ if token.deadline_exceeded() => JobStatus::DeadlineExceeded,
             _ => JobStatus::Failed,
         };
+        let mut e2e_us = 0;
         if let Some(record) = st.jobs.get_mut(&id) {
             record.status = status;
             record.outcome = outcome;
+            record.started_at = Some(started);
+            record.finished_at = Some(finished);
+            e2e_us = us(finished.saturating_duration_since(record.admitted_at));
         }
         st.running = None;
         drop(st);
+
+        // The outcome class is only known here, so all three latency
+        // samples land now — keeping per-class histogram counts in
+        // lockstep with the per-class counters below.
+        let exec_us = us(finished.saturating_duration_since(started));
+        let class = &latency_metrics().classes[class_index(status)];
+        class.queue_wait.record(wait_us);
+        class.exec.record(exec_us);
+        class.e2e.record(e2e_us);
+        flightrec::record("job-finished", id, class_index(status) as u64);
+        if events_on {
+            events::emit(
+                Event::new("job-finished")
+                    .det_u64("job", id)
+                    .det_str("outcome", status.label())
+                    .wall_u64("exec_us", exec_us)
+                    .wall_u64("e2e_us", e2e_us),
+            );
+        }
 
         let journal_state = match status {
             JobStatus::Completed => JournalState::Completed,
@@ -922,8 +1203,11 @@ fn run_job(inner: &ServiceInner, spec: &JobSpec, token: &CancelToken) -> Option<
 /// shut the whole service down (`shutdown` command).
 ///
 /// Commands: `submit` (inline fields or a canonical `spec` string),
-/// `status`, `cancel`, `drain`, `health`, `shutdown`. Every response
-/// carries `"ok"`; failures add `"error"`.
+/// `status`, `cancel`, `drain`, `health`, `stats` (counters plus
+/// per-outcome-class queue-wait/exec/e2e latency quantiles), `metrics`
+/// (the full registry as Prometheus text, embedded as a JSON string
+/// field), `dump` (flight recorder → `flightrec-<pid>.jsonl`),
+/// `shutdown`. Every response carries `"ok"`; failures add `"error"`.
 #[must_use]
 pub fn handle_request(service: &JobService, line: &str) -> (String, bool) {
     let obj = |pairs: Vec<(&str, Value)>| {
@@ -1045,6 +1329,79 @@ pub fn handle_request(service: &JobService, line: &str) -> (String, bool) {
                 false,
             )
         }
+        "stats" => {
+            let (queued, running, draining) = service.health();
+            let stats = service_stats();
+            let lat = latency_metrics();
+            let hist = |h: &Histogram| {
+                Value::Obj(vec![
+                    ("count".into(), Value::Num(h.count() as f64)),
+                    ("p50".into(), Value::Num(h.p50() as f64)),
+                    ("p90".into(), Value::Num(h.p90() as f64)),
+                    ("p99".into(), Value::Num(h.p99() as f64)),
+                ])
+            };
+            let latency = Value::Obj(
+                OUTCOME_CLASSES
+                    .iter()
+                    .zip(lat.classes.iter())
+                    .map(|(name, class)| {
+                        (
+                            (*name).to_string(),
+                            Value::Obj(vec![
+                                ("queue_wait_us".into(), hist(class.queue_wait)),
+                                ("exec_us".into(), hist(class.exec)),
+                                ("e2e_us".into(), hist(class.e2e)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            );
+            (
+                obj(vec![
+                    ("ok", Value::Bool(true)),
+                    ("queued", Value::Num(queued as f64)),
+                    ("running", Value::Bool(running)),
+                    ("draining", Value::Bool(draining)),
+                    ("served", Value::Num(stats.served as f64)),
+                    ("completed", Value::Num(stats.completed as f64)),
+                    ("shed", Value::Num(stats.shed as f64)),
+                    ("cancelled", Value::Num(stats.cancelled as f64)),
+                    (
+                        "deadline_exceeded",
+                        Value::Num(stats.deadline_exceeded as f64),
+                    ),
+                    ("failed", Value::Num(stats.failed as f64)),
+                    ("recovered", Value::Num(stats.recovered as f64)),
+                    ("retried", Value::Num(stats.retried as f64)),
+                    ("latency", latency),
+                ]),
+                false,
+            )
+        }
+        "metrics" => (
+            obj(vec![
+                ("ok", Value::Bool(true)),
+                ("format", Value::Str("prometheus".into())),
+                ("text", Value::Str(metrics::prometheus_text())),
+            ]),
+            false,
+        ),
+        "dump" => match service.dump_flightrec() {
+            Ok(path) => (
+                obj(vec![
+                    ("ok", Value::Bool(true)),
+                    ("path", Value::Str(path.display().to_string())),
+                    ("records", Value::Num(flightrec::snapshot().len() as f64)),
+                    (
+                        "last_seq",
+                        flightrec::last_seq().map_or(Value::Null, |s| Value::Num(s as f64)),
+                    ),
+                ]),
+                false,
+            ),
+            Err(e) => err(&format!("flight recorder dump failed: {e}")),
+        },
         "shutdown" => (obj(vec![("ok", Value::Bool(true))]), true),
         other => err(&format!("unknown command '{other}'")),
     }
@@ -1212,6 +1569,80 @@ mod tests {
         let svc3 = JobService::start(cfg);
         assert!(svc3.wait_idle());
         svc3.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stats_metrics_and_dump_verbs_expose_the_latency_pipeline() {
+        let dir = tmp_dir("observe");
+        let mut cfg = ServiceConfig::new(dir.join("journal"));
+        cfg.sim = tiny_sim();
+        cfg.flightrec_dir = dir.join("flightrec");
+        let svc = JobService::start(cfg);
+        let id = svc.submit(spec()).expect("admitted");
+        assert!(svc.wait_idle());
+
+        // Terminal stamps produce a coherent per-job timeline.
+        let t = svc.timeline(id).expect("known job");
+        let (wait, exec, e2e) = (
+            t.queue_wait_us.expect("dequeued"),
+            t.exec_us.expect("ran"),
+            t.e2e_us.expect("finished"),
+        );
+        assert!(e2e >= exec, "end-to-end covers execution: {t:?}");
+        assert!(e2e >= wait, "end-to-end covers queue wait: {t:?}");
+        assert_eq!(svc.timeline(999), None);
+
+        // `stats` carries counters plus per-class latency quantiles.
+        let (resp, stop) = handle_request(&svc, r#"{"cmd":"stats"}"#);
+        assert!(!stop);
+        let v = eureka_obs::json::parse(&resp).expect("stats is one JSON line");
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+        let latency = v.get("latency").expect("latency object");
+        for class in OUTCOME_CLASSES {
+            let c = latency
+                .get(class)
+                .unwrap_or_else(|| panic!("class {class}"));
+            for phase in ["queue_wait_us", "exec_us", "e2e_us"] {
+                let h = c.get(phase).unwrap_or_else(|| panic!("{class}.{phase}"));
+                for field in ["count", "p50", "p90", "p99"] {
+                    assert!(h.get(field).and_then(Value::as_f64).is_some());
+                }
+            }
+        }
+        let completed_count = latency
+            .get("completed")
+            .and_then(|c| c.get("e2e_us"))
+            .and_then(|h| h.get("count"))
+            .and_then(Value::as_f64)
+            .expect("completed e2e count");
+        assert!(completed_count >= 1.0, "this test completed a job");
+
+        // `metrics` embeds the Prometheus exposition as a string field.
+        let (resp, _) = handle_request(&svc, r#"{"cmd":"metrics"}"#);
+        let v = eureka_obs::json::parse(&resp).expect("metrics is one JSON line");
+        assert_eq!(v.get("format").and_then(Value::as_str), Some("prometheus"));
+        let text = v.get("text").and_then(Value::as_str).expect("text");
+        assert!(text.contains("# TYPE eureka_service_served counter"));
+        assert!(text.contains("# TYPE eureka_service_e2e_us_completed histogram"));
+        assert!(text.contains("eureka_service_e2e_us_completed_bucket{le=\"+Inf\"}"));
+
+        // `dump` writes the flight recorder into the configured dir.
+        let (resp, _) = handle_request(&svc, r#"{"cmd":"dump"}"#);
+        let v = eureka_obs::json::parse(&resp).expect("dump is one JSON line");
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+        let path = v.get("path").and_then(Value::as_str).expect("path");
+        assert!(path.contains("flightrec-"), "{path}");
+        let dumped = std::fs::read_to_string(path).expect("dump exists");
+        assert!(
+            dumped.lines().all(|l| l.contains("eureka-flightrec-v1")),
+            "every dumped line carries the schema"
+        );
+        assert!(
+            dumped.contains("job-admitted") && dumped.contains("job-finished"),
+            "the job's lifecycle reached the recorder"
+        );
+        svc.shutdown();
         std::fs::remove_dir_all(&dir).ok();
     }
 

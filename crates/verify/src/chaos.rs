@@ -63,7 +63,11 @@ fn layers_match(got: &SimReport, want: &SimReport, what: &str) -> Result<(), Str
     Ok(())
 }
 
-/// Asserts the `service.*` ledger reconciles at quiescence.
+/// Asserts the `service.*` ledger reconciles at quiescence, and that
+/// the per-outcome-class latency histograms agree with it sample for
+/// sample: every terminal transition recorded exactly one end-to-end
+/// latency sample in its class, so the histogram counts must equal the
+/// counters under every chaos scenario.
 fn check_reconciled(what: &str) -> Result<(), String> {
     let s = service::service_stats();
     check(
@@ -72,6 +76,23 @@ fn check_reconciled(what: &str) -> Result<(), String> {
             "{what}: ledger does not reconcile: served={} != completed={} + shed={} \
              + cancelled={} + deadline_exceeded={} + failed={}",
             s.served, s.completed, s.shed, s.cancelled, s.deadline_exceeded, s.failed
+        ),
+    )?;
+    let counts = service::latency_counts();
+    let expected = [
+        s.completed,
+        s.shed,
+        s.cancelled,
+        s.deadline_exceeded,
+        s.failed,
+    ];
+    check(
+        counts == expected,
+        &format!(
+            "{what}: latency histogram counts diverge from the service ledger: \
+             e2e counts per class {counts:?} != counters {expected:?} \
+             (order: {:?})",
+            service::OUTCOME_CLASSES
         ),
     )
 }

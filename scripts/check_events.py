@@ -46,6 +46,10 @@ KINDS = {
     "job-deadline-exceeded": ["job"],
     "job-shed": ["capacity"],
     "job-recovered": ["job", "key"],
+    # SLA lifecycle tracing (admission -> dequeue -> terminal outcome).
+    "job-admitted": ["job", "key"],
+    "job-dequeued": ["job"],
+    "job-finished": ["job", "outcome"],
     "service-drained": [],
 }
 

@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text exposition (as written by `eureka serve
+--metrics-out` and returned by the `metrics` wire verb).
+
+Usage:
+  scripts/check_metrics.py FILE [--require NAME]...
+
+Checks, using only the Python standard library:
+  * every non-comment line is `name[{labels}] value` with a metric name
+    matching [a-zA-Z_:][a-zA-Z0-9_:]* and a value that parses as a
+    float (NaN / +Inf / -Inf spelled out, never JSON null);
+  * every sample belongs to a family announced by a `# TYPE` line, and
+    every announced family has at least one sample;
+  * counter and gauge samples are bare (no labels);
+  * each histogram family has `_bucket` samples with `le` labels whose
+    cumulative counts are nondecreasing and end at `le="+Inf"`, plus
+    `_sum` and `_count` samples, with the +Inf bucket equal to _count;
+  * with --require NAME (repeatable), the named family must be present.
+
+Exits non-zero with a pointed message on the first violation.
+"""
+
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+LABEL_RE = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>[^"]*)"$')
+TYPES = ("counter", "gauge", "histogram")
+
+
+def parse_value(text, where):
+    """Prometheus float syntax: decimals plus NaN/+Inf/-Inf."""
+    try:
+        return float(text)
+    except ValueError:
+        sys.exit(f"{where}: unparsable sample value {text!r}")
+
+
+def parse_labels(text, where):
+    labels = {}
+    for part in text.split(","):
+        m = LABEL_RE.match(part.strip())
+        if not m:
+            sys.exit(f"{where}: malformed label {part!r}")
+        labels[m.group("key")] = m.group("val")
+    return labels
+
+
+def family_of(name, types):
+    """Maps a sample name to its announced family, honouring the
+    histogram _bucket/_sum/_count suffixes."""
+    if name in types:
+        return name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if types.get(base) == "histogram":
+                return base
+    return None
+
+
+def check(path, required):
+    with open(path, encoding="utf-8") as f:
+        lines = [line.rstrip("\n") for line in f]
+
+    types = {}  # family -> type
+    samples = {}  # family -> [(name, labels, value)]
+    for i, line in enumerate(lines, 1):
+        where = f"{path}:{i}"
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                sys.exit(f"{where}: malformed TYPE line {line!r}")
+            _, _, name, kind = parts
+            if not NAME_RE.match(name):
+                sys.exit(f"{where}: bad metric name {name!r}")
+            if kind not in TYPES:
+                sys.exit(f"{where}: unknown metric type {kind!r}")
+            if name in types:
+                sys.exit(f"{where}: duplicate TYPE line for {name!r}")
+            types[name] = kind
+            samples[name] = []
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment
+        m = SAMPLE_RE.match(line)
+        if not m:
+            sys.exit(f"{where}: malformed sample line {line!r}")
+        name = m.group("name")
+        family = family_of(name, types)
+        if family is None:
+            sys.exit(f"{where}: sample {name!r} has no preceding TYPE line")
+        labels = parse_labels(m.group("labels"), where) if m.group("labels") else {}
+        value = parse_value(m.group("value"), where)
+        samples[family].append((name, labels, value))
+
+    for family, kind in types.items():
+        rows = samples[family]
+        if not rows:
+            sys.exit(f"{path}: family {family!r} announced but has no samples")
+        if kind in ("counter", "gauge"):
+            for name, labels, value in rows:
+                if name != family or labels:
+                    sys.exit(f"{path}: {kind} {family!r} has unexpected sample {name!r}")
+                if math.isnan(value) or value < 0 and kind == "counter":
+                    sys.exit(f"{path}: counter {family!r} has invalid value {value}")
+        else:
+            check_histogram(path, family, rows)
+
+    for name in required:
+        if name not in types:
+            sys.exit(f"{path}: required metric family {name!r} is missing")
+    total = sum(len(rows) for rows in samples.values())
+    print(f"OK: {len(types)} famil{'y' if len(types) == 1 else 'ies'}, {total} samples")
+
+
+def check_histogram(path, family, rows):
+    buckets = []
+    sums = counts = None
+    for name, labels, value in rows:
+        if name == f"{family}_bucket":
+            if "le" not in labels:
+                sys.exit(f"{path}: histogram {family!r} bucket without an le label")
+            buckets.append((labels["le"], value))
+        elif name == f"{family}_sum":
+            sums = value
+        elif name == f"{family}_count":
+            counts = value
+        else:
+            sys.exit(f"{path}: histogram {family!r} has unexpected sample {name!r}")
+    if not buckets:
+        sys.exit(f"{path}: histogram {family!r} has no buckets")
+    if sums is None or counts is None:
+        sys.exit(f"{path}: histogram {family!r} is missing _sum or _count")
+    if buckets[-1][0] != "+Inf":
+        sys.exit(f"{path}: histogram {family!r} does not end at le=\"+Inf\"")
+    previous_le = -math.inf
+    previous = 0.0
+    for le_text, value in buckets:
+        le = math.inf if le_text == "+Inf" else parse_value(le_text, path)
+        if le <= previous_le:
+            sys.exit(f"{path}: histogram {family!r} bucket bounds not increasing")
+        if value < previous:
+            sys.exit(
+                f"{path}: histogram {family!r} cumulative counts decrease "
+                f'at le="{le_text}" ({value} < {previous})'
+            )
+        previous_le, previous = le, value
+    if buckets[-1][1] != counts:
+        sys.exit(
+            f"{path}: histogram {family!r} +Inf bucket ({buckets[-1][1]}) "
+            f"!= _count ({counts})"
+        )
+
+
+def main(argv):
+    path = None
+    required = []
+    it = iter(argv)
+    for a in it:
+        if a == "--require":
+            name = next(it, None)
+            if name is None:
+                sys.exit("--require needs a metric family name")
+            required.append(name)
+        elif a in ("-h", "--help"):
+            print(__doc__.strip())
+            return 0
+        elif a.startswith("-"):
+            sys.exit(f"unknown flag {a!r}")
+        elif path is None:
+            path = a
+        else:
+            sys.exit("exactly one FILE expected")
+    if path is None:
+        sys.exit("usage: check_metrics.py FILE [--require NAME]...")
+    check(path, required)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -113,11 +113,79 @@ fn sigterm_drains_gracefully_without_losing_accepted_jobs() {
     assert_eq!(stats.completed, 2, "{stats:?}");
     assert_eq!(stats.shed, 1, "{stats:?}");
     assert!(stats.reconciled(), "{stats:?}");
+    assert_eq!(
+        service::latency_counts(),
+        [2, 1, 0, 0, 0],
+        "per-class latency histogram counts track the counters exactly"
+    );
     assert!(
         sb.journal().recover().is_empty(),
         "a drained service leaves no unfinished journal records"
     );
     eureka_signal::reset_termination();
+}
+
+/// Mixed terminal outcomes (completed, cancelled-from-queue, shed):
+/// the per-class latency histogram counts reconcile exactly with
+/// `ServiceStats`, both via [`service::latency_counts`] and through the
+/// `stats` wire verb.
+#[test]
+fn latency_histogram_counts_reconcile_with_service_stats_per_class() {
+    use eureka_obs::json::{self, Value};
+
+    let _x = exclusive();
+    let sb = Sandbox::new("latency");
+    service::service_reset();
+
+    let svc = JobService::start(sb.config(true)); // held: cancel window is deterministic
+    svc.submit(spec(0)).expect("admitted");
+    let b = svc.submit(spec(1)).expect("admitted");
+    assert!(svc.cancel(b), "queued job cancels immediately");
+    svc.release();
+    assert!(svc.wait_idle());
+    assert!(svc.drain());
+    assert_eq!(
+        svc.submit(spec(2)),
+        Err(SubmitError::Draining),
+        "post-drain submission sheds"
+    );
+
+    let stats = service::service_stats();
+    assert!(stats.reconciled(), "{stats:?}");
+    assert_eq!(
+        service::latency_counts(),
+        [
+            stats.completed,
+            stats.shed,
+            stats.cancelled,
+            stats.deadline_exceeded,
+            stats.failed
+        ],
+        "each outcome class's e2e histogram count equals its counter"
+    );
+
+    // The wire verb reports the same counts.
+    let (resp, stop) = service::handle_request(&svc, r#"{"cmd":"stats"}"#);
+    assert!(!stop);
+    let v = json::parse(&resp).expect("stats is one JSON line");
+    assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+    let count_of = |class: &str| {
+        v.get("latency")
+            .and_then(|l| l.get(class))
+            .and_then(|c| c.get("e2e_us"))
+            .and_then(|h| h.get("count"))
+            .and_then(Value::as_f64)
+            .unwrap_or_else(|| panic!("latency.{class}.e2e_us.count missing: {resp}"))
+    };
+    #[allow(clippy::cast_precision_loss)]
+    {
+        assert_eq!(count_of("completed"), stats.completed as f64);
+        assert_eq!(count_of("shed"), stats.shed as f64);
+        assert_eq!(count_of("cancelled"), stats.cancelled as f64);
+        assert_eq!(count_of("failed"), stats.failed as f64);
+    }
+    svc.shutdown();
+    service::service_reset();
 }
 
 /// SIGKILL emulation: the crashed generation journals nothing terminal,
@@ -148,6 +216,12 @@ fn sigkill_crash_replays_unfinished_jobs_from_the_journal() {
     assert_eq!(stats.recovered, 2, "{stats:?}");
     assert_eq!(stats.completed, 2, "{stats:?}");
     assert!(stats.reconciled(), "{stats:?}");
+    assert_eq!(
+        service::latency_counts(),
+        [2, 0, 0, 0, 0],
+        "recovered jobs get full lifecycle latency samples; the crashed \
+         generation recorded no terminal samples"
+    );
     // Recovery re-admits in sorted order with fresh ids from 1.
     for id in [1, 2] {
         assert_eq!(svc2.status(id), Some(JobStatus::Completed), "job {id}");
